@@ -1,0 +1,255 @@
+//! `xdl` — command-line front end for the existential-datalog toolkit.
+//!
+//! ```text
+//! xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report]
+//! xdl optimize <file.dl> [--rewrite-only] [--aggressive]
+//! xdl analyze <file.dl>
+//! xdl explain <file.dl> <fact>
+//! xdl grammar <file.dl> [--words <len>] [--monadic first|second]
+//! xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]
+//! ```
+//!
+//! A `.dl` file holds rules, facts (ground atoms) and one `?- query.`:
+//!
+//! ```text
+//! % which nodes reach anything?
+//! a(X, Y) :- p(X, Z), a(Z, Y).
+//! a(X, Y) :- p(X, Y).
+//! p(1, 2).  p(2, 3).
+//! ?- a(X, _).
+//! ```
+
+use std::process::ExitCode;
+
+use existential_datalog::engine::oracle::{bounded_equiv_check, EquivCheckConfig};
+use existential_datalog::grammar::regular::{monadic_equivalent, KeptArg};
+use existential_datalog::grammar::{bounded_language, program_to_grammar};
+use existential_datalog::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xdl: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report]\n  \
+     xdl optimize <file.dl> [--rewrite-only] [--aggressive]\n  \
+     xdl analyze <file.dl>\n  \
+     xdl explain <file.dl> <fact>\n  \
+     xdl grammar <file.dl> [--words <len>] [--monadic first|second]\n  \
+     xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]"
+        .to_owned()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "run" => cmd_run(&rest),
+        "optimize" => cmd_optimize(&rest),
+        "analyze" => cmd_analyze(&rest),
+        "explain" => cmd_explain(&rest),
+        "grammar" => cmd_grammar(&rest),
+        "check" => cmd_check(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == name)
+}
+
+fn option_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn positional<'a>(rest: &'a [&String], idx: usize) -> Option<&'a str> {
+    rest.iter()
+        .filter(|a| !a.starts_with("--"))
+        // Skip values that follow a --option.
+        .scan(false, |skip, a| {
+            let was_skip = *skip;
+            *skip = false;
+            Some((was_skip, a))
+        })
+        .filter(|(skip, _)| !skip)
+        .map(|(_, a)| a.as_str())
+        .nth(idx)
+}
+
+fn load(path: &str) -> Result<(Program, FactSet), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    parsed
+        .program
+        .validate()
+        .map_err(|e| format!("{path}: {e}"))?;
+    let facts = FactSet::from_parsed(&parsed.facts);
+    Ok((parsed.program, facts))
+}
+
+fn cmd_run(rest: &[&String]) -> Result<(), String> {
+    let path = positional(rest, 0).ok_or_else(usage)?;
+    let (program, facts) = load(path)?;
+    if program.query.is_none() {
+        return Err(format!("{path}: no query (`?- ...`) in file"));
+    }
+    let (program, report) = if flag(rest, "--no-optimize") {
+        (program, None)
+    } else {
+        let out = optimize(&program, &OptimizerConfig::default())
+            .map_err(|e| format!("optimizer: {e}"))?;
+        (out.program, Some(out.report))
+    };
+    if flag(rest, "--report") {
+        if let Some(r) = &report {
+            println!("{}", r.to_text());
+        }
+    }
+    let opts = EvalOptions {
+        boolean_cut: !flag(rest, "--no-cut"),
+        ..EvalOptions::default()
+    };
+    let (answers, stats) =
+        query_answers(&program, &facts, &opts).map_err(|e| format!("evaluation: {e}"))?;
+    match answers.as_bool() {
+        Some(b) => println!("{b}"),
+        None => print!("{answers}"),
+    }
+    if flag(rest, "--stats") {
+        eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+fn cmd_optimize(rest: &[&String]) -> Result<(), String> {
+    let path = positional(rest, 0).ok_or_else(usage)?;
+    let (program, _) = load(path)?;
+    let cfg = if flag(rest, "--rewrite-only") {
+        OptimizerConfig::rewrite_only()
+    } else if flag(rest, "--aggressive") {
+        OptimizerConfig::aggressive()
+    } else {
+        OptimizerConfig::default()
+    };
+    let out = optimize(&program, &cfg).map_err(|e| format!("optimizer: {e}"))?;
+    eprintln!("{}", out.report.to_text());
+    print!("{}", out.program.to_text());
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[&String]) -> Result<(), String> {
+    let path = positional(rest, 0).ok_or_else(usage)?;
+    let (program, _) = load(path)?;
+    let findings = existential_datalog::opt::analyze(&program);
+    print!("{}", existential_datalog::opt::analyze::render(&findings));
+    Ok(())
+}
+
+fn cmd_explain(rest: &[&String]) -> Result<(), String> {
+    let path = positional(rest, 0).ok_or_else(usage)?;
+    let fact_text = positional(rest, 1).ok_or("explain needs a fact, e.g. 'a(1, 3)'")?;
+    let (program, facts) = load(path)?;
+    let fact = parse_atom(fact_text).map_err(|e| format!("bad fact '{fact_text}': {e}"))?;
+    let values = fact
+        .ground_values()
+        .ok_or_else(|| format!("'{fact_text}' is not ground"))?;
+    let out = existential_datalog::engine::evaluate(
+        &program,
+        &facts,
+        &EvalOptions {
+            record_provenance: true,
+            ..EvalOptions::default()
+        },
+    )
+    .map_err(|e| format!("evaluation: {e}"))?;
+    let pred = out
+        .database
+        .pred_id(&fact.pred)
+        .ok_or_else(|| format!("unknown predicate {}", fact.pred))?;
+    let prov = out.provenance.as_ref().expect("provenance was requested");
+    match prov.derivation_tree(&out.database, pred, &values) {
+        Some(tree) => {
+            print!("{}", tree.render());
+            Ok(())
+        }
+        None => Err(format!("{fact_text} is not derivable")),
+    }
+}
+
+fn cmd_grammar(rest: &[&String]) -> Result<(), String> {
+    let path = positional(rest, 0).ok_or_else(usage)?;
+    let (program, _) = load(path)?;
+    let cfg = program_to_grammar(&program).map_err(|e| format!("{e}"))?;
+    print!("{}", cfg.to_text());
+    if let Some(len) = option_value(rest, "--words") {
+        let len: usize = len.parse().map_err(|_| "--words takes a number")?;
+        let words = bounded_language(&cfg, len).map_err(|e| format!("{e}"))?;
+        println!("language up to length {len} ({} words):", words.len());
+        for w in &words {
+            let s: Vec<String> = w.iter().map(|t| t.as_str()).collect();
+            println!("  {}", s.join(" "));
+        }
+    }
+    if let Some(which) = option_value(rest, "--monadic") {
+        let kept = match which {
+            "first" => KeptArg::First,
+            "second" => KeptArg::Second,
+            _ => return Err("--monadic takes 'first' or 'second'".into()),
+        };
+        match monadic_equivalent(&program, kept).map_err(|e| format!("{e}"))? {
+            Some(rw) => {
+                println!(
+                    "regular: monadic equivalent via a {}-state DFA (Theorem 3.3):",
+                    rw.dfa_states
+                );
+                print!("{}", rw.program.to_text());
+            }
+            None => println!("not certifiably regular: no monadic rewrite."),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(rest: &[&String]) -> Result<(), String> {
+    let p1 = positional(rest, 0).ok_or_else(usage)?;
+    let p2 = positional(rest, 1).ok_or_else(usage)?;
+    let (prog1, _) = load(p1)?;
+    let (prog2, _) = load(p2)?;
+    let mut cfg = EquivCheckConfig::default();
+    if let Some(n) = option_value(rest, "--instances") {
+        cfg.instances = n.parse().map_err(|_| "--instances takes a number")?;
+    }
+    cfg.seed_idb = flag(rest, "--seed-idb");
+    match bounded_equiv_check(&prog1, &prog2, &cfg).map_err(|e| format!("{e}"))? {
+        None => {
+            println!(
+                "no difference found on {} random instances (not a proof)",
+                cfg.instances
+            );
+            Ok(())
+        }
+        Some(w) => {
+            println!("NOT equivalent. Witness instance:");
+            print!("{}", w.instance.to_text());
+            println!("answers of {p1}: {:?}", w.answers1);
+            println!("answers of {p2}: {:?}", w.answers2);
+            Err("programs differ".into())
+        }
+    }
+}

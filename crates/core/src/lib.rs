@@ -1,0 +1,95 @@
+//! # existential-datalog
+//!
+//! A from-scratch Rust reproduction of **"Optimizing Existential Datalog
+//! Queries"** (Raghu Ramakrishnan, Catriel Beeri, Ravi Krishnamurthy;
+//! PODS 1988): pushing *projections* through recursive Datalog rules.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`ast`] — syntax, parser, substitutions ([`datalog_ast`]);
+//! * [`engine`] — semi-naive bottom-up evaluation with the §3.1 boolean-cut
+//!   runtime, provenance, and equivalence oracles ([`datalog_engine`]);
+//! * [`adorn`] — the §2 existential `n`/`d` adornment ([`datalog_adorn`]);
+//! * [`opt`] — the optimizer: connected components (§3.1), projection
+//!   pushing (§3.2), and rule deletion via summaries / Sagiv's test / the
+//!   uniform-query freeze test (§3.3–§5) ([`datalog_opt`]);
+//! * [`grammar`] — chain programs, CFGs, Theorem 3.3's monadic rewriting
+//!   ([`datalog_grammar`]);
+//! * [`magic`] — the orthogonal Magic Sets rewriting ([`datalog_magic`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use existential_datalog::prelude::*;
+//!
+//! // Reachability with an existential query: "which nodes have a successor
+//! // at any distance?" — only the source column is needed.
+//! let parsed = parse_program(
+//!     "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+//!      a(X, Y) :- p(X, Y).\n\
+//!      ?- a(X, _).",
+//! )
+//! .unwrap();
+//!
+//! // Optimize: adornment makes the query's don't-care explicit, projection
+//! // drops the second column of the recursion, and Sagiv's uniform test
+//! // deletes the recursive rule outright.
+//! let outcome = optimize(&parsed.program, &OptimizerConfig::default()).unwrap();
+//! assert!(!outcome.program.is_recursive());
+//!
+//! // Evaluate both and compare.
+//! let mut edb = FactSet::new();
+//! for i in 0..10 {
+//!     edb.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+//! }
+//! let (orig, stats_orig) =
+//!     query_answers(&parsed.program, &edb, &EvalOptions::default()).unwrap();
+//! let (opt, stats_opt) =
+//!     query_answers(&outcome.program, &edb, &EvalOptions::default()).unwrap();
+//! assert_eq!(orig.rows, opt.rows);
+//! assert!(stats_opt.facts_derived < stats_orig.facts_derived);
+//! ```
+
+pub use datalog_adorn as adorn;
+pub use datalog_ast as ast;
+pub use datalog_engine as engine;
+pub use datalog_grammar as grammar;
+pub use datalog_magic as magic;
+pub use datalog_opt as opt;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use datalog_adorn::{adorn, AdornResult};
+    pub use datalog_ast::{
+        parse_atom, parse_program, Adornment, Atom, PredRef, Program, Query, Rule, Term, Value,
+        Var,
+    };
+    pub use datalog_engine::{
+        evaluate, query_answers, AnswerSet, Database, EvalOptions, EvalStats, FactSet, Strategy,
+    };
+    pub use datalog_grammar::{is_chain_program, monadic_equivalent, program_to_grammar, Cfg};
+    pub use datalog_magic::magic_rewrite;
+    pub use datalog_opt::{optimize, EquivalenceLevel, OptimizeOutcome, OptimizerConfig, Report};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_roundtrip() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+        )
+        .unwrap()
+        .program;
+        let out = optimize(&p, &OptimizerConfig::default()).unwrap();
+        assert!(out.report.rules_after <= out.report.rules_before);
+        let mut edb = FactSet::new();
+        edb.insert(PredRef::new("p"), vec![Value::int(1), Value::int(2)]);
+        let (a, _) = query_answers(&out.program, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,472 @@
+//! # datalog-adorn
+//!
+//! The existential **adornment algorithm** of §2 of *Optimizing Existential
+//! Datalog Queries* (Ramakrishnan, Beeri, Krishnamurthy; PODS 1988).
+//!
+//! Detecting existential arguments exactly is undecidable (Lemma 2.1 of the
+//! paper), so the paper gives a sound syntactic test (Lemma 2.2): starting
+//! from the query's `n`/`d` pattern, an argument of a body literal is
+//! adorned `d` (don't-care) when its variable occurs nowhere else in the
+//! rule except possibly in `d` arguments of the head; the adorned head
+//! determines which adorned versions of each predicate must be generated,
+//! and the process closes over a worklist. The result is the adorned
+//! program `P^{e,ad}`.
+//!
+//! This crate also implements the paper's *semantic definition* of an
+//! existential argument as a program transformation
+//! ([`semantic::definition_transform`]): the transformed program is query
+//! equivalent to the original iff the argument is existential. Since that
+//! equivalence is undecidable, the transformation is used by the test
+//! suites together with `datalog-engine`'s randomized refutation oracle to
+//! *refute* existentiality — and to check that every `d` the syntactic
+//! algorithm produces survives refutation (soundness, Lemma 2.2).
+
+pub mod semantic;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use datalog_ast::{Ad, Adornment, AstError, Atom, PredRef, Program, Query, Rule, Term, Var};
+
+/// Errors from the adornment algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdornError {
+    /// Structural problem in the input program.
+    Ast(AstError),
+    /// The program has no query to adorn from.
+    NoQuery,
+    /// The query was explicitly adorned with an adornment whose length does
+    /// not match the query atom's arity.
+    QueryAdornmentLength { adornment: String, arity: usize },
+    /// The input program already contains adorned predicates; adornment
+    /// must run on a plain program.
+    AlreadyAdorned { pred: String },
+}
+
+impl std::fmt::Display for AdornError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdornError::Ast(e) => write!(f, "{e}"),
+            AdornError::NoQuery => write!(f, "program has no query to adorn from"),
+            AdornError::QueryAdornmentLength { adornment, arity } => write!(
+                f,
+                "query adornment '{adornment}' does not match query arity {arity}"
+            ),
+            AdornError::AlreadyAdorned { pred } => {
+                write!(f, "program already contains adorned predicate {pred}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdornError {}
+
+impl From<AstError> for AdornError {
+    fn from(e: AstError) -> AdornError {
+        AdornError::Ast(e)
+    }
+}
+
+/// Result of adorning a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdornResult {
+    /// The adorned program `P^{e,ad}`. Only rules reachable from the query
+    /// appear (the algorithm generates rules on demand from the query).
+    pub program: Program,
+    /// The adorned versions generated for each base predicate.
+    pub versions: BTreeMap<PredRef, BTreeSet<Adornment>>,
+}
+
+impl AdornResult {
+    /// Total number of adorned predicate versions.
+    pub fn version_count(&self) -> usize {
+        self.versions.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Derive the query's adornment from its atom: wildcard variables are
+/// existential (`d`), named variables and constants are needed (`n`).
+///
+/// If the query predicate is written with an explicit adornment
+/// (`?- a[nd](X, Y)`), that adornment is used as given.
+pub fn query_adornment(query: &Query) -> Result<Adornment, AdornError> {
+    if let Some(ad) = &query.atom.pred.adornment {
+        if ad.len() != query.atom.arity() {
+            return Err(AdornError::QueryAdornmentLength {
+                adornment: ad.to_string(),
+                arity: query.atom.arity(),
+            });
+        }
+        return Ok(ad.clone());
+    }
+    Ok(query
+        .atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) if v.is_wildcard() => Ad::D,
+            _ => Ad::N,
+        })
+        .collect())
+}
+
+/// The §2 adornment algorithm.
+///
+/// Returns the adorned program: the query predicate and every derived
+/// predicate reachable from it are replaced by adorned versions; base (EDB)
+/// predicates are left unadorned (their relations are shared). If the query
+/// predicate is a base predicate there is nothing to adorn and the program
+/// is returned unchanged.
+pub fn adorn(program: &Program) -> Result<AdornResult, AdornError> {
+    program.validate()?;
+    // Rules must be unadorned; the query atom MAY carry an explicit
+    // adornment (that is how callers request an existential query form).
+    for r in &program.rules {
+        for p in std::iter::once(&r.head.pred)
+            .chain(r.body.iter().map(|a| &a.pred))
+            .chain(r.negative.iter().map(|a| &a.pred))
+        {
+            if p.is_adorned() {
+                return Err(AdornError::AlreadyAdorned {
+                    pred: p.to_string(),
+                });
+            }
+        }
+    }
+    let query = program.query.as_ref().ok_or(AdornError::NoQuery)?;
+    let idb = program.idb_preds();
+
+    let query_ad = query_adornment(query)?;
+    if !idb.contains(&query.atom.pred.base()) {
+        // Query over a base predicate: nothing to adorn.
+        return Ok(AdornResult {
+            program: program.clone(),
+            versions: BTreeMap::new(),
+        });
+    }
+
+    let mut out = Program::default();
+    let mut versions: BTreeMap<PredRef, BTreeSet<Adornment>> = BTreeMap::new();
+    let mut queue: VecDeque<(PredRef, Adornment)> = VecDeque::new();
+    let mut seen: BTreeSet<(PredRef, Adornment)> = BTreeSet::new();
+
+    let qbase = query.atom.pred.base();
+    queue.push_back((qbase.clone(), query_ad.clone()));
+    seen.insert((qbase.clone(), query_ad.clone()));
+
+    while let Some((pred, ad)) = queue.pop_front() {
+        versions
+            .entry(pred.clone())
+            .or_default()
+            .insert(ad.clone());
+        for &ri in &program.rules_for(&pred) {
+            let rule = &program.rules[ri];
+            let adorned = adorn_rule(rule, &ad, &idb);
+            // Enqueue newly generated adorned versions.
+            for lit in adorned.body.iter().chain(adorned.negative.iter()) {
+                if let Some(a1) = &lit.pred.adornment {
+                    let key = (lit.pred.base(), a1.clone());
+                    if seen.insert(key.clone()) {
+                        queue.push_back(key);
+                    }
+                }
+            }
+            out.rules.push(adorned);
+        }
+    }
+
+    // Rewrite the query to use the adorned predicate (argument list
+    // unchanged; projection happens in a later phase).
+    let mut qatom = query.atom.clone();
+    qatom.pred = qbase.with_adornment(query_ad);
+    out.query = Some(Query::new(qatom));
+    Ok(AdornResult {
+        program: out,
+        versions,
+    })
+}
+
+/// Adorn one rule for head adornment `head_ad` (§2, Lemma 2.2):
+/// a body argument is `d` iff it holds a variable whose only other
+/// occurrences (if any) are in `d` positions of the head.
+fn adorn_rule(rule: &Rule, head_ad: &Adornment, idb: &BTreeSet<PredRef>) -> Rule {
+    debug_assert_eq!(rule.head.arity(), head_ad.len());
+    // Occurrence counts across the body. Negated literals count too: a
+    // variable checked by a negation is needed (its value matters).
+    let mut body_occ: BTreeMap<Var, usize> = BTreeMap::new();
+    for lit in rule.body.iter().chain(rule.negative.iter()) {
+        for v in lit.var_occurrences() {
+            *body_occ.entry(v).or_insert(0) += 1;
+        }
+    }
+    // Head positions per variable, split by adornment.
+    let mut head_needs: BTreeSet<Var> = BTreeSet::new();
+    for (i, t) in rule.head.terms.iter().enumerate() {
+        if let Term::Var(v) = t {
+            if head_ad[i] == Ad::N {
+                head_needs.insert(*v);
+            }
+        }
+    }
+    let head_vars: BTreeSet<Var> = rule.head.var_occurrences().collect();
+
+    let is_existential = |v: &Var| -> bool {
+        body_occ.get(v).copied().unwrap_or(0) == 1
+            && (!head_vars.contains(v) || !head_needs.contains(v))
+    };
+
+    let head = Atom {
+        pred: rule.head.pred.with_adornment(head_ad.clone()),
+        terms: rule.head.terms.clone(),
+    };
+    // Negated derived literals are adorned all-needed: negation-as-failure
+    // tests a specific tuple, so every position's value matters.
+    let negative = rule
+        .negative
+        .iter()
+        .map(|lit| {
+            if idb.contains(&lit.pred) {
+                Atom {
+                    pred: lit
+                        .pred
+                        .with_adornment(Adornment::all_needed(lit.arity())),
+                    terms: lit.terms.clone(),
+                }
+            } else {
+                lit.clone()
+            }
+        })
+        .collect();
+    let body = rule
+        .body
+        .iter()
+        .map(|lit| {
+            let ad: Adornment = lit
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(_) => Ad::N,
+                    Term::Var(v) => {
+                        if is_existential(v) {
+                            Ad::D
+                        } else {
+                            Ad::N
+                        }
+                    }
+                })
+                .collect();
+            if idb.contains(&lit.pred) {
+                Atom {
+                    pred: lit.pred.with_adornment(ad),
+                    terms: lit.terms.clone(),
+                }
+            } else {
+                // Base predicates keep their (single, stored) relation.
+                lit.clone()
+            }
+        })
+        .collect();
+    Rule::with_negation(head, body, negative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    fn adorn_text(src: &str) -> AdornResult {
+        adorn(&parse_program(src).unwrap().program).unwrap()
+    }
+
+    /// Example 1 of the paper: right-recursive transitive closure with an
+    /// existential query.
+    #[test]
+    fn example_1_right_recursive_tc() {
+        let r = adorn_text(
+            "query(X) :- a(X, Y).\n\
+             a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- query(X).",
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("query[n](X) :- a[nd](X, Y)."));
+        assert!(text.contains("a[nd](X, Y) :- p(X, Z), a[nd](Z, Y)."));
+        assert!(text.contains("a[nd](X, Y) :- p(X, Y)."));
+        assert_eq!(r.program.rules.len(), 3);
+        // a has exactly one adorned version: nd.
+        let a_versions = &r.versions[&PredRef::new("a")];
+        assert_eq!(a_versions.len(), 1);
+        assert!(a_versions.contains(&Adornment::parse("nd").unwrap()));
+    }
+
+    /// Example 5 of the paper: left-recursive TC. The query form a[nd]
+    /// needs the full a[nn] internally.
+    #[test]
+    fn example_5_left_recursive_tc_needs_two_versions() {
+        let r = adorn_text(
+            "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+        );
+        let text = r.program.to_text();
+        // Query form: a[nd]; recursive rule forces a[nn].
+        assert!(text.contains("a[nd](X, Y) :- a[nn](X, Z), p(Z, Y)."), "{text}");
+        assert!(text.contains("a[nn](X, Y) :- a[nn](X, Z), p(Z, Y)."), "{text}");
+        assert!(text.contains("a[nn](X, Y) :- p(X, Y)."), "{text}");
+        let a_versions = &r.versions[&PredRef::new("a")];
+        assert_eq!(a_versions.len(), 2);
+        assert_eq!(r.program.rules.len(), 4);
+    }
+
+    #[test]
+    fn wildcard_query_positions_become_d() {
+        let q = Query::new(datalog_ast::parse_atom("a(X, _, 3)").unwrap());
+        let ad = query_adornment(&q).unwrap();
+        assert_eq!(ad.to_string(), "ndn");
+    }
+
+    #[test]
+    fn explicit_query_adornment_is_respected() {
+        let r = adorn_text(
+            "a(X, Y) :- p(X, Y).\n\
+             ?- a[dn](X, Y).",
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("a[dn](X, Y) :- p(X, Y)."));
+        // Mismatched length errors out at validation.
+        let p = parse_program("a(X, Y) :- p(X, Y).\n?- a[n](X, Y).")
+            .unwrap()
+            .program;
+        assert!(adorn(&p).is_err());
+        // Post-projection-style query adornment (needed-count matches but
+        // full length does not) is reported as QueryAdornmentLength.
+        let p = parse_program("a(X, Y) :- p(X, Y).\n?- a[nd](X).")
+            .unwrap()
+            .program;
+        assert!(matches!(
+            adorn(&p),
+            Err(AdornError::QueryAdornmentLength { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_body_variable_is_needed() {
+        // Y occurs twice in the body: join variable, so 'n' everywhere.
+        let r = adorn_text(
+            "q(X) :- a(X, Y), b(Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             b(Y) :- s(Y).\n\
+             ?- q(X).",
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("q[n](X) :- a[nn](X, Y), b[n](Y)."), "{text}");
+    }
+
+    #[test]
+    fn repeated_var_within_one_literal_is_needed() {
+        let r = adorn_text(
+            "q(X) :- a(X, Y, Y).\n\
+             a(X, Y, Z) :- p(X, Y, Z).\n\
+             ?- q(X).",
+        );
+        let text = r.program.to_text();
+        // Y appears twice (within the same literal): both positions 'n'.
+        assert!(text.contains("q[n](X) :- a[nnn](X, Y, Y)."), "{text}");
+    }
+
+    #[test]
+    fn head_d_variable_keeps_body_position_existential() {
+        // Example 1's key step: Y existential in the head makes the
+        // recursive occurrence's second argument 'd'.
+        let r = adorn_text(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+        );
+        assert!(r.program.to_text().contains("a[nd](X, Y) :- p(X, Z), a[nd](Z, Y)."));
+    }
+
+    #[test]
+    fn head_n_variable_forces_needed() {
+        // Same program, all-needed query: no 'd' anywhere.
+        let r = adorn_text(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("a[nn](X, Y) :- p(X, Z), a[nn](Z, Y)."));
+        assert!(!text.contains("[nd]"));
+    }
+
+    #[test]
+    fn constants_are_needed() {
+        let r = adorn_text(
+            "q(X) :- a(X, 3).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- q(X).",
+        );
+        assert!(r.program.to_text().contains("a[nn](X, 3)"));
+    }
+
+    #[test]
+    fn unreachable_rules_are_dropped() {
+        let r = adorn_text(
+            "q(X) :- a(X, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             orphan(X) :- p(X, X).\n\
+             ?- q(X).",
+        );
+        assert_eq!(r.program.rules.len(), 2);
+        assert!(!r.program.to_text().contains("orphan"));
+    }
+
+    #[test]
+    fn query_on_base_predicate_is_identity() {
+        let p = parse_program("q(X) :- a(X).\n?- p(X, _).").unwrap().program;
+        let r = adorn(&p).unwrap();
+        assert_eq!(r.program, p);
+        assert!(r.versions.is_empty());
+    }
+
+    #[test]
+    fn no_query_is_an_error() {
+        let p = parse_program("a(X, Y) :- p(X, Y).").unwrap().program;
+        assert!(matches!(adorn(&p), Err(AdornError::NoQuery)));
+    }
+
+    #[test]
+    fn already_adorned_program_is_rejected() {
+        let p = parse_program("a[nd](X, Y) :- p(X, Y).\n?- a[nd](X, _).")
+            .unwrap()
+            .program;
+        assert!(matches!(adorn(&p), Err(AdornError::AlreadyAdorned { .. })));
+    }
+
+    /// §2: "the adorned program usually has more rules than the original".
+    #[test]
+    fn zigzag_generates_multiple_versions() {
+        // sg-like program where the existential position flips.
+        let r = adorn_text(
+            "s(X, Y) :- s(Y, X).\n\
+             s(X, Y) :- p(X, Y).\n\
+             ?- s(X, _).",
+        );
+        let versions = &r.versions[&PredRef::new("s")];
+        // s[nd] calls s[dn] (swap), which calls s[nd] again.
+        assert_eq!(versions.len(), 2);
+        assert!(versions.contains(&Adornment::parse("nd").unwrap()));
+        assert!(versions.contains(&Adornment::parse("dn").unwrap()));
+        assert_eq!(r.program.rules.len(), 4);
+    }
+
+    #[test]
+    fn boolean_zero_arity_head() {
+        // Zero-arity derived predicate: empty adornment.
+        let r = adorn_text(
+            "ok :- p(X, Y).\n\
+             ?- ok.",
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("ok[]"), "{text}");
+    }
+}

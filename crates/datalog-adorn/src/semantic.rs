@@ -1,0 +1,188 @@
+//! The *semantic* definition of an existential argument (§2 of the paper),
+//! as an executable program transformation.
+//!
+//! The paper defines: the argument position of `Y` in a body literal
+//! `p(X̄, Y)` of rule `r1` is existential iff replacing the literal by
+//! `p'(X̄, Y')` — where `p'` agrees with `p` on the other columns but leaves
+//! the `Y` column completely unconstrained — and renaming `Y` to `Y'` in the
+//! head, yields a query-equivalent program.
+//!
+//! As written in the paper the defining rule `p'(X̄, Y') :- p(X̄, Y)` is
+//! unsafe (`Y'` is unbound): the intended semantics is that `Y'` ranges over
+//! the whole domain. We make that executable by introducing an explicit
+//! domain predicate: `p'(X̄, Y') :- p(X̄, Y), $dom(Y')`, where `$dom` must be
+//! populated with the active domain of the instance
+//! ([`with_active_domain`] does this). Checking the equivalence is
+//! undecidable (Lemma 2.1); `datalog-engine::bounded_equiv_check` is used by
+//! the test suites to *refute* candidate existential arguments and to
+//! validate the syntactic algorithm's `d` adornments on random instances.
+
+use datalog_ast::{Atom, PredRef, Program, Rule, Term, Var};
+use datalog_engine::FactSet;
+
+/// Name of the generated domain predicate.
+pub const DOM_PRED: &str = "$dom";
+
+/// Errors from the definition transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefinitionError {
+    /// The rule or literal index is out of range.
+    BadIndex,
+    /// The chosen argument is a constant, not a variable.
+    NotAVariable,
+}
+
+impl std::fmt::Display for DefinitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefinitionError::BadIndex => write!(f, "rule/literal/argument index out of range"),
+            DefinitionError::NotAVariable => {
+                write!(f, "the selected argument position holds a constant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DefinitionError {}
+
+/// Apply the §2 definition transformation to argument `arg_idx` of body
+/// literal `lit_idx` of rule `rule_idx`.
+///
+/// Returns the transformed program; it is query equivalent to the original
+/// iff the argument position is existential (and the original program is
+/// evaluated over instances augmented with their active domain, see
+/// [`with_active_domain`]).
+pub fn definition_transform(
+    program: &Program,
+    rule_idx: usize,
+    lit_idx: usize,
+    arg_idx: usize,
+) -> Result<Program, DefinitionError> {
+    let rule = program.rules.get(rule_idx).ok_or(DefinitionError::BadIndex)?;
+    let lit = rule.body.get(lit_idx).ok_or(DefinitionError::BadIndex)?;
+    let term = lit.terms.get(arg_idx).ok_or(DefinitionError::BadIndex)?;
+    let y = match term {
+        Term::Var(v) => *v,
+        Term::Const(_) => return Err(DefinitionError::NotAVariable),
+    };
+
+    let p = lit.pred.clone();
+    let p_prime = PredRef::new(&format!("{}$prime", p.name));
+    let y_prime = Var::fresh();
+
+    // p'(X̄, Y') :- p(X̄, Y), $dom(Y').
+    let mut prime_head_terms: Vec<Term> = Vec::with_capacity(lit.arity());
+    let mut prime_body_terms: Vec<Term> = Vec::with_capacity(lit.arity());
+    for (i, _) in lit.terms.iter().enumerate() {
+        // Use canonical column variables to define p' once, independent of
+        // the literal's own terms.
+        let col = Var::new(&format!("C{i}"));
+        prime_body_terms.push(Term::Var(col));
+        if i == arg_idx {
+            prime_head_terms.push(Term::Var(y_prime));
+        } else {
+            prime_head_terms.push(Term::Var(col));
+        }
+    }
+    let prime_rule = Rule::new(
+        Atom::new(p_prime.clone(), prime_head_terms),
+        vec![
+            Atom::new(p.clone(), prime_body_terms),
+            Atom::new(PredRef::new(DOM_PRED), vec![Term::Var(y_prime)]),
+        ],
+    );
+
+    let mut out = program.clone();
+    // Replace the literal in r1 with p'(X̄, Y'); rename Y to Y' in the head.
+    {
+        let r = &mut out.rules[rule_idx];
+        let mut new_lit = r.body[lit_idx].clone();
+        new_lit.pred = p_prime;
+        new_lit.terms[arg_idx] = Term::Var(y_prime);
+        r.body[lit_idx] = new_lit;
+        for t in r.head.terms.iter_mut() {
+            if *t == Term::Var(y) {
+                *t = Term::Var(y_prime);
+            }
+        }
+    }
+    out.rules.push(prime_rule);
+    Ok(out)
+}
+
+/// Augment an instance with `$dom` facts for every constant in its active
+/// domain (required to evaluate programs produced by
+/// [`definition_transform`]).
+pub fn with_active_domain(instance: &FactSet) -> FactSet {
+    let mut out = instance.clone();
+    let dom = PredRef::new(DOM_PRED);
+    for v in instance.active_domain() {
+        out.insert(dom.clone(), vec![v]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, Value};
+    use datalog_engine::{query_answers, EvalOptions};
+
+    /// The motivating §1.2 rule: `q(X,Y) :- a(X,Z), q(Z,Y), c(W)` — the
+    /// position of `W` is existential.
+    #[test]
+    fn section_1_2_c_of_w_is_existential() {
+        let src = "q(X, Y) :- a(X, Z), q(Z, Y), c(W).\n\
+                   q(X, Y) :- b(X, Y).\n\
+                   ?- q(X, Y).";
+        let p = parse_program(src).unwrap().program;
+        // Transform W's position (rule 0, literal 2, arg 0).
+        let t = definition_transform(&p, 0, 2, 0).unwrap();
+        assert!(t.to_text().contains("c$prime"));
+
+        // On a concrete instance, answers agree.
+        let mut inst = FactSet::new();
+        inst.insert(PredRef::new("a"), vec![Value::int(1), Value::int(2)]);
+        inst.insert(PredRef::new("b"), vec![Value::int(2), Value::int(3)]);
+        inst.insert(PredRef::new("c"), vec![Value::int(9)]);
+        let inst = with_active_domain(&inst);
+        let (a1, _) = query_answers(&p, &inst, &EvalOptions::default()).unwrap();
+        let (a2, _) = query_answers(&t, &inst, &EvalOptions::default()).unwrap();
+        assert_eq!(a1.rows, a2.rows);
+        assert!(!a1.is_empty());
+    }
+
+    /// A *needed* argument: scrambling it changes answers on some instance.
+    #[test]
+    fn needed_argument_is_refutable() {
+        let src = "q(X) :- p(X, Y), s(Y).\n\
+                   ?- q(X).";
+        let p = parse_program(src).unwrap().program;
+        // Scramble Y in p(X, Y) (rule 0, literal 0, arg 1): Y is a join
+        // variable, so this must change answers.
+        let t = definition_transform(&p, 0, 0, 1).unwrap();
+        let mut inst = FactSet::new();
+        inst.insert(PredRef::new("p"), vec![Value::int(1), Value::int(2)]);
+        inst.insert(PredRef::new("s"), vec![Value::int(3)]);
+        let inst = with_active_domain(&inst);
+        let (a1, _) = query_answers(&p, &inst, &EvalOptions::default()).unwrap();
+        let (a2, _) = query_answers(&t, &inst, &EvalOptions::default()).unwrap();
+        // Original: no answer (2 ∉ s). Transformed: q(1) because Y' ranges
+        // over the domain which includes 3.
+        assert!(a1.is_empty());
+        assert!(!a2.is_empty());
+    }
+
+    #[test]
+    fn bad_indices_and_constants_error() {
+        let p = parse_program("q(X) :- p(X, 3).\n?- q(X).").unwrap().program;
+        assert_eq!(
+            definition_transform(&p, 5, 0, 0).unwrap_err(),
+            DefinitionError::BadIndex
+        );
+        assert_eq!(
+            definition_transform(&p, 0, 0, 1).unwrap_err(),
+            DefinitionError::NotAVariable
+        );
+    }
+}

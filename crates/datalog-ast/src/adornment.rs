@@ -1,0 +1,183 @@
+//! Existential adornments (§2 of the paper).
+//!
+//! An adornment is a string over `{n, d}`: `n` marks a *needed* argument
+//! position, `d` a *don't-care* (existential) one. An adorned version of a
+//! predicate is a query form: `p[nd](X, Y)` denotes interest in all `X` such
+//! that *some* `Y` makes `p(X, Y)` true.
+//!
+//! These adornments are distinct from the classical *bound/free* (`b`/`f`)
+//! adornments of Magic Sets; the paper is explicit about this (§2 footnote).
+//! Bound/free adornments live in `datalog-magic`.
+
+/// One adornment position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ad {
+    /// Needed: all values for this argument must be computed.
+    N,
+    /// Don't-care / existential: only the existence of a value matters.
+    D,
+}
+
+impl Ad {
+    /// Render as the paper's single letter.
+    pub fn letter(self) -> char {
+        match self {
+            Ad::N => 'n',
+            Ad::D => 'd',
+        }
+    }
+}
+
+/// An adornment string, e.g. `nnd`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Adornment(pub Vec<Ad>);
+
+impl Adornment {
+    /// Parse from a string of `n`s and `d`s. Returns `None` on any other
+    /// character.
+    pub fn parse(s: &str) -> Option<Adornment> {
+        let mut v = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                'n' => v.push(Ad::N),
+                'd' => v.push(Ad::D),
+                _ => return None,
+            }
+        }
+        Some(Adornment(v))
+    }
+
+    /// All-needed adornment of the given length.
+    pub fn all_needed(len: usize) -> Adornment {
+        Adornment(vec![Ad::N; len])
+    }
+
+    /// Length of the adornment string (the predicate's *original* arity,
+    /// which after projection may exceed its argument count).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the adornment is empty (zero-ary predicate).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of needed (`n`) positions.
+    pub fn needed_count(&self) -> usize {
+        self.0.iter().filter(|a| **a == Ad::N).count()
+    }
+
+    /// Indices of the needed positions, in order.
+    pub fn needed_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (*a == Ad::N).then_some(i))
+            .collect()
+    }
+
+    /// Indices of the existential (`d`) positions, in order.
+    pub fn existential_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| (*a == Ad::D).then_some(i))
+            .collect()
+    }
+
+    /// Whether any position is existential.
+    pub fn has_existential(&self) -> bool {
+        self.0.iter().any(|a| *a == Ad::D)
+    }
+
+    /// Whether every position is needed.
+    pub fn is_all_needed(&self) -> bool {
+        !self.has_existential()
+    }
+
+    /// The *covers* relation of §5 of the paper: `a1` covers `a` when both
+    /// have the same length and every `n` in `a` is an `n` in `a1`.
+    /// Intuitively any tuple of the `a1`-version, projected, is a tuple of
+    /// the `a`-version, so the unit rule `q^a(t) :- q^a1(t1)` may always be
+    /// added.
+    pub fn is_covered_by(&self, a1: &Adornment) -> bool {
+        self.len() == a1.len()
+            && self
+                .0
+                .iter()
+                .zip(a1.0.iter())
+                .all(|(mine, theirs)| *mine == Ad::D || *theirs == Ad::N)
+    }
+}
+
+impl std::fmt::Display for Adornment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for a in &self.0 {
+            write!(f, "{}", a.letter())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::ops::Index<usize> for Adornment {
+    type Output = Ad;
+    fn index(&self, i: usize) -> &Ad {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Ad> for Adornment {
+    fn from_iter<I: IntoIterator<Item = Ad>>(iter: I) -> Adornment {
+        Adornment(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["", "n", "d", "nd", "nnd", "dn", "ndndn"] {
+            let a = Adornment::parse(s).unwrap();
+            assert_eq!(a.to_string(), s);
+        }
+        assert!(Adornment::parse("nxd").is_none());
+        assert!(Adornment::parse("ND").is_none());
+    }
+
+    #[test]
+    fn position_queries() {
+        let a = Adornment::parse("ndn").unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.needed_count(), 2);
+        assert_eq!(a.needed_positions(), vec![0, 2]);
+        assert_eq!(a.existential_positions(), vec![1]);
+        assert!(a.has_existential());
+        assert!(!a.is_all_needed());
+        assert!(Adornment::parse("nn").unwrap().is_all_needed());
+    }
+
+    #[test]
+    fn covers_relation() {
+        // nd is covered by nn (the d may become n), but nn is not covered by nd.
+        let nd = Adornment::parse("nd").unwrap();
+        let nn = Adornment::parse("nn").unwrap();
+        assert!(nd.is_covered_by(&nn));
+        assert!(!nn.is_covered_by(&nd));
+        // Every adornment covers itself.
+        assert!(nd.is_covered_by(&nd));
+        assert!(nn.is_covered_by(&nn));
+        // Length mismatch never covers.
+        let n = Adornment::parse("n").unwrap();
+        assert!(!nd.is_covered_by(&n));
+    }
+
+    #[test]
+    fn all_needed_constructor() {
+        let a = Adornment::all_needed(3);
+        assert_eq!(a.to_string(), "nnn");
+        assert!(Adornment::all_needed(0).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Predicate references: a name plus an optional existential adornment.
+
+use crate::adornment::Adornment;
+use crate::intern::Symbol;
+
+/// A reference to a (possibly adorned) predicate.
+///
+/// Two adorned versions of the same base predicate (`p[nn]` and `p[nd]`) are
+/// *different* predicates for every downstream purpose — storage, evaluation,
+/// dependency analysis — exactly as in the paper's adorned program
+/// `P^{e,ad}`. The base name is retained so that optimizers and reports can
+/// relate versions of the same predicate (e.g. for the `covers` relation of
+/// §5).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredRef {
+    /// Base predicate name.
+    pub name: Symbol,
+    /// Existential adornment, if this is an adorned version.
+    pub adornment: Option<Adornment>,
+}
+
+impl PredRef {
+    /// An unadorned predicate.
+    pub fn new(name: &str) -> PredRef {
+        PredRef {
+            name: Symbol::intern(name),
+            adornment: None,
+        }
+    }
+
+    /// An adorned predicate, e.g. `PredRef::adorned("p", "nd")`.
+    ///
+    /// # Panics
+    /// Panics if `adornment` contains characters other than `n`/`d`; use
+    /// [`Adornment::parse`] directly for fallible construction.
+    pub fn adorned(name: &str, adornment: &str) -> PredRef {
+        PredRef {
+            name: Symbol::intern(name),
+            adornment: Some(
+                Adornment::parse(adornment).expect("adornment must consist of 'n' and 'd'"),
+            ),
+        }
+    }
+
+    /// Same base predicate with a different adornment.
+    pub fn with_adornment(&self, adornment: Adornment) -> PredRef {
+        PredRef {
+            name: self.name,
+            adornment: Some(adornment),
+        }
+    }
+
+    /// Strip the adornment, recovering the base predicate.
+    pub fn base(&self) -> PredRef {
+        PredRef {
+            name: self.name,
+            adornment: None,
+        }
+    }
+
+    /// Whether this predicate carries an adornment.
+    pub fn is_adorned(&self) -> bool {
+        self.adornment.is_some()
+    }
+
+    /// The number of arguments atoms of this predicate carry. For an
+    /// unadorned predicate this is unknown from the `PredRef` alone (`None`).
+    /// For an adorned predicate *before projection* it is the adornment
+    /// length; `datalog-opt`'s projection phase shrinks atoms to
+    /// [`Adornment::needed_count`] arguments. Callers should consult the
+    /// program's arity table (see [`crate::program::Program::arities`]) for
+    /// the authoritative answer; this is a helper for adorned-only logic.
+    pub fn adornment_len(&self) -> Option<usize> {
+        self.adornment.as_ref().map(|a| a.len())
+    }
+}
+
+impl std::fmt::Display for PredRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(a) = &self.adornment {
+            write!(f, "[{a}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adorned_versions_are_distinct_predicates() {
+        let p_nn = PredRef::adorned("p", "nn");
+        let p_nd = PredRef::adorned("p", "nd");
+        let p = PredRef::new("p");
+        assert_ne!(p_nn, p_nd);
+        assert_ne!(p_nn, p);
+        assert_eq!(p_nn.base(), p);
+        assert_eq!(p_nd.base(), p);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PredRef::new("edge").to_string(), "edge");
+        assert_eq!(PredRef::adorned("p", "nd").to_string(), "p[nd]");
+        assert_eq!(PredRef::adorned("b", "").to_string(), "b[]");
+    }
+
+    #[test]
+    fn with_adornment_replaces() {
+        let p = PredRef::adorned("p", "nn");
+        let q = p.with_adornment(Adornment::parse("nd").unwrap());
+        assert_eq!(q, PredRef::adorned("p", "nd"));
+        assert!(q.is_adorned());
+        assert_eq!(q.adornment_len(), Some(2));
+        assert_eq!(PredRef::new("p").adornment_len(), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Rules: a head atom, a positive conjunctive body, and (optionally)
+//! negated body literals.
+//!
+//! Pure Datalog — the paper's setting — uses positive bodies only; the
+//! `negative` literals implement the *stratified negation* extension the
+//! paper lists as future work (§6). All of the paper's optimization
+//! machinery operates on the positive `body`; negation-aware components
+//! handle `negative` explicitly, and the deletion phases are conservatively
+//! disabled for programs with negation (their equivalence theory is given
+//! for Horn programs).
+
+use crate::atom::Atom;
+use crate::term::Var;
+use crate::AstError;
+
+/// A rule `h :- b1, ..., bn, not c1, ..., not cm.`
+///
+/// A rule with an empty body is a fact schema (we normally keep facts in
+/// the EDB instead, per the paper's §1.1 convention that the IDB contains
+/// no facts).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Positive body literals.
+    pub body: Vec<Atom>,
+    /// Negated body literals (`not c(...)`). Empty in pure Datalog.
+    pub negative: Vec<Atom>,
+}
+
+impl Rule {
+    /// A positive (pure-Datalog) rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule {
+            head,
+            body,
+            negative: Vec::new(),
+        }
+    }
+
+    /// A rule with negated literals.
+    pub fn with_negation(head: Atom, body: Vec<Atom>, negative: Vec<Atom>) -> Rule {
+        Rule {
+            head,
+            body,
+            negative,
+        }
+    }
+
+    /// Whether the rule uses negation.
+    pub fn has_negation(&self) -> bool {
+        !self.negative.is_empty()
+    }
+
+    /// A *unit rule* in the sense of §5 of the paper: exactly one positive
+    /// body literal, no negation, and every head argument is a variable
+    /// drawn from that literal.
+    pub fn is_unit(&self) -> bool {
+        if self.body.len() != 1 || !self.negative.is_empty() {
+            return false;
+        }
+        let body_vars = self.body[0].vars();
+        self.head
+            .terms
+            .iter()
+            .all(|t| t.as_var().is_some_and(|v| body_vars.contains(&v)))
+    }
+
+    /// Distinct variables of the whole rule in first-occurrence order
+    /// (head first, then positive body, then negated literals).
+    pub fn vars(&self) -> Vec<Var> {
+        let mut seen = Vec::new();
+        for v in self
+            .head
+            .var_occurrences()
+            .chain(self.body.iter().flat_map(|a| a.var_occurrences()))
+            .chain(self.negative.iter().flat_map(|a| a.var_occurrences()))
+        {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// Distinct positive-body variables in first-occurrence order.
+    pub fn body_vars(&self) -> Vec<Var> {
+        let mut seen = Vec::new();
+        for v in self.body.iter().flat_map(|a| a.var_occurrences()) {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// Check range restriction (safety): every head variable and every
+    /// variable of a negated literal must occur in the positive body.
+    pub fn check_safe(&self) -> Result<(), AstError> {
+        let body_vars = self.body_vars();
+        for v in self.head.var_occurrences() {
+            if !body_vars.contains(&v) {
+                return Err(AstError::UnsafeRule {
+                    rule: self.to_string(),
+                    var: v.name(),
+                });
+            }
+        }
+        for v in self.negative.iter().flat_map(|a| a.var_occurrences()) {
+            if !body_vars.contains(&v) {
+                return Err(AstError::UnsafeRule {
+                    rule: self.to_string(),
+                    var: v.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of occurrences of `v` across the whole rule.
+    pub fn occurrence_count(&self, v: Var) -> usize {
+        self.head
+            .var_occurrences()
+            .chain(self.body.iter().flat_map(|a| a.var_occurrences()))
+            .chain(self.negative.iter().flat_map(|a| a.var_occurrences()))
+            .filter(|w| *w == v)
+            .count()
+    }
+
+    /// Whether the head predicate also occurs in the (positive or negative)
+    /// body. Indirect recursion is detected at the program level via SCCs
+    /// ([`crate::program::Program::recursive_preds`]).
+    pub fn is_directly_recursive(&self) -> bool {
+        self.body
+            .iter()
+            .chain(self.negative.iter())
+            .any(|a| a.pred == self.head.pred)
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() || !self.negative.is_empty() {
+            write!(f, " :- ")?;
+            let mut first = true;
+            for a in &self.body {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{a}")?;
+            }
+            for a in &self.negative {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "not {a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredRef;
+    use crate::term::Term;
+
+    fn tc_rule() -> Rule {
+        // a(X,Y) :- p(X,Z), a(Z,Y).
+        Rule::new(
+            Atom::app("a", &["X", "Y"]),
+            vec![Atom::app("p", &["X", "Z"]), Atom::app("a", &["Z", "Y"])],
+        )
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        assert_eq!(tc_rule().to_string(), "a(X, Y) :- p(X, Z), a(Z, Y).");
+    }
+
+    #[test]
+    fn safety() {
+        assert!(tc_rule().check_safe().is_ok());
+        let unsafe_rule = Rule::new(Atom::app("a", &["X", "Y"]), vec![Atom::app("p", &["X"])]);
+        let err = unsafe_rule.check_safe().unwrap_err();
+        assert!(matches!(err, AstError::UnsafeRule { .. }));
+    }
+
+    #[test]
+    fn unit_rule_detection() {
+        // q(X) :- p(X, Y) is a unit rule.
+        let u = Rule::new(Atom::app("q", &["X"]), vec![Atom::app("p", &["X", "Y"])]);
+        assert!(u.is_unit());
+        // Two body literals: not unit.
+        assert!(!tc_rule().is_unit());
+        // Head constant: not unit by our definition (heads of generated unit
+        // rules are always pure-variable).
+        let c = Rule::new(
+            Atom::new(PredRef::new("q"), vec![Term::int(1)]),
+            vec![Atom::app("p", &["X"])],
+        );
+        assert!(!c.is_unit());
+        // Negation disqualifies.
+        let n = Rule::with_negation(
+            Atom::app("q", &["X"]),
+            vec![Atom::app("p", &["X", "Y"])],
+            vec![Atom::app("r", &["X"])],
+        );
+        assert!(!n.is_unit());
+    }
+
+    #[test]
+    fn recursion_and_vars() {
+        let r = tc_rule();
+        assert!(r.is_directly_recursive());
+        assert_eq!(r.vars(), vec![Var::new("X"), Var::new("Y"), Var::new("Z")]);
+        assert_eq!(r.occurrence_count(Var::new("Z")), 2);
+        assert_eq!(r.occurrence_count(Var::new("X")), 2);
+    }
+
+    #[test]
+    fn negation_display_and_safety() {
+        let r = Rule::with_negation(
+            Atom::app("alive", &["X"]),
+            vec![Atom::app("node", &["X"])],
+            vec![Atom::app("dead", &["X"])],
+        );
+        assert_eq!(r.to_string(), "alive(X) :- node(X), not dead(X).");
+        assert!(r.check_safe().is_ok());
+        assert!(r.has_negation());
+        // A negated variable not bound positively is unsafe.
+        let bad = Rule::with_negation(
+            Atom::app("q", &["X"]),
+            vec![Atom::app("p", &["X"])],
+            vec![Atom::app("r", &["Y"])],
+        );
+        assert!(bad.check_safe().is_err());
+    }
+
+    #[test]
+    fn negative_recursion_detected() {
+        let r = Rule::with_negation(
+            Atom::app("q", &["X"]),
+            vec![Atom::app("p", &["X"])],
+            vec![Atom::app("q", &["X"])],
+        );
+        assert!(r.is_directly_recursive());
+    }
+}

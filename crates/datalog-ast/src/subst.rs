@@ -1,0 +1,298 @@
+//! Substitutions, matching, unification, and Sagiv-style freezing.
+//!
+//! Function-free Datalog keeps all of this simple: a substitution maps
+//! variables to terms, and unification never needs an occurs check.
+
+use std::collections::BTreeMap;
+
+use crate::atom::Atom;
+use crate::rule::Rule;
+use crate::term::{Term, Value, Var};
+
+/// A substitution: a finite map from variables to terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Look up a variable, following chains of variable-to-variable
+    /// bindings to the representative term.
+    pub fn resolve(&self, t: Term) -> Term {
+        let mut cur = t;
+        // Bounded walk: chains cannot cycle because `bind` unions toward
+        // the representative, but guard anyway.
+        for _ in 0..=self.map.len() {
+            match cur {
+                Term::Var(v) => match self.map.get(&v) {
+                    Some(&next) => cur = next,
+                    None => return cur,
+                },
+                Term::Const(_) => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Bind `v` to `t` (resolving both sides first). Returns `false` if the
+    /// binding conflicts with an existing one.
+    pub fn bind(&mut self, v: Var, t: Term) -> bool {
+        let lhs = self.resolve(Term::Var(v));
+        let rhs = self.resolve(t);
+        match (lhs, rhs) {
+            (Term::Var(a), Term::Var(b)) if a == b => true,
+            (Term::Var(a), rhs) => {
+                self.map.insert(a, rhs);
+                true
+            }
+            (Term::Const(a), Term::Const(b)) => a == b,
+            (Term::Const(_), Term::Var(b)) => {
+                self.map.insert(b, lhs);
+                true
+            }
+        }
+    }
+
+    /// Direct lookup without chain resolution (mostly for tests).
+    pub fn get(&self, v: Var) -> Option<Term> {
+        self.map.get(&v).copied()
+    }
+
+    /// Apply to a term.
+    pub fn apply_term(&self, t: Term) -> Term {
+        self.resolve(t)
+    }
+
+    /// Apply to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred.clone(),
+            terms: a.terms.iter().map(|t| self.apply_term(*t)).collect(),
+        }
+    }
+
+    /// Apply to a rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|a| self.apply_atom(a)).collect(),
+            negative: r.negative.iter().map(|a| self.apply_atom(a)).collect(),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Unify two atoms (same predicate, same arity required), extending `s`.
+/// Returns `None` on clash, leaving `s` in an unspecified state — callers
+/// should clone before speculative unification.
+pub fn unify_atoms_into(a: &Atom, b: &Atom, s: &mut Subst) -> Option<()> {
+    if a.pred != b.pred || a.arity() != b.arity() {
+        return None;
+    }
+    for (ta, tb) in a.terms.iter().zip(b.terms.iter()) {
+        let ta = s.resolve(*ta);
+        let tb = s.resolve(*tb);
+        match (ta, tb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if !s.bind(v, t) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(())
+}
+
+/// Unify two atoms from scratch, returning the most general unifier.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    let mut s = Subst::new();
+    unify_atoms_into(a, b, &mut s).map(|_| s)
+}
+
+/// Match `pattern` against a ground atom `fact` (one-way unification),
+/// extending `s`. The pattern's constants must equal the fact's values.
+pub fn match_atom(pattern: &Atom, fact: &Atom, s: &mut Subst) -> bool {
+    debug_assert!(fact.is_ground());
+    if pattern.pred != fact.pred || pattern.arity() != fact.arity() {
+        return false;
+    }
+    for (pt, ft) in pattern.terms.iter().zip(fact.terms.iter()) {
+        let value = ft.as_const().expect("fact must be ground");
+        match s.resolve(*pt) {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if !s.bind(v, Term::Const(value)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A frozen (ground) instance of a rule: the body facts form an input DB
+/// and the head fact is the expected derivation. This is the construction
+/// at the core of Sagiv's uniform-equivalence test (Example 4 of the paper)
+/// and of the paper's uniform *query* equivalence test (Example 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenRule {
+    /// Ground (positive) body facts — the input DB for the test. May
+    /// mention IDB predicates — that is the whole point of *uniform*
+    /// equivalence. Negated literals are not represented (the freeze tests
+    /// are only applied to pure Datalog programs).
+    pub body_facts: Vec<Atom>,
+    /// The ground head fact that must be (re-)derivable.
+    pub head_fact: Atom,
+    /// The variable-to-skolem mapping used.
+    pub assignment: BTreeMap<Var, Value>,
+}
+
+/// Freeze a rule by mapping each distinct variable to a fresh skolem
+/// constant.
+pub fn freeze_rule(r: &Rule) -> FrozenRule {
+    let mut assignment = BTreeMap::new();
+    for v in r.vars() {
+        assignment.insert(v, Value::fresh_skolem());
+    }
+    let mut s = Subst::new();
+    for (v, c) in &assignment {
+        let ok = s.bind(*v, Term::Const(*c));
+        debug_assert!(ok);
+    }
+    let g = s.apply_rule(r);
+    debug_assert!(g.head.is_ground());
+    FrozenRule {
+        body_facts: g.body,
+        head_fact: g.head,
+        assignment,
+    }
+}
+
+/// Rename every variable of a rule to a fresh variable (standardizing
+/// apart), returning the renamed rule.
+pub fn rename_apart(r: &Rule) -> Rule {
+    let mut s = Subst::new();
+    for v in r.vars() {
+        let ok = s.bind(v, Term::Var(Var::fresh()));
+        debug_assert!(ok);
+    }
+    s.apply_rule(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::PredRef;
+
+    #[test]
+    fn bind_and_resolve() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), Term::var("Y")));
+        assert!(s.bind(Var::new("Y"), Term::int(3)));
+        assert_eq!(s.resolve(Term::var("X")), Term::int(3));
+        // Conflicting constant binding fails.
+        assert!(!s.bind(Var::new("X"), Term::int(4)));
+        // Rebinding to the same constant is fine.
+        assert!(s.bind(Var::new("X"), Term::int(3)));
+    }
+
+    #[test]
+    fn unify_basic() {
+        let a = Atom::app("p", &["X", "Y"]);
+        let b = Atom::new(PredRef::new("p"), vec![Term::int(1), Term::var("Z")]);
+        let s = unify_atoms(&a, &b).unwrap();
+        assert_eq!(s.resolve(Term::var("X")), Term::int(1));
+        // Y and Z are aliased.
+        let y = s.resolve(Term::var("Y"));
+        let z = s.resolve(Term::var("Z"));
+        assert_eq!(y, z);
+    }
+
+    #[test]
+    fn unify_clash_and_pred_mismatch() {
+        let a = Atom::new(PredRef::new("p"), vec![Term::int(1)]);
+        let b = Atom::new(PredRef::new("p"), vec![Term::int(2)]);
+        assert!(unify_atoms(&a, &b).is_none());
+        let c = Atom::new(PredRef::new("q"), vec![Term::int(1)]);
+        assert!(unify_atoms(&a, &c).is_none());
+        // Same name, different adornment: different predicates.
+        let d = Atom::new(PredRef::adorned("p", "n"), vec![Term::int(1)]);
+        assert!(unify_atoms(&a, &d).is_none());
+    }
+
+    #[test]
+    fn unify_repeated_vars() {
+        // p(X, X) against p(1, 2) must fail; against p(1, 1) must succeed.
+        let pat = Atom::app("p", &["X", "X"]);
+        let bad = Atom::fact(PredRef::new("p"), vec![Value::int(1), Value::int(2)]);
+        let good = Atom::fact(PredRef::new("p"), vec![Value::int(1), Value::int(1)]);
+        assert!(unify_atoms(&pat, &bad).is_none());
+        assert!(unify_atoms(&pat, &good).is_some());
+    }
+
+    #[test]
+    fn match_is_one_way() {
+        let pat = Atom::app("p", &["X", "Y"]);
+        let fact = Atom::fact(PredRef::new("p"), vec![Value::int(1), Value::int(2)]);
+        let mut s = Subst::new();
+        assert!(match_atom(&pat, &fact, &mut s));
+        assert_eq!(s.resolve(Term::var("X")), Term::int(1));
+        assert_eq!(s.resolve(Term::var("Y")), Term::int(2));
+    }
+
+    #[test]
+    fn freeze_produces_ground_instance() {
+        let r = Rule::new(
+            Atom::app("a", &["X", "Y"]),
+            vec![Atom::app("p", &["X", "Z"]), Atom::app("a", &["Z", "Y"])],
+        );
+        let f = freeze_rule(&r);
+        assert!(f.head_fact.is_ground());
+        assert!(f.body_facts.iter().all(|a| a.is_ground()));
+        assert_eq!(f.assignment.len(), 3);
+        // Distinct variables get distinct skolems.
+        let mut vals: Vec<_> = f.assignment.values().collect();
+        vals.dedup();
+        assert_eq!(vals.len(), 3);
+        // Shared variable Z links p and the recursive a.
+        let z = f.assignment[&Var::new("Z")];
+        assert_eq!(f.body_facts[0].terms[1], Term::Const(z));
+        assert_eq!(f.body_facts[1].terms[0], Term::Const(z));
+    }
+
+    #[test]
+    fn rename_apart_preserves_shape() {
+        let r = Rule::new(
+            Atom::app("a", &["X", "Y"]),
+            vec![Atom::app("p", &["X", "Y"])],
+        );
+        let r2 = rename_apart(&r);
+        assert_ne!(r, r2);
+        assert_eq!(r2.head.pred, r.head.pred);
+        // Head/body sharing preserved.
+        assert_eq!(r2.head.terms, r2.body[0].terms);
+    }
+}

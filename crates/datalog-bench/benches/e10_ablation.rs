@@ -1,0 +1,31 @@
+//! E10: pipeline ablation on the flagship program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::{optimize, OptimizerConfig};
+
+const SRC: &str = "query(X) :- a(X, Y), audit(W).\n\
+                   a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                   a(X, Y) :- p(X, Y).\n\
+                   ?- query(X).";
+
+fn bench(c: &mut Criterion) {
+    let original = parse_program(SRC).unwrap().program;
+    let rewrite_only = optimize(&original, &OptimizerConfig::rewrite_only()).unwrap().program;
+    let full = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    let cut = EvalOptions { boolean_cut: true, ..EvalOptions::default() };
+    for n in [256i64, 512] {
+        let mut edb = workloads::chain("p", n);
+        edb.extend(&workloads::unary("audit", 128));
+        let params = format!("chain_n{n}");
+        bench_variant(c, "e10_ablation", "original", &params, &original, &edb, &EvalOptions::default());
+        bench_variant(c, "e10_ablation", "rewrite_only", &params, &rewrite_only, &edb, &cut);
+        bench_variant(c, "e10_ablation", "full", &params, &full, &edb, &cut);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

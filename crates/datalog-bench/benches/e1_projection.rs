@@ -1,0 +1,22 @@
+//! E1 (Examples 1/3): binary TC vs projected unary reachability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::{optimize, paper, OptimizerConfig};
+
+fn bench(c: &mut Criterion) {
+    let original = parse_program(paper::EXAMPLE_1).unwrap().program;
+    let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    for n in [128i64, 512] {
+        let edb = workloads::chain("p", n);
+        let params = format!("chain_n{n}");
+        bench_variant(c, "e1_projection", "original", &params, &original, &edb, &EvalOptions::default());
+        bench_variant(c, "e1_projection", "optimized", &params, &optimized, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 (Example 2 / section 3.1): boolean-cut retirement of existential
+//! subqueries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::{optimize, OptimizerConfig};
+
+const SRC: &str = "q(X, Y) :- sub(X, Z), q(Z, Y), certified(W).\n\
+                   q(X, Y) :- sub(X, Y), certified(W).\n\
+                   ?- q(X, _).";
+
+fn bench(c: &mut Criterion) {
+    let original = parse_program(SRC).unwrap().program;
+    let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    let cut = EvalOptions { boolean_cut: true, ..EvalOptions::default() };
+    for certs in [1_000i64, 20_000] {
+        let edb = workloads::bom(128, 2, certs);
+        let params = format!("certified_{certs}");
+        bench_variant(c, "e2_cut", "original", &params, &original, &edb, &EvalOptions::default());
+        bench_variant(c, "e2_cut", "optimized_cut", &params, &optimized, &edb, &cut);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 (Examples 5/6): uniform-query-equivalence deletion makes the
+//! left-recursive existential TC non-recursive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::{optimize, OptimizerConfig};
+
+const SRC: &str = "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+                   a(X, Y) :- p(X, Y).\n\
+                   ?- a(X, _).";
+
+fn bench(c: &mut Criterion) {
+    let original = parse_program(SRC).unwrap().program;
+    let full = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    let uniform_only = {
+        let mut cfg = OptimizerConfig::default();
+        cfg.freeze.uqe = false;
+        cfg.summary.add_cover_unit_rules = false;
+        optimize(&original, &cfg).unwrap().program
+    };
+    for n in [128i64, 512] {
+        let edb = workloads::chain("p", n);
+        let params = format!("chain_n{n}");
+        bench_variant(c, "e3_uqe", "original", &params, &original, &edb, &EvalOptions::default());
+        bench_variant(c, "e3_uqe", "uniform_only", &params, &uniform_only, &edb, &EvalOptions::default());
+        bench_variant(c, "e3_uqe", "uqe_full", &params, &full, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

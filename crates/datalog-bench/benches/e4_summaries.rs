@@ -1,0 +1,20 @@
+//! E4 (Examples 7/8/10): summary-based deletion on the paper's programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::{optimize, paper, OptimizerConfig};
+
+fn bench(c: &mut Criterion) {
+    for name in ["example_7", "example_8", "example_10"] {
+        let original = paper::parse_example(name).unwrap();
+        let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+        let edb = workloads::edb_for(&original, 48, 256, 11);
+        bench_variant(c, "e4_summaries", "original", name, &original, &edb, &EvalOptions::default());
+        bench_variant(c, "e4_summaries", "optimized", name, &optimized, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E5 (Example 12): arity-reducing literal motion on the up/dn program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::paper;
+
+fn bench(c: &mut Criterion) {
+    let adorned = parse_program(paper::EXAMPLE_12_ADORNED).unwrap().program;
+    let transformed = parse_program(paper::EXAMPLE_12_TRANSFORMED).unwrap().program;
+    for (levels, sel) in [(64i64, 1.0f64), (64, 0.1)] {
+        let edb = workloads::updown(levels, 32, sel, 5);
+        let params = format!("levels{levels}_sel{sel}");
+        bench_variant(c, "e5_ex12", "adorned_3ary", &params, &adorned, &edb, &EvalOptions::default());
+        bench_variant(c, "e5_ex12", "transformed_2ary", &params, &transformed, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7 (section 3.2): cost of carrying k dead columns through a recursion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_opt::{optimize, OptimizerConfig};
+
+fn padded_tc(k: usize) -> String {
+    let es: Vec<String> = (1..=k).map(|i| format!("E{i}")).collect();
+    let fs: Vec<String> = (1..=k).map(|i| format!("F{i}")).collect();
+    let tail = |v: &[String]| if v.is_empty() { String::new() } else { format!(", {}", v.join(", ")) };
+    format!(
+        "a(X, Y{e}) :- p(X, Z{f}), a(Z, Y{e}).\na(X, Y{e}) :- p(X, Y{e}).\n?- a(X, _{w}).",
+        e = tail(&es),
+        f = tail(&fs),
+        w = ", _".repeat(k),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    for k in [0usize, 2, 4] {
+        let src = padded_tc(k);
+        let original = parse_program(&src).unwrap().program;
+        let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+        let edb = workloads::padded_edges("p", 192, k, 3);
+        let params = format!("k{k}");
+        bench_variant(c, "e7_arity", "original", &params, &original, &edb, &EvalOptions::default());
+        bench_variant(c, "e7_arity", "optimized", &params, &optimized, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E8 (Theorem 3.3): DFA-synthesized monadic program vs the binary TC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::{parse_atom, parse_program, Query};
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::EvalOptions;
+use datalog_grammar::regular::{monadic_equivalent, KeptArg};
+
+const SRC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                   a(X, Y) :- p(X, Y).\n\
+                   ?- a(X, Y).";
+
+fn bench(c: &mut Criterion) {
+    let right = parse_program(SRC).unwrap().program;
+    let rewrite = monadic_equivalent(&right, KeptArg::First).unwrap().unwrap();
+    let mut projected = right.clone();
+    projected.query = Some(Query::new(parse_atom("a(X, _)").unwrap()));
+    for n in [256i64, 1024] {
+        let edb = workloads::chain("p", n);
+        let params = format!("chain_n{n}");
+        bench_variant(c, "e8_grammar", "binary_tc", &params, &projected, &edb, &EvalOptions::default());
+        bench_variant(c, "e8_grammar", "monadic", &params, &rewrite.program, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E9 (section 1.1 substrate): naive vs semi-naive fixpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalog_ast::parse_program;
+use datalog_bench::bench_support::bench_variant;
+use datalog_bench::workloads;
+use datalog_engine::{EvalOptions, Strategy};
+
+const SRC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                   a(X, Y) :- p(X, Y).\n\
+                   ?- a(X, Y).";
+
+fn bench(c: &mut Criterion) {
+    let p = parse_program(SRC).unwrap().program;
+    let naive = EvalOptions { strategy: Strategy::Naive, ..EvalOptions::default() };
+    for n in [64i64, 192] {
+        let edb = workloads::chain("p", n);
+        let params = format!("chain_n{n}");
+        bench_variant(c, "e9_seminaive", "naive", &params, &p, &edb, &naive);
+        bench_variant(c, "e9_seminaive", "semi_naive", &params, &p, &edb, &EvalOptions::default());
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared scaffolding for the criterion benches (one bench target per
+//! experiment; see `benches/`).
+
+use criterion::Criterion;
+use datalog_ast::Program;
+use datalog_engine::{query_answers, EvalOptions, FactSet};
+
+/// Register one `(variant, program)` timing under `group/variant/params`.
+pub fn bench_variant(
+    c: &mut Criterion,
+    group: &str,
+    variant: &str,
+    params: &str,
+    program: &Program,
+    input: &FactSet,
+    opts: &EvalOptions,
+) {
+    let mut g = c.benchmark_group(group);
+    // Keep the full suite's wall time reasonable: these are macro-benches
+    // whose per-iteration time is far above criterion's noise floor.
+    g.sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function(format!("{variant}/{params}"), |b| {
+        b.iter(|| {
+            let (ans, _) =
+                query_answers(program, input, opts).expect("bench program evaluates");
+            criterion::black_box(ans.len())
+        })
+    });
+    g.finish();
+}

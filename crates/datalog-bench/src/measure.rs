@@ -1,0 +1,171 @@
+//! Measurement plumbing: run a program on an EDB several times, collect
+//! engine statistics and median wall time, and render aligned tables.
+
+use std::time::{Duration, Instant};
+
+use datalog_ast::Program;
+use datalog_engine::{query_answers, EvalOptions, EvalStats};
+use serde::Serialize;
+
+/// One measured row of an experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Variant label, e.g. `original` / `optimized`.
+    pub label: String,
+    /// Workload parameters, e.g. `chain n=1024`.
+    pub params: String,
+    /// Number of distinct query answers.
+    pub answers: usize,
+    /// Facts derived by the fixpoint.
+    pub facts: u64,
+    /// Duplicate-elimination hits.
+    pub duplicates: u64,
+    /// Tuples scanned across all joins.
+    pub scanned: u64,
+    /// Fixpoint iterations.
+    pub iterations: usize,
+    /// Rules retired by the boolean cut.
+    pub retired: u64,
+    /// Median wall time in microseconds.
+    pub wall_us: u128,
+}
+
+/// A full experiment result.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `e1`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Paper anchor + expectation notes, printed above the table.
+    pub notes: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Measurement>,
+}
+
+impl ExperimentResult {
+    /// New empty result.
+    pub fn new(id: &str, title: &str) -> ExperimentResult {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {}: {} ==", self.id, self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "   {n}");
+        }
+        let headers = [
+            "params", "variant", "answers", "facts", "dups", "scanned", "iters", "retired",
+            "wall_us",
+        ];
+        let mut cells: Vec<[String; 9]> = vec![headers.map(String::from)];
+        for r in &self.rows {
+            cells.push([
+                r.params.clone(),
+                r.label.clone(),
+                r.answers.to_string(),
+                r.facts.to_string(),
+                r.duplicates.to_string(),
+                r.scanned.to_string(),
+                r.iterations.to_string(),
+                r.retired.to_string(),
+                r.wall_us.to_string(),
+            ]);
+        }
+        let widths: Vec<usize> = (0..9)
+            .map(|c| cells.iter().map(|row| row[c].len()).max().unwrap_or(0))
+            .collect();
+        for (i, row) in cells.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+                .collect();
+            let _ = writeln!(out, "  {}", line.join("  "));
+            if i == 0 {
+                let _ = writeln!(out, "  {}", "-".repeat(widths.iter().sum::<usize>() + 16));
+            }
+        }
+        out
+    }
+}
+
+/// Evaluate `program` on `input` `runs` times; record stats from the first
+/// run (they are deterministic) and the median wall time.
+pub fn measure(
+    result: &mut ExperimentResult,
+    label: &str,
+    params: &str,
+    program: &Program,
+    input: &datalog_engine::FactSet,
+    opts: &EvalOptions,
+    runs: usize,
+) -> EvalStats {
+    let mut walls: Vec<Duration> = Vec::with_capacity(runs.max(1));
+    let mut stats = EvalStats::default();
+    let mut answers = 0;
+    for i in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let (ans, st) = query_answers(program, input, opts).expect("experiment program evaluates");
+        walls.push(t0.elapsed());
+        if i == 0 {
+            stats = st;
+            answers = ans.len();
+        }
+    }
+    walls.sort();
+    let median = walls[walls.len() / 2];
+    result.rows.push(Measurement {
+        label: label.into(),
+        params: params.into(),
+        answers,
+        facts: stats.facts_derived,
+        duplicates: stats.duplicates,
+        scanned: stats.tuples_scanned,
+        iterations: stats.iterations,
+        retired: stats.rules_retired,
+        wall_us: median.as_micros(),
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::chain;
+    use datalog_ast::parse_program;
+
+    #[test]
+    fn measure_fills_rows() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        )
+        .unwrap()
+        .program;
+        let mut r = ExperimentResult::new("t", "test");
+        r.note("a note");
+        let stats = measure(&mut r, "orig", "chain n=8", &p, &chain("p", 8), &EvalOptions::default(), 3);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].answers, 36);
+        assert!(stats.facts_derived >= 36);
+        let table = r.to_table();
+        assert!(table.contains("chain n=8"));
+        assert!(table.contains("a note"));
+        assert!(table.contains("answers"));
+    }
+}

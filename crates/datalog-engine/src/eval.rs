@@ -1,0 +1,902 @@
+//! Naive and semi-naive bottom-up fixpoint evaluation.
+//!
+//! This is the execution model of §1.1 of the paper: start from the EDB
+//! (plus any seeded IDB facts, for uniform-equivalence tests), apply every
+//! rule to a fixpoint, then select/project the query predicate.
+//!
+//! The semi-naive strategy addresses each rule once per *delta literal*: at
+//! iteration `k` the literal designated as the delta ranges over the rows
+//! its predicate gained during iteration `k-1`; literals to its left see the
+//! full relation as of the start of iteration `k`, literals to its right see
+//! the relation as of the start of iteration `k-1`. This enumerates every
+//! new body instantiation exactly once.
+//!
+//! The **boolean-cut runtime** of §3.1 is implemented here: when the program
+//! was rewritten so that existential subqueries became zero-arity `B`
+//! predicates, enabling [`EvalOptions::boolean_cut`] retires each `B` rule
+//! from the fixpoint as soon as `B` is proven, then transitively retires
+//! rules whose head predicate no longer has any consumer (the paper's
+//! "if `q4` does not appear anywhere else in the program, the rule defining
+//! it can also be discarded after `B2` is shown true").
+
+use std::collections::HashMap;
+
+use datalog_ast::{subst, Program, Term, Value};
+
+use crate::database::{Database, PredId};
+use crate::facts::{AnswerSet, FactSet};
+use crate::provenance::Provenance;
+use crate::stats::EvalStats;
+use crate::EngineError;
+
+/// Fixpoint strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Re-derive everything from the full relations each iteration.
+    Naive,
+    /// Standard semi-naive (delta-driven) evaluation.
+    #[default]
+    SemiNaive,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Fixpoint strategy (default: semi-naive).
+    pub strategy: Strategy,
+    /// Enable the §3.1 boolean-cut runtime.
+    pub boolean_cut: bool,
+    /// Record derivation provenance (first derivation per fact).
+    pub record_provenance: bool,
+    /// Greedily reorder body literals at compile time so that each literal
+    /// shares variables with (or has constants bound before) the ones
+    /// already placed — turning cold scans into index probes. Off by
+    /// default so the experiment counters reflect source order.
+    pub reorder_joins: bool,
+    /// Safety bound on fixpoint iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            strategy: Strategy::SemiNaive,
+            boolean_cut: false,
+            record_provenance: false,
+            reorder_joins: false,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// Result of a fixpoint evaluation.
+#[derive(Debug)]
+pub struct EvalOutput {
+    /// The saturated database (EDB + all derived facts).
+    pub database: Database,
+    /// Instrumentation counters.
+    pub stats: EvalStats,
+    /// Provenance, if requested.
+    pub provenance: Option<Provenance>,
+}
+
+/// A term slot in a compiled rule: constant or rule-local variable index.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Const(Value),
+    Var(u16),
+}
+
+#[derive(Debug, Clone)]
+struct LitPlan {
+    pred: PredId,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone)]
+struct RulePlan {
+    rule_idx: usize,
+    head: PredId,
+    head_slots: Vec<Slot>,
+    body: Vec<LitPlan>,
+    /// Negated literals, checked once the positive body is fully matched.
+    /// Safety guarantees all their variables are bound by then, and
+    /// stratification guarantees their relations are complete.
+    negatives: Vec<LitPlan>,
+    nvars: usize,
+}
+
+/// Which row range a literal reads in one join variant.
+#[derive(Debug, Clone, Copy)]
+enum Range {
+    Full,
+    Delta,
+    Old,
+}
+
+struct Machine<'a> {
+    db: &'a mut Database,
+    plans: Vec<RulePlan>,
+    /// Active rule mask (boolean cut retires rules by clearing bits).
+    active: Vec<bool>,
+    /// Per-predicate row-count at the start of the previous iteration.
+    mark_prev: Vec<usize>,
+    /// Per-predicate row-count at the start of the current iteration.
+    mark_cur: Vec<usize>,
+    stats: EvalStats,
+    provenance: Option<Provenance>,
+    query_pred: Option<PredId>,
+    /// Set while evaluating a zero-arity head under the boolean cut: once
+    /// one witness is found the join unwinds immediately (the paper's
+    /// "we are only interested in the existence of some solution", section 3.1).
+    stop_current: bool,
+    boolean_cut: bool,
+}
+
+impl<'a> Machine<'a> {
+    fn bounds(&self, pred: PredId, range: Range) -> (usize, usize) {
+        let p = pred.0 as usize;
+        match range {
+            Range::Full => (0, self.mark_cur[p]),
+            Range::Delta => (self.mark_prev[p], self.mark_cur[p]),
+            Range::Old => (0, self.mark_prev[p]),
+        }
+    }
+
+    /// Check the negated literals of a plan under fully-bound `bindings`.
+    /// Stratification guarantees the negated relations are complete, so a
+    /// plain membership test implements negation-as-failure.
+    fn negatives_hold(&mut self, plan: &RulePlan, bindings: &[Option<Value>]) -> bool {
+        for neg in &plan.negatives {
+            let tuple: Vec<Value> = neg
+                .slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Const(c) => *c,
+                    Slot::Var(v) => bindings[*v as usize]
+                        .expect("safety guarantees negated variables are bound"),
+                })
+                .collect();
+            self.stats.index_probes += 1;
+            if self.db.relation(neg.pred).contains(&tuple) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluate one join variant of one rule. `delta_idx = None` means all
+    /// literals read `Full` (used by the naive strategy and the seed round).
+    fn run_variant(&mut self, plan_idx: usize, delta_idx: Option<usize>) {
+        let plan = self.plans[plan_idx].clone();
+        // Under the boolean cut, a proven zero-arity head needs no further
+        // derivations at all.
+        if self.boolean_cut
+            && plan.head_slots.is_empty()
+            && !self.db.relation(plan.head).is_empty()
+        {
+            return;
+        }
+        self.stop_current = false;
+        let mut bindings: Vec<Option<Value>> = vec![None; plan.nvars];
+        let mut premises: Vec<(PredId, u32)> = Vec::with_capacity(plan.body.len());
+        self.join_from(&plan, delta_idx, 0, &mut bindings, &mut premises);
+        self.stop_current = false;
+    }
+
+    fn join_from(
+        &mut self,
+        plan: &RulePlan,
+        delta_idx: Option<usize>,
+        lit: usize,
+        bindings: &mut Vec<Option<Value>>,
+        premises: &mut Vec<(PredId, u32)>,
+    ) {
+        if lit == plan.body.len() {
+            if self.negatives_hold(plan, bindings) {
+                self.emit_head(plan, bindings, premises);
+            }
+            return;
+        }
+        let lp = &plan.body[lit];
+        let range = match delta_idx {
+            None => Range::Full,
+            Some(d) if lit < d => Range::Full,
+            Some(d) if lit == d => Range::Delta,
+            Some(_) => Range::Old,
+        };
+        let (start, end) = self.bounds(lp.pred, range);
+        if start >= end {
+            return;
+        }
+        // Pick a probe column: the first slot that is a constant or an
+        // already-bound variable.
+        let probe = lp.slots.iter().enumerate().find_map(|(col, s)| match s {
+            Slot::Const(c) => Some((col, *c)),
+            Slot::Var(v) => bindings[*v as usize].map(|val| (col, val)),
+        });
+        // Collect candidate row ids (borrowck: materialize before recursing).
+        let candidates: Vec<u32> = match probe {
+            Some((col, val)) => {
+                self.stats.index_probes += 1;
+                self.db
+                    .relation_mut(lp.pred)
+                    .probe(col, val)
+                    .iter()
+                    .copied()
+                    .filter(|&id| (id as usize) >= start && (id as usize) < end)
+                    .collect()
+            }
+            None => (start as u32..end as u32).collect(),
+        };
+        let slots = lp.slots.clone();
+        let pred = lp.pred;
+        for row_id in candidates {
+            self.stats.tuples_scanned += 1;
+            // Match the row against the slots, recording new bindings so we
+            // can undo them on backtrack.
+            let mut bound_here: Vec<u16> = Vec::new();
+            let row = self.db.relation(pred).row(row_id as usize);
+            let ok = slots.iter().enumerate().all(|(col, s)| match s {
+                Slot::Const(c) => row[col] == *c,
+                Slot::Var(v) => match bindings[*v as usize] {
+                    Some(val) => val == row[col],
+                    None => {
+                        bindings[*v as usize] = Some(row[col]);
+                        bound_here.push(*v);
+                        true
+                    }
+                },
+            });
+            if ok {
+                premises.push((pred, row_id));
+                self.join_from(plan, delta_idx, lit + 1, bindings, premises);
+                premises.pop();
+            }
+            for v in bound_here {
+                bindings[v as usize] = None;
+            }
+            if self.stop_current {
+                return;
+            }
+        }
+    }
+
+    fn emit_head(
+        &mut self,
+        plan: &RulePlan,
+        bindings: &[Option<Value>],
+        premises: &[(PredId, u32)],
+    ) {
+        self.stats.derivations += 1;
+        let tuple: Vec<Value> = plan
+            .head_slots
+            .iter()
+            .map(|s| match s {
+                Slot::Const(c) => *c,
+                Slot::Var(v) => bindings[*v as usize]
+                    .expect("safety guarantees head variables are bound"),
+            })
+            .collect();
+        let rel = self.db.relation_mut(plan.head);
+        let row_id = rel.len() as u32;
+        if rel.insert(&tuple) {
+            self.stats.facts_derived += 1;
+            if let Some(p) = &mut self.provenance {
+                p.record(plan.head, row_id, plan.rule_idx, premises.to_vec());
+            }
+        } else {
+            self.stats.duplicates += 1;
+        }
+        // One witness suffices for a boolean head (section 3.1's cut).
+        if self.boolean_cut && plan.head_slots.is_empty() {
+            self.stop_current = true;
+        }
+    }
+
+    /// §3.1 boolean cut: retire rules defining proven zero-arity predicates,
+    /// then transitively retire rules whose head predicate has no remaining
+    /// consumer and is not the query predicate.
+    fn apply_boolean_cut(&mut self) {
+        // Retire rules of proven boolean predicates.
+        for i in 0..self.plans.len() {
+            if !self.active[i] {
+                continue;
+            }
+            let head = self.plans[i].head;
+            if self.db.relation(head).arity() == 0 && !self.db.relation(head).is_empty() {
+                self.active[i] = false;
+                self.stats.rules_retired += 1;
+            }
+        }
+        // Transitively retire producers that nothing consumes any more.
+        loop {
+            let mut consumed: Vec<bool> = vec![false; self.db.pred_count()];
+            if let Some(q) = self.query_pred {
+                consumed[q.0 as usize] = true;
+            }
+            for (i, plan) in self.plans.iter().enumerate() {
+                if self.active[i] {
+                    for l in &plan.body {
+                        consumed[l.pred.0 as usize] = true;
+                    }
+                }
+            }
+            let mut changed = false;
+            for i in 0..self.plans.len() {
+                if self.active[i] && !consumed[self.plans[i].head.0 as usize] {
+                    self.active[i] = false;
+                    self.stats.rules_retired += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+/// Assign a stratum to every rule (by its head predicate): within a rule,
+/// positive derived dependencies may be same-stratum, negated derived
+/// dependencies must be strictly lower. Errors if no such assignment exists
+/// (negation through recursion).
+fn stratify(program: &Program) -> Result<Vec<usize>, EngineError> {
+    use std::collections::BTreeMap;
+    let idb = program.idb_preds();
+    let mut stratum: BTreeMap<&datalog_ast::PredRef, usize> =
+        idb.iter().map(|p| (p, 0)).collect();
+    let bound = idb.len() + 1;
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let mut need = 0usize;
+            for a in &rule.body {
+                if let Some(&s) = stratum.get(&a.pred) {
+                    need = need.max(s);
+                }
+            }
+            for a in &rule.negative {
+                if let Some(&s) = stratum.get(&a.pred) {
+                    need = need.max(s + 1);
+                }
+            }
+            let cur = stratum.get_mut(&rule.head.pred).expect("head is IDB");
+            if need > *cur {
+                if need > bound {
+                    return Err(EngineError::NotStratified {
+                        pred: rule.head.pred.to_string(),
+                    });
+                }
+                *cur = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(program
+        .rules
+        .iter()
+        .map(|r| stratum[&r.head.pred])
+        .collect())
+}
+
+/// Greedy join order: start from the literal with the most constants
+/// (ties: source order), then repeatedly append the literal sharing the
+/// most variables with those already placed (ties: more constants, then
+/// source order). Keeps every literal; only the order changes, which is
+/// semantics-preserving for a fixpoint join.
+fn greedy_order(body: &[datalog_ast::Atom]) -> Vec<usize> {
+    use std::collections::BTreeSet;
+    let n = body.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let consts = |i: usize| body[i].terms.iter().filter(|t| !t.is_var()).count();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bound: BTreeSet<datalog_ast::Var> = BTreeSet::new();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Seed: most constants.
+    let first_pos = (0..remaining.len())
+        .max_by_key(|&k| (consts(remaining[k]), std::cmp::Reverse(k)))
+        .expect("nonempty");
+    let first = remaining.remove(first_pos);
+    bound.extend(body[first].var_occurrences());
+    order.push(first);
+    while !remaining.is_empty() {
+        let pos = (0..remaining.len())
+            .max_by_key(|&k| {
+                let i = remaining[k];
+                let shared = body[i]
+                    .var_occurrences()
+                    .filter(|v| bound.contains(v))
+                    .count();
+                (shared, consts(i), std::cmp::Reverse(k))
+            })
+            .expect("nonempty");
+        let i = remaining.remove(pos);
+        bound.extend(body[i].var_occurrences());
+        order.push(i);
+    }
+    order
+}
+
+fn compile(
+    program: &Program,
+    db: &mut Database,
+    reorder_joins: bool,
+) -> Result<Vec<RulePlan>, EngineError> {
+    let arities = program.arities()?;
+    for (pred, &arity) in &arities {
+        db.register(pred, arity);
+    }
+    let mut plans = Vec::with_capacity(program.rules.len());
+    for (rule_idx, rule) in program.rules.iter().enumerate() {
+        let mut var_ids: HashMap<datalog_ast::Var, u16> = HashMap::new();
+        let slot_of = |t: &Term, var_ids: &mut HashMap<datalog_ast::Var, u16>| match t {
+            Term::Const(c) => Slot::Const(*c),
+            Term::Var(v) => {
+                let next = var_ids.len() as u16;
+                Slot::Var(*var_ids.entry(*v).or_insert(next))
+            }
+        };
+        let ordered_body: Vec<&datalog_ast::Atom> = if reorder_joins {
+            greedy_order(&rule.body)
+                .into_iter()
+                .map(|i| &rule.body[i])
+                .collect()
+        } else {
+            rule.body.iter().collect()
+        };
+        let body: Vec<LitPlan> = ordered_body
+            .iter()
+            .map(|a| LitPlan {
+                pred: db.pred_id(&a.pred).expect("registered above"),
+                slots: a.terms.iter().map(|t| slot_of(t, &mut var_ids)).collect(),
+            })
+            .collect();
+        let negatives: Vec<LitPlan> = rule
+            .negative
+            .iter()
+            .map(|a| LitPlan {
+                pred: db.pred_id(&a.pred).expect("registered above"),
+                slots: a.terms.iter().map(|t| slot_of(t, &mut var_ids)).collect(),
+            })
+            .collect();
+        let head_slots: Vec<Slot> = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| slot_of(t, &mut var_ids))
+            .collect();
+        plans.push(RulePlan {
+            rule_idx,
+            head: db.pred_id(&rule.head.pred).expect("registered above"),
+            head_slots,
+            body,
+            negatives,
+            nvars: var_ids.len(),
+        });
+    }
+    Ok(plans)
+}
+
+/// Run a fixpoint evaluation of `program` over `input`.
+///
+/// `input` may seed IDB predicates — that is how the uniform-equivalence
+/// oracles use the engine. Facts for predicates the program never mentions
+/// are loaded verbatim and simply carried through.
+pub fn evaluate(
+    program: &Program,
+    input: &FactSet,
+    opts: &EvalOptions,
+) -> Result<EvalOutput, EngineError> {
+    program.validate()?;
+    let mut db = Database::new();
+    let plans = compile(program, &mut db, opts.reorder_joins)?;
+    // Load input facts, checking arities against the program.
+    let arities = program.arities()?;
+    for (pred, tuple) in input.iter() {
+        if let Some(&expected) = arities.get(pred) {
+            if expected != tuple.len() {
+                return Err(EngineError::FactArity {
+                    pred: pred.to_string(),
+                    expected,
+                    found: tuple.len(),
+                });
+            }
+        }
+        let id = db.register(pred, tuple.len());
+        db.insert(id, tuple);
+    }
+    let n_preds = db.pred_count();
+    let query_pred = program
+        .query
+        .as_ref()
+        .and_then(|q| db.pred_id(&q.atom.pred));
+    let n_plans = plans.len();
+    let mut m = Machine {
+        db: &mut db,
+        plans,
+        active: vec![true; n_plans],
+        mark_prev: vec![0; n_preds],
+        mark_cur: vec![0; n_preds],
+        stats: EvalStats::default(),
+        provenance: opts.record_provenance.then(Provenance::new),
+        query_pred,
+        stop_current: false,
+        boolean_cut: opts.boolean_cut,
+    };
+
+    // Stratified evaluation: each stratum runs its own fixpoint; relations
+    // of lower strata are complete by the time a negated literal reads
+    // them. Pure Datalog programs form a single stratum, and this loop
+    // degenerates to the classic one.
+    let rule_strata = stratify(program)?;
+    let max_stratum = rule_strata.iter().copied().max().unwrap_or(0);
+    for stratum in 0..=max_stratum {
+        let mine: Vec<usize> = (0..m.plans.len())
+            .filter(|&i| rule_strata[m.plans[i].rule_idx] == stratum)
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let mut local_iter = 0usize;
+        loop {
+            if m.stats.iterations >= opts.max_iterations {
+                return Err(EngineError::IterationLimit(opts.max_iterations));
+            }
+            m.stats.iterations += 1;
+            local_iter += 1;
+            let first = local_iter == 1;
+            // Snapshot marks for this iteration.
+            for p in 0..n_preds {
+                m.mark_cur[p] = m.db.relation(PredId(p as u32)).len();
+            }
+            let before = m.db.total_facts();
+            match (opts.strategy, first) {
+                (Strategy::Naive, _) | (_, true) => {
+                    // Naive round: every active rule against full relations.
+                    for &i in &mine {
+                        if m.active[i] {
+                            m.run_variant(i, None);
+                        }
+                    }
+                }
+                (Strategy::SemiNaive, false) => {
+                    for &i in &mine {
+                        if !m.active[i] {
+                            continue;
+                        }
+                        for lit in 0..m.plans[i].body.len() {
+                            let pred = m.plans[i].body[lit].pred;
+                            let (s, e) = m.bounds(pred, Range::Delta);
+                            if s < e {
+                                m.run_variant(i, Some(lit));
+                            }
+                        }
+                    }
+                }
+            }
+            // Advance marks: what was current becomes previous.
+            for p in 0..n_preds {
+                m.mark_prev[p] = m.mark_cur[p];
+            }
+            if opts.boolean_cut {
+                m.apply_boolean_cut();
+            }
+            if m.db.total_facts() == before {
+                break;
+            }
+        }
+    }
+    let stats = m.stats;
+    let provenance = m.provenance.take();
+    Ok(EvalOutput {
+        database: db,
+        stats,
+        provenance,
+    })
+}
+
+/// Evaluate and extract the query's answers: the distinct bindings of the
+/// query atom's named variables (wildcards are projected out). Constants in
+/// the query act as selections; a repeated variable forces equality.
+pub fn query_answers(
+    program: &Program,
+    input: &FactSet,
+    opts: &EvalOptions,
+) -> Result<(AnswerSet, EvalStats), EngineError> {
+    let q = program.query.clone().ok_or(EngineError::Ast(
+        datalog_ast::AstError::NoQuery,
+    ))?;
+    let out = evaluate(program, input, opts)?;
+    let mut answers = AnswerSet::default();
+    // Output columns: named variables in first-occurrence order.
+    let mut out_vars = Vec::new();
+    for v in q.atom.var_occurrences() {
+        if !v.is_wildcard() && !out_vars.contains(&v) {
+            out_vars.push(v);
+        }
+    }
+    answers.columns = out_vars.iter().map(|v| v.name()).collect();
+    if let Some(id) = out.database.pred_id(&q.atom.pred) {
+        for row in out.database.relation(id).iter() {
+            let fact = datalog_ast::Atom::fact(q.atom.pred.clone(), row.to_vec());
+            let mut s = subst::Subst::new();
+            if subst::match_atom(&q.atom, &fact, &mut s) {
+                let tuple: Vec<Value> = out_vars
+                    .iter()
+                    .map(|v| match s.resolve(Term::Var(*v)) {
+                        Term::Const(c) => c,
+                        Term::Var(_) => unreachable!("matched against ground fact"),
+                    })
+                    .collect();
+                answers.rows.insert(tuple);
+            }
+        }
+    }
+    Ok((answers, out.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, PredRef};
+
+    fn chain_edb(n: i64) -> FactSet {
+        let mut fs = FactSet::new();
+        for i in 0..n {
+            fs.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+        }
+        fs
+    }
+
+    const TC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                      a(X, Y) :- p(X, Y).\n\
+                      ?- a(X, Y).";
+
+    #[test]
+    fn transitive_closure_chain() {
+        let p = parse_program(TC).unwrap().program;
+        let (ans, stats) = query_answers(&p, &chain_edb(10), &EvalOptions::default()).unwrap();
+        // Chain 0->1->...->10: closure has n*(n+1)/2 = 55 pairs.
+        assert_eq!(ans.len(), 55);
+        assert!(stats.facts_derived >= 55);
+        assert!(stats.iterations > 2);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let p = parse_program(TC).unwrap().program;
+        let edb = chain_edb(8);
+        let naive = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                strategy: Strategy::Naive,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let semi = evaluate(&p, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(naive.database.dump(), semi.database.dump());
+        // Semi-naive does strictly less derivation work on a chain.
+        assert!(semi.stats.derivations < naive.stats.derivations);
+    }
+
+    #[test]
+    fn seminaive_derives_each_instantiation_once_on_dag() {
+        // On a cycle, semi-naive must still terminate and agree with naive.
+        let p = parse_program(TC).unwrap().program;
+        let mut edb = FactSet::new();
+        for i in 0..5 {
+            edb.insert(
+                PredRef::new("p"),
+                vec![Value::int(i), Value::int((i + 1) % 5)],
+            );
+        }
+        let naive = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                strategy: Strategy::Naive,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let semi = evaluate(&p, &edb, &EvalOptions::default()).unwrap();
+        // Cycle: closure is all 25 pairs.
+        let a = PredRef::new("a");
+        assert_eq!(semi.database.dump().count(&a), 25);
+        assert_eq!(naive.database.dump(), semi.database.dump());
+    }
+
+    #[test]
+    fn constants_in_rules_and_query() {
+        let p = parse_program(
+            "reach(Y) :- p(0, Y).\n\
+             reach(Y) :- reach(X), p(X, Y).\n\
+             ?- reach(X).",
+        )
+        .unwrap()
+        .program;
+        let (ans, _) = query_answers(&p, &chain_edb(5), &EvalOptions::default()).unwrap();
+        assert_eq!(ans.len(), 5); // 1..=5 reachable from 0.
+    }
+
+    #[test]
+    fn query_constant_selection_and_repeated_vars() {
+        let p = parse_program(TC).unwrap().program;
+        // Selection: all Y reachable from 2 on a 5-chain: 3,4,5.
+        let p2 = {
+            let mut p = p.clone();
+            p.query = Some(datalog_ast::Query::new(
+                datalog_ast::parse_atom("a(2, Y)").unwrap(),
+            ));
+            p
+        };
+        let (ans, _) = query_answers(&p2, &chain_edb(5), &EvalOptions::default()).unwrap();
+        assert_eq!(ans.len(), 3);
+        assert_eq!(ans.columns, vec!["Y".to_string()]);
+        // Repeated variable a(X, X): no loops on a chain.
+        let p3 = {
+            let mut p = p.clone();
+            p.query = Some(datalog_ast::Query::new(
+                datalog_ast::parse_atom("a(X, X)").unwrap(),
+            ));
+            p
+        };
+        let (ans, _) = query_answers(&p3, &chain_edb(5), &EvalOptions::default()).unwrap();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn wildcards_in_query_are_projected() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+        )
+        .unwrap()
+        .program;
+        let (ans, _) = query_answers(&p, &chain_edb(5), &EvalOptions::default()).unwrap();
+        // Distinct first components: 0..4.
+        assert_eq!(ans.len(), 5);
+        assert_eq!(ans.columns, vec!["X".to_string()]);
+    }
+
+    #[test]
+    fn seeded_idb_facts_participate() {
+        // Uniform-equivalence style input: seed the derived predicate.
+        let p = parse_program(TC).unwrap().program;
+        let mut input = FactSet::new();
+        input.insert(PredRef::new("a"), vec![Value::sym("u"), Value::sym("v")]);
+        input.insert(PredRef::new("p"), vec![Value::sym("t"), Value::sym("u")]);
+        let out = evaluate(&p, &input, &EvalOptions::default()).unwrap();
+        let facts = out.database.dump();
+        // p(t,u) ∧ a(u,v) ⇒ a(t,v) by the recursive rule.
+        assert!(facts.contains(&PredRef::new("a"), &[Value::sym("t"), Value::sym("v")]));
+    }
+
+    #[test]
+    fn boolean_cut_retires_rules() {
+        // q(X) :- p(X), b.   b :- big(W).
+        // With the cut enabled, b's rule retires after it fires once.
+        let p = parse_program(
+            "q(X) :- p(X), b.\n\
+             b :- big(W).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut edb = FactSet::new();
+        for i in 0..10 {
+            edb.insert(PredRef::new("p"), vec![Value::int(i)]);
+            edb.insert(PredRef::new("big"), vec![Value::int(i)]);
+        }
+        let with_cut = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                boolean_cut: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let without = evaluate(&p, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(with_cut.database.dump(), without.database.dump());
+        assert!(with_cut.stats.rules_retired >= 1);
+    }
+
+    #[test]
+    fn boolean_cut_retires_exclusive_feeders() {
+        // Example 2's tail: q4 feeds only B2; once B2 holds, q4's rule
+        // retires too.
+        let p = parse_program(
+            "q(X) :- p(X), b2.\n\
+             b2 :- q3(V), q4(V).\n\
+             q4(X) :- q6(X).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut edb = FactSet::new();
+        edb.insert(PredRef::new("p"), vec![Value::int(1)]);
+        edb.insert(PredRef::new("q3"), vec![Value::int(7)]);
+        edb.insert(PredRef::new("q6"), vec![Value::int(7)]);
+        let out = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                boolean_cut: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        // b2's rule and q4's rule both retired.
+        assert!(out.stats.rules_retired >= 2);
+        assert!(out
+            .database
+            .dump()
+            .contains(&PredRef::new("q"), &[Value::int(1)]));
+    }
+
+    #[test]
+    fn empty_edb_yields_empty_answers() {
+        let p = parse_program(TC).unwrap().program;
+        let (ans, stats) =
+            query_answers(&p, &FactSet::new(), &EvalOptions::default()).unwrap();
+        assert!(ans.is_empty());
+        assert_eq!(stats.facts_derived, 0);
+    }
+
+    #[test]
+    fn fact_arity_mismatch_is_reported() {
+        let p = parse_program(TC).unwrap().program;
+        let mut edb = FactSet::new();
+        edb.insert(PredRef::new("p"), vec![Value::int(1)]);
+        let err = evaluate(&p, &edb, &EvalOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::FactArity { .. }));
+    }
+
+    #[test]
+    fn iteration_limit_triggers() {
+        let p = parse_program(TC).unwrap().program;
+        let err = evaluate(
+            &p,
+            &chain_edb(50),
+            &EvalOptions {
+                max_iterations: 3,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::IterationLimit(3)));
+    }
+
+    #[test]
+    fn provenance_records_first_derivations() {
+        let p = parse_program(TC).unwrap().program;
+        let out = evaluate(
+            &p,
+            &chain_edb(3),
+            &EvalOptions {
+                record_provenance: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let prov = out.provenance.as_ref().unwrap();
+        let a = out.database.pred_id(&PredRef::new("a")).unwrap();
+        // a(0,3) exists and has a derivation tree of height >= 2.
+        let tree = prov
+            .derivation_tree(&out.database, a, &[Value::int(0), Value::int(3)])
+            .expect("a(0,3) derived");
+        assert!(tree.height() >= 2);
+        let rendered = tree.render();
+        assert!(rendered.contains("a(0, 3)"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Optimistic derivations (Theorem 5.2 of the paper).
+//!
+//! Given a program and an input fact set, an *optimistic derivation* fires a
+//! rule as soon as **one** body literal is instantiated to a known fact; the
+//! remaining literals are assumed. The paper uses the optimistic answer as
+//! an over-approximation of the query facts any *context* (additional input
+//! facts) could derive "through" the frozen body of a candidate-for-deletion
+//! rule.
+//!
+//! The paper's definition quantifies over ground instances but does not pin
+//! down how head variables that the known fact leaves unbound are grounded.
+//! We implement both readings:
+//!
+//! * [`Grounding::ActiveDomain`] — unbound head variables range over the
+//!   active domain (input constants plus rule constants). This is the
+//!   literal reading; it is *conservative* (a larger optimistic answer makes
+//!   the Theorem 5.2 test harder to pass). Notably, under this reading the
+//!   test rejects the paper's own Example 6 deletion (see
+//!   `datalog-opt`'s documentation and EXPERIMENTS.md).
+//! * [`Grounding::KnownOnly`] — a rule fires optimistically only when the
+//!   known literal (plus constants) grounds the *entire head*. This reading
+//!   accepts Example 6 but is demonstrably too weak to be sound in general
+//!   (see the `known_only_is_unsound_in_general` test below for a
+//!   counterexample), so the optimizer pipeline never relies on it alone.
+
+use std::collections::BTreeSet;
+
+use datalog_ast::{subst, Program, Term, Value, Var};
+
+use crate::facts::FactSet;
+
+/// How to ground head variables that the known literal leaves unbound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Grounding {
+    /// Enumerate the active domain (literal reading of the paper).
+    #[default]
+    ActiveDomain,
+    /// Require the known literal to ground the head (strict reading).
+    KnownOnly,
+}
+
+/// Compute the optimistic fixpoint of `program` over `input`.
+pub fn optimistic_fixpoint(program: &Program, input: &FactSet, grounding: Grounding) -> FactSet {
+    let mut known = input.clone();
+    // Active domain: input constants plus constants in the rules.
+    let mut domain: BTreeSet<Value> = input.active_domain();
+    for r in &program.rules {
+        for t in r.head.terms.iter().chain(r.body.iter().flat_map(|a| a.terms.iter())) {
+            if let Term::Const(c) = t {
+                domain.insert(*c);
+            }
+        }
+    }
+    let domain: Vec<Value> = domain.into_iter().collect();
+
+    loop {
+        let mut new_facts: Vec<(datalog_ast::PredRef, Vec<Value>)> = Vec::new();
+        for rule in &program.rules {
+            for lit in &rule.body {
+                // Unify this literal with each known fact of its predicate.
+                let snapshot: Vec<Vec<Value>> =
+                    known.tuples(&lit.pred).cloned().collect();
+                for tuple in snapshot {
+                    let fact = datalog_ast::Atom::fact(lit.pred.clone(), tuple);
+                    let mut s = subst::Subst::new();
+                    if !subst::match_atom(lit, &fact, &mut s) {
+                        continue;
+                    }
+                    let head = s.apply_atom(&rule.head);
+                    let unbound: Vec<Var> = head.vars();
+                    if unbound.is_empty() {
+                        let values = head.ground_values().expect("no vars left");
+                        if !known.contains(&head.pred, &values) {
+                            new_facts.push((head.pred.clone(), values));
+                        }
+                        continue;
+                    }
+                    if grounding == Grounding::KnownOnly {
+                        continue;
+                    }
+                    // Enumerate assignments of the unbound head variables
+                    // over the active domain.
+                    enumerate_groundings(&head, &unbound, &domain, &mut |values| {
+                        if !known.contains(&head.pred, values) {
+                            new_facts.push((head.pred.clone(), values.to_vec()));
+                        }
+                    });
+                }
+            }
+        }
+        let mut changed = false;
+        for (p, t) in new_facts {
+            changed |= known.insert(p, t);
+        }
+        if !changed {
+            return known;
+        }
+    }
+}
+
+fn enumerate_groundings(
+    head: &datalog_ast::Atom,
+    unbound: &[Var],
+    domain: &[Value],
+    emit: &mut dyn FnMut(&[Value]),
+) {
+    if domain.is_empty() {
+        return;
+    }
+    let mut assignment: Vec<usize> = vec![0; unbound.len()];
+    loop {
+        let values: Vec<Value> = head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => {
+                    let i = unbound.iter().position(|u| u == v).expect("unbound var");
+                    domain[assignment[i]]
+                }
+            })
+            .collect();
+        emit(&values);
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                return;
+            }
+            assignment[i] += 1;
+            if assignment[i] < domain.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, PredRef};
+
+    fn fs(pairs: &[(&str, &[&str])]) -> FactSet {
+        let mut f = FactSet::new();
+        for (p, args) in pairs {
+            f.insert(
+                PredRef::new(p),
+                args.iter().map(|a| Value::sym(a)).collect(),
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn fully_bound_heads_derive_under_both_semantics() {
+        let p = parse_program("h(X, Y) :- s(X, Y).").unwrap().program;
+        let input = fs(&[("s", &["a", "b"])]);
+        for g in [Grounding::ActiveDomain, Grounding::KnownOnly] {
+            let out = optimistic_fixpoint(&p, &input, g);
+            assert!(out.contains(&PredRef::new("h"), &[Value::sym("a"), Value::sym("b")]));
+        }
+    }
+
+    #[test]
+    fn one_known_literal_suffices() {
+        // q(X) :- h(X, Y), w(Y). With only h(a,b) known, q(a) is derived
+        // optimistically (w assumed) under both semantics, since h grounds X.
+        let p = parse_program("q(X) :- h(X, Y), w(Y).").unwrap().program;
+        let input = fs(&[("h", &["a", "b"])]);
+        for g in [Grounding::ActiveDomain, Grounding::KnownOnly] {
+            let out = optimistic_fixpoint(&p, &input, g);
+            assert!(
+                out.contains(&PredRef::new("q"), &[Value::sym("a")]),
+                "grounding {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn active_domain_enumerates_unbound_head_vars() {
+        // q(X) :- h(Y), w(Y, X): knowing h(a) grounds nothing in the head,
+        // so ActiveDomain derives q(a) (the only domain value) while
+        // KnownOnly derives nothing.
+        let p = parse_program("q(X) :- h(Y), w(Y, X).").unwrap().program;
+        let input = fs(&[("h", &["a"])]);
+        let liberal = optimistic_fixpoint(&p, &input, Grounding::ActiveDomain);
+        assert!(liberal.contains(&PredRef::new("q"), &[Value::sym("a")]));
+        let strict = optimistic_fixpoint(&p, &input, Grounding::KnownOnly);
+        assert_eq!(strict.count(&PredRef::new("q")), 0);
+    }
+
+    /// The strict (KnownOnly) reading under-approximates what contexts can
+    /// derive: here a context fact `w(a, e)` would yield `q(e)`, yet the
+    /// strict optimistic answer from `{s(a)}` contains no `q` fact at all.
+    /// This is why the optimizer never uses KnownOnly as a deletion
+    /// justification on its own.
+    #[test]
+    fn known_only_is_unsound_in_general() {
+        let p = parse_program(
+            "q(X) :- h(Y), w(Y, X).\n\
+             h(Y) :- s(Y).",
+        )
+        .unwrap()
+        .program;
+        let input = fs(&[("s", &["a"])]);
+        let strict = optimistic_fixpoint(&p, &input, Grounding::KnownOnly);
+        assert_eq!(strict.count(&PredRef::new("q")), 0);
+        // The liberal reading flags the possibility via the domain proxy.
+        let liberal = optimistic_fixpoint(&p, &input, Grounding::ActiveDomain);
+        assert!(liberal.count(&PredRef::new("q")) > 0);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_recursive_programs() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).",
+        )
+        .unwrap()
+        .program;
+        let input = fs(&[("p", &["u", "v"])]);
+        let out = optimistic_fixpoint(&p, &input, Grounding::ActiveDomain);
+        // Domain {u, v}: optimistic a-facts are bounded by 2*2 = 4.
+        assert!(out.count(&PredRef::new("a")) <= 4);
+        assert!(out.contains(&PredRef::new("a"), &[Value::sym("u"), Value::sym("v")]));
+    }
+
+    #[test]
+    fn empty_input_derives_nothing_without_constants() {
+        let p = parse_program("q(X) :- p(X).").unwrap().program;
+        let out = optimistic_fixpoint(&p, &FactSet::new(), Grounding::ActiveDomain);
+        assert!(out.is_empty());
+    }
+}

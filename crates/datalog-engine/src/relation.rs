@@ -1,0 +1,165 @@
+//! Tuple storage for one predicate: append-only rows, duplicate
+//! elimination, and lazily built per-column hash indices.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use datalog_ast::Value;
+
+/// A stored relation. Rows are append-only and keep insertion order, which
+/// is what lets semi-naive evaluation address "the delta" as a contiguous
+/// row-id range.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Box<[Value]>>,
+    seen: HashSet<Box<[Value]>>,
+    /// Lazily built single-column indices: `indices[col][value]` lists the
+    /// row ids whose column `col` equals `value`. Once built, an index is
+    /// maintained incrementally by `insert`.
+    indices: HashMap<usize, HashMap<Value, Vec<u32>>>,
+}
+
+impl Relation {
+    /// New empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            ..Relation::default()
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics (debug) on arity mismatch; callers validate arities upfront.
+    pub fn insert(&mut self, tuple: &[Value]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity, "relation arity mismatch");
+        if self.seen.contains(tuple) {
+            return false;
+        }
+        let boxed: Box<[Value]> = tuple.into();
+        let row_id = self.rows.len() as u32;
+        for (&col, index) in self.indices.iter_mut() {
+            index.entry(boxed[col]).or_default().push(row_id);
+        }
+        self.seen.insert(boxed.clone());
+        self.rows.push(boxed);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// Row by id.
+    pub fn row(&self, id: usize) -> &[Value] {
+        &self.rows[id]
+    }
+
+    /// Iterate rows in the id range `[start, end)`.
+    pub fn rows_in(&self, start: usize, end: usize) -> impl Iterator<Item = (usize, &[Value])> {
+        self.rows[start..end]
+            .iter()
+            .enumerate()
+            .map(move |(i, r)| (start + i, &**r))
+    }
+
+    /// Ensure a hash index exists on `col` and return row ids matching
+    /// `value` (unsliced — caller filters by range). Returns an empty slice
+    /// when no row matches.
+    pub fn probe(&mut self, col: usize, value: Value) -> &[u32] {
+        debug_assert!(col < self.arity);
+        let index = self.indices.entry(col).or_insert_with(HashMap::new);
+        if index.is_empty() && !self.rows.is_empty() {
+            for (i, row) in self.rows.iter().enumerate() {
+                index.entry(row[col]).or_default().push(i as u32);
+            }
+        }
+        index.get(&value).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Whether an index on `col` has been materialized.
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indices.contains_key(&col)
+    }
+
+    /// Iterate all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| &**r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(&t(&[1, 2])));
+        assert!(!r.insert(&t(&[1, 2])));
+        assert!(r.insert(&t(&[2, 1])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t(&[1, 2])));
+        assert!(!r.contains(&t(&[3, 3])));
+    }
+
+    #[test]
+    fn rows_keep_insertion_order() {
+        let mut r = Relation::new(1);
+        for i in 0..5 {
+            r.insert(&t(&[i]));
+        }
+        let ids: Vec<usize> = r.rows_in(2, 5).map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(r.row(3), &t(&[3])[..]);
+    }
+
+    #[test]
+    fn probe_builds_index_lazily_then_maintains() {
+        let mut r = Relation::new(2);
+        r.insert(&t(&[1, 10]));
+        r.insert(&t(&[2, 20]));
+        r.insert(&t(&[1, 30]));
+        assert!(!r.has_index(0));
+        let hits: Vec<u32> = r.probe(0, Value::int(1)).to_vec();
+        assert_eq!(hits, vec![0, 2]);
+        assert!(r.has_index(0));
+        // Insert after index creation: index must stay in sync.
+        r.insert(&t(&[1, 40]));
+        let hits: Vec<u32> = r.probe(0, Value::int(1)).to_vec();
+        assert_eq!(hits, vec![0, 2, 3]);
+        // Probing a missing value yields nothing.
+        assert!(r.probe(0, Value::int(9)).is_empty());
+    }
+
+    #[test]
+    fn zero_arity_relation_holds_one_row() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+    }
+}

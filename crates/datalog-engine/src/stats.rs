@@ -1,0 +1,97 @@
+//! Evaluation statistics.
+//!
+//! These counters are the machine-independent costs the paper's
+//! optimizations attack: fewer argument positions ⇒ fewer distinct facts
+//! and cheaper duplicate elimination (§3.2); boolean cut ⇒ retired rules
+//! stop contributing scans and derivations (§3.1); deleted rules ⇒ fewer
+//! join attempts per iteration (§3.3/§5).
+
+/// Counters accumulated over one fixpoint evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint iterations executed (the seed round counts as iteration 1).
+    pub iterations: usize,
+    /// Distinct new facts added to derived predicates.
+    pub facts_derived: u64,
+    /// Successful full-body rule instantiations (including ones that
+    /// re-derive an existing fact).
+    pub derivations: u64,
+    /// Derivations whose head fact already existed (duplicate-elimination
+    /// hits — the cost §3.2 highlights).
+    pub duplicates: u64,
+    /// Tuples enumerated across all literal scans and index probes.
+    pub tuples_scanned: u64,
+    /// Hash-index probes issued.
+    pub index_probes: u64,
+    /// Rules retired by the boolean-cut runtime (§3.1).
+    pub rules_retired: u64,
+}
+
+impl EvalStats {
+    /// Merge another stats record into this one (iterations take the max,
+    /// counters add). Useful when an experiment evaluates several programs.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.iterations = self.iterations.max(other.iterations);
+        self.facts_derived += other.facts_derived;
+        self.derivations += other.derivations;
+        self.duplicates += other.duplicates;
+        self.tuples_scanned += other.tuples_scanned;
+        self.index_probes += other.index_probes;
+        self.rules_retired += other.rules_retired;
+    }
+}
+
+impl std::fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "iters={} facts={} derivations={} dups={} scanned={} probes={} retired={}",
+            self.iterations,
+            self.facts_derived,
+            self.derivations,
+            self.duplicates,
+            self.tuples_scanned,
+            self.index_probes,
+            self.rules_retired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_maxes_iterations() {
+        let mut a = EvalStats {
+            iterations: 3,
+            facts_derived: 10,
+            derivations: 12,
+            duplicates: 2,
+            tuples_scanned: 100,
+            index_probes: 5,
+            rules_retired: 1,
+        };
+        let b = EvalStats {
+            iterations: 5,
+            facts_derived: 1,
+            derivations: 1,
+            duplicates: 0,
+            tuples_scanned: 10,
+            index_probes: 0,
+            rules_retired: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.iterations, 5);
+        assert_eq!(a.facts_derived, 11);
+        assert_eq!(a.tuples_scanned, 110);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = EvalStats::default();
+        let line = s.to_string();
+        assert!(line.contains("iters=0"));
+        assert!(line.contains("dups=0"));
+    }
+}

@@ -1,0 +1,425 @@
+//! Finite automata over interned symbols: NFA, subset construction,
+//! DFA minimization (Moore), and language equivalence.
+//!
+//! Used by [`crate::regular`] to decide regularity for *linear* chain
+//! grammars and to synthesize the monadic programs of Theorem 3.3.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use datalog_ast::Symbol;
+
+/// A nondeterministic finite automaton. States are dense `usize` ids.
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    /// Number of states.
+    pub states: usize,
+    /// Start state.
+    pub start: usize,
+    /// Accepting states.
+    pub accepting: BTreeSet<usize>,
+    /// Transitions `(state, symbol) → {states}`.
+    pub trans: BTreeMap<(usize, Symbol), BTreeSet<usize>>,
+}
+
+impl Nfa {
+    /// Create an NFA with `states` states, start state 0, no transitions.
+    pub fn new(states: usize) -> Nfa {
+        Nfa {
+            states,
+            ..Nfa::default()
+        }
+    }
+
+    /// Add a fresh state, returning its id.
+    pub fn add_state(&mut self) -> usize {
+        self.states += 1;
+        self.states - 1
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: usize, sym: Symbol, to: usize) {
+        self.trans.entry((from, sym)).or_default().insert(to);
+    }
+
+    /// The alphabet actually used.
+    pub fn alphabet(&self) -> BTreeSet<Symbol> {
+        self.trans.keys().map(|(_, s)| *s).collect()
+    }
+
+    /// Whether the NFA accepts a word (direct simulation; used in tests).
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut current: BTreeSet<usize> = BTreeSet::new();
+        current.insert(self.start);
+        for sym in word {
+            let mut next = BTreeSet::new();
+            for &s in &current {
+                if let Some(ts) = self.trans.get(&(s, *sym)) {
+                    next.extend(ts.iter().copied());
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|s| self.accepting.contains(s))
+    }
+
+    /// Reverse the automaton (accepts the reversal of the language).
+    /// Introduces a fresh start state with out-transitions mirroring the
+    /// accepting set; the old start becomes the only accepting state.
+    pub fn reversed(&self) -> Nfa {
+        let mut rev = Nfa::new(self.states + 1);
+        let new_start = self.states;
+        rev.start = new_start;
+        rev.accepting.insert(self.start);
+        for ((from, sym), tos) in &self.trans {
+            for to in tos {
+                rev.add_transition(*to, *sym, *from);
+                if self.accepting.contains(to) {
+                    rev.add_transition(new_start, *sym, *from);
+                }
+            }
+        }
+        // Empty word: if the original start is accepting, the reversal also
+        // accepts ε.
+        if self.accepting.contains(&self.start) {
+            rev.accepting.insert(new_start);
+        }
+        rev
+    }
+
+    /// Subset construction.
+    pub fn determinize(&self) -> Dfa {
+        let alphabet: Vec<Symbol> = self.alphabet().into_iter().collect();
+        let mut subset_ids: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let start_set: BTreeSet<usize> = [self.start].into();
+        subset_ids.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+        queue.push_back(0);
+
+        let mut trans: BTreeMap<(usize, Symbol), usize> = BTreeMap::new();
+        while let Some(id) = queue.pop_front() {
+            let current = subsets[id].clone();
+            for &sym in &alphabet {
+                let mut next: BTreeSet<usize> = BTreeSet::new();
+                for &s in &current {
+                    if let Some(ts) = self.trans.get(&(s, sym)) {
+                        next.extend(ts.iter().copied());
+                    }
+                }
+                if next.is_empty() {
+                    continue; // partial DFA: missing transition = dead
+                }
+                let next_id = *subset_ids.entry(next.clone()).or_insert_with(|| {
+                    subsets.push(next.clone());
+                    queue.push_back(subsets.len() - 1);
+                    subsets.len() - 1
+                });
+                trans.insert((id, sym), next_id);
+            }
+        }
+        let accepting = subsets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, set)| {
+                set.iter()
+                    .any(|s| self.accepting.contains(s))
+                    .then_some(i)
+            })
+            .collect();
+        Dfa {
+            states: subsets.len(),
+            start: 0,
+            accepting,
+            trans,
+            alphabet: alphabet.into_iter().collect(),
+        }
+    }
+}
+
+/// A (partial) deterministic finite automaton: a missing transition is a
+/// rejecting sink.
+#[derive(Debug, Clone, Default)]
+pub struct Dfa {
+    /// Number of states.
+    pub states: usize,
+    /// Start state.
+    pub start: usize,
+    /// Accepting states.
+    pub accepting: BTreeSet<usize>,
+    /// Transitions `(state, symbol) → state`.
+    pub trans: BTreeMap<(usize, Symbol), usize>,
+    /// Alphabet over which equivalence/minimization operate.
+    pub alphabet: BTreeSet<Symbol>,
+}
+
+impl Dfa {
+    /// Whether the DFA accepts a word.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut s = self.start;
+        for sym in word {
+            match self.trans.get(&(s, *sym)) {
+                Some(&t) => s = t,
+                None => return false,
+            }
+        }
+        self.accepting.contains(&s)
+    }
+
+    /// Completion: add an explicit dead state so every (state, symbol) has a
+    /// transition. Needed before Moore minimization and product tests.
+    fn completed(&self, alphabet: &BTreeSet<Symbol>) -> Dfa {
+        let mut d = self.clone();
+        d.alphabet = alphabet.clone();
+        let dead = d.states;
+        let mut used_dead = false;
+        for s in 0..d.states {
+            for &a in alphabet {
+                d.trans.entry((s, a)).or_insert_with(|| {
+                    used_dead = true;
+                    dead
+                });
+            }
+        }
+        if used_dead {
+            d.states += 1;
+            for &a in alphabet {
+                d.trans.insert((dead, a), dead);
+            }
+        }
+        d
+    }
+
+    /// States reachable from the start.
+    fn reachable(&self) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([self.start]);
+        seen.insert(self.start);
+        while let Some(s) = queue.pop_front() {
+            for &a in &self.alphabet {
+                if let Some(&t) = self.trans.get(&(s, a)) {
+                    if seen.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Moore minimization (after completion and reachability trimming).
+    pub fn minimized(&self) -> Dfa {
+        let complete = self.completed(&self.alphabet);
+        let reachable: Vec<usize> = complete.reachable().into_iter().collect();
+        let alphabet: Vec<Symbol> = complete.alphabet.iter().copied().collect();
+        // Initial partition: accepting vs non-accepting.
+        let mut class: BTreeMap<usize, usize> = reachable
+            .iter()
+            .map(|&s| (s, usize::from(complete.accepting.contains(&s))))
+            .collect();
+        loop {
+            // Signature: (class, class of each successor).
+            let mut sig_ids: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+            let mut next_class: BTreeMap<usize, usize> = BTreeMap::new();
+            for &s in &reachable {
+                let sig: Vec<usize> = alphabet
+                    .iter()
+                    .map(|&a| class[&complete.trans[&(s, a)]])
+                    .collect();
+                let key = (class[&s], sig);
+                let n = sig_ids.len();
+                let id = *sig_ids.entry(key).or_insert(n);
+                next_class.insert(s, id);
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        let n_classes = class.values().copied().collect::<BTreeSet<_>>().len();
+        let mut trans = BTreeMap::new();
+        let mut accepting = BTreeSet::new();
+        for &s in &reachable {
+            let c = class[&s];
+            if complete.accepting.contains(&s) {
+                accepting.insert(c);
+            }
+            for &a in &alphabet {
+                trans.insert((c, a), class[&complete.trans[&(s, a)]]);
+            }
+        }
+        Dfa {
+            states: n_classes,
+            start: class[&complete.start],
+            accepting,
+            trans,
+            alphabet: complete.alphabet,
+        }
+    }
+
+    /// Language equivalence via the product construction: search for a
+    /// reachable pair of states with different acceptance.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        let alphabet: BTreeSet<Symbol> = self
+            .alphabet
+            .union(&other.alphabet)
+            .copied()
+            .collect();
+        let a = self.completed(&alphabet);
+        let b = other.completed(&alphabet);
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::from([(a.start, b.start)]);
+        seen.insert((a.start, b.start));
+        while let Some((s, t)) = queue.pop_front() {
+            if a.accepting.contains(&s) != b.accepting.contains(&t) {
+                return false;
+            }
+            for &sym in &alphabet {
+                let pair = (a.trans[&(s, sym)], b.trans[&(t, sym)]);
+                if seen.insert(pair) {
+                    queue.push_back(pair);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    /// NFA for (ab)*a — nondeterministic on purpose.
+    fn aba_nfa() -> Nfa {
+        let mut n = Nfa::new(2);
+        n.add_transition(0, sym("a"), 1);
+        n.add_transition(1, sym("b"), 0);
+        n.accepting.insert(1);
+        n
+    }
+
+    #[test]
+    fn nfa_accepts() {
+        let n = aba_nfa();
+        assert!(n.accepts(&[sym("a")]));
+        assert!(n.accepts(&[sym("a"), sym("b"), sym("a")]));
+        assert!(!n.accepts(&[sym("a"), sym("a")]));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[sym("b")]));
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = aba_nfa();
+        let d = n.determinize();
+        for word in [
+            vec![],
+            vec![sym("a")],
+            vec![sym("b")],
+            vec![sym("a"), sym("b")],
+            vec![sym("a"), sym("b"), sym("a")],
+            vec![sym("a"), sym("a"), sym("b")],
+        ] {
+            assert_eq!(n.accepts(&word), d.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn minimization_reduces_and_preserves() {
+        // A DFA for "contains at least one a", written wastefully with 4
+        // states; the minimum has 2.
+        let a = sym("a");
+        let b = sym("b");
+        let mut d = Dfa {
+            states: 4,
+            start: 0,
+            accepting: [2, 3].into(),
+            trans: BTreeMap::new(),
+            alphabet: [a, b].into(),
+        };
+        d.trans.insert((0, a), 2);
+        d.trans.insert((0, b), 1);
+        d.trans.insert((1, a), 3);
+        d.trans.insert((1, b), 0);
+        d.trans.insert((2, a), 3);
+        d.trans.insert((2, b), 2);
+        d.trans.insert((3, a), 2);
+        d.trans.insert((3, b), 3);
+        let m = d.minimized();
+        assert_eq!(m.states, 2);
+        for word in [vec![], vec![b, b], vec![b, a], vec![a], vec![a, b, a]] {
+            assert_eq!(d.accepts(&word), m.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn equivalence_distinguishes() {
+        let n1 = aba_nfa().determinize();
+        // Same language, built differently: states doubled.
+        let mut n2 = Nfa::new(4);
+        n2.add_transition(0, sym("a"), 1);
+        n2.add_transition(1, sym("b"), 2);
+        n2.add_transition(2, sym("a"), 3);
+        n2.add_transition(3, sym("b"), 0);
+        n2.accepting.insert(1);
+        n2.accepting.insert(3);
+        let d2 = n2.determinize();
+        assert!(n1.equivalent(&d2));
+        assert!(n1.minimized().equivalent(&d2.minimized()));
+        // Different language: a* .
+        let mut n3 = Nfa::new(1);
+        n3.add_transition(0, sym("a"), 0);
+        n3.accepting.insert(0);
+        assert!(!n1.equivalent(&n3.determinize()));
+    }
+
+    #[test]
+    fn reversal_reverses() {
+        let n = aba_nfa(); // (ab)*a
+        let r = n.reversed(); // a(ba)*
+        assert!(r.accepts(&[sym("a")]));
+        assert!(r.accepts(&[sym("a"), sym("b"), sym("a")]));
+        assert!(!r.accepts(&[sym("b"), sym("a")]));
+        // Reversal twice is the original language.
+        let rr = r.reversed().determinize().minimized();
+        assert!(rr.equivalent(&n.determinize().minimized()));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let d = aba_nfa().determinize();
+        let m1 = d.minimized();
+        let m2 = m1.minimized();
+        assert_eq!(m1.states, m2.states);
+        assert!(m1.equivalent(&m2));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric() {
+        let a = aba_nfa().determinize();
+        let mut n = Nfa::new(1);
+        n.add_transition(0, sym("a"), 0);
+        n.accepting.insert(0);
+        let b = n.determinize();
+        assert!(a.equivalent(&a));
+        assert!(b.equivalent(&b));
+        assert_eq!(a.equivalent(&b), b.equivalent(&a));
+    }
+
+    #[test]
+    fn empty_automaton_rejects_everything() {
+        let n = Nfa::new(1);
+        assert!(!n.accepts(&[]));
+        let d = n.determinize();
+        assert!(!d.accepts(&[sym("a")]));
+        assert_eq!(d.minimized().accepting.len(), 0);
+    }
+}

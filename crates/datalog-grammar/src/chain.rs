@@ -1,0 +1,329 @@
+//! Binary chain programs and the program ⇄ grammar correspondence (§1.1).
+
+use std::collections::BTreeSet;
+
+use datalog_ast::{Atom, PredRef, Program, Query, Rule, Symbol, Term, Var};
+
+use crate::GrammarError;
+
+/// A grammar symbol: terminal (base predicate) or nonterminal (derived
+/// predicate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GSym {
+    /// Terminal symbol (EDB predicate name).
+    T(Symbol),
+    /// Nonterminal symbol (IDB predicate name).
+    N(Symbol),
+}
+
+impl GSym {
+    /// The underlying name.
+    pub fn name(&self) -> Symbol {
+        match self {
+            GSym::T(s) | GSym::N(s) => *s,
+        }
+    }
+
+    /// Whether this is a terminal.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, GSym::T(_))
+    }
+}
+
+impl std::fmt::Display for GSym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GSym::T(s) => write!(f, "{s}"),
+            GSym::N(s) => write!(f, "{}", s.as_str().to_uppercase()),
+        }
+    }
+}
+
+/// A production `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Production {
+    /// Left-hand nonterminal.
+    pub lhs: Symbol,
+    /// Right-hand side (nonempty for chain grammars).
+    pub rhs: Vec<GSym>,
+}
+
+impl std::fmt::Display for Production {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ->", self.lhs.as_str().to_uppercase())?;
+        for s in &self.rhs {
+            write!(f, " {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A context-free grammar with a start symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Start symbol (a nonterminal).
+    pub start: Symbol,
+    /// Productions.
+    pub productions: Vec<Production>,
+}
+
+impl Cfg {
+    /// All nonterminals (LHSs plus any `N` symbols on RHSs).
+    pub fn nonterminals(&self) -> BTreeSet<Symbol> {
+        let mut s: BTreeSet<Symbol> = self.productions.iter().map(|p| p.lhs).collect();
+        for p in &self.productions {
+            for g in &p.rhs {
+                if let GSym::N(n) = g {
+                    s.insert(*n);
+                }
+            }
+        }
+        s.insert(self.start);
+        s
+    }
+
+    /// All terminals.
+    pub fn terminals(&self) -> BTreeSet<Symbol> {
+        self.productions
+            .iter()
+            .flat_map(|p| p.rhs.iter())
+            .filter_map(|g| match g {
+                GSym::T(t) => Some(*t),
+                GSym::N(_) => None,
+            })
+            .collect()
+    }
+
+    /// Productions with the given LHS.
+    pub fn productions_for(&self, n: Symbol) -> impl Iterator<Item = &Production> + '_ {
+        self.productions.iter().filter(move |p| p.lhs == n)
+    }
+
+    /// Validate ε-freeness (chain grammars always satisfy this).
+    pub fn check_epsilon_free(&self) -> Result<(), GrammarError> {
+        for p in &self.productions {
+            if p.rhs.is_empty() {
+                return Err(GrammarError::EpsilonProduction {
+                    nonterminal: p.lhs.as_str(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render one production per line.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "start: {}", self.start.as_str().to_uppercase());
+        for p in &self.productions {
+            let _ = writeln!(out, "{p}");
+        }
+        out
+    }
+}
+
+/// Check a single rule for binary-chain shape:
+/// `p(X, Y) :- q1(X, Z1), ..., qn(Z_{n-1}, Y)` with all predicates binary,
+/// the chain variables distinct, and no constants.
+fn chain_shape(rule: &Rule) -> bool {
+    if rule.head.arity() != 2 || rule.body.is_empty() {
+        return false;
+    }
+    let (hx, hy) = match (&rule.head.terms[0], &rule.head.terms[1]) {
+        (Term::Var(a), Term::Var(b)) if a != b => (*a, *b),
+        _ => return false,
+    };
+    let mut expected: Var = hx;
+    let mut used: BTreeSet<Var> = BTreeSet::new();
+    used.insert(hx);
+    for (i, lit) in rule.body.iter().enumerate() {
+        if lit.arity() != 2 {
+            return false;
+        }
+        let (x, y) = match (&lit.terms[0], &lit.terms[1]) {
+            (Term::Var(a), Term::Var(b)) if a != b => (*a, *b),
+            _ => return false,
+        };
+        if x != expected {
+            return false;
+        }
+        let last = i == rule.body.len() - 1;
+        if last {
+            if y != hy {
+                return false;
+            }
+        } else {
+            // Chain variables must be fresh.
+            if y == hy || !used.insert(y) {
+                return false;
+            }
+        }
+        expected = y;
+    }
+    true
+}
+
+/// Whether every rule of the program is a binary chain rule.
+pub fn is_chain_program(program: &Program) -> bool {
+    program.rules.iter().all(chain_shape)
+}
+
+/// Drop the arguments of a binary chain program, yielding its CFG
+/// (Lemma 4.1's correspondence). The query predicate becomes the start
+/// symbol.
+pub fn program_to_grammar(program: &Program) -> Result<Cfg, GrammarError> {
+    let query = program.query.as_ref().ok_or(GrammarError::NoQuery)?;
+    let idb: BTreeSet<Symbol> = program.idb_preds().iter().map(|p| p.name).collect();
+    let mut productions = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        if !chain_shape(rule) {
+            return Err(GrammarError::NotChain {
+                rule: rule.to_string(),
+            });
+        }
+        let rhs = rule
+            .body
+            .iter()
+            .map(|lit| {
+                if idb.contains(&lit.pred.name) {
+                    GSym::N(lit.pred.name)
+                } else {
+                    GSym::T(lit.pred.name)
+                }
+            })
+            .collect();
+        productions.push(Production {
+            lhs: rule.head.pred.name,
+            rhs,
+        });
+    }
+    Ok(Cfg {
+        start: query.atom.pred.name,
+        productions,
+    })
+}
+
+/// The inverse correspondence: build the binary chain program of a grammar.
+/// The query is `?- start(X, Y).`
+pub fn grammar_to_program(cfg: &Cfg) -> Program {
+    let mut rules = Vec::with_capacity(cfg.productions.len());
+    for p in &cfg.productions {
+        let n = p.rhs.len();
+        // Variables X, C1, ..., C_{n-1}, Y.
+        let var_at = |i: usize| -> Term {
+            if i == 0 {
+                Term::var("X")
+            } else if i == n {
+                Term::var("Y")
+            } else {
+                Term::Var(Var::new(&format!("C{i}")))
+            }
+        };
+        let head = Atom::new(
+            PredRef {
+                name: p.lhs,
+                adornment: None,
+            },
+            vec![Term::var("X"), Term::var("Y")],
+        );
+        let body = p
+            .rhs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                Atom::new(
+                    PredRef {
+                        name: g.name(),
+                        adornment: None,
+                    },
+                    vec![var_at(i), var_at(i + 1)],
+                )
+            })
+            .collect();
+        rules.push(Rule::new(head, body));
+    }
+    let mut program = Program::new(rules);
+    program.query = Some(Query::new(Atom::new(
+        PredRef {
+            name: cfg.start,
+            adornment: None,
+        },
+        vec![Term::var("X"), Term::var("Y")],
+    )));
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    const TC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                      a(X, Y) :- p(X, Y).\n\
+                      ?- a(X, Y).";
+
+    #[test]
+    fn tc_is_a_chain_program() {
+        let p = parse_program(TC).unwrap().program;
+        assert!(is_chain_program(&p));
+        let g = program_to_grammar(&p).unwrap();
+        assert_eq!(g.productions.len(), 2);
+        assert_eq!(g.start, Symbol::intern("a"));
+        assert_eq!(g.nonterminals().len(), 1);
+        assert_eq!(g.terminals().len(), 1);
+        let text = g.to_text();
+        assert!(text.contains("A -> p A"));
+        assert!(text.contains("A -> p"));
+    }
+
+    #[test]
+    fn roundtrip_program_grammar_program() {
+        let p = parse_program(TC).unwrap().program;
+        let g = program_to_grammar(&p).unwrap();
+        let p2 = grammar_to_program(&g);
+        let g2 = program_to_grammar(&p2).unwrap();
+        assert_eq!(g, g2);
+        assert!(is_chain_program(&p2));
+    }
+
+    #[test]
+    fn non_chain_shapes_are_rejected() {
+        for src in [
+            // Unary predicate.
+            "a(X, Y) :- p(X), q(X, Y).\n?- a(X, Y).",
+            // Broken chain (Z1 not consumed).
+            "a(X, Y) :- p(X, Z), q(W, Y).\n?- a(X, Y).",
+            // Constant argument.
+            "a(X, Y) :- p(X, 3), q(3, Y).\n?- a(X, Y).",
+            // Head variable repeated.
+            "a(X, X) :- p(X, X).\n?- a(X, X).",
+            // Chain variable reused.
+            "a(X, Y) :- p(X, Z), q(Z, Z), r(Z, Y).\n?- a(X, Y).",
+        ] {
+            let p = parse_program(src).unwrap().program;
+            assert!(!is_chain_program(&p), "accepted: {src}");
+            assert!(program_to_grammar(&p).is_err());
+        }
+    }
+
+    #[test]
+    fn long_chain_rule() {
+        let p = parse_program(
+            "w(X, Y) :- up(X, A), flat(A, B), dn(B, Y).\n\
+             ?- w(X, Y).",
+        )
+        .unwrap()
+        .program;
+        assert!(is_chain_program(&p));
+        let g = program_to_grammar(&p).unwrap();
+        assert_eq!(g.productions[0].rhs.len(), 3);
+        assert!(g.productions[0].rhs.iter().all(|s| s.is_terminal()));
+    }
+
+    #[test]
+    fn no_query_is_an_error() {
+        let p = parse_program("a(X, Y) :- p(X, Y).").unwrap().program;
+        assert_eq!(program_to_grammar(&p), Err(GrammarError::NoQuery));
+    }
+}

@@ -1,0 +1,283 @@
+//! Bounded enumeration of `L(G, q)` and the extended language `L^ex(G, q)`.
+//!
+//! Lemma 4.1 of the paper relates the four equivalence notions of §4 to
+//! (extended) language equality of the corresponding grammars:
+//!
+//! 1. DB equivalence ⟺ `L(G1, S) = L(G2, S)` for every nonterminal `S`;
+//! 2. query equivalence ⟺ `L(G1, Q1) = L(G2, Q2)`;
+//! 3. uniform equivalence ⟺ `L^ex(G1, S) = L^ex(G2, S)` for every `S`;
+//! 4. uniform *query* equivalence ⟺ `L^ex(G1, Q1) = L^ex(G2, Q2)`.
+//!
+//! All four language equalities are undecidable for CFGs (hence Lemma 4.2),
+//! so we enumerate *bounded* fragments: every string (or sentential form)
+//! of length at most `k`. For ε-free grammars — which chain grammars always
+//! are — a sentential form never shrinks under expansion, so breadth-first
+//! expansion with a length cutoff terminates.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use datalog_ast::Symbol;
+
+use crate::chain::{Cfg, GSym};
+use crate::GrammarError;
+
+/// Enumerate all terminal strings of length ≤ `max_len` in `L(G, start)`.
+pub fn bounded_language(
+    cfg: &Cfg,
+    max_len: usize,
+) -> Result<BTreeSet<Vec<Symbol>>, GrammarError> {
+    let forms = expand(cfg, max_len, false)?;
+    Ok(forms
+        .into_iter()
+        .filter_map(|form| {
+            form.iter()
+                .map(|g| match g {
+                    GSym::T(t) => Some(*t),
+                    GSym::N(_) => None,
+                })
+                .collect::<Option<Vec<Symbol>>>()
+        })
+        .collect())
+}
+
+/// Enumerate all sentential forms (strings over terminals ∪ nonterminals)
+/// of length ≤ `max_len` in `L^ex(G, start)`, including the start symbol
+/// itself.
+pub fn bounded_extended_language(
+    cfg: &Cfg,
+    max_len: usize,
+) -> Result<BTreeSet<Vec<GSym>>, GrammarError> {
+    expand(cfg, max_len, true)
+}
+
+fn expand(
+    cfg: &Cfg,
+    max_len: usize,
+    any_order: bool,
+) -> Result<BTreeSet<Vec<GSym>>, GrammarError> {
+    cfg.check_epsilon_free()?;
+    let mut seen: BTreeSet<Vec<GSym>> = BTreeSet::new();
+    let mut queue: VecDeque<Vec<GSym>> = VecDeque::new();
+    let start = vec![GSym::N(cfg.start)];
+    if max_len >= 1 {
+        seen.insert(start.clone());
+        queue.push_back(start);
+    }
+    while let Some(form) = queue.pop_front() {
+        // For the *terminal* language, expanding the leftmost nonterminal is
+        // complete (every string has a leftmost derivation). For `L^ex` —
+        // the set of ALL sentential forms — we must expand every
+        // nonterminal position: e.g. with S → AB, the form `Ab` has no
+        // leftmost derivation but belongs to L^ex.
+        let positions: Vec<usize> = if any_order {
+            form.iter()
+                .enumerate()
+                .filter_map(|(i, g)| matches!(g, GSym::N(_)).then_some(i))
+                .collect()
+        } else {
+            form.iter()
+                .position(|g| matches!(g, GSym::N(_)))
+                .into_iter()
+                .collect()
+        };
+        for pos in positions {
+            let GSym::N(nt) = form[pos] else { unreachable!() };
+            for prod in cfg.productions_for(nt) {
+                let new_len = form.len() - 1 + prod.rhs.len();
+                if new_len > max_len {
+                    continue;
+                }
+                let mut next = Vec::with_capacity(new_len);
+                next.extend_from_slice(&form[..pos]);
+                next.extend_from_slice(&prod.rhs);
+                next.extend_from_slice(&form[pos + 1..]);
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    Ok(seen)
+}
+
+/// Compare two grammars' languages up to length `k` (Lemma 4.1 item 2,
+/// bounded). Set `extended` for the `L^ex` comparison (items 3/4).
+pub fn bounded_language_equal(
+    g1: &Cfg,
+    g2: &Cfg,
+    max_len: usize,
+    extended: bool,
+) -> Result<bool, GrammarError> {
+    if extended {
+        // Compare sentential forms with nonterminal identity preserved
+        // modulo the start symbol (the query nonterminals may be named
+        // differently in the two programs).
+        let l1 = normalize_start(bounded_extended_language(g1, max_len)?, g1.start);
+        let l2 = normalize_start(bounded_extended_language(g2, max_len)?, g2.start);
+        Ok(l1 == l2)
+    } else {
+        Ok(bounded_language(g1, max_len)? == bounded_language(g2, max_len)?)
+    }
+}
+
+fn normalize_start(forms: BTreeSet<Vec<GSym>>, start: Symbol) -> BTreeSet<Vec<GSym>> {
+    let marker = Symbol::intern("$start");
+    forms
+        .into_iter()
+        .map(|f| {
+            f.into_iter()
+                .map(|g| match g {
+                    GSym::N(n) if n == start => GSym::N(marker),
+                    other => other,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::program_to_grammar;
+    use datalog_ast::parse_program;
+
+    fn grammar(src: &str) -> Cfg {
+        program_to_grammar(&parse_program(src).unwrap().program).unwrap()
+    }
+
+    fn strings(set: &BTreeSet<Vec<Symbol>>) -> BTreeSet<String> {
+        set.iter()
+            .map(|w| {
+                w.iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tc_language_is_p_plus() {
+        let g = grammar(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let l = bounded_language(&g, 4).unwrap();
+        assert_eq!(
+            strings(&l),
+            ["p", "p p", "p p p", "p p p p"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        );
+    }
+
+    #[test]
+    fn extended_language_contains_sentential_forms() {
+        let g = grammar(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let lex = bounded_extended_language(&g, 3).unwrap();
+        // Contains A, pA, p, ppA, pp, ppp.
+        assert_eq!(lex.len(), 6);
+        assert!(lex.contains(&vec![GSym::N(Symbol::intern("a"))]));
+        assert!(lex.contains(&vec![
+            GSym::T(Symbol::intern("p")),
+            GSym::N(Symbol::intern("a"))
+        ]));
+    }
+
+    /// Lemma 4.1 bounded: left- and right-recursive TC generate the same
+    /// language (query equivalent) but different extended languages
+    /// (NOT uniformly equivalent).
+    #[test]
+    fn left_and_right_tc_same_language_different_extended() {
+        let right = grammar(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let left = grammar(
+            "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        assert!(bounded_language_equal(&right, &left, 6, false).unwrap());
+        assert!(!bounded_language_equal(&right, &left, 6, true).unwrap());
+    }
+
+    #[test]
+    fn different_languages_detected() {
+        let tc = grammar(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let even = grammar(
+            "a(X, Y) :- p(X, Z), p(Z, W), a(W, Y).\n\
+             a(X, Y) :- p(X, Z), p(Z, Y).\n\
+             ?- a(X, Y).",
+        );
+        assert!(!bounded_language_equal(&tc, &even, 3, false).unwrap());
+        // The even grammar generates only even-length strings.
+        let l = bounded_language(&even, 5).unwrap();
+        assert!(l.iter().all(|w| w.len() % 2 == 0));
+    }
+
+    #[test]
+    fn non_regular_updown_language() {
+        // S -> up S dn | up flat dn: the classical { upⁿ flat dnⁿ } witness.
+        let g = grammar(
+            "s(X, Y) :- up(X, A), s(A, B), dn(B, Y).\n\
+             s(X, Y) :- up(X, A), flat(A, B), dn(B, Y).\n\
+             ?- s(X, Y).",
+        );
+        let l = bounded_language(&g, 7).unwrap();
+        let rendered = strings(&l);
+        assert!(rendered.contains("up flat dn"));
+        assert!(rendered.contains("up up flat dn dn"));
+        assert!(rendered.contains("up up up flat dn dn dn"));
+        assert_eq!(l.len(), 3);
+    }
+
+    /// L^ex must include forms no leftmost derivation reaches: with
+    /// S -> A B, A -> a, B -> b, the form `A b` exists.
+    #[test]
+    fn extended_language_is_derivation_order_complete() {
+        let g = grammar(
+            "s(X, Y) :- a(X, Z), b(Z, Y).\n\
+             a(X, Y) :- ta(X, Y).\n\
+             b(X, Y) :- tb(X, Y).\n\
+             ?- s(X, Y).",
+        );
+        let lex = bounded_extended_language(&g, 3).unwrap();
+        let a_then_tb = vec![GSym::N(Symbol::intern("a")), GSym::T(Symbol::intern("tb"))];
+        let ta_then_b = vec![GSym::T(Symbol::intern("ta")), GSym::N(Symbol::intern("b"))];
+        assert!(lex.contains(&a_then_tb), "non-leftmost form missing");
+        assert!(lex.contains(&ta_then_b));
+    }
+
+    #[test]
+    fn epsilon_production_is_rejected() {
+        let g = Cfg {
+            start: Symbol::intern("s"),
+            productions: vec![crate::chain::Production {
+                lhs: Symbol::intern("s"),
+                rhs: vec![],
+            }],
+        };
+        assert!(matches!(
+            bounded_language(&g, 3),
+            Err(GrammarError::EpsilonProduction { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_bound_yields_empty() {
+        let g = grammar("a(X, Y) :- p(X, Y).\n?- a(X, Y).");
+        assert!(bounded_language(&g, 0).unwrap().is_empty());
+    }
+}

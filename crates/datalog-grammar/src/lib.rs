@@ -1,0 +1,68 @@
+//! # datalog-grammar
+//!
+//! Chain programs and their context-free grammars, as used in §1.1, §3.2
+//! (Theorem 3.3) and §4 (Lemma 4.1) of *Optimizing Existential Datalog
+//! Queries* (PODS 1988).
+//!
+//! A *binary chain program* has rules of the form
+//! `p(X, Y) :- q1(X, Z1), q2(Z1, Z2), ..., qn(Z_{n-1}, Y)`; dropping the
+//! arguments turns each rule into a CFG production `P → Q1 Q2 ... Qn` with
+//! IDB predicates as nonterminals, EDB predicates as terminals, and the
+//! query predicate as start symbol.
+//!
+//! This crate implements:
+//!
+//! * the program ⇄ grammar correspondence ([`chain`]);
+//! * bounded enumeration of the language `L(G, q)` and the *extended*
+//!   language `L^ex(G, q)` of sentential forms — Lemma 4.1 reduces DB /
+//!   query / uniform / uniform-query equivalence of chain programs to
+//!   (extended) language equality, which the tests exercise up to a length
+//!   bound ([`lang`]);
+//! * finite automata (NFA → DFA, minimization, equivalence) and detection
+//!   of *linear* grammars, the classical decidable subclass of regular
+//!   context-free languages ([`automata`], [`regular`]);
+//! * the constructive direction of **Theorem 3.3**: when the grammar of a
+//!   binary chain program is (detectably) regular, an equivalent *monadic*
+//!   chain program is synthesized from the DFA ([`regular::monadic_equivalent`]).
+//!   The negative direction (no monadic program exists when the language is
+//!   not regular) is undecidable in general; the tests demonstrate it on
+//!   the classical non-regular witness `{ upⁿ flat dnⁿ }`.
+
+pub mod automata;
+pub mod chain;
+pub mod lang;
+pub mod regular;
+
+pub use automata::{Dfa, Nfa};
+pub use chain::{grammar_to_program, is_chain_program, program_to_grammar, Cfg, GSym, Production};
+pub use lang::{bounded_extended_language, bounded_language, bounded_language_equal};
+pub use regular::{linearity, monadic_equivalent, Linearity};
+
+/// Errors for chain-program / grammar conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// The program is not a binary chain program.
+    NotChain { rule: String },
+    /// The program has no query (needed to pick the start symbol).
+    NoQuery,
+    /// A production has an empty right-hand side (chain grammars are
+    /// ε-free by construction; enumeration requires it).
+    EpsilonProduction { nonterminal: String },
+    /// The grammar is not linear, so this crate cannot certify regularity.
+    NotLinear,
+}
+
+impl std::fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrammarError::NotChain { rule } => write!(f, "not a binary chain rule: {rule}"),
+            GrammarError::NoQuery => write!(f, "program has no query"),
+            GrammarError::EpsilonProduction { nonterminal } => {
+                write!(f, "epsilon production for {nonterminal}")
+            }
+            GrammarError::NotLinear => write!(f, "grammar is not linear"),
+        }
+    }
+}
+
+impl std::error::Error for GrammarError {}

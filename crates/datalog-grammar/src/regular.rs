@@ -1,0 +1,424 @@
+//! Regularity for linear chain grammars and the constructive direction of
+//! Theorem 3.3.
+//!
+//! Theorem 3.3: a binary chain program with an existential query (`p[nd]` or
+//! `p[dn]`) has an equivalent **monadic** chain program iff the language of
+//! its grammar is regular — hence arity reduction is undecidable. Regularity
+//! of a CFG is itself undecidable, but the classical decidable subclass of
+//! *linear* (left- or right-linear) grammars covers most practical chain
+//! programs; for those this module builds an NFA, determinizes and
+//! minimizes it, and synthesizes the monadic program whose unary predicates
+//! are the DFA states.
+
+use std::collections::BTreeMap;
+
+use datalog_ast::{Atom, PredRef, Program, Query, Rule, Symbol, Term};
+
+use crate::automata::{Dfa, Nfa};
+use crate::chain::{is_chain_program, program_to_grammar, Cfg, GSym};
+use crate::GrammarError;
+
+/// Detected linearity of a grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linearity {
+    /// Every production is right-linear (`A → w B` or `A → w`, `w`
+    /// terminal-only).
+    Right,
+    /// Every production is left-linear (`A → B w` or `A → w`).
+    Left,
+}
+
+/// Classify the grammar's linearity, if any. A grammar that is both (no
+/// production uses a nonterminal except trivially) reports `Right`.
+pub fn linearity(cfg: &Cfg) -> Option<Linearity> {
+    let right = cfg.productions.iter().all(|p| {
+        p.rhs
+            .iter()
+            .rev()
+            .skip(1)
+            .all(|g| g.is_terminal())
+    });
+    if right {
+        return Some(Linearity::Right);
+    }
+    let left = cfg
+        .productions
+        .iter()
+        .all(|p| p.rhs.iter().skip(1).all(|g| g.is_terminal()));
+    left.then_some(Linearity::Left)
+}
+
+/// Eliminate unit productions (`A → B`) by closure, so the NFA construction
+/// needs no ε-transitions.
+fn eliminate_units(cfg: &Cfg) -> Cfg {
+    use std::collections::BTreeSet;
+    let nts: Vec<Symbol> = cfg.nonterminals().into_iter().collect();
+    // unit_reach[a] = all B with A ⇒* B via unit productions (incl. A).
+    let mut unit_reach: BTreeMap<Symbol, BTreeSet<Symbol>> = nts
+        .iter()
+        .map(|&n| (n, BTreeSet::from([n])))
+        .collect();
+    loop {
+        let mut changed = false;
+        for p in &cfg.productions {
+            if let [GSym::N(b)] = p.rhs.as_slice() {
+                let b = *b;
+                for a in nts.iter().copied().collect::<Vec<_>>() {
+                    if unit_reach[&a].contains(&p.lhs) {
+                        let targets: Vec<Symbol> =
+                            unit_reach.get(&b).into_iter().flatten().copied().collect();
+                        let entry = unit_reach.get_mut(&a).expect("initialized");
+                        for t in targets {
+                            changed |= entry.insert(t);
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut productions = Vec::new();
+    for &a in &nts {
+        for &b in &unit_reach[&a] {
+            for p in cfg.productions_for(b) {
+                if matches!(p.rhs.as_slice(), [GSym::N(_)]) {
+                    continue;
+                }
+                productions.push(crate::chain::Production {
+                    lhs: a,
+                    rhs: p.rhs.clone(),
+                });
+            }
+        }
+    }
+    productions.sort();
+    productions.dedup();
+    Cfg {
+        start: cfg.start,
+        productions,
+    }
+}
+
+/// Build an NFA for a right-linear, unit-free grammar.
+fn right_linear_nfa(cfg: &Cfg) -> Nfa {
+    let nts: Vec<Symbol> = cfg.nonterminals().into_iter().collect();
+    let state_of: BTreeMap<Symbol, usize> =
+        nts.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut nfa = Nfa::new(nts.len() + 1);
+    let accept = nts.len();
+    nfa.start = state_of[&cfg.start];
+    nfa.accepting.insert(accept);
+    for p in &cfg.productions {
+        let (terminals, target) = match p.rhs.last() {
+            Some(GSym::N(b)) => (&p.rhs[..p.rhs.len() - 1], state_of[b]),
+            _ => (&p.rhs[..], accept),
+        };
+        debug_assert!(terminals.iter().all(|g| g.is_terminal()));
+        let mut cur = state_of[&p.lhs];
+        for (i, g) in terminals.iter().enumerate() {
+            let GSym::T(t) = g else { unreachable!() };
+            let next = if i == terminals.len() - 1 {
+                target
+            } else {
+                nfa.add_state()
+            };
+            nfa.add_transition(cur, *t, next);
+            cur = next;
+        }
+        // `terminals` is nonempty: ε-free and unit-free.
+    }
+    nfa
+}
+
+/// Build a minimized DFA for a linear chain grammar, or `None` when the
+/// grammar is not linear (regularity not certified).
+pub fn linear_grammar_dfa(cfg: &Cfg) -> Option<Dfa> {
+    let kind = linearity(cfg)?;
+    let unit_free = eliminate_units(cfg);
+    let dfa = match kind {
+        Linearity::Right => right_linear_nfa(&unit_free).determinize().minimized(),
+        Linearity::Left => {
+            // Reverse every RHS: the reversed grammar is right-linear and
+            // generates the reversed language; reverse the automaton back.
+            let reversed = Cfg {
+                start: unit_free.start,
+                productions: unit_free
+                    .productions
+                    .iter()
+                    .map(|p| crate::chain::Production {
+                        lhs: p.lhs,
+                        rhs: p.rhs.iter().rev().cloned().collect(),
+                    })
+                    .collect(),
+            };
+            right_linear_nfa(&reversed)
+                .reversed()
+                .determinize()
+                .minimized()
+        }
+    };
+    Some(dfa)
+}
+
+/// Which argument of the binary query survives projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeptArg {
+    /// Query form `p[nd]`: keep the first (source) argument.
+    First,
+    /// Query form `p[dn]`: keep the second (target) argument.
+    Second,
+}
+
+/// The result of the Theorem 3.3 rewriting.
+#[derive(Debug, Clone)]
+pub struct MonadicRewrite {
+    /// The monadic chain program (unary recursive predicates).
+    pub program: Program,
+    /// Number of DFA states used (= number of unary predicates).
+    pub dfa_states: usize,
+}
+
+/// Synthesize a monadic program equivalent to the existential query over a
+/// binary chain program (constructive direction of Theorem 3.3), or `None`
+/// when the grammar is not linear.
+///
+/// For `KeptArg::First` the synthesized query `exists_<q>(X)` holds iff
+/// some path starting at `X` spells a word of the language; for
+/// `KeptArg::Second`, iff some path ending at `X` does.
+pub fn monadic_equivalent(
+    program: &Program,
+    kept: KeptArg,
+) -> Result<Option<MonadicRewrite>, GrammarError> {
+    if !is_chain_program(program) {
+        return Err(GrammarError::NotChain {
+            rule: program
+                .rules
+                .iter()
+                .find(|r| {
+                    !is_chain_program(&Program::new(vec![(*r).clone()]))
+                })
+                .map(|r| r.to_string())
+                .unwrap_or_default(),
+        });
+    }
+    let cfg = program_to_grammar(program)?;
+    let Some(dfa) = linear_grammar_dfa(&cfg) else {
+        return Ok(None);
+    };
+    let qname = cfg.start.as_str();
+    let state_pred =
+        |s: usize| -> PredRef { PredRef::new(&format!("{qname}_st{s}")) };
+    let answer = PredRef::new(&format!("exists_{qname}"));
+    let mut rules = Vec::new();
+    match kept {
+        KeptArg::First => {
+            // st_q(X) :- t(X, Y), st_q'(Y)   for δ(q, t) = q'
+            // st_q(X) :- t(X, Y)             for δ(q, t) ∈ F
+            for ((q, t), q2) in &dfa.trans {
+                let edge = Atom::new(
+                    PredRef {
+                        name: *t,
+                        adornment: None,
+                    },
+                    vec![Term::var("X"), Term::var("Y")],
+                );
+                rules.push(Rule::new(
+                    Atom::new(state_pred(*q), vec![Term::var("X")]),
+                    vec![edge.clone(), Atom::new(state_pred(*q2), vec![Term::var("Y")])],
+                ));
+                if dfa.accepting.contains(q2) {
+                    rules.push(Rule::new(
+                        Atom::new(state_pred(*q), vec![Term::var("X")]),
+                        vec![edge],
+                    ));
+                }
+            }
+            rules.push(Rule::new(
+                Atom::new(answer.clone(), vec![Term::var("X")]),
+                vec![Atom::new(state_pred(dfa.start), vec![Term::var("X")])],
+            ));
+        }
+        KeptArg::Second => {
+            // st_q(Y) :- t(X, Y)             for δ(start, t) = q
+            // st_q(Y) :- st_q'(X), t(X, Y)   for δ(q', t) = q
+            for ((q, t), q2) in &dfa.trans {
+                let edge = Atom::new(
+                    PredRef {
+                        name: *t,
+                        adornment: None,
+                    },
+                    vec![Term::var("X"), Term::var("Y")],
+                );
+                if *q == dfa.start {
+                    rules.push(Rule::new(
+                        Atom::new(state_pred(*q2), vec![Term::var("Y")]),
+                        vec![edge.clone()],
+                    ));
+                }
+                rules.push(Rule::new(
+                    Atom::new(state_pred(*q2), vec![Term::var("Y")]),
+                    vec![Atom::new(state_pred(*q), vec![Term::var("X")]), edge],
+                ));
+            }
+            for q in &dfa.accepting {
+                rules.push(Rule::new(
+                    Atom::new(answer.clone(), vec![Term::var("X")]),
+                    vec![Atom::new(state_pred(*q), vec![Term::var("X")])],
+                ));
+            }
+        }
+    }
+    let mut out = Program::new(rules);
+    out.query = Some(Query::new(Atom::new(answer, vec![Term::var("X")])));
+    Ok(Some(MonadicRewrite {
+        program: out,
+        dfa_states: dfa.states,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+    use datalog_engine::{query_answers, EvalOptions, FactSet};
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    const RIGHT_TC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                            a(X, Y) :- p(X, Y).\n\
+                            ?- a(X, Y).";
+    const LEFT_TC: &str = "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+                           a(X, Y) :- p(X, Y).\n\
+                           ?- a(X, Y).";
+    const PALINDROME: &str = "s(X, Y) :- up(X, A), s(A, B), dn(B, Y).\n\
+                              s(X, Y) :- up(X, A), flat(A, B), dn(B, Y).\n\
+                              ?- s(X, Y).";
+
+    #[test]
+    fn linearity_classification() {
+        let right = program_to_grammar(&program(RIGHT_TC)).unwrap();
+        assert_eq!(linearity(&right), Some(Linearity::Right));
+        let left = program_to_grammar(&program(LEFT_TC)).unwrap();
+        assert_eq!(linearity(&left), Some(Linearity::Left));
+        let pal = program_to_grammar(&program(PALINDROME)).unwrap();
+        assert_eq!(linearity(&pal), None);
+    }
+
+    #[test]
+    fn dfa_for_tc_recognizes_p_plus() {
+        let g = program_to_grammar(&program(RIGHT_TC)).unwrap();
+        let dfa = linear_grammar_dfa(&g).unwrap();
+        let p = Symbol::intern("p");
+        assert!(dfa.accepts(&[p]));
+        assert!(dfa.accepts(&[p, p, p]));
+        assert!(!dfa.accepts(&[]));
+        // Minimal DFA for p+ has 2 states.
+        assert_eq!(dfa.states, 2);
+    }
+
+    #[test]
+    fn left_linear_dfa_matches_right_linear_dfa_for_tc() {
+        // Both TCs generate p+, so their DFAs are equivalent.
+        let dr = linear_grammar_dfa(&program_to_grammar(&program(RIGHT_TC)).unwrap()).unwrap();
+        let dl = linear_grammar_dfa(&program_to_grammar(&program(LEFT_TC)).unwrap()).unwrap();
+        assert!(dr.equivalent(&dl));
+    }
+
+    #[test]
+    fn unit_productions_are_handled() {
+        let p = program(
+            "a(X, Y) :- b(X, Y).\n\
+             b(X, Y) :- p(X, Z), b(Z, Y).\n\
+             b(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let g = program_to_grammar(&p).unwrap();
+        let dfa = linear_grammar_dfa(&g).unwrap();
+        let sym_p = Symbol::intern("p");
+        assert!(dfa.accepts(&[sym_p]));
+        assert!(dfa.accepts(&[sym_p, sym_p]));
+    }
+
+    fn two_chain_edb(n: i64) -> FactSet {
+        let mut fs = FactSet::new();
+        for i in 0..n {
+            fs.insert(PredRef::new("p"), vec![datalog_ast::Value::int(i), datalog_ast::Value::int(i + 1)]);
+        }
+        // A disconnected extra edge relation to exercise dead paths.
+        fs.insert(PredRef::new("p"), vec![datalog_ast::Value::int(100), datalog_ast::Value::int(100)]);
+        fs
+    }
+
+    #[test]
+    fn monadic_rewrite_first_arg_matches_original() {
+        let original = program(RIGHT_TC);
+        let rewrite = monadic_equivalent(&original, KeptArg::First)
+            .unwrap()
+            .expect("right-linear grammar is regular");
+        // Compare: π₁(a) on the original vs exists_a on the monadic program.
+        let mut proj = original.clone();
+        proj.query = Some(Query::new(datalog_ast::parse_atom("a(X, _)").unwrap()));
+        let edb = two_chain_edb(6);
+        let (orig, _) = query_answers(&proj, &edb, &EvalOptions::default()).unwrap();
+        let (mono, _) =
+            query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(orig.rows, mono.rows);
+        assert!(!mono.rows.is_empty());
+        // Every derived predicate of the rewrite is unary.
+        for r in &rewrite.program.rules {
+            assert_eq!(r.head.arity(), 1);
+        }
+    }
+
+    #[test]
+    fn monadic_rewrite_second_arg_matches_original() {
+        let original = program(LEFT_TC);
+        let rewrite = monadic_equivalent(&original, KeptArg::Second)
+            .unwrap()
+            .expect("left-linear grammar is regular");
+        let mut proj = original.clone();
+        proj.query = Some(Query::new(datalog_ast::parse_atom("a(_, Y)").unwrap()));
+        let edb = two_chain_edb(6);
+        let (orig, _) = query_answers(&proj, &edb, &EvalOptions::default()).unwrap();
+        let (mono, _) =
+            query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+        assert_eq!(orig.rows, mono.rows);
+    }
+
+    #[test]
+    fn palindrome_grammar_is_not_certified_regular() {
+        let p = program(PALINDROME);
+        assert!(monadic_equivalent(&p, KeptArg::First).unwrap().is_none());
+    }
+
+    #[test]
+    fn non_chain_program_is_an_error() {
+        let p = program("a(X, Y) :- p(X, Y, Z).\n?- a(X, Y).");
+        assert!(monadic_equivalent(&p, KeptArg::First).is_err());
+    }
+
+    #[test]
+    fn multi_terminal_right_linear_rule() {
+        // a -> up dn a | up dn : language (up dn)+.
+        let p = program(
+            "a(X, Y) :- up(X, W), dn(W, Z), a(Z, Y).\n\
+             a(X, Y) :- up(X, W), dn(W, Y).\n\
+             ?- a(X, Y).",
+        );
+        let rewrite = monadic_equivalent(&p, KeptArg::First).unwrap().unwrap();
+        let mut edb = FactSet::new();
+        use datalog_ast::Value;
+        edb.insert(PredRef::new("up"), vec![Value::int(1), Value::int(2)]);
+        edb.insert(PredRef::new("dn"), vec![Value::int(2), Value::int(3)]);
+        edb.insert(PredRef::new("up"), vec![Value::int(3), Value::int(4)]);
+        let (mono, _) =
+            query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+        // Only node 1 starts an (up dn)+ path.
+        assert_eq!(mono.rows.len(), 1);
+        assert!(mono.rows.contains(&vec![Value::int(1)]));
+    }
+}

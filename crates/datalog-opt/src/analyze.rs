@@ -1,0 +1,302 @@
+//! Static program analysis: the diagnostics a user wants *before* running
+//! the optimizer — where the existential opportunities are, which rules
+//! look expensive, and what the optimizer would and would not be able to
+//! exploit.
+
+use std::collections::BTreeSet;
+
+use datalog_adorn::{adorn, query_adornment};
+use datalog_ast::{Program, Var};
+use datalog_grammar::{is_chain_program, linearity, program_to_grammar, Linearity};
+
+use crate::subsume::subsumed_indices;
+
+/// One diagnostic finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity/kind tag, e.g. `existential-opportunity`.
+    pub kind: FindingKind,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Kinds of findings, ordered roughly by interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    /// The query has existential positions the optimizer can push.
+    ExistentialOpportunity,
+    /// A rule body contains a cross product (disconnected components).
+    CrossProduct,
+    /// A rule is θ-subsumed by another rule.
+    SubsumedRule,
+    /// A predicate is defined but unreachable from the query.
+    UnreachablePredicate,
+    /// A recursive predicate with no exit rule (provably empty).
+    UnproductivePredicate,
+    /// The program is a binary chain program (grammar tools apply).
+    ChainProgram,
+    /// The program uses stratified negation (deletion phases will stand
+    /// down).
+    UsesNegation,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FindingKind::ExistentialOpportunity => "existential-opportunity",
+            FindingKind::CrossProduct => "cross-product",
+            FindingKind::SubsumedRule => "subsumed-rule",
+            FindingKind::UnreachablePredicate => "unreachable-predicate",
+            FindingKind::UnproductivePredicate => "unproductive-predicate",
+            FindingKind::ChainProgram => "chain-program",
+            FindingKind::UsesNegation => "uses-negation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Analyze a program, returning findings sorted by kind.
+pub fn analyze(program: &Program) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+
+    // Existential opportunity: query wildcards / d-adornments, and how many
+    // argument positions adornment would mark don't-care.
+    if let Some(q) = &program.query {
+        if let Ok(ad) = query_adornment(q) {
+            if ad.has_existential() {
+                let mut d_positions = 0usize;
+                if let Ok(res) = adorn(program) {
+                    for rule in &res.program.rules {
+                        for lit in &rule.body {
+                            if let Some(a) = &lit.pred.adornment {
+                                d_positions += a.existential_positions().len();
+                            }
+                        }
+                    }
+                }
+                out.push(Finding {
+                    kind: FindingKind::ExistentialOpportunity,
+                    message: format!(
+                        "query adornment {ad}: {} existential argument position(s) \
+                         across the adorned rules can be projected away",
+                        d_positions
+                    ),
+                });
+            }
+        }
+    }
+
+    // Cross products: components disconnected from each other (regardless
+    // of the head), a classic performance hazard §3.1 turns into booleans.
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let lits: Vec<_> = rule.body.iter().chain(rule.negative.iter()).collect();
+        if lits.len() < 2 {
+            continue;
+        }
+        // Union-find over literals by shared variables.
+        let mut comp: Vec<usize> = (0..lits.len()).collect();
+        fn find(comp: &mut Vec<usize>, x: usize) -> usize {
+            if comp[x] != x {
+                let r = find(comp, comp[x]);
+                comp[x] = r;
+            }
+            comp[x]
+        }
+        for i in 0..lits.len() {
+            for j in i + 1..lits.len() {
+                let vi: BTreeSet<Var> = lits[i].var_occurrences().collect();
+                if lits[j].var_occurrences().any(|v| vi.contains(&v)) {
+                    let (a, b) = (find(&mut comp, i), find(&mut comp, j));
+                    if a != b {
+                        comp[a] = b;
+                    }
+                }
+            }
+        }
+        let roots: BTreeSet<usize> = (0..lits.len()).map(|i| find(&mut comp, i)).collect();
+        if roots.len() > 1 {
+            out.push(Finding {
+                kind: FindingKind::CrossProduct,
+                message: format!(
+                    "rule {ri} joins {} disconnected component(s) (cross product); \
+                     the optimizer will fence the existential ones behind booleans: {rule}",
+                    roots.len()
+                ),
+            });
+        }
+    }
+
+    // Subsumed rules.
+    for ri in subsumed_indices(program) {
+        out.push(Finding {
+            kind: FindingKind::SubsumedRule,
+            message: format!(
+                "rule {ri} is subsumed by another rule and can be deleted: {}",
+                program.rules[ri]
+            ),
+        });
+    }
+
+    // Unreachable predicates.
+    if program.query.is_some() {
+        let reachable = program.reachable_from_query();
+        for p in program.idb_preds() {
+            if !reachable.contains(&p) {
+                out.push(Finding {
+                    kind: FindingKind::UnreachablePredicate,
+                    message: format!("predicate {p} is never reachable from the query"),
+                });
+            }
+        }
+    }
+
+    // Unproductive predicates (no exit path).
+    let derived = program.idb_preds();
+    let mut productive: BTreeSet<_> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for r in &program.rules {
+            if !productive.contains(&r.head.pred)
+                && r.body
+                    .iter()
+                    .all(|a| !derived.contains(&a.pred) || productive.contains(&a.pred))
+            {
+                productive.insert(r.head.pred.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for p in &derived {
+        if !productive.contains(p) {
+            out.push(Finding {
+                kind: FindingKind::UnproductivePredicate,
+                message: format!("predicate {p} has no exit path: it is provably empty"),
+            });
+        }
+    }
+
+    // Chain program / grammar applicability.
+    if program.query.is_some() && is_chain_program(program) {
+        let note = match program_to_grammar(program).ok().and_then(|g| linearity(&g)) {
+            Some(Linearity::Right) => "right-linear grammar: regular; Theorem 3.3 monadic rewrite applies",
+            Some(Linearity::Left) => "left-linear grammar: regular; Theorem 3.3 monadic rewrite applies",
+            None => "grammar is not linear: regularity undecided (Theorem 3.3 boundary)",
+        };
+        out.push(Finding {
+            kind: FindingKind::ChainProgram,
+            message: format!("binary chain program — {note}"),
+        });
+    }
+
+    if program.has_negation() {
+        out.push(Finding {
+            kind: FindingKind::UsesNegation,
+            message: "program uses stratified negation: freeze/summary deletions are disabled"
+                .to_owned(),
+        });
+    }
+
+    out.sort_by(|a, b| a.kind.cmp(&b.kind).then(a.message.cmp(&b.message)));
+    out
+}
+
+/// Render findings one per line.
+pub fn render(findings: &[Finding]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if findings.is_empty() {
+        let _ = writeln!(out, "no findings.");
+    }
+    for f in findings {
+        let _ = writeln!(out, "[{}] {}", f.kind, f.message);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        analyze(&parse_program(src).unwrap().program)
+    }
+
+    #[test]
+    fn existential_opportunity_detected() {
+        let f = findings(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+        );
+        assert!(f
+            .iter()
+            .any(|x| x.kind == FindingKind::ExistentialOpportunity));
+        // Also a chain program (right-linear).
+        assert!(f
+            .iter()
+            .any(|x| x.kind == FindingKind::ChainProgram && x.message.contains("right-linear")));
+    }
+
+    #[test]
+    fn cross_product_detected() {
+        let f = findings(
+            "q(X) :- a(X), big(W).\n\
+             ?- q(X).",
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::CrossProduct));
+    }
+
+    #[test]
+    fn subsumed_and_unreachable_detected() {
+        let f = findings(
+            "q(X) :- e(X, Y).\n\
+             q(X) :- e(X, Y), f(Y).\n\
+             island(X) :- e(X, X).\n\
+             ?- q(X).",
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::SubsumedRule));
+        assert!(f
+            .iter()
+            .any(|x| x.kind == FindingKind::UnreachablePredicate
+                && x.message.contains("island")));
+    }
+
+    #[test]
+    fn unproductive_detected() {
+        let f = findings(
+            "q(X) :- h(X, Y).\n\
+             h(X, Y) :- h(X, Z), g(Z, Y).\n\
+             ?- q(X).",
+        );
+        assert!(f
+            .iter()
+            .any(|x| x.kind == FindingKind::UnproductivePredicate));
+    }
+
+    #[test]
+    fn negation_noted() {
+        let f = findings(
+            "q(X) :- s(X), not t(X).\n\
+             ?- q(X).",
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::UsesNegation));
+    }
+
+    #[test]
+    fn clean_program_is_quiet() {
+        let f = findings(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        // Chain-program note is informational; nothing else should fire.
+        assert!(f
+            .iter()
+            .all(|x| x.kind == FindingKind::ChainProgram), "{f:?}");
+        assert!(render(&f).contains("chain-program"));
+    }
+}

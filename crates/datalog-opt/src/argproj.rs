@@ -1,0 +1,254 @@
+//! Argument projections and summaries (§5 of the paper).
+//!
+//! An *argument projection* `(p^a, p1^a1)` is a bipartite graph whose nodes
+//! are the needed (`n`) argument positions of the two adorned literals and
+//! whose edges connect positions sharing a variable in some rule (head vs
+//! one derived body occurrence). Projections compose by merging the middle
+//! literal's nodes; the *summary* of a composition keeps an edge wherever a
+//! path existed. Because edges only record variable *equality*, an edge in
+//! a summary certifies that in every instantiation of that rule chain, the
+//! corresponding argument values are equal.
+//!
+//! Algorithm 5.1 closes a finite set of projections under composition —
+//! the key to handling recursion: there may be infinitely many composite
+//! chains but only finitely many summaries.
+//!
+//! Positions are indexed over the needed positions only (`0..needed_count`),
+//! which makes the machinery agnostic to whether the program has already
+//! been projected (§3.2) or still carries its `d` arguments.
+
+use std::collections::BTreeSet;
+
+use datalog_ast::{Ad, Atom, PredRef, Rule, Term, Var};
+
+/// A (summary of a) composite argument projection from `src` to `dst`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ArgProj {
+    /// Source adorned predicate (e.g. the query predicate).
+    pub src: PredRef,
+    /// Destination adorned predicate (a body occurrence's predicate).
+    pub dst: PredRef,
+    /// Edges `(src needed-position, dst needed-position)`.
+    pub edges: BTreeSet<(usize, usize)>,
+}
+
+impl ArgProj {
+    /// The identity projection on a predicate with `n` needed positions —
+    /// the argument projection of the trivial unit rule `p(t) :- p(t)`
+    /// that Example 7 of the paper appeals to.
+    pub fn identity(pred: PredRef, n: usize) -> ArgProj {
+        ArgProj {
+            src: pred.clone(),
+            dst: pred,
+            edges: (0..n).map(|i| (i, i)).collect(),
+        }
+    }
+
+    /// Compose: `(self.src → self.dst)` then `(other.src → other.dst)`,
+    /// requiring `self.dst == other.src`. The summary keeps edge `(i, k)`
+    /// iff some `j` has `(i, j) ∈ self` and `(j, k) ∈ other`.
+    pub fn compose(&self, other: &ArgProj) -> Option<ArgProj> {
+        if self.dst != other.src {
+            return None;
+        }
+        let mut edges = BTreeSet::new();
+        for &(i, j) in &self.edges {
+            for &(j2, k) in &other.edges {
+                if j == j2 {
+                    edges.insert((i, k));
+                }
+            }
+        }
+        Some(ArgProj {
+            src: self.src.clone(),
+            dst: other.dst.clone(),
+            edges,
+        })
+    }
+}
+
+impl std::fmt::Display for ArgProj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({} -> {}):", self.src, self.dst)?;
+        for (i, j) in &self.edges {
+            write!(f, " {i}~{j}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Positions of an atom's needed arguments, as `(needed-index, variable)`
+/// pairs. For an unadorned atom every position is needed. Handles both
+/// pre-projection atoms (argument count = adornment length) and projected
+/// atoms (argument count = needed count).
+pub fn needed_vars(atom: &Atom) -> Vec<(usize, Var)> {
+    let mut out = Vec::new();
+    match &atom.pred.adornment {
+        Some(ad) if atom.arity() == ad.len() && !ad.is_all_needed() => {
+            let mut ni = 0;
+            for (i, t) in atom.terms.iter().enumerate() {
+                if ad[i] == Ad::N {
+                    if let Term::Var(v) = t {
+                        out.push((ni, *v));
+                    }
+                    ni += 1;
+                }
+            }
+        }
+        _ => {
+            for (i, t) in atom.terms.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    out.push((i, *v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The argument projection of one rule between its head and the body
+/// literal at `lit_idx`.
+pub fn rule_projection(rule: &Rule, lit_idx: usize) -> ArgProj {
+    let head = needed_vars(&rule.head);
+    let lit = &rule.body[lit_idx];
+    let body = needed_vars(lit);
+    let mut edges = BTreeSet::new();
+    for &(i, hv) in &head {
+        for &(j, bv) in &body {
+            if hv == bv {
+                edges.insert((i, j));
+            }
+        }
+    }
+    ArgProj {
+        src: rule.head.pred.clone(),
+        dst: lit.pred.clone(),
+        edges,
+    }
+}
+
+/// Algorithm 5.1: close a set of argument projections under composition.
+/// Terminates because summaries over fixed predicates form a finite set.
+pub fn close_summaries(initial: &BTreeSet<ArgProj>) -> BTreeSet<ArgProj> {
+    let mut set = initial.clone();
+    loop {
+        let mut additions = Vec::new();
+        for a in &set {
+            for b in &set {
+                if let Some(c) = a.compose(b) {
+                    if !set.contains(&c) {
+                        additions.push(c);
+                    }
+                }
+            }
+        }
+        if additions.is_empty() {
+            return set;
+        }
+        set.extend(additions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_rule;
+
+    fn proj(src: &str, dst: &str, edges: &[(usize, usize)]) -> ArgProj {
+        ArgProj {
+            src: datalog_ast::parse_atom(src).unwrap().pred,
+            dst: datalog_ast::parse_atom(dst).unwrap().pred,
+            edges: edges.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn rule_projection_basic() {
+        // p[nd](X) :- p1[nn](X, Z): edge between head pos 0 and body pos 0.
+        let r = parse_rule("p[nd](X) :- p1[nn](X, Z)").unwrap();
+        let ap = rule_projection(&r, 0);
+        assert_eq!(ap.edges, [(0, 0)].into());
+        assert_eq!(ap.src, datalog_ast::PredRef::adorned("p", "nd"));
+        assert_eq!(ap.dst, datalog_ast::PredRef::adorned("p1", "nn"));
+    }
+
+    #[test]
+    fn d_positions_are_skipped_preprojection() {
+        // Pre-projection form: a[nd](X, Y) has 2 args; only X is a node.
+        let r = parse_rule("a[nd](X, Y) :- p[nn](Y, X)").unwrap();
+        let ap = rule_projection(&r, 0);
+        // Head needed positions: {0: X}. Body: {0: Y, 1: X}. X~X: (0, 1).
+        assert_eq!(ap.edges, [(0, 1)].into());
+    }
+
+    #[test]
+    fn repeated_variables_give_multiple_edges() {
+        let r = parse_rule("q[nn](X, X) :- s[nn](X, W)").unwrap();
+        let ap = rule_projection(&r, 0);
+        assert_eq!(ap.edges, [(0, 0), (1, 0)].into());
+    }
+
+    #[test]
+    fn composition_is_relational() {
+        let ab = proj("a[nn](X, Y)", "b[nn](X, Y)", &[(0, 1), (1, 0)]);
+        let bc = proj("b[nn](X, Y)", "c[nn](X, Y)", &[(0, 1), (1, 0)]);
+        let ac = ab.compose(&bc).unwrap();
+        // Swap composed with swap is identity.
+        assert_eq!(ac.edges, [(0, 0), (1, 1)].into());
+        assert_eq!(ac.src, datalog_ast::PredRef::adorned("a", "nn"));
+        assert_eq!(ac.dst, datalog_ast::PredRef::adorned("c", "nn"));
+        // Mismatched middle: no composition.
+        assert!(bc.compose(&ab.compose(&bc).unwrap()).is_none());
+    }
+
+    #[test]
+    fn composition_drops_unmatched_edges() {
+        let ab = proj("a[nn](X, Y)", "b[nn](X, Y)", &[(0, 0)]);
+        let bc = proj("b[nn](X, Y)", "c[nn](X, Y)", &[(1, 1)]);
+        let ac = ab.compose(&bc).unwrap();
+        assert!(ac.edges.is_empty(), "no path from 0 to anything");
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let id = ArgProj::identity(datalog_ast::PredRef::adorned("a", "nn"), 2);
+        let ab = proj("a[nn](X, Y)", "b[nn](X, Y)", &[(0, 1)]);
+        assert_eq!(id.compose(&ab).unwrap(), ab);
+    }
+
+    #[test]
+    fn closure_generates_swap_group() {
+        // The swap projection on a binary predicate generates {swap, id}.
+        let swap = proj("a[nn](X, Y)", "a[nn](X, Y)", &[(0, 1), (1, 0)]);
+        let closed = close_summaries(&[swap.clone()].into());
+        assert_eq!(closed.len(), 2);
+        assert!(closed.contains(&swap));
+        assert!(closed.contains(&ArgProj::identity(
+            datalog_ast::PredRef::adorned("a", "nn"),
+            2
+        )));
+    }
+
+    #[test]
+    fn closure_terminates_on_edge_dropping_cycles() {
+        // A projection that loses an edge each round still terminates (the
+        // empty-edge projection absorbs).
+        let lossy = proj("a[nn](X, Y)", "a[nn](X, Y)", &[(0, 1)]);
+        let closed = close_summaries(&[lossy.clone()].into());
+        assert_eq!(closed.len(), 2);
+        assert!(closed
+            .iter()
+            .any(|p| p.edges.is_empty()), "lossy ∘ lossy has no edges");
+    }
+
+    #[test]
+    fn needed_vars_postprojection_form() {
+        // Projected atom: a[nd](X) — one argument, adornment length 2.
+        let a = datalog_ast::parse_atom("a[nd](X)").unwrap();
+        let nv = needed_vars(&a);
+        assert_eq!(nv, vec![(0, Var::new("X"))]);
+        // Constants yield no nodes.
+        let c = datalog_ast::parse_atom("a[nn](X, 3)").unwrap();
+        assert_eq!(needed_vars(&c).len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Cleanup passes shared by the deletion phases (Examples 6, 7 and 8 of the
+//! paper lean on all three):
+//!
+//! * **undefined**: a rule using a *derived* predicate that no longer has
+//!   any defining rule can never fire ("we can discard the second and
+//!   fourth rule since there are now no rules defining p1", Example 7);
+//! * **unproductive**: a derived predicate all of whose rules depend on
+//!   unproductive derived predicates can never produce a fact ("the fourth
+//!   rule can now be dropped since there is no exit rule defining p1",
+//!   Example 8);
+//! * **unreachable**: rules for predicates the query cannot reach
+//!   contribute nothing to the answer (Example 8's final step).
+//!
+//! All three are sound at the **query equivalence** level only: they rely
+//! on IDB predicates starting empty, which uniform equivalence does not
+//! grant (this is exactly where Example 6's final step quietly drops from
+//! uniform-query to plain query equivalence — see EXPERIMENTS.md).
+
+use std::collections::BTreeSet;
+
+use datalog_ast::{PredRef, Program};
+
+use crate::report::{EquivalenceLevel, Phase, Report};
+
+/// Run all cleanup passes to a fixpoint. `derived` is the set of
+/// predicates that are semantically IDB (empty on real inputs) — it must be
+/// captured *before* deletions begin, because a predicate whose last rule
+/// was deleted no longer looks derived.
+pub fn cleanup(program: &Program, derived: &BTreeSet<PredRef>, report: &mut Report) -> Program {
+    let mut p = program.clone();
+    loop {
+        let before = p.rules.len();
+        p = drop_undefined_users(&p, derived, report);
+        p = drop_unproductive(&p, derived, report);
+        p = drop_unreachable(&p, report);
+        if p.rules.len() == before {
+            return p;
+        }
+    }
+}
+
+/// Delete rules whose body uses a derived predicate with no defining rules.
+pub fn drop_undefined_users(
+    program: &Program,
+    derived: &BTreeSet<PredRef>,
+    report: &mut Report,
+) -> Program {
+    let mut p = program.clone();
+    loop {
+        let defined: BTreeSet<PredRef> = p.idb_preds();
+        let mut kept = Vec::with_capacity(p.rules.len());
+        let mut changed = false;
+        for r in p.rules {
+            let dead = r
+                .body
+                .iter()
+                .any(|a| derived.contains(&a.pred) && !defined.contains(&a.pred));
+            if dead {
+                report.record(
+                    Phase::Cleanup,
+                    EquivalenceLevel::Query,
+                    format!("dropped rule using undefined derived predicate: {r}"),
+                );
+                changed = true;
+            } else {
+                kept.push(r);
+            }
+        }
+        p = Program {
+            rules: kept,
+            query: program.query.clone(),
+        };
+        if !changed {
+            return p;
+        }
+    }
+}
+
+/// Delete rules that mention an *unproductive* derived predicate: one that
+/// cannot derive any fact because every derivation path lacks an exit.
+pub fn drop_unproductive(
+    program: &Program,
+    derived: &BTreeSet<PredRef>,
+    report: &mut Report,
+) -> Program {
+    // Fixpoint: a derived predicate is productive if one of its rules uses
+    // only productive predicates (EDB predicates are productive).
+    let mut productive: BTreeSet<PredRef> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for r in &program.rules {
+            if productive.contains(&r.head.pred) {
+                continue;
+            }
+            let ok = r.body.iter().all(|a| {
+                !derived.contains(&a.pred) || productive.contains(&a.pred)
+            });
+            if ok {
+                productive.insert(r.head.pred.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut kept = Vec::with_capacity(program.rules.len());
+    for r in &program.rules {
+        let dead = std::iter::once(&r.head)
+            .chain(r.body.iter())
+            .any(|a| derived.contains(&a.pred) && !productive.contains(&a.pred));
+        if dead {
+            report.record(
+                Phase::Cleanup,
+                EquivalenceLevel::Query,
+                format!("dropped rule involving unproductive predicate: {r}"),
+            );
+        } else {
+            kept.push(r.clone());
+        }
+    }
+    Program {
+        rules: kept,
+        query: program.query.clone(),
+    }
+}
+
+/// Delete rules for predicates unreachable from the query.
+pub fn drop_unreachable(program: &Program, report: &mut Report) -> Program {
+    if program.query.is_none() {
+        return program.clone();
+    }
+    let reachable = program.reachable_from_query();
+    let mut kept = Vec::with_capacity(program.rules.len());
+    for r in &program.rules {
+        if reachable.contains(&r.head.pred) {
+            kept.push(r.clone());
+        } else {
+            report.record(
+                Phase::Cleanup,
+                EquivalenceLevel::Query,
+                format!("dropped rule unreachable from the query: {r}"),
+            );
+        }
+    }
+    Program {
+        rules: kept,
+        query: program.query.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    fn derived_of(p: &Program) -> BTreeSet<PredRef> {
+        p.idb_preds()
+    }
+
+    #[test]
+    fn undefined_cascade() {
+        // Deleting nothing: h is defined. Then mark h as derived but give
+        // it no rules: its user dies, cascading to q's emptiness? q still
+        // has the direct rule.
+        let p = parse_program(
+            "q(X) :- h(X).\n\
+             q(X) :- e(X).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut derived = derived_of(&p);
+        derived.insert(PredRef::new("h")); // h is derived but undefined
+        let mut rep = Report::default();
+        let out = cleanup(&p, &derived, &mut rep);
+        assert_eq!(out.rules.len(), 1);
+        assert!(out.to_text().contains("q(X) :- e(X)."));
+        assert_eq!(rep.weakest_level(), EquivalenceLevel::Query);
+    }
+
+    #[test]
+    fn unproductive_recursion_without_exit() {
+        // Example 8's pattern: p1 is defined only recursively.
+        let p = parse_program(
+            "q(X) :- p1(X, Y).\n\
+             q(X) :- e(X).\n\
+             p1(X, Y) :- p1(X, Z), g(Z, Y).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let derived = derived_of(&p);
+        let mut rep = Report::default();
+        let out = cleanup(&p, &derived, &mut rep);
+        assert_eq!(out.rules.len(), 1);
+        assert!(out.to_text().contains("q(X) :- e(X)."));
+    }
+
+    #[test]
+    fn unreachable_rules_dropped() {
+        let p = parse_program(
+            "q(X) :- e(X).\n\
+             island(X) :- e(X).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut rep = Report::default();
+        let out = cleanup(&p, &derived_of(&p), &mut rep);
+        assert_eq!(out.rules.len(), 1);
+        assert!(!out.to_text().contains("island"));
+    }
+
+    #[test]
+    fn whole_program_can_collapse_to_empty() {
+        // Example 8's endgame: everything depends on an unproductive
+        // predicate, so the answer is provably empty.
+        let p = parse_program(
+            "q(X) :- h(X, Y).\n\
+             h(X, Y) :- h(X, Z), g(Z, Y).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut rep = Report::default();
+        let out = cleanup(&p, &derived_of(&p), &mut rep);
+        assert!(out.rules.is_empty());
+        assert!(rep.deletions() >= 2);
+    }
+
+    #[test]
+    fn healthy_program_is_untouched() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        )
+        .unwrap()
+        .program;
+        let mut rep = Report::default();
+        let out = cleanup(&p, &derived_of(&p), &mut rep);
+        assert_eq!(out, p);
+        assert!(rep.actions.is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Phase 1 (§3.1): connected components and boolean extraction.
+//!
+//! Within a rule body, two literals are *connected* when they share a
+//! variable (transitively). The head connects to the body through its
+//! **needed** variables only — a variable that appears solely in `d`
+//! positions of the head does not tie its literal to the head component
+//! (that is the point: its value is never reported). Every body component
+//! not connected to the head is an *existential subquery*: it is pulled out
+//! into a fresh zero-arity **boolean** rule `Bᵢ :- Cᵢ`, and `Bᵢ` replaces
+//! the component in the original body (Lemma 3.1).
+//!
+//! At run time, `datalog-engine`'s boolean-cut option retires each `Bᵢ`
+//! rule once it fires — the bottom-up analogue of Prolog's cut.
+//!
+//! A subtlety the paper glosses over (its Example 2 writes `p[nd](X, _)` in
+//! a rule head): extracting a component that binds a `d`-adorned head
+//! variable leaves that head position unbound, which is only legal because
+//! §3.2's projection will drop the position. `extract_components` therefore
+//! takes an `assume_projection` flag: with it, heads may be left with
+//! dangling existential positions (marked by fresh wildcard variables) and
+//! the caller MUST run [`crate::projection::push_projections`] afterwards;
+//! without it, only components sharing no head variable at all are
+//! extracted, and the output is immediately evaluable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use datalog_ast::{Ad, Atom, PredRef, Program, Rule, Term, Var};
+
+use crate::report::{EquivalenceLevel, Phase, Report};
+
+/// Result of the components transformation.
+#[derive(Debug, Clone)]
+pub struct ComponentsResult {
+    /// The rewritten program.
+    pub program: Program,
+    /// The generated boolean predicates.
+    pub booleans: Vec<PredRef>,
+    /// Whether any head now has a dangling existential variable (requires
+    /// projection).
+    pub needs_projection: bool,
+}
+
+/// Union-find over literal indices.
+struct Uf {
+    parent: Vec<usize>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Head variables that anchor the head component: with `assume_projection`,
+/// only variables in `n` positions (per the paper); otherwise all head
+/// variables (safe for standalone use).
+fn head_anchor_vars(rule: &Rule, assume_projection: bool) -> BTreeSet<Var> {
+    let mut anchors = BTreeSet::new();
+    match (&rule.head.pred.adornment, assume_projection) {
+        (Some(ad), true) if ad.len() == rule.head.arity() => {
+            for (i, t) in rule.head.terms.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if ad[i] == Ad::N {
+                        anchors.insert(*v);
+                    }
+                }
+            }
+        }
+        _ => {
+            anchors.extend(rule.head.var_occurrences());
+        }
+    }
+    anchors
+}
+
+/// Pick a boolean predicate name `b1, b2, ...` that is unused in the
+/// program so far.
+fn fresh_boolean(used: &mut BTreeSet<String>) -> PredRef {
+    let mut i = 1;
+    loop {
+        let name = format!("b{i}");
+        if used.insert(name.clone()) {
+            return PredRef::new(&name);
+        }
+        i += 1;
+    }
+}
+
+/// Apply the §3.1 transformation to every rule. See the module docs for the
+/// `assume_projection` contract.
+pub fn extract_components(
+    program: &Program,
+    assume_projection: bool,
+    report: &mut Report,
+) -> ComponentsResult {
+    let mut used_names: BTreeSet<String> = program
+        .all_preds()
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
+    let mut out = Program {
+        rules: Vec::new(),
+        query: program.query.clone(),
+    };
+    let mut booleans = Vec::new();
+    let mut needs_projection = false;
+
+    for rule in &program.rules {
+        // Work over positive and negated literals uniformly; polarity is
+        // restored when rebuilding rules.
+        let all_lits: Vec<(Atom, bool)> = rule
+            .body
+            .iter()
+            .map(|a| (a.clone(), false))
+            .chain(rule.negative.iter().map(|a| (a.clone(), true)))
+            .collect();
+        let n = all_lits.len();
+        if n <= 1 {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        // Union literals sharing a variable.
+        let mut uf = Uf::new(n);
+        let mut first_lit_with: BTreeMap<Var, usize> = BTreeMap::new();
+        for (i, (lit, _)) in all_lits.iter().enumerate() {
+            for v in lit.var_occurrences() {
+                match first_lit_with.get(&v) {
+                    Some(&j) => uf.union(i, j),
+                    None => {
+                        first_lit_with.insert(v, i);
+                    }
+                }
+            }
+        }
+        // The head component: every component containing an anchor var.
+        let anchors = head_anchor_vars(rule, assume_projection);
+        let mut head_roots: BTreeSet<usize> = BTreeSet::new();
+        for v in &anchors {
+            if let Some(&i) = first_lit_with.get(v) {
+                head_roots.insert(uf.find(i));
+            }
+        }
+        // Group literals by component root. Literals with no variables
+        // (ground literals) are their own components and never connect to
+        // the head. Main-body literals keep their original order; extracted
+        // components are ordered by first literal.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            groups.entry(uf.find(i)).or_default().push(i);
+        }
+        let mut main_body: Vec<Atom> = Vec::new();
+        let mut main_negative: Vec<Atom> = Vec::new();
+        let mut extracted: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let root = uf.find(i);
+            if head_roots.contains(&root) {
+                let (lit, negated) = &all_lits[i];
+                if *negated {
+                    main_negative.push(lit.clone());
+                } else {
+                    main_body.push(lit.clone());
+                }
+            } else if groups[&root][0] == i {
+                extracted.push(groups[&root].clone());
+            }
+        }
+        if extracted.is_empty() {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        // Head variables bound only inside extracted components become
+        // dangling: replace them with fresh wildcards (projection drops
+        // them). Only possible when assume_projection allowed d-anchored
+        // components to leave.
+        let mut head = rule.head.clone();
+        let extracted_lits: BTreeSet<usize> =
+            extracted.iter().flatten().copied().collect();
+        let main_vars: BTreeSet<Var> = all_lits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !extracted_lits.contains(i))
+            .flat_map(|(_, (l, _))| l.var_occurrences())
+            .collect();
+        for t in head.terms.iter_mut() {
+            if let Term::Var(v) = t {
+                if !main_vars.contains(v) {
+                    *t = Term::Var(Var::fresh_wildcard());
+                    needs_projection = true;
+                }
+            }
+        }
+        // Build boolean rules and the rewritten main rule.
+        let mut new_body = main_body;
+        for lits in extracted {
+            let b = fresh_boolean(&mut used_names);
+            let mut component: Vec<Atom> = lits
+                .iter()
+                .filter(|&&i| !all_lits[i].1)
+                .map(|&i| all_lits[i].0.clone())
+                .collect();
+            let component_negative: Vec<Atom> = lits
+                .iter()
+                .filter(|&&i| all_lits[i].1)
+                .map(|&i| all_lits[i].0.clone())
+                .collect();
+            // Variables occurring exactly once within the component are
+            // purely existential: render them as wildcards, as the paper's
+            // Example 2 does.
+            let mut occ: BTreeMap<Var, usize> = BTreeMap::new();
+            for a in component.iter().chain(component_negative.iter()) {
+                for v in a.var_occurrences() {
+                    *occ.entry(v).or_insert(0) += 1;
+                }
+            }
+            for a in component.iter_mut() {
+                for t in a.terms.iter_mut() {
+                    if let Term::Var(v) = t {
+                        if occ[v] == 1 {
+                            *t = Term::Var(Var::fresh_wildcard());
+                        }
+                    }
+                }
+            }
+            report.record(
+                Phase::Components,
+                EquivalenceLevel::Uniform,
+                format!(
+                    "extracted existential subquery {{{}}} as boolean {b}",
+                    component
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+            out.rules.push(Rule::with_negation(
+                Atom::new(b.clone(), vec![]),
+                component,
+                component_negative,
+            ));
+            new_body.push(Atom::new(b.clone(), vec![]));
+            booleans.push(b);
+        }
+        out.rules
+            .push(Rule::with_negation(head, new_body, main_negative));
+    }
+    ComponentsResult {
+        program: out,
+        booleans,
+        needs_projection,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    fn run(src: &str, assume_projection: bool) -> (ComponentsResult, Report) {
+        let p = parse_program(src).unwrap().program;
+        let mut report = Report::default();
+        let r = extract_components(&p, assume_projection, &mut report);
+        (r, report)
+    }
+
+    /// §1.2's motivating rule: `q(X,Y) :- a(X,Z), q(Z,Y), c(W)` — `c(W)` is
+    /// an existential subquery.
+    #[test]
+    fn motivating_example_extracts_c() {
+        let (r, report) = run(
+            "q(X, Y) :- a(X, Z), q(Z, Y), c(W).\n\
+             q(X, Y) :- b(X, Y).\n\
+             ?- q(X, Y).",
+            false,
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("b1 :- c(_)."), "{text}");
+        assert!(text.contains("q(X, Y) :- a(X, Z), q(Z, Y), b1."), "{text}");
+        assert_eq!(r.booleans.len(), 1);
+        assert!(!r.needs_projection);
+        assert_eq!(report.actions.len(), 1);
+        assert_eq!(report.weakest_level(), EquivalenceLevel::Uniform);
+    }
+
+    /// Example 2 of the paper: two existential components, one of which
+    /// binds the head's `d` argument.
+    #[test]
+    fn example_2_extracts_two_components() {
+        let (r, _) = run(
+            "p[nd](X, U) :- q1(X, Y), q2(Y, Z), q3(U, V), q4[n](V), q5(W).\n\
+             q4[n](V) :- q6(V).\n\
+             ?- p[nd](X, _).",
+            true,
+        );
+        let text = r.program.to_text();
+        // q3/q4 leave as one boolean (connected through V), q5 as another.
+        assert_eq!(r.booleans.len(), 2);
+        assert!(text.contains("b1 :- q3(_, V), q4[n](V)."), "{text}");
+        assert!(text.contains("b2 :- q5(_)."), "{text}");
+        // The head's U became a dangling wildcard: projection required.
+        assert!(r.needs_projection);
+        assert!(text.contains("p[nd](X, _) :- q1(X, Y), q2(Y, Z), b1, b2."), "{text}");
+    }
+
+    /// Without assume_projection, a component anchored at a head `d`
+    /// variable must stay in place (safety).
+    #[test]
+    fn head_d_component_stays_without_projection() {
+        let (r, _) = run(
+            "p[nd](X, U) :- q1(X, Y), q3(U, V), q5(W).\n\
+             ?- p[nd](X, _).",
+            false,
+        );
+        let text = r.program.to_text();
+        assert_eq!(r.booleans.len(), 1); // only q5 leaves
+        assert!(text.contains("b1 :- q5(_)."), "{text}");
+        assert!(text.contains("p[nd](X, U) :- q1(X, Y), q3(U, V), b1."), "{text}");
+        assert!(!r.needs_projection);
+        r.program.validate().expect("output stays safe");
+    }
+
+    #[test]
+    fn fully_connected_rule_is_untouched() {
+        let (r, report) = run(
+            "q(X) :- a(X, Y), b(Y, Z), c(Z).\n\
+             ?- q(X).",
+            true,
+        );
+        assert!(r.booleans.is_empty());
+        assert_eq!(r.program.rules.len(), 1);
+        assert!(report.actions.is_empty());
+    }
+
+    #[test]
+    fn ground_literal_is_extracted() {
+        // A constant-only literal is trivially disconnected.
+        let (r, _) = run(
+            "q(X) :- a(X), flag(1).\n\
+             ?- q(X).",
+            false,
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("b1 :- flag(1)."), "{text}");
+        assert!(text.contains("q(X) :- a(X), b1."), "{text}");
+    }
+
+    #[test]
+    fn boolean_names_avoid_collisions() {
+        let (r, _) = run(
+            "q(X) :- a(X), c(W).\n\
+             b1(X) :- a(X).\n\
+             ?- q(X).",
+            false,
+        );
+        // `b1` is taken by an existing predicate; the boolean becomes b2.
+        assert_eq!(r.booleans[0], PredRef::new("b2"));
+    }
+
+    #[test]
+    fn single_literal_bodies_are_skipped() {
+        let (r, _) = run("q(X) :- a(X).\n?- q(X).", true);
+        assert_eq!(r.program.rules.len(), 1);
+        assert!(r.booleans.is_empty());
+    }
+
+    #[test]
+    fn multiple_rules_each_get_own_booleans() {
+        let (r, _) = run(
+            "q(X) :- a(X), c(W).\n\
+             r(X) :- d(X), e(V).\n\
+             ?- q(X).",
+            false,
+        );
+        assert_eq!(r.booleans.len(), 2);
+        let names: Vec<String> = r.booleans.iter().map(|b| b.to_string()).collect();
+        assert_eq!(names, vec!["b1", "b2"]);
+    }
+
+    #[test]
+    fn boolean_head_extracts_all_components() {
+        // A zero-arity head anchors nothing: both components become
+        // booleans and the main rule is `ok :- b1, b2.`
+        let (r, _) = run(
+            "ok :- a(X), c(W).\n\
+             ?- ok.",
+            false,
+        );
+        let text = r.program.to_text();
+        assert_eq!(r.booleans.len(), 2, "{text}");
+        assert!(text.contains("ok :- b1, b2."), "{text}");
+        r.program.validate().unwrap();
+    }
+
+    #[test]
+    fn negated_literals_travel_with_their_component() {
+        let (r, _) = run(
+            "q(X) :- item(X), audit(A), not revoked(A).\n\
+             ?- q(X).",
+            false,
+        );
+        let text = r.program.to_text();
+        assert!(text.contains("b1 :- audit(A), not revoked(A)."), "{text}");
+        assert!(text.contains("q(X) :- item(X), b1."), "{text}");
+    }
+
+    /// Lemma 3.1: the transformation preserves query answers.
+    #[test]
+    fn equivalence_on_random_instances() {
+        use datalog_engine::oracle::{bounded_equiv_check, EquivCheckConfig};
+        let p = parse_program(
+            "q(X, Y) :- a(X, Z), q(Z, Y), c(W).\n\
+             q(X, Y) :- b(X, Y).\n\
+             ?- q(X, Y).",
+        )
+        .unwrap()
+        .program;
+        let mut report = Report::default();
+        let r = extract_components(&p, false, &mut report);
+        let w = bounded_equiv_check(&p, &r.program, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "components changed answers: {w:?}");
+    }
+}

@@ -1,0 +1,537 @@
+//! Folding (Example 11 of the paper): manufacture unit rules by naming a
+//! conjunction.
+//!
+//! When no unit rule lets the summary machinery fire, one can *define* a
+//! new predicate for part of a rule body and fold other bodies through it —
+//! the paper calls the choice of what to extract "essentially a guess".
+//! We implement the two mechanical halves:
+//!
+//! * [`extract_definition`]: pick a rule and a subset of its body literals;
+//!   introduce `aux(vars) :- <subset>` where `vars` are the variables the
+//!   rest of the rule shares with the subset; replace the subset by
+//!   `aux(vars)`.
+//! * [`fold_with`]: given a defining (single-use) auxiliary rule, find
+//!   other rule bodies containing an instance of its body (up to variable
+//!   renaming) and fold them through the auxiliary predicate.
+//!
+//! Both transformations preserve query equivalence (the auxiliary predicate
+//! is fresh); folding additionally requires the match to keep internal
+//! variables private (checked).
+
+use std::collections::BTreeSet;
+
+use datalog_ast::{subst, Atom, PredRef, Program, Rule, Term, Var};
+
+use crate::report::{EquivalenceLevel, Phase, Report};
+use crate::OptError;
+
+/// Introduce `aux(shared vars) :- body[lit_indices]` in place of the chosen
+/// literals of rule `rule_idx`. Returns the rewritten program; the new
+/// defining rule is appended last.
+pub fn extract_definition(
+    program: &Program,
+    rule_idx: usize,
+    lit_indices: &[usize],
+    aux_name: &str,
+) -> Result<Program, OptError> {
+    let rule = program
+        .rules
+        .get(rule_idx)
+        .ok_or(OptError::BadRuleIndex(rule_idx))?;
+    let picked: BTreeSet<usize> = lit_indices.iter().copied().collect();
+    if picked.is_empty() || picked.iter().any(|&i| i >= rule.body.len()) {
+        return Err(OptError::BadRuleIndex(rule_idx));
+    }
+    let aux = PredRef::new(aux_name);
+    if program.all_preds().contains(&aux) {
+        return Err(OptError::PredicateExists(aux_name.to_owned()));
+    }
+    // Interface variables: variables of the picked literals that also occur
+    // in the head or in an unpicked literal.
+    let picked_vars: Vec<Var> = {
+        let mut seen = Vec::new();
+        for &i in &picked {
+            for v in rule.body[i].var_occurrences() {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+        }
+        seen
+    };
+    let outside: BTreeSet<Var> = rule
+        .head
+        .var_occurrences()
+        .chain(
+            rule.body
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !picked.contains(i))
+                .flat_map(|(_, a)| a.var_occurrences()),
+        )
+        .collect();
+    let interface: Vec<Var> = picked_vars
+        .into_iter()
+        .filter(|v| outside.contains(v))
+        .collect();
+
+    let aux_head = Atom::new(
+        aux.clone(),
+        interface.iter().map(|v| Term::Var(*v)).collect(),
+    );
+    let def_body: Vec<Atom> = picked.iter().map(|&i| rule.body[i].clone()).collect();
+
+    let mut out = program.clone();
+    let mut new_body: Vec<Atom> = Vec::new();
+    let mut inserted = false;
+    for (i, lit) in rule.body.iter().enumerate() {
+        if picked.contains(&i) {
+            if !inserted {
+                new_body.push(aux_head.clone());
+                inserted = true;
+            }
+        } else {
+            new_body.push(lit.clone());
+        }
+    }
+    out.rules[rule_idx] = Rule::new(rule.head.clone(), new_body);
+    out.rules.push(Rule::new(aux_head, def_body));
+    Ok(out)
+}
+
+/// Fold other rules through the defining rule at `def_idx` (which must be
+/// the only rule for its head predicate): wherever a rule body contains an
+/// instance of the definition's body whose *internal* variables (those not
+/// in the definition's head) map to variables private to the matched
+/// literals, replace those literals by the instantiated head.
+///
+/// Returns the folded program and how many rule bodies were folded.
+pub fn fold_with(program: &Program, def_idx: usize) -> Result<(Program, usize), OptError> {
+    let def = program
+        .rules
+        .get(def_idx)
+        .cloned()
+        .ok_or(OptError::BadRuleIndex(def_idx))?;
+    if program.rules_for(&def.head.pred).len() != 1 {
+        return Err(OptError::FoldNeedsSingleDefinition(def.head.pred.to_string()));
+    }
+    let def_head_vars: BTreeSet<Var> = def.head.var_occurrences().collect();
+    let mut out = program.clone();
+    let mut folded = 0;
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if ri == def_idx {
+            continue;
+        }
+        if let Some(new_rule) = try_fold_rule(rule, &def, &def_head_vars) {
+            out.rules[ri] = new_rule;
+            folded += 1;
+        }
+    }
+    Ok((out, folded))
+}
+
+fn try_fold_rule(rule: &Rule, def: &Rule, def_head_vars: &BTreeSet<Var>) -> Option<Rule> {
+    let n = def.body.len();
+    if rule.body.len() < n {
+        return None;
+    }
+    // One-way matching only: a substitution over the DEFINITION's variables
+    // maps its body literally onto the rule's literals; the rule's own
+    // terms are never bound. (Two-way unification would let a repeated
+    // definition variable merge two distinct rule variables — narrowing the
+    // rule and losing answers.)
+    let fresh_head_vars: BTreeSet<Var> = def.head.var_occurrences().collect();
+    debug_assert_eq!(fresh_head_vars.len(), def_head_vars.len());
+    // Try every combination of |def.body| distinct literals, in order.
+    let indices: Vec<usize> = (0..rule.body.len()).collect();
+    for combo in combinations(&indices, n) {
+        let mut map: std::collections::BTreeMap<Var, Term> = std::collections::BTreeMap::new();
+        let ok = combo.iter().enumerate().all(|(k, &i)| {
+            crate::subsume::match_onto(&def.body[k], &rule.body[i], &mut map)
+        });
+        if !ok {
+            continue;
+        }
+        // Internal definition variables must map to variables that occur
+        // ONLY inside the matched literals (else folding would lose joins),
+        // and distinct internal variables must not collapse onto the same
+        // rule variable (that would widen the definition's row set).
+        let matched: BTreeSet<usize> = combo.iter().copied().collect();
+        let outside_vars: BTreeSet<Var> = rule
+            .head
+            .var_occurrences()
+            .chain(
+                rule.body
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !matched.contains(i))
+                    .flat_map(|(_, a)| a.var_occurrences()),
+            )
+            .collect();
+        let internal_vars: Vec<Var> = def
+            .body
+            .iter()
+            .flat_map(|a| a.var_occurrences())
+            .filter(|v| !fresh_head_vars.contains(v))
+            .collect();
+        let mut internal_ok = true;
+        let mut seen_targets: BTreeSet<Term> = BTreeSet::new();
+        for v in &internal_vars {
+            match map.get(v) {
+                Some(Term::Var(w)) if !outside_vars.contains(w) => {
+                    seen_targets.insert(Term::Var(*w));
+                }
+                _ => {
+                    internal_ok = false;
+                    break;
+                }
+            }
+        }
+        // Distinct internal vars mapping to one rule var: the rule joins
+        // where the definition does not — reject.
+        let distinct_internals: BTreeSet<&Var> = internal_vars.iter().collect();
+        if seen_targets.len() != distinct_internals.len() {
+            internal_ok = false;
+        }
+        if !internal_ok {
+            continue;
+        }
+        let mut s = subst::Subst::new();
+        for (v, t) in &map {
+            let bound = s.bind(*v, *t);
+            debug_assert!(bound);
+        }
+        let folded_head = s.apply_atom(&def.head);
+        // Every variable the rest of the rule still needs (head, unmatched
+        // literals) that was supplied by the matched region must survive in
+        // the folded head — otherwise the fold would orphan it (producing
+        // an unsafe rule or, worse, silently changing the join).
+        let folded_vars: BTreeSet<Var> = folded_head.var_occurrences().collect();
+        let needed_from_match_ok = outside_vars.iter().all(|v| {
+            let in_matched = combo
+                .iter()
+                .any(|&i| rule.body[i].var_occurrences().any(|w| w == *v));
+            !in_matched || folded_vars.contains(v)
+        });
+        if !needed_from_match_ok {
+            continue;
+        }
+        // Folded head must be fully determined (no leftover fresh vars
+        // except ones bound by the match).
+        let mut new_body: Vec<Atom> = Vec::new();
+        let mut inserted = false;
+        for (i, lit) in rule.body.iter().enumerate() {
+            if matched.contains(&i) {
+                if !inserted {
+                    new_body.push(folded_head.clone());
+                    inserted = true;
+                }
+            } else {
+                new_body.push(lit.clone());
+            }
+        }
+        return Some(Rule::new(rule.head.clone(), new_body));
+    }
+    None
+}
+
+/// A fold opportunity found by [`suggest_folds`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldSuggestion {
+    /// Rule whose body prefix becomes the new definition.
+    pub source_rule: usize,
+    /// Literal indices (into the source rule's positive body) to extract.
+    pub literals: Vec<usize>,
+    /// How many *other* rules fold through the new definition.
+    pub fold_count: usize,
+}
+
+/// Search for folding opportunities: the paper presents the Example 11
+/// rewrite as "essentially a guess"; this implements the guess as a search.
+///
+/// Heuristic: for every rule and every contiguous-or-not pair (or larger
+/// subset, up to `max_size`) of its body literals containing at least one
+/// derived literal, tentatively extract it as a definition and count how
+/// many other rule bodies fold through it. Suggestions are returned best
+/// first (most folds, then smallest extraction).
+pub fn suggest_folds(
+    program: &Program,
+    derived: &BTreeSet<PredRef>,
+    max_size: usize,
+) -> Vec<FoldSuggestion> {
+    let mut out = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if rule.has_negation() {
+            continue;
+        }
+        let n = rule.body.len();
+        if n < 2 {
+            continue;
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        for size in 2..=max_size.min(n) {
+            for combo in combinations(&indices, size) {
+                // Only worth naming if it contains a derived literal (the
+                // goal is manufacturing *unit rules over derived chains*).
+                if !combo.iter().any(|&i| derived.contains(&rule.body[i].pred)) {
+                    continue;
+                }
+                let Ok(extracted) = extract_definition(program, ri, &combo, "$fold_probe")
+                else {
+                    continue;
+                };
+                let def_idx = extracted.rules.len() - 1;
+                let Ok((_, count)) = fold_with(&extracted, def_idx) else {
+                    continue;
+                };
+                if count > 0 {
+                    out.push(FoldSuggestion {
+                        source_rule: ri,
+                        literals: combo,
+                        fold_count: count,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.fold_count
+            .cmp(&a.fold_count)
+            .then(a.literals.len().cmp(&b.literals.len()))
+            .then(a.source_rule.cmp(&b.source_rule))
+    });
+    out
+}
+
+/// Apply the best fold suggestion, if any: extract the definition under a
+/// fresh readable name (`q1`, `q2`, ...) and fold every other matching rule
+/// body through it. Records the action at query-equivalence level (the new
+/// predicate is fresh; folding preserves the defined conjunction exactly).
+pub fn apply_best_fold(
+    program: &Program,
+    derived: &BTreeSet<PredRef>,
+    report: &mut Report,
+) -> Result<Option<Program>, OptError> {
+    let suggestions = suggest_folds(program, derived, 2);
+    let Some(best) = suggestions.first() else {
+        return Ok(None);
+    };
+    // Pick an unused name q1, q2, ...
+    let used: BTreeSet<String> = program
+        .all_preds()
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
+    let mut i = 1;
+    let name = loop {
+        let candidate = format!("q{i}");
+        if !used.contains(&candidate) {
+            break candidate;
+        }
+        i += 1;
+    };
+    let extracted = extract_definition(program, best.source_rule, &best.literals, &name)?;
+    let def_idx = extracted.rules.len() - 1;
+    let (folded, count) = fold_with(&extracted, def_idx)?;
+    report.record(
+        Phase::UnitRules,
+        EquivalenceLevel::Query,
+        format!(
+            "folded {} rule(s) through new definition: {}",
+            count,
+            folded.rules[def_idx]
+        ),
+    );
+    Ok(Some(folded))
+}
+
+/// All size-`k` combinations of `items` (lexicographic).
+fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = Vec::with_capacity(k);
+    fn rec(items: &[usize], k: usize, start: usize, combo: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if combo.len() == k {
+            out.push(combo.clone());
+            return;
+        }
+        for i in start..items.len() {
+            combo.push(items[i]);
+            rec(items, k, i + 1, combo, out);
+            combo.pop();
+        }
+    }
+    rec(items, k, 0, &mut combo, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+    use datalog_engine::oracle::{bounded_equiv_check, EquivCheckConfig};
+
+    /// Example 11's shape: extract `q(X,Y,Z,U) :- p(X,Y), g3(Y,Z,U)` from
+    /// the first rule, then fold the last rule through it.
+    const EX11: &str = "pq[nd](X) :- pn[nn](X, Y), g3(Y, Z, U).\n\
+                        pq[nd](X) :- p1[nnn](X, Z, U), g1(Z, U, Y).\n\
+                        p1[nnn](X, Z, U) :- pn[nn](X, W), g2(W, Z, U).\n\
+                        p1[nnn](X, Z, U) :- pn[nn](X, V), g3(V, Z, U), g4(U, W).\n\
+                        pn[nn](X, Y) :- b(X, Y).\n\
+                        ?- pq[nd](X).";
+
+    #[test]
+    fn example_11_extract_and_fold() {
+        let p = parse_program(EX11).unwrap().program;
+        // Extract q from rule 0's full body.
+        let extracted = extract_definition(&p, 0, &[0, 1], "q").unwrap();
+        let text = extracted.to_text();
+        assert!(text.contains("pq[nd](X) :- q(X)."), "{text}");
+        // Interface = {X}: Y, Z, U are private to the extracted pair...
+        // which is exactly why folding rule 3 through it must FAIL (rule 3
+        // uses U in g4). Verify equivalence of extraction itself.
+        let w = bounded_equiv_check(&p, &extracted, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "extraction changed answers: {w:?}");
+
+        // The paper keeps Z and U in q's interface by defining q with all
+        // four variables. Model that by extracting from a variant rule that
+        // uses Z and U outside; here, demonstrate folding directly instead:
+        // define q(X, Z, U) :- pn(X, V), g3(V, Z, U) as its own rule set.
+        let p2 = parse_program(
+            "pq[nd](X) :- q[nnn](X, Z, U).\n\
+             q[nnn](X, Z, U) :- pn[nn](X, Y), g3(Y, Z, U).\n\
+             pq[nd](X) :- p1[nnn](X, Z, U), g1(Z, U, Y).\n\
+             p1[nnn](X, Z, U) :- pn[nn](X, W), g2(W, Z, U).\n\
+             p1[nnn](X, Z, U) :- pn[nn](X, V), g3(V, Z, U), g4(U, W).\n\
+             pn[nn](X, Y) :- b(X, Y).\n\
+             ?- pq[nd](X).",
+        )
+        .unwrap()
+        .program;
+        let (folded, count) = fold_with(&p2, 1).unwrap();
+        assert_eq!(count, 1, "{}", folded.to_text());
+        let text = folded.to_text();
+        // Rule 4 now goes through q: p1(X,Z,U) :- q(X,Z,U), g4(U,W).
+        assert!(
+            text.contains("p1[nnn](X, Z, U) :- q[nnn](X, Z, U), g4(U, W)."),
+            "{text}"
+        );
+        let w = bounded_equiv_check(&p2, &folded, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "folding changed answers: {w:?}");
+    }
+
+    #[test]
+    fn fold_respects_private_variables() {
+        // Definition's internal variable Y maps to a variable used outside
+        // the matched literals: folding must not happen.
+        let p = parse_program(
+            "aux(X) :- e(X, Y), f(Y).\n\
+             q(X, Y) :- e(X, Y), f(Y), g(Y).\n\
+             ?- q(X, Y).",
+        )
+        .unwrap()
+        .program;
+        let (folded, count) = fold_with(&p, 0).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(folded, p);
+    }
+
+    #[test]
+    fn fold_applies_when_variables_are_private() {
+        let p = parse_program(
+            "aux(X) :- e(X, Y), f(Y).\n\
+             q(X) :- e(X, W), f(W), g(X).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let (folded, count) = fold_with(&p, 0).unwrap();
+        assert_eq!(count, 1);
+        assert!(folded.to_text().contains("q(X) :- aux(X), g(X)."));
+        let w = bounded_equiv_check(&p, &folded, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn extract_rejects_existing_predicate_and_bad_indices() {
+        let p = parse_program("q(X) :- e(X, Y), f(Y).\n?- q(X).").unwrap().program;
+        assert!(matches!(
+            extract_definition(&p, 0, &[0], "q"),
+            Err(OptError::PredicateExists(_))
+        ));
+        assert!(matches!(
+            extract_definition(&p, 0, &[7], "aux"),
+            Err(OptError::BadRuleIndex(_))
+        ));
+        assert!(matches!(
+            extract_definition(&p, 9, &[0], "aux"),
+            Err(OptError::BadRuleIndex(_))
+        ));
+    }
+
+    /// The fold search rediscovers the paper's Example 11 rewrite from
+    /// Example 9's program: extract `pn ⋈ g3` from the g4-guarded rule so
+    /// that the first rule folds through it.
+    #[test]
+    fn suggest_folds_discovers_example_11() {
+        let nine = parse_program(crate::paper::EXAMPLE_9).unwrap().program;
+        let derived = nine.idb_preds();
+        let suggestions = suggest_folds(&nine, &derived, 2);
+        assert!(!suggestions.is_empty(), "no fold found on Example 9");
+        let best = &suggestions[0];
+        // Best extraction: the pn/g3 pair of the g4-guarded rule (index 3).
+        assert_eq!(best.source_rule, 3, "{suggestions:?}");
+        assert_eq!(best.fold_count, 1);
+
+        // Applying it yields Example 11's shape and preserves answers.
+        let mut rep = crate::report::Report::default();
+        let folded = apply_best_fold(&nine, &derived, &mut rep)
+            .unwrap()
+            .expect("fold applies");
+        let text = folded.to_text();
+        assert!(text.contains("q1[") || text.contains("q1("), "{text}");
+        let w = bounded_equiv_check(&nine, &folded, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "folding changed answers: {w:?}");
+    }
+
+    /// End-to-end: the aggressive pipeline turns Example 9 into Example 11
+    /// automatically and then deletes the g4-guarded rule — the paper's §6
+    /// "guess", mechanized.
+    #[test]
+    fn aggressive_pipeline_closes_example_9() {
+        use crate::pipeline::{optimize, OptimizerConfig};
+        let nine = parse_program(crate::paper::EXAMPLE_9).unwrap().program;
+        // Default pipeline cannot remove the g4 rule via summaries (the
+        // freeze phase may or may not; disable it to isolate the claim).
+        let mut summary_only = OptimizerConfig::default();
+        summary_only.freeze_enabled = false;
+        let stuck = optimize(&nine, &summary_only).unwrap();
+        assert!(stuck.program.to_text().contains("g4"));
+
+        let mut aggressive = OptimizerConfig::aggressive();
+        aggressive.freeze_enabled = false;
+        let out = optimize(&nine, &aggressive).unwrap();
+        assert!(
+            !out.program.to_text().contains("g4"),
+            "auto-fold should unlock the deletion:\n{}",
+            out.program.to_text()
+        );
+        let w = bounded_equiv_check(&nine, &out.program, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "{w:?}");
+    }
+
+    #[test]
+    fn fold_needs_single_definition() {
+        let p = parse_program(
+            "aux(X) :- e(X).\n\
+             aux(X) :- f(X).\n\
+             q(X) :- e(X).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        assert!(matches!(
+            fold_with(&p, 0),
+            Err(OptError::FoldNeedsSingleDefinition(_))
+        ));
+    }
+}

@@ -1,0 +1,301 @@
+//! The paper's worked examples as ready-to-parse programs.
+//!
+//! Each constant is the program text (our syntax: `p[nd]` for the paper's
+//! `p^nd`); [`catalog`] lists them all with reconstruction notes. The PODS
+//! 1988 scan garbles several examples (especially 7, 8 and 10 — OCR noise
+//! in adornments and occurrence numbers); where the literal text is
+//! unrecoverable we reconstruct a program that exercises exactly the
+//! optimization step the example narrates, and the note says so. Every
+//! reconstruction is validated by the integration tests: the optimizer
+//! reproduces the paper's claimed outcome, and randomized equivalence
+//! checking confirms answers are preserved.
+
+use datalog_ast::{parse_program, Program};
+
+/// Example 1 (§2): right-recursive transitive closure with an existential
+/// query; the adornment algorithm produces `a[nd]`.
+pub const EXAMPLE_1: &str = "query(X) :- a(X, Y).\n\
+                             a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                             a(X, Y) :- p(X, Y).\n\
+                             ?- query(X).";
+
+/// Example 2 (§3.1): a rule with two existential subqueries (`q3 ⋈ q4` and
+/// `q5`) that become boolean components; `q4` is derived.
+pub const EXAMPLE_2: &str = "p[nd](X, U) :- q1(X, Y), q2(Y, Z), q3(U, V), q4[n](V), q5(W).\n\
+                             q4[n](V) :- q6(V).\n\
+                             ?- p[nd](X, _).";
+
+/// Example 3 (§3.2): Example 1 after adornment + projection — the
+/// recursive predicate is unary.
+pub const EXAMPLE_3: &str = "query[n](X) :- a[nd](X).\n\
+                             a[nd](X) :- p(X, Z), a[nd](Z).\n\
+                             a[nd](X) :- p(X, Z).\n\
+                             ?- query[n](X).";
+
+/// Example 3a (§3.3): the variant whose exit rule uses a different base
+/// predicate — the recursive rule is NOT deletable.
+pub const EXAMPLE_3A: &str = "a[nd](X) :- p(X, Z), a[nd](Z).\n\
+                              a[nd](X) :- p1(X, Z).\n\
+                              ?- a[nd](X).";
+
+/// Example 4 (§3.3): Example 3's core, on which Sagiv's uniform test
+/// deletes the recursive rule.
+pub const EXAMPLE_4: &str = "a[nd](X) :- p(X, Z), a[nd](Z).\n\
+                             a[nd](X) :- p(X, Z).\n\
+                             ?- a[nd](X).";
+
+/// Example 5 (§3.3): the adorned left-recursive TC. No rule is deletable
+/// under uniform equivalence.
+pub const EXAMPLE_5: &str = "a[nd](X) :- a[nn](X, Z), p(Z, Y).\n\
+                             a[nd](X) :- p(X, Y).\n\
+                             a[nn](X, Y) :- a[nn](X, Z), p(Z, Y).\n\
+                             a[nn](X, Y) :- p(X, Y).\n\
+                             ?- a[nd](X).";
+
+/// Example 6 (§4): same program; uniform *query* equivalence reduces it to
+/// the single exit rule `a[nd](X) :- p(X, Y)`.
+pub const EXAMPLE_6: &str = EXAMPLE_5;
+
+/// Example 6's optimized result, as printed in the paper.
+pub const EXAMPLE_6_OPTIMIZED: &str = "a[nd](X) :- p(X, Y).\n\
+                                       ?- a[nd](X).";
+
+/// Example 7 (§5) — reconstruction (the scan's adornments are corrupt).
+/// Structure preserved: a unit rule `p[nd] :- p[nn]`, an auxiliary `p1`
+/// defined from both `p[nn]` and `p[nd]`, and base relations `b1..b4`.
+/// Lemma 5.1 (with the trivial identity) deletes both `p1` rules; cleanups
+/// then collapse the program to three rules; the residual redundancy of
+/// `p[nd](X) :- b1(X, Y)` is invisible to the summary procedure, exactly as
+/// the paper notes.
+pub const EXAMPLE_7: &str = "p[nd](X) :- p[nn](X, Y).\n\
+                             p[nd](X) :- p1[nn](X, Z).\n\
+                             p[nd](X) :- b1(X, Y).\n\
+                             p[nn](X, Y) :- p1[nn](X, Z), b4(Z, Y).\n\
+                             p[nn](X, Y) :- b1(X, Y).\n\
+                             p1[nn](X, Z) :- p[nn](X, U), b2(U, W, Z).\n\
+                             p1[nn](X, Z) :- p[nd](X), b3(U, W, Z).\n\
+                             ?- p[nd](X).";
+
+/// Example 8 (§5) — reconstruction. The only recursion is through `p1`,
+/// which has no exit rule: after Lemma 5.1 deletes the `p1`-from-`p[nn]`
+/// rule, emptiness analysis collapses the entire program — "the set of
+/// answers is seen to be empty".
+pub const EXAMPLE_8: &str = "p[nd](X) :- p[nn](X, Y).\n\
+                             p[nd](X) :- p1[nnn](X, Z, U), g1(Z, U).\n\
+                             p[nn](X, Y) :- p1[nnn](X, Z, U), g2(Z, U, Y).\n\
+                             p1[nnn](X, Z, U) :- p1[nnn](X, Z1, U1), g3(Z1, U1, Z, U).\n\
+                             p1[nnn](X, Z, U) :- p[nn](X, Y), g4(W, Z, U).\n\
+                             ?- p[nd](X).";
+
+/// Example 9 (§5): rules deletable under uniform query equivalence that the
+/// summary technique cannot see (no unit rule covers the extra literals).
+pub const EXAMPLE_9: &str = "pq[nd](X) :- pn[nn](X, Y), g3(Y, Z, U).\n\
+                             pq[nd](X) :- p1[nnn](X, Z, U), g1(Z, U, Y).\n\
+                             p1[nnn](X, Z, U) :- pn[nn](X, W), g2(W, Z, U).\n\
+                             p1[nnn](X, Z, U) :- pn[nn](X, V), g3(V, Z, U), g4(U, W).\n\
+                             pn[nn](X, Y) :- b(X, Y).\n\
+                             ?- pq[nd](X).";
+
+/// Example 10 (§5) — reconstruction. A swap cycle: occurrences carry both
+/// the straight and the swapped summary, so Lemma 5.1 (one unit rule) fails
+/// but Lemma 5.3 (closed set of unit summaries) deletes the guarded swap
+/// rule.
+pub const EXAMPLE_10: &str = "p[nnd](X, Y) :- p1[nn](X, Y).\n\
+                              p[nnd](X, Y) :- p1[nn](Y, X).\n\
+                              p1[nn](X, Y) :- b(X, Y).\n\
+                              p1[nn](X, Y) :- p1[nn](Y, X).\n\
+                              p1[nn](X, Y) :- p1[nn](Y, X), big(W).\n\
+                              ?- p[nnd](X, Y).";
+
+/// Example 11 (§6): Example 9 after the folding rewrite that names the
+/// conjunction `pn ⋈ g3` as `q` and folds the last rule through it — now a
+/// unit rule (`pq :- q`) exists and Lemma 5.1 deletes the g4-guarded rule.
+/// `datalog-opt::fold` performs both halves mechanically (see its tests).
+pub const EXAMPLE_11: &str = "pq[nd](X) :- q[nnn](X, Z, U).\n\
+                              q[nnn](X, Z, U) :- pn[nn](X, Y), g3(Y, Z, U).\n\
+                              pq[nd](X) :- p1[nnn](X, Z, U), g1(Z, U, Y).\n\
+                              p1[nnn](X, Z, U) :- pn[nn](X, W), g2(W, Z, U).\n\
+                              p1[nnn](X, Z, U) :- q[nnn](X, Z, U), g4(U, W).\n\
+                              pn[nn](X, Y) :- b(X, Y).\n\
+                              ?- pq[nd](X).";
+
+/// Example 12 (§6): the up/dn program whose recursive predicate carries a
+/// third argument only to check `c(Z)`. The adorned program — note the
+/// recursive occurrence is `p[nnn]`: `Z` is used by `c(Z)` in the same
+/// body, so the adornment algorithm cannot mark it don't-care, and "the
+/// process of pushing projection is not very useful" (the recursion stays
+/// ternary).
+pub const EXAMPLE_12_ADORNED: &str =
+    "query[nn](X, Y) :- p[nnd](X, Y, Z).\n\
+     p[nnd](X, Y, Z) :- up(X, X1), p[nnn](X1, Y1, Z), dn(Y1, Y), c(Z).\n\
+     p[nnd](X, Y, Z) :- b(X, Y, Z).\n\
+     p[nnn](X, Y, Z) :- up(X, X1), p[nnn](X1, Y1, Z), dn(Y1, Y), c(Z).\n\
+     p[nnn](X, Y, Z) :- b(X, Y, Z).\n\
+     ?- query[nn](X, Y).";
+
+/// Example 12's transformed program: the `c(Z)` test moves to the exit
+/// rule, the recursion drops to binary. Preserves uniform query
+/// equivalence; our integration tests check equivalence on random
+/// instances and the benches measure the arity win (experiment E5).
+pub const EXAMPLE_12_TRANSFORMED: &str =
+    "query[nn](X, Y) :- p[nn](X, Y).\n\
+     query[nn](X, Y) :- b(X, Y, Z).\n\
+     p[nn](X, Y) :- up(X, X1), p[nn](X1, Y1), dn(Y1, Y).\n\
+     p[nn](X, Y) :- b(X, Y, Z), c(Z).\n\
+     ?- query[nn](X, Y).";
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperExample {
+    /// Identifier, e.g. "example_7".
+    pub name: &'static str,
+    /// Program text.
+    pub text: &'static str,
+    /// What the paper uses it to show, plus reconstruction provenance.
+    pub note: &'static str,
+    /// Whether the text is reconstructed rather than verbatim (the scan's
+    /// adornments/occurrence numbers are corrupt for these).
+    pub reconstructed: bool,
+}
+
+/// All examples, in paper order.
+pub fn catalog() -> Vec<PaperExample> {
+    vec![
+        PaperExample {
+            name: "example_1",
+            text: EXAMPLE_1,
+            note: "adornment produces a[nd] (right-recursive TC)",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_2",
+            text: EXAMPLE_2,
+            note: "boolean extraction of two existential subqueries",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_3",
+            text: EXAMPLE_3,
+            note: "projection pushed through recursion: unary TC",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_3a",
+            text: EXAMPLE_3A,
+            note: "negative case: different exit predicate blocks deletion",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_4",
+            text: EXAMPLE_4,
+            note: "Sagiv's uniform test deletes the recursive rule",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_5",
+            text: EXAMPLE_5,
+            note: "uniform equivalence deletes nothing (left-recursive TC)",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_6",
+            text: EXAMPLE_6,
+            note: "uniform query equivalence reduces to the exit rule",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_7",
+            text: EXAMPLE_7,
+            note: "Lemma 5.1 + trivial identity delete the p1 rules; the b1 \
+                   rule's redundancy is invisible to summaries",
+            reconstructed: true,
+        },
+        PaperExample {
+            name: "example_8",
+            text: EXAMPLE_8,
+            note: "deletion + emptiness: the whole program collapses",
+            reconstructed: true,
+        },
+        PaperExample {
+            name: "example_9",
+            text: EXAMPLE_9,
+            note: "summary technique too weak without folding",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_10",
+            text: EXAMPLE_10,
+            note: "Lemma 5.3 (set of unit rules) strictly beats Lemma 5.1",
+            reconstructed: true,
+        },
+        PaperExample {
+            name: "example_11",
+            text: EXAMPLE_11,
+            note: "folding manufactures the unit rule Example 9 lacked",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_12_adorned",
+            text: EXAMPLE_12_ADORNED,
+            note: "literal motion reduces recursive arity (future work)",
+            reconstructed: false,
+        },
+        PaperExample {
+            name: "example_12_transformed",
+            text: EXAMPLE_12_TRANSFORMED,
+            note: "Example 12 after the transformation",
+            reconstructed: false,
+        },
+    ]
+}
+
+/// Parse one example by name.
+pub fn parse_example(name: &str) -> Option<Program> {
+    catalog()
+        .into_iter()
+        .find(|e| e.name == name)
+        .map(|e| parse_program(e.text).expect("catalog programs parse").program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_examples_parse_and_validate() {
+        for e in catalog() {
+            let parsed = parse_program(e.text)
+                .unwrap_or_else(|err| panic!("{} fails to parse: {err}", e.name));
+            parsed
+                .program
+                .validate()
+                .unwrap_or_else(|err| panic!("{} invalid: {err}", e.name));
+            assert!(parsed.program.query.is_some(), "{} has no query", e.name);
+        }
+    }
+
+    #[test]
+    fn parse_example_by_name() {
+        assert!(parse_example("example_1").is_some());
+        assert!(parse_example("example_7").is_some());
+        assert!(parse_example("nonexistent").is_none());
+    }
+
+    #[test]
+    fn catalog_is_complete_and_ordered() {
+        let names: Vec<&str> = catalog().iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 14);
+        assert_eq!(names[0], "example_1");
+        assert!(names.contains(&"example_12_transformed"));
+    }
+
+    /// Example 12's two programs are query-equivalent (the claim of §6).
+    #[test]
+    fn example_12_transformation_is_equivalent() {
+        use datalog_engine::oracle::{bounded_equiv_check, EquivCheckConfig};
+        let adorned = parse_example("example_12_adorned").unwrap();
+        let transformed = parse_example("example_12_transformed").unwrap();
+        let w = bounded_equiv_check(&adorned, &transformed, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "Example 12 transformation changed answers: {w:?}");
+    }
+}

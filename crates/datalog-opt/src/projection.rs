@@ -1,0 +1,227 @@
+//! Phase 2 (§3.2): pushing projections by deleting existential argument
+//! positions.
+//!
+//! Lemma 3.2: consistently replacing every occurrence of an adorned literal
+//! `p^a(t̄)` — in heads, bodies, and the query — by `p^a(t̄↾ₙ)`, where the
+//! `d` positions are dropped, preserves the query's answers. The adornment
+//! string keeps its original length; the correspondence between adornment
+//! letters and arguments skips the `d`s.
+//!
+//! This is where the headline win of the paper materializes: the recursive
+//! predicate of Example 1 goes from binary to unary (Example 3), shrinking
+//! both the number of distinct facts and the duplicate-elimination cost.
+//! Full arity minimization is undecidable (Theorem 3.3, implemented on the
+//! grammar side in `datalog-grammar`); this phase performs exactly the
+//! projection the adornments license.
+
+use datalog_ast::{Ad, Atom, Program, Term};
+
+use crate::report::{EquivalenceLevel, Phase, Report};
+use crate::OptError;
+
+/// Drop the `d` positions of every adorned atom (Lemma 3.2). Atoms whose
+/// argument count already equals the adornment's needed-count are left
+/// alone, so the transformation is idempotent.
+pub fn push_projections(program: &Program, report: &mut Report) -> Result<Program, OptError> {
+    let mut out = program.clone();
+    let mut projected: Vec<String> = Vec::new();
+    for rule in out.rules.iter_mut() {
+        // Check dropped body variables do not occur elsewhere in the rule
+        // (they cannot, for programs produced by the adornment algorithm,
+        // but hand-written adorned programs might violate this).
+        let full = rule.clone();
+        project_atom(&mut rule.head, &mut projected)?;
+        for lit in rule.negative.iter_mut() {
+            // Negated literals are adorned all-needed; projecting them is a
+            // no-op, but hand-written programs might carry d's — reject via
+            // the same path.
+            project_atom(lit, &mut projected)?;
+        }
+        for (li, lit) in rule.body.iter_mut().enumerate() {
+            let before = lit.clone();
+            project_atom(lit, &mut projected)?;
+            if lit.arity() != before.arity() {
+                // Dropped variables must not be used in any *other* literal
+                // or in a surviving (n) position of the head.
+                let kept: std::collections::BTreeSet<_> =
+                    lit.var_occurrences().collect();
+                for v in before.var_occurrences() {
+                    if kept.contains(&v) {
+                        continue;
+                    }
+                    let used_elsewhere = full
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != li)
+                        .any(|(_, other)| other.var_occurrences().any(|w| w == v))
+                        || full
+                            .negative
+                            .iter()
+                            .any(|other| other.var_occurrences().any(|w| w == v))
+                        || occurs_in_needed_head(&full, v);
+                    if used_elsewhere {
+                        return Err(OptError::InvalidProjection {
+                            pred: before.pred.to_string(),
+                            var: v.name(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(q) = out.query.as_mut() {
+        project_atom(&mut q.atom, &mut projected)?;
+    }
+    for p in projected {
+        report.record(Phase::Projection, EquivalenceLevel::UniformQuery, p);
+    }
+    Ok(out)
+}
+
+fn occurs_in_needed_head(rule: &datalog_ast::Rule, v: datalog_ast::Var) -> bool {
+    match &rule.head.pred.adornment {
+        Some(ad) if ad.len() == rule.head.arity() => rule
+            .head
+            .terms
+            .iter()
+            .enumerate()
+            .any(|(i, t)| ad[i] == Ad::N && *t == Term::Var(v)),
+        _ => rule.head.terms.iter().any(|t| *t == Term::Var(v)),
+    }
+}
+
+fn project_atom(atom: &mut Atom, log: &mut Vec<String>) -> Result<(), OptError> {
+    let Some(ad) = atom.pred.adornment.clone() else {
+        return Ok(()); // unadorned (EDB or boolean): untouched
+    };
+    if atom.arity() == ad.needed_count() {
+        return Ok(()); // already projected
+    }
+    if atom.arity() != ad.len() {
+        return Err(OptError::Ast(datalog_ast::AstError::AdornmentMismatch {
+            pred: atom.pred.name.as_str(),
+            adornment: ad.to_string(),
+            args: atom.arity(),
+        }));
+    }
+    if ad.is_all_needed() {
+        return Ok(());
+    }
+    let before = atom.to_string();
+    atom.terms = ad
+        .needed_positions()
+        .into_iter()
+        .map(|i| atom.terms[i])
+        .collect();
+    log.push(format!("projected {before} -> {atom}"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+    use datalog_engine::oracle::{bounded_equiv_check, EquivCheckConfig};
+
+    fn project(src: &str) -> Program {
+        let p = parse_program(src).unwrap().program;
+        let mut r = Report::default();
+        push_projections(&p, &mut r).unwrap()
+    }
+
+    /// Example 1 → Example 3 of the paper: the adorned TC becomes unary.
+    #[test]
+    fn example_3_tc_becomes_unary() {
+        let out = project(
+            "query[n](X) :- a[nd](X, Y).\n\
+             a[nd](X, Y) :- p(X, Z), a[nd](Z, Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- query[n](X).",
+        );
+        let text = out.to_text();
+        assert!(text.contains("query[n](X) :- a[nd](X)."), "{text}");
+        assert!(text.contains("a[nd](X) :- p(X, Z), a[nd](Z)."), "{text}");
+        assert!(text.contains("a[nd](X) :- p(X, Y)."), "{text}");
+        out.validate().expect("projected program is valid");
+    }
+
+    /// Lemma 3.2: answers are preserved.
+    #[test]
+    fn projection_preserves_answers() {
+        let original = parse_program(
+            "query[n](X) :- a[nd](X, Y).\n\
+             a[nd](X, Y) :- p(X, Z), a[nd](Z, Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- query[n](X).",
+        )
+        .unwrap()
+        .program;
+        let mut r = Report::default();
+        let projected = push_projections(&original, &mut r).unwrap();
+        let w = bounded_equiv_check(&original, &projected, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "projection changed answers: {w:?}");
+        assert!(r.actions.len() >= 3);
+        assert_eq!(r.weakest_level(), EquivalenceLevel::UniformQuery);
+    }
+
+    #[test]
+    fn wildcard_head_positions_are_dropped() {
+        // The Example 2 shape after component extraction: head has a
+        // dangling wildcard in its d position.
+        let out = project(
+            "p[nd](X, _) :- q1(X, Y), b1.\n\
+             b1 :- q5(W).\n\
+             ?- p[nd](X, _).",
+        );
+        let text = out.to_text();
+        assert!(text.contains("p[nd](X) :- q1(X, Y), b1."), "{text}");
+        assert!(text.contains("?- p[nd](X)."), "{text}");
+        out.validate().expect("valid after dropping dangling head vars");
+    }
+
+    #[test]
+    fn idempotent_on_projected_programs() {
+        let src = "a[nd](X) :- p(X, Z), a[nd](Z).\n\
+                   a[nd](X) :- p(X, Y).\n\
+                   ?- a[nd](X).";
+        let once = project(src);
+        let mut r = Report::default();
+        let twice = push_projections(&once, &mut r).unwrap();
+        assert_eq!(once, twice);
+        assert!(r.actions.is_empty());
+    }
+
+    #[test]
+    fn unadorned_literals_are_untouched() {
+        let out = project(
+            "q[nd](X, Y) :- e(X, Y).\n\
+             ?- q[nd](X, _).",
+        );
+        let text = out.to_text();
+        assert!(text.contains("q[nd](X) :- e(X, Y)."), "{text}");
+        assert!(text.contains("e(X, Y)"), "EDB atom must keep both columns");
+    }
+
+    #[test]
+    fn dropping_a_join_variable_is_rejected() {
+        // Y is adorned d in a's occurrence but is used by s(Y): invalid.
+        let p = parse_program(
+            "q[n](X) :- a[nd](X, Y), s(Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- q[n](X).",
+        )
+        .unwrap()
+        .program;
+        let mut r = Report::default();
+        let err = push_projections(&p, &mut r).unwrap_err();
+        assert!(matches!(err, OptError::InvalidProjection { .. }));
+    }
+
+    #[test]
+    fn all_needed_adornments_are_noops() {
+        let src = "a[nn](X, Y) :- p(X, Y).\n?- a[nn](X, Y).";
+        let out = project(src);
+        assert_eq!(out, parse_program(src).unwrap().program);
+    }
+}

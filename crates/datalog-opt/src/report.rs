@@ -1,0 +1,182 @@
+//! Optimization reports: every action the optimizer takes is recorded with
+//! the *equivalence level* it preserves.
+//!
+//! The paper's §4 distinguishes four notions of equivalence. The optimizer
+//! is honest about which one each action preserves: Sagiv deletions preserve
+//! uniform equivalence; summary-based deletions (Lemma 5.1/5.3) preserve
+//! uniform *query* equivalence; cleanups that exploit "IDB predicates start
+//! empty" (undefined/unreachable/unproductive predicates, cover unit rules)
+//! only preserve plain query equivalence — which is exactly what a query
+//! optimizer needs, but worth recording. The weakest level used bounds the
+//! guarantee of the whole pipeline.
+
+/// Which equivalence notion an action preserves (strongest first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EquivalenceLevel {
+    /// All predicates, arbitrary inputs (Sagiv).
+    Uniform,
+    /// Query predicate only, arbitrary inputs (§4 of the paper).
+    UniformQuery,
+    /// Query predicate only, IDB-empty inputs (ordinary query equivalence).
+    Query,
+}
+
+impl std::fmt::Display for EquivalenceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceLevel::Uniform => write!(f, "uniform"),
+            EquivalenceLevel::UniformQuery => write!(f, "uniform-query"),
+            EquivalenceLevel::Query => write!(f, "query"),
+        }
+    }
+}
+
+/// Which phase of the optimizer acted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// §2 adornment.
+    Adorn,
+    /// §3.1 connected components / boolean extraction.
+    Components,
+    /// §3.2 projection pushing.
+    Projection,
+    /// §5 summary-based rule deletion (Lemmas 5.1/5.3).
+    SummaryDeletion,
+    /// Sagiv's uniform-equivalence deletion (Example 4).
+    UniformDeletion,
+    /// The paper's uniform-query-equivalence deletion (Example 6).
+    UqeDeletion,
+    /// Cleanups: unreachable / undefined / unproductive predicates.
+    Cleanup,
+    /// Unit-rule introduction via the `covers` relation (§5).
+    UnitRules,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Phase::Adorn => "adorn",
+            Phase::Components => "components",
+            Phase::Projection => "projection",
+            Phase::SummaryDeletion => "summary-deletion",
+            Phase::UniformDeletion => "uniform-deletion",
+            Phase::UqeDeletion => "uqe-deletion",
+            Phase::Cleanup => "cleanup",
+            Phase::UnitRules => "unit-rules",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded optimizer action.
+#[derive(Debug, Clone)]
+pub struct Action {
+    /// The phase that acted.
+    pub phase: Phase,
+    /// Human-readable description ("deleted rule: ...").
+    pub description: String,
+    /// Equivalence level preserved by this action.
+    pub level: EquivalenceLevel,
+}
+
+/// The full report of one optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Actions in the order they were taken.
+    pub actions: Vec<Action>,
+    /// Rule count before optimization.
+    pub rules_before: usize,
+    /// Rule count after optimization.
+    pub rules_after: usize,
+}
+
+impl Report {
+    /// Record an action.
+    pub fn record(&mut self, phase: Phase, level: EquivalenceLevel, description: impl Into<String>) {
+        self.actions.push(Action {
+            phase,
+            description: description.into(),
+            level,
+        });
+    }
+
+    /// The weakest equivalence level used (or `Uniform` if nothing weaker
+    /// was needed). This bounds the end-to-end guarantee.
+    pub fn weakest_level(&self) -> EquivalenceLevel {
+        self.actions
+            .iter()
+            .map(|a| a.level)
+            .max()
+            .unwrap_or(EquivalenceLevel::Uniform)
+    }
+
+    /// Number of rule deletions recorded.
+    pub fn deletions(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.phase,
+                    Phase::SummaryDeletion
+                        | Phase::UniformDeletion
+                        | Phase::UqeDeletion
+                        | Phase::Cleanup
+                )
+            })
+            .count()
+    }
+
+    /// Render one action per line.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rules: {} -> {} (weakest level preserved: {})",
+            self.rules_before,
+            self.rules_after,
+            self.weakest_level()
+        );
+        for a in &self.actions {
+            let _ = writeln!(out, "[{} | {}] {}", a.phase, a.level, a.description);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_strongest_first() {
+        assert!(EquivalenceLevel::Uniform < EquivalenceLevel::UniformQuery);
+        assert!(EquivalenceLevel::UniformQuery < EquivalenceLevel::Query);
+    }
+
+    #[test]
+    fn weakest_level_aggregates() {
+        let mut r = Report::default();
+        assert_eq!(r.weakest_level(), EquivalenceLevel::Uniform);
+        r.record(Phase::UniformDeletion, EquivalenceLevel::Uniform, "a");
+        assert_eq!(r.weakest_level(), EquivalenceLevel::Uniform);
+        r.record(Phase::SummaryDeletion, EquivalenceLevel::UniformQuery, "b");
+        assert_eq!(r.weakest_level(), EquivalenceLevel::UniformQuery);
+        r.record(Phase::Cleanup, EquivalenceLevel::Query, "c");
+        assert_eq!(r.weakest_level(), EquivalenceLevel::Query);
+        assert_eq!(r.deletions(), 3);
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut r = Report {
+            rules_before: 5,
+            rules_after: 2,
+            ..Report::default()
+        };
+        r.record(Phase::Projection, EquivalenceLevel::UniformQuery, "projected a[nd]");
+        let text = r.to_text();
+        assert!(text.contains("5 -> 2"));
+        assert!(text.contains("[projection | uniform-query] projected a[nd]"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Rule subsumption — the paper's §6 research direction made concrete:
+//! "the problem is to devise techniques to detect subsumption of a rule by
+//! other rules".
+//!
+//! Rule `r1` **θ-subsumes** `r2` when some substitution `σ` maps `r1`'s
+//! head onto `r2`'s head and every literal of `σ(body(r1))` occurs in
+//! `body(r2)`. Then every fact `r2` derives (on any database) is derived by
+//! `r1` from a subset of the same premises, so deleting `r2` preserves
+//! **uniform equivalence** — the strongest level in our hierarchy.
+//!
+//! This is a purely syntactic test (no evaluation), so the pipeline runs it
+//! as a cheap pre-pass before the freeze tests. Sagiv's uniform test would
+//! eventually find the same deletions (the frozen body of a subsumed rule
+//! lets the subsumer fire), but at the cost of a fixpoint evaluation per
+//! candidate. Notably it already captures Example 4 of the paper: in the
+//! projected transitive closure, the exit rule `a[nd](X) :- p(X, Z)`
+//! θ-subsumes the recursive rule `a[nd](X) :- p(X, Z), a[nd](Z)`.
+
+use std::collections::BTreeSet;
+
+use datalog_ast::{Program, Rule};
+
+use crate::report::{EquivalenceLevel, Phase, Report};
+
+/// Does `general` θ-subsume `specific`?
+///
+/// θ-subsumption is a strictly one-way match: a substitution over
+/// `general`'s variables only, with `specific`'s terms treated as ground.
+pub fn subsumes(general: &Rule, specific: &Rule) -> bool {
+    // No body-length guard: several pattern literals may map onto one
+    // target literal (e.g. q(X) :- e(X,Y), e(X,Z) subsumes q(X) :- e(X,Y)).
+    let mut map = std::collections::BTreeMap::new();
+    if !match_onto(&general.head, &specific.head, &mut map) {
+        return false;
+    }
+    // Negated literals are constraints: every negation the general rule
+    // imposes must appear (instantiated) in the specific rule too, or the
+    // general rule might fail to fire where the specific one does.
+    match_body_and_negatives(general, specific, &map)
+}
+
+fn match_body_and_negatives(
+    general: &Rule,
+    specific: &Rule,
+    map: &std::collections::BTreeMap<datalog_ast::Var, datalog_ast::Term>,
+) -> bool {
+    // Positives bind variables; negatives are then matched like extra
+    // pattern literals against the specific rule's negatives (they may
+    // introduce further bindings, which is fine: any consistent embedding
+    // witnesses subsumption).
+    let mut pattern: Vec<&datalog_ast::Atom> = general.body.iter().collect();
+    pattern.extend(general.negative.iter());
+    let split = general.body.len();
+    match_mixed(&pattern, split, &specific.body, &specific.negative, 0, map)
+}
+
+fn match_mixed(
+    pattern: &[&datalog_ast::Atom],
+    split: usize,
+    pos: &[datalog_ast::Atom],
+    neg: &[datalog_ast::Atom],
+    idx: usize,
+    map: &std::collections::BTreeMap<datalog_ast::Var, datalog_ast::Term>,
+) -> bool {
+    if idx == pattern.len() {
+        return true;
+    }
+    let candidates: &[datalog_ast::Atom] = if idx < split { pos } else { neg };
+    for candidate in candidates {
+        let mut m2 = map.clone();
+        if match_onto(pattern[idx], candidate, &mut m2)
+            && match_mixed(pattern, split, pos, neg, idx + 1, &m2)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Match `pattern` onto `target`, binding only pattern variables. Target
+/// terms (variables included) are treated as ground. Shared with the fold
+/// machinery, which needs the same one-way discipline.
+pub(crate) fn match_onto(
+    pattern: &datalog_ast::Atom,
+    target: &datalog_ast::Atom,
+    map: &mut std::collections::BTreeMap<datalog_ast::Var, datalog_ast::Term>,
+) -> bool {
+    use datalog_ast::Term;
+    if pattern.pred != target.pred || pattern.arity() != target.arity() {
+        return false;
+    }
+    for (pt, tt) in pattern.terms.iter().zip(target.terms.iter()) {
+        match pt {
+            Term::Const(c) => {
+                if *tt != Term::Const(*c) {
+                    return false;
+                }
+            }
+            Term::Var(v) => match map.get(v) {
+                Some(bound) => {
+                    if bound != tt {
+                        return false;
+                    }
+                }
+                None => {
+                    map.insert(*v, *tt);
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Delete every rule that is θ-subsumed by another rule of the program.
+/// Preserves uniform equivalence.
+pub fn delete_subsumed(program: &Program, report: &mut Report) -> Program {
+    let mut keep: Vec<bool> = vec![true; program.rules.len()];
+    for i in 0..program.rules.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..program.rules.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if subsumes(&program.rules[i], &program.rules[j]) {
+                // Tie-break identical rules (mutual subsumption): keep the
+                // first occurrence.
+                if subsumes(&program.rules[j], &program.rules[i]) && j < i {
+                    continue;
+                }
+                keep[j] = false;
+                report.record(
+                    Phase::UniformDeletion,
+                    EquivalenceLevel::Uniform,
+                    format!(
+                        "deleted rule (subsumed by `{}`): {}",
+                        program.rules[i], program.rules[j]
+                    ),
+                );
+            }
+        }
+    }
+    let rules: Vec<Rule> = program
+        .rules
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(r, _)| r.clone())
+        .collect();
+    Program {
+        rules,
+        query: program.query.clone(),
+    }
+}
+
+/// Indices of rules subsumed by some other rule (without deleting).
+pub fn subsumed_indices(program: &Program) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    for i in 0..program.rules.len() {
+        for j in 0..program.rules.len() {
+            if i != j
+                && subsumes(&program.rules[i], &program.rules[j])
+                && !(subsumes(&program.rules[j], &program.rules[i]) && j < i)
+            {
+                out.insert(j);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, parse_rule};
+    use datalog_engine::oracle::{bounded_equiv_check, EquivCheckConfig};
+
+    fn rule(s: &str) -> Rule {
+        parse_rule(s).unwrap()
+    }
+
+    #[test]
+    fn extra_literal_is_subsumed() {
+        // q(X) :- e(X, Y) subsumes q(X) :- e(X, Y), f(Y).
+        let g = rule("q(X) :- e(X, Y)");
+        let s = rule("q(X) :- e(X, Y), f(Y)");
+        assert!(subsumes(&g, &s));
+        assert!(!subsumes(&s, &g));
+    }
+
+    #[test]
+    fn variable_specialization_subsumes() {
+        // q(X, Y) :- e(X, Y) subsumes q(X, X) :- e(X, X).
+        let g = rule("q(X, Y) :- e(X, Y)");
+        let s = rule("q(X, X) :- e(X, X)");
+        assert!(subsumes(&g, &s));
+        assert!(!subsumes(&s, &g));
+    }
+
+    #[test]
+    fn constant_specialization_subsumes() {
+        let g = rule("q(X) :- e(X, Y)");
+        let s = rule("q(X) :- e(X, 3)");
+        assert!(subsumes(&g, &s));
+        assert!(!subsumes(&s, &g));
+    }
+
+    #[test]
+    fn different_heads_do_not_subsume() {
+        let g = rule("q(X) :- e(X, Y)");
+        let s = rule("r(X) :- e(X, Y)");
+        assert!(!subsumes(&g, &s));
+        // Head argument mismatch.
+        let s2 = rule("q(Y) :- e(X, Y)");
+        assert!(!subsumes(&g, &s2));
+    }
+
+    #[test]
+    fn identical_rules_subsume_mutually() {
+        let a = rule("q(X) :- e(X, Y)");
+        let b = rule("q(U) :- e(U, V)");
+        assert!(subsumes(&a, &b));
+        assert!(subsumes(&b, &a));
+    }
+
+    #[test]
+    fn shared_variable_names_are_not_confused() {
+        // Same variable names, different roles.
+        let g = rule("q(X) :- e(X, Y), f(Y)");
+        let s = rule("q(Y) :- e(Y, X), f(X)");
+        assert!(subsumes(&g, &s), "alpha-equivalent rules must subsume");
+    }
+
+    #[test]
+    fn repeated_literal_cases() {
+        // A rule can map two body literals onto one.
+        let g = rule("q(X) :- e(X, Y), e(X, Z)");
+        let s = rule("q(X) :- e(X, Y)");
+        assert!(subsumes(&g, &s), "both e-literals map onto the single one");
+        // Reverse holds too (subset of body).
+        assert!(subsumes(&s, &g));
+    }
+
+    #[test]
+    fn delete_subsumed_preserves_answers() {
+        let p = parse_program(
+            "q(X) :- e(X, Y).\n\
+             q(X) :- e(X, Y), f(Y).\n\
+             q(X) :- e(X, 3).\n\
+             q(X) :- r(X).\n\
+             q(U) :- r(U).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut rep = Report::default();
+        let out = delete_subsumed(&p, &mut rep);
+        assert_eq!(out.rules.len(), 2, "{}", out.to_text());
+        assert_eq!(rep.deletions(), 3);
+        assert_eq!(rep.weakest_level(), EquivalenceLevel::Uniform);
+        let w = bounded_equiv_check(&p, &out, &EquivCheckConfig::default()).unwrap();
+        assert!(w.is_none(), "{w:?}");
+    }
+
+    #[test]
+    fn mutual_subsumption_keeps_exactly_one() {
+        let p = parse_program(
+            "q(X) :- r(X).\n\
+             q(U) :- r(U).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let mut rep = Report::default();
+        let out = delete_subsumed(&p, &mut rep);
+        assert_eq!(out.rules.len(), 1);
+        assert_eq!(subsumed_indices(&p), [1usize].into());
+    }
+
+    #[test]
+    fn recursion_is_not_falsely_subsumed() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        )
+        .unwrap()
+        .program;
+        assert!(subsumed_indices(&p).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Scenario: a bill-of-materials check with an existential side condition.
+//!
+//! A part is `shippable` when its sub-part tree is in stock AND *some*
+//! certified audit record exists. The audit subquery is disconnected from
+//! the part variables — the paper's §3.1 turns it into a zero-arity boolean
+//! that the engine proves once and then retires (bottom-up cut, Example 2).
+//!
+//! ```text
+//! cargo run -p xdl-examples --bin bom_certification
+//! ```
+
+use existential_datalog::prelude::*;
+
+fn main() {
+    let source = "shippable(P, Q) :- sub(P, R), shippable(R, Q), certified(A).\n\
+                  shippable(P, Q) :- sub(P, Q), certified(A).\n\
+                  ?- shippable(P, _).";
+    println!("BOM program:\n{source}\n");
+
+    let program = parse_program(source).expect("parses").program;
+    let outcome = optimize(&program, &OptimizerConfig::default()).expect("optimizes");
+    println!("{}", outcome.report.to_text());
+    println!("optimized:\n{}", outcome.program.to_text());
+
+    // The `certified` relation is huge; only its non-emptiness matters.
+    for audit_rows in [500i64, 10_000] {
+        let mut edb = FactSet::new();
+        let sub = PredRef::new("sub");
+        for p in 0..120i64 {
+            for k in 1..=2 {
+                let q = p * 2 + k;
+                if q < 120 {
+                    edb.insert(sub.clone(), vec![Value::int(p), Value::int(q)]);
+                }
+            }
+        }
+        let certified = PredRef::new("certified");
+        for a in 0..audit_rows {
+            edb.insert(certified.clone(), vec![Value::int(a)]);
+        }
+
+        let (orig, so) = query_answers(&program, &edb, &EvalOptions::default()).unwrap();
+        let cut = EvalOptions {
+            boolean_cut: true,
+            ..EvalOptions::default()
+        };
+        let (opt, sp) = query_answers(&outcome.program, &edb, &cut).unwrap();
+        assert_eq!(orig.rows, opt.rows);
+        println!(
+            "audit rows={audit_rows}: {} shippable parts | original scanned {} tuples | \
+             optimized scanned {} tuples, retired {} rule(s)",
+            opt.len(),
+            so.tuples_scanned,
+            sp.tuples_scanned,
+            sp.rules_retired
+        );
+    }
+    println!("\nnote how the original's scan count tracks the audit table size");
+    println!("while the optimized program's cost is independent of it.");
+}

@@ -1,0 +1,82 @@
+//! Theorem 3.3 in action: a binary chain program whose grammar is regular
+//! gets an equivalent *monadic* program synthesized from its DFA; a
+//! non-regular one is (correctly) refused.
+//!
+//! ```text
+//! cargo run -p xdl-examples --bin monadic_rewrite
+//! ```
+
+use existential_datalog::grammar::regular::{monadic_equivalent, KeptArg};
+use existential_datalog::grammar::{bounded_language, program_to_grammar};
+use existential_datalog::prelude::*;
+
+fn show(title: &str, source: &str) {
+    println!("=== {title} ===\n{source}");
+    let program = parse_program(source).expect("parses").program;
+    let cfg = program_to_grammar(&program).expect("chain program");
+    println!("grammar:\n{}", cfg.to_text());
+    let words = bounded_language(&cfg, 5).expect("enumerates");
+    let rendered: Vec<String> = words
+        .iter()
+        .map(|w| {
+            w.iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    println!("L(G) up to length 5: {{ {} }}", rendered.join(", "));
+    match monadic_equivalent(&program, KeptArg::First).expect("chain program") {
+        Some(rewrite) => {
+            println!(
+                "regular (DFA with {} states). Monadic equivalent:\n{}",
+                rewrite.dfa_states,
+                rewrite.program.to_text()
+            );
+        }
+        None => println!("not certifiably regular: no monadic rewrite (Theorem 3.3)."),
+    }
+    println!();
+}
+
+fn main() {
+    show(
+        "transitive closure (language p+ — regular)",
+        "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+         a(X, Y) :- p(X, Y).\n\
+         ?- a(X, Y).",
+    );
+    show(
+        "alternating walk ((up dn)+ — regular)",
+        "w(X, Y) :- up(X, A), dn(A, B), w(B, Y).\n\
+         w(X, Y) :- up(X, A), dn(A, Y).\n\
+         ?- w(X, Y).",
+    );
+    show(
+        "matched climb (up^n flat dn^n — NOT regular)",
+        "s(X, Y) :- up(X, A), s(A, B), dn(B, Y).\n\
+         s(X, Y) :- up(X, A), flat(A, B), dn(B, Y).\n\
+         ?- s(X, Y).",
+    );
+
+    // Sanity: the monadic rewrite really computes the same first column.
+    let tc = parse_program(
+        "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+         a(X, Y) :- p(X, Y).\n\
+         ?- a(X, _).",
+    )
+    .unwrap()
+    .program;
+    let rewrite = monadic_equivalent(&tc, KeptArg::First).unwrap().unwrap();
+    let mut edb = FactSet::new();
+    for i in 0..100 {
+        edb.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+    }
+    let (orig, _) = query_answers(&tc, &edb, &EvalOptions::default()).unwrap();
+    let (mono, _) = query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+    assert_eq!(orig.rows, mono.rows);
+    println!(
+        "sanity check on a 100-chain: both programs report {} sources. OK.",
+        mono.len()
+    );
+}

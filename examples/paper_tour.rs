@@ -1,0 +1,35 @@
+//! A guided tour: run every worked example of the paper through the
+//! optimizer and show what each phase did.
+//!
+//! ```text
+//! cargo run -p xdl-examples --bin paper_tour
+//! ```
+
+use existential_datalog::opt::paper;
+use existential_datalog::prelude::*;
+
+fn main() {
+    for example in paper::catalog() {
+        println!("################ {} ################", example.name);
+        println!("# {}", example.note);
+        if example.reconstructed {
+            println!("# (reconstructed: the PODS'88 scan garbles this example)");
+        }
+        println!("{}", example.text);
+        let program = parse_program(example.text).expect("catalog parses").program;
+        match optimize(&program, &OptimizerConfig::default()) {
+            Ok(outcome) => {
+                println!("--- optimizer report ---");
+                print!("{}", outcome.report.to_text());
+                println!("--- optimized program ---");
+                if outcome.program.rules.is_empty() {
+                    println!("(no rules: the answer set is provably empty)");
+                } else {
+                    print!("{}", outcome.program.to_text());
+                }
+            }
+            Err(e) => println!("optimizer declined: {e}"),
+        }
+        println!();
+    }
+}

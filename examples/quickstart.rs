@@ -1,0 +1,45 @@
+//! Quickstart: parse a program with an existential query, optimize it, and
+//! compare the work done by bottom-up evaluation before and after.
+//!
+//! ```text
+//! cargo run -p xdl-examples --bin quickstart
+//! ```
+
+use existential_datalog::prelude::*;
+
+fn main() {
+    // "Which nodes can reach *some* other node?" — the second column of the
+    // transitive closure is never reported, so computing it is wasted work.
+    let source = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                  a(X, Y) :- p(X, Y).\n\
+                  ?- a(X, _).";
+    println!("original program:\n{source}\n");
+
+    let parsed = parse_program(source).expect("parses");
+    let outcome = optimize(&parsed.program, &OptimizerConfig::default()).expect("optimizes");
+
+    println!("optimizer report:\n{}", outcome.report.to_text());
+    println!("optimized program:\n{}", outcome.program.to_text());
+
+    // A 500-node chain: the original computes all ~125k closure pairs; the
+    // optimized program only the ~500 sources.
+    let mut edb = FactSet::new();
+    for i in 0..500 {
+        edb.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+    }
+
+    let (orig_answers, orig_stats) =
+        query_answers(&parsed.program, &edb, &EvalOptions::default()).expect("evaluates");
+    let (opt_answers, opt_stats) =
+        query_answers(&outcome.program, &edb, &EvalOptions::default()).expect("evaluates");
+
+    assert_eq!(orig_answers.rows, opt_answers.rows, "answers must agree");
+    println!("answers: {} nodes with a successor", opt_answers.len());
+    println!("original : {orig_stats}");
+    println!("optimized: {opt_stats}");
+    println!(
+        "facts reduced {}x, scans reduced {}x",
+        orig_stats.facts_derived / opt_stats.facts_derived.max(1),
+        orig_stats.tuples_scanned / opt_stats.tuples_scanned.max(1),
+    );
+}

@@ -1,0 +1,84 @@
+//! Lemma 2.2 (soundness of the adornment algorithm), checked semantically:
+//! every argument the algorithm adorns `d` survives the paper's §2
+//! definition when tested on random instances — applying the definition's
+//! scrambling transformation to that argument never changes the query's
+//! answers.
+
+use proptest::prelude::*;
+
+use datalog_adorn::semantic::{definition_transform, with_active_domain};
+use datalog_adorn::{adorn, AdornResult};
+use datalog_ast::{Ad, Program, Term};
+use datalog_engine::{query_answers, EvalOptions};
+use xdl_integration_tests::{instance_strategy, program_strategy};
+
+/// Collect `(rule, literal, argument)` positions adorned `d` in the adorned
+/// program, but expressed against the *adorned* program itself (whose
+/// literals carry the adornments).
+fn d_positions(adorned: &AdornResult) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for (ri, rule) in adorned.program.rules.iter().enumerate() {
+        for (li, lit) in rule.body.iter().enumerate() {
+            if let Some(ad) = &lit.pred.adornment {
+                if ad.len() != lit.arity() {
+                    continue; // projected form (not generated here)
+                }
+                for (ai, a) in ad.0.iter().enumerate() {
+                    if *a == Ad::D && matches!(lit.terms[ai], Term::Var(_)) {
+                        out.push((ri, li, ai));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_d_adornment_is_semantically_existential(
+        program in program_strategy(),
+        instance in instance_strategy(3, 14),
+    ) {
+        let adorned = match adorn(&program) {
+            Ok(a) if !a.versions.is_empty() => a,
+            _ => return Ok(()), // EDB query or nothing adorned
+        };
+        let positions = d_positions(&adorned);
+        let base: Program = adorned.program.clone();
+        let inst = with_active_domain(&instance);
+        let (reference, _) = query_answers(&base, &inst, &EvalOptions::default()).unwrap();
+        for (ri, li, ai) in positions {
+            let transformed = definition_transform(&base, ri, li, ai).unwrap();
+            let (scrambled, _) =
+                query_answers(&transformed, &inst, &EvalOptions::default()).unwrap();
+            prop_assert_eq!(
+                &reference.rows, &scrambled.rows,
+                "scrambling rule {} literal {} arg {} changed answers\nprogram:\n{}",
+                ri, li, ai, base.to_text()
+            );
+        }
+    }
+
+    /// The adorned program itself answers exactly like the original.
+    #[test]
+    fn adornment_preserves_answers(
+        program in program_strategy(),
+        instance in instance_strategy(4, 18),
+    ) {
+        let adorned = match adorn(&program) {
+            Ok(a) if !a.versions.is_empty() => a,
+            _ => return Ok(()),
+        };
+        let (orig, _) = query_answers(&program, &instance, &EvalOptions::default()).unwrap();
+        let (ad, _) = query_answers(&adorned.program, &instance, &EvalOptions::default()).unwrap();
+        prop_assert_eq!(orig.rows, ad.rows,
+            "adorned program diverged:\n{}", adorned.program.to_text());
+    }
+}

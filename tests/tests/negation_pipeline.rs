@@ -1,0 +1,126 @@
+//! The stratified-negation extension (§6 future work) through the
+//! optimizer: adornment, components and projection handle negated
+//! literals; the Horn-only deletion machinery stands down.
+
+use datalog_ast::{parse_program, PredRef, Value};
+use datalog_engine::{query_answers, EvalOptions, FactSet};
+use datalog_opt::{optimize, OptimizerConfig, Phase};
+
+fn fs(pairs: &[(&str, &[i64])]) -> FactSet {
+    let mut f = FactSet::new();
+    for (p, args) in pairs {
+        f.insert(
+            PredRef::new(p),
+            args.iter().map(|&a| Value::int(a)).collect(),
+        );
+    }
+    f
+}
+
+fn optimize_and_compare(src: &str, input: &FactSet) -> datalog_opt::OptimizeOutcome {
+    let p = parse_program(src).unwrap().program;
+    let out = optimize(&p, &OptimizerConfig::default()).unwrap();
+    let (orig, _) = query_answers(&p, input, &EvalOptions::default()).unwrap();
+    let opts = EvalOptions {
+        boolean_cut: true,
+        ..EvalOptions::default()
+    };
+    let (opt, _) = query_answers(&out.program, input, &opts).unwrap();
+    assert_eq!(orig.rows, opt.rows, "optimized:\n{}", out.program.to_text());
+    out
+}
+
+#[test]
+fn existential_query_with_negation_projects() {
+    // "Which live nodes can reach something?" — negation inside the
+    // recursion; the second column is still existential.
+    let src = "reach(X, Y) :- edge(X, Z), live(Z), reach(Z, Y), not quarantined(X).\n\
+               reach(X, Y) :- edge(X, Y), not quarantined(X).\n\
+               ?- reach(X, _).";
+    let input = fs(&[
+        ("edge", &[1, 2]),
+        ("edge", &[2, 3]),
+        ("edge", &[4, 5]),
+        ("live", &[2]),
+        ("live", &[3]),
+        ("quarantined", &[4]),
+    ]);
+    let out = optimize_and_compare(src, &input);
+    let text = out.program.to_text();
+    // Projection still happened: reach[nd] is unary.
+    assert!(text.contains("reach[nd](X)"), "{text}");
+    assert!(text.contains("not quarantined(X)"), "{text}");
+    // Deletion phases stood down.
+    assert!(out
+        .report
+        .actions
+        .iter()
+        .any(|a| a.description.contains("negation")));
+    assert!(!out
+        .report
+        .actions
+        .iter()
+        .any(|a| matches!(a.phase, Phase::UqeDeletion | Phase::SummaryDeletion)));
+}
+
+#[test]
+fn negated_existential_subquery_becomes_boolean() {
+    // The audit subquery uses negation internally but is disconnected from
+    // the head: components still extract it.
+    let src = "ok(X) :- item(X), audit(A), not revoked(A).\n\
+               ?- ok(X).";
+    let input = fs(&[
+        ("item", &[1]),
+        ("item", &[2]),
+        ("audit", &[10]),
+        ("audit", &[11]),
+        ("revoked", &[10]),
+    ]);
+    let out = optimize_and_compare(src, &input);
+    let text = out.program.to_text();
+    assert!(
+        text.contains("b1 :- audit(A), not revoked(A)."),
+        "{text}"
+    );
+}
+
+#[test]
+fn subsumption_respects_negation() {
+    // The rule WITHOUT the negation is more general and subsumes the one
+    // with it...
+    let src = "q(X) :- e(X, Y).\n\
+               q(X) :- e(X, Y), not bad(X).\n\
+               ?- q(X).";
+    let input = fs(&[("e", &[1, 2]), ("e", &[3, 4]), ("bad", &[3])]);
+    let out = optimize_and_compare(src, &input);
+    assert_eq!(out.program.rules.len(), 1, "{}", out.program.to_text());
+    assert!(!out.program.rules[0].has_negation());
+
+    // ...but never the other way around: the negated rule must survive
+    // when it is the only definition.
+    let src2 = "q(X) :- e(X, Y), not bad(X).\n\
+                q(X) :- f(X), not bad(X).\n\
+                ?- q(X).";
+    let input2 = fs(&[("e", &[1, 2]), ("f", &[3]), ("bad", &[1])]);
+    let out2 = optimize_and_compare(src2, &input2);
+    assert_eq!(out2.program.rules.len(), 2);
+}
+
+#[test]
+fn stratified_layers_survive_the_pipeline() {
+    let src = "reach(Y) :- start(Y).\n\
+               reach(Y) :- reach(X), edge(X, Y).\n\
+               unreached(X) :- node(X), not reach(X).\n\
+               ?- unreached(X).";
+    let input = fs(&[
+        ("start", &[0]),
+        ("edge", &[0, 1]),
+        ("node", &[0]),
+        ("node", &[1]),
+        ("node", &[7]),
+    ]);
+    let out = optimize_and_compare(src, &input);
+    // reach is negated, hence fully needed: no projection of reach.
+    let text = out.program.to_text();
+    assert!(text.contains("not reach"), "{text}");
+}
