@@ -1,9 +1,10 @@
 //! `xdl` — command-line front end for the existential-datalog toolkit.
 //!
 //! ```text
-//! xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report]
+//! xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] [--json]
+//! xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]
 //! xdl optimize <file.dl> [--rewrite-only] [--aggressive]
-//! xdl analyze <file.dl>
+//! xdl analyze <file.dl> [--json]
 //! xdl explain <file.dl> <fact>
 //! xdl grammar <file.dl> [--words <len>] [--monadic first|second]
 //! xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]
@@ -39,9 +40,11 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  \
-     xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report]\n  \
+     xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] \
+     [--json]\n  \
+     xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]\n  \
      xdl optimize <file.dl> [--rewrite-only] [--aggressive]\n  \
-     xdl analyze <file.dl>\n  \
+     xdl analyze <file.dl> [--json]\n  \
      xdl explain <file.dl> <fact>\n  \
      xdl grammar <file.dl> [--words <len>] [--monadic first|second]\n  \
      xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]"
@@ -54,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest: Vec<&String> = it.collect();
     match cmd.as_str() {
         "run" => cmd_run(&rest),
+        "profile" => cmd_profile(&rest),
         "optimize" => cmd_optimize(&rest),
         "analyze" => cmd_analyze(&rest),
         "explain" => cmd_explain(&rest),
@@ -103,7 +107,19 @@ fn load(path: &str) -> Result<(Program, FactSet), String> {
     Ok((parsed.program, facts))
 }
 
-fn cmd_run(rest: &[&String]) -> Result<(), String> {
+/// Load, optionally optimize, and evaluate one `.dl` file with the given
+/// profiling switch. Shared by `run` and `profile`.
+fn prepare_and_eval(
+    rest: &[&String],
+    profile: bool,
+) -> Result<
+    (
+        AnswerSet,
+        existential_datalog::engine::EvalOutput,
+        Option<Report>,
+    ),
+    String,
+> {
     let path = positional(rest, 0).ok_or_else(usage)?;
     let (program, facts) = load(path)?;
     if program.query.is_none() {
@@ -116,23 +132,103 @@ fn cmd_run(rest: &[&String]) -> Result<(), String> {
             .map_err(|e| format!("optimizer: {e}"))?;
         (out.program, Some(out.report))
     };
+    let opts = EvalOptions {
+        boolean_cut: !flag(rest, "--no-cut"),
+        profile,
+        ..EvalOptions::default()
+    };
+    let (answers, out) =
+        query_answers_full(&program, &facts, &opts).map_err(|e| format!("evaluation: {e}"))?;
+    Ok((answers, out, report))
+}
+
+fn cmd_run(rest: &[&String]) -> Result<(), String> {
+    // `--profile` prints the human table, `--profile=json` the JSON export.
+    if let Some(bad) = rest
+        .iter()
+        .find(|a| a.starts_with("--profile=") && a.as_str() != "--profile=json")
+    {
+        return Err(format!(
+            "unknown profile format '{}' (use --profile or --profile=json)",
+            &bad["--profile=".len()..]
+        ));
+    }
+    let profile_json = flag(rest, "--profile=json");
+    let profile = profile_json || flag(rest, "--profile");
+    let (answers, out, report) = prepare_and_eval(rest, profile)?;
     if flag(rest, "--report") {
         if let Some(r) = &report {
             println!("{}", r.to_text());
         }
     }
-    let opts = EvalOptions {
-        boolean_cut: !flag(rest, "--no-cut"),
-        ..EvalOptions::default()
-    };
-    let (answers, stats) =
-        query_answers(&program, &facts, &opts).map_err(|e| format!("evaluation: {e}"))?;
     match answers.as_bool() {
         Some(b) => println!("{b}"),
         None => print!("{answers}"),
     }
     if flag(rest, "--stats") {
-        eprintln!("{stats}");
+        if flag(rest, "--json") {
+            eprintln!("{}", out.stats.to_json().to_pretty());
+        } else {
+            eprintln!("{}", out.stats);
+        }
+    }
+    if let Some(p) = &out.profile {
+        if profile_json {
+            eprintln!(
+                "{}",
+                profile_json_doc(p, &out.stats, report.as_ref()).to_pretty()
+            );
+        } else {
+            eprintln!("hot rules:");
+            eprint!("{}", p.hot_rules_table(None));
+        }
+    }
+    Ok(())
+}
+
+/// The full JSON document `profile --json` / `run --profile=json` emit:
+/// global stats, per-rule profiles, per-iteration timeline, and (when the
+/// optimizer ran) the structured phase-event trace.
+fn profile_json_doc(
+    p: &existential_datalog::prelude::EvalProfile,
+    stats: &EvalStats,
+    report: Option<&Report>,
+) -> existential_datalog::prelude::Json {
+    let mut doc = existential_datalog::prelude::Json::obj()
+        .with("stats", stats.to_json())
+        .with("profile", p.to_json());
+    if let Some(r) = report {
+        doc = doc.with("optimizer", r.to_json());
+    }
+    doc
+}
+
+fn cmd_profile(rest: &[&String]) -> Result<(), String> {
+    let top = match option_value(rest, "--top") {
+        Some(n) => Some(n.parse::<usize>().map_err(|_| "--top takes a number")?),
+        None => None,
+    };
+    let (answers, out, report) = prepare_and_eval(rest, true)?;
+    let p = out.profile.as_ref().expect("profiling was requested");
+    if flag(rest, "--json") {
+        println!(
+            "{}",
+            profile_json_doc(p, &out.stats, report.as_ref()).to_pretty()
+        );
+        return Ok(());
+    }
+    println!("answers: {}", answers.len());
+    println!("stats:   {}", out.stats);
+    println!();
+    println!("hot rules (ranked by wall time):");
+    print!("{}", p.hot_rules_table(top));
+    println!();
+    println!("iteration timeline:");
+    print!("{}", p.timeline_table());
+    if let Some(r) = &report {
+        println!();
+        println!("optimizer trace:");
+        print!("{}", r.to_text());
     }
     Ok(())
 }
@@ -157,7 +253,21 @@ fn cmd_analyze(rest: &[&String]) -> Result<(), String> {
     let path = positional(rest, 0).ok_or_else(usage)?;
     let (program, _) = load(path)?;
     let findings = existential_datalog::opt::analyze(&program);
-    print!("{}", existential_datalog::opt::analyze::render(&findings));
+    if flag(rest, "--json") {
+        let arr = existential_datalog::prelude::Json::Arr(
+            findings
+                .iter()
+                .map(|f| {
+                    existential_datalog::prelude::Json::obj()
+                        .with("kind", f.kind.to_string())
+                        .with("message", f.message.as_str())
+                })
+                .collect(),
+        );
+        println!("{}", arr.to_pretty());
+    } else {
+        print!("{}", existential_datalog::opt::analyze::render(&findings));
+    }
     Ok(())
 }
 

@@ -56,20 +56,22 @@ pub use datalog_engine as engine;
 pub use datalog_grammar as grammar;
 pub use datalog_magic as magic;
 pub use datalog_opt as opt;
+pub use datalog_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use datalog_adorn::{adorn, AdornResult};
     pub use datalog_ast::{
-        parse_atom, parse_program, Adornment, Atom, PredRef, Program, Query, Rule, Term, Value,
-        Var,
+        parse_atom, parse_program, Adornment, Atom, PredRef, Program, Query, Rule, Term, Value, Var,
     };
     pub use datalog_engine::{
-        evaluate, query_answers, AnswerSet, Database, EvalOptions, EvalStats, FactSet, Strategy,
+        evaluate, query_answers, query_answers_full, AnswerSet, Database, EvalOptions, EvalStats,
+        FactSet, Strategy,
     };
     pub use datalog_grammar::{is_chain_program, monadic_equivalent, program_to_grammar, Cfg};
     pub use datalog_magic::magic_rewrite;
     pub use datalog_opt::{optimize, EquivalenceLevel, OptimizeOutcome, OptimizerConfig, Report};
+    pub use datalog_trace::{EvalProfile, Json, PhaseEvent};
 }
 
 #[cfg(test)]

@@ -154,10 +154,7 @@ pub fn adorn(program: &Program) -> Result<AdornResult, AdornError> {
     seen.insert((qbase.clone(), query_ad.clone()));
 
     while let Some((pred, ad)) = queue.pop_front() {
-        versions
-            .entry(pred.clone())
-            .or_default()
-            .insert(ad.clone());
+        versions.entry(pred.clone()).or_default().insert(ad.clone());
         for &ri in &program.rules_for(&pred) {
             let rule = &program.rules[ri];
             let adorned = adorn_rule(rule, &ad, &idb);
@@ -226,9 +223,7 @@ fn adorn_rule(rule: &Rule, head_ad: &Adornment, idb: &BTreeSet<PredRef>) -> Rule
         .map(|lit| {
             if idb.contains(&lit.pred) {
                 Atom {
-                    pred: lit
-                        .pred
-                        .with_adornment(Adornment::all_needed(lit.arity())),
+                    pred: lit.pred.with_adornment(Adornment::all_needed(lit.arity())),
                     terms: lit.terms.clone(),
                 }
             } else {
@@ -309,8 +304,14 @@ mod tests {
         );
         let text = r.program.to_text();
         // Query form: a[nd]; recursive rule forces a[nn].
-        assert!(text.contains("a[nd](X, Y) :- a[nn](X, Z), p(Z, Y)."), "{text}");
-        assert!(text.contains("a[nn](X, Y) :- a[nn](X, Z), p(Z, Y)."), "{text}");
+        assert!(
+            text.contains("a[nd](X, Y) :- a[nn](X, Z), p(Z, Y)."),
+            "{text}"
+        );
+        assert!(
+            text.contains("a[nn](X, Y) :- a[nn](X, Z), p(Z, Y)."),
+            "{text}"
+        );
         assert!(text.contains("a[nn](X, Y) :- p(X, Y)."), "{text}");
         let a_versions = &r.versions[&PredRef::new("a")];
         assert_eq!(a_versions.len(), 2);
@@ -382,7 +383,10 @@ mod tests {
              a(X, Y) :- p(X, Y).\n\
              ?- a(X, _).",
         );
-        assert!(r.program.to_text().contains("a[nd](X, Y) :- p(X, Z), a[nd](Z, Y)."));
+        assert!(r
+            .program
+            .to_text()
+            .contains("a[nd](X, Y) :- p(X, Z), a[nd](Z, Y)."));
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn definition_transform(
     lit_idx: usize,
     arg_idx: usize,
 ) -> Result<Program, DefinitionError> {
-    let rule = program.rules.get(rule_idx).ok_or(DefinitionError::BadIndex)?;
+    let rule = program
+        .rules
+        .get(rule_idx)
+        .ok_or(DefinitionError::BadIndex)?;
     let lit = rule.body.get(lit_idx).ok_or(DefinitionError::BadIndex)?;
     let term = lit.terms.get(arg_idx).ok_or(DefinitionError::BadIndex)?;
     let y = match term {

@@ -88,7 +88,7 @@ impl Adornment {
 
     /// Whether any position is existential.
     pub fn has_existential(&self) -> bool {
-        self.0.iter().any(|a| *a == Ad::D)
+        self.0.contains(&Ad::D)
     }
 
     /// Whether every position is needed.

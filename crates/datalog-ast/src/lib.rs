@@ -86,12 +86,26 @@ impl std::fmt::Display for AstError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AstError::UnsafeRule { rule, var } => {
-                write!(f, "unsafe rule (head variable {var} not bound in body): {rule}")
+                write!(
+                    f,
+                    "unsafe rule (head variable {var} not bound in body): {rule}"
+                )
             }
-            AstError::ArityMismatch { pred, expected, found } => {
-                write!(f, "predicate {pred} used with arity {found}, expected {expected}")
+            AstError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "predicate {pred} used with arity {found}, expected {expected}"
+                )
             }
-            AstError::AdornmentMismatch { pred, adornment, args } => write!(
+            AstError::AdornmentMismatch {
+                pred,
+                adornment,
+                args,
+            } => write!(
                 f,
                 "adornment {adornment} of {pred} incompatible with {args} argument(s)"
             ),
@@ -100,7 +114,10 @@ impl std::fmt::Display for AstError {
                 write!(f, "wildcard in rule head: {rule}")
             }
             AstError::UnknownQueryPredicate { pred } => {
-                write!(f, "query predicate {pred} is not defined or used in the program")
+                write!(
+                    f,
+                    "query predicate {pred} is not defined or used in the program"
+                )
             }
         }
     }

@@ -45,7 +45,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -73,7 +77,7 @@ enum Tok {
     Caret,
     Comma,
     Dot,
-    Implies,  // :-
+    Implies,   // :-
     QueryLead, // ?-
     Underscore,
 }
@@ -253,9 +257,7 @@ impl<'a> Lexer<'a> {
                         Tok::Ident(s)
                     }
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character '{}'", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character '{}'", other as char))),
             };
             out.push((tok, line, col));
         }
@@ -363,7 +365,10 @@ impl Parser {
             // `not` is a keyword only in literal position; elsewhere it is
             // an ordinary identifier.
             let negated = matches!(self.peek(), Some(Tok::Ident(s)) if s == "not")
-                && !matches!(self.toks.get(self.pos + 1).map(|(t, _, _)| t), Some(Tok::LParen));
+                && !matches!(
+                    self.toks.get(self.pos + 1).map(|(t, _, _)| t),
+                    Some(Tok::LParen)
+                );
             if negated {
                 self.bump();
                 negative.push(self.parse_atom()?);
@@ -435,7 +440,9 @@ impl Parser {
                 self.bump();
                 let (body, negative) = self.parse_body()?;
                 self.expect(&Tok::Dot, "'.'")?;
-                program.rules.push(Rule::with_negation(head, body, negative));
+                program
+                    .rules
+                    .push(Rule::with_negation(head, body, negative));
                 Ok(())
             }
             _ => Err(self.err_here("expected '.' or ':-'")),
@@ -511,10 +518,7 @@ mod tests {
         let a = parse_atom("a[nd](X, Y)").unwrap();
         let b = parse_atom("a^nd(X, Y)").unwrap();
         assert_eq!(a, b);
-        assert_eq!(
-            a.pred.adornment.as_ref().unwrap().0,
-            vec![Ad::N, Ad::D]
-        );
+        assert_eq!(a.pred.adornment.as_ref().unwrap().0, vec![Ad::N, Ad::D]);
         // Empty adornment (boolean predicate).
         let c = parse_atom("b2[]").unwrap();
         assert_eq!(c.pred.adornment.as_ref().unwrap().len(), 0);

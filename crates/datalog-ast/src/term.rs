@@ -216,7 +216,12 @@ mod tests {
 
     #[test]
     fn value_ordering_is_total() {
-        let mut vs = vec![Value::sym("b"), Value::int(2), Value::sym("a"), Value::int(1)];
+        let mut vs = [
+            Value::sym("b"),
+            Value::int(2),
+            Value::sym("a"),
+            Value::int(1),
+        ];
         vs.sort();
         // Ints sort before syms (enum order), each group internally ordered.
         assert_eq!(vs[0], Value::int(1));

@@ -14,15 +14,38 @@ const SRC: &str = "query(X) :- a(X, Y), audit(W).\n\
 
 fn bench(c: &mut Criterion) {
     let original = parse_program(SRC).unwrap().program;
-    let rewrite_only = optimize(&original, &OptimizerConfig::rewrite_only()).unwrap().program;
-    let full = optimize(&original, &OptimizerConfig::default()).unwrap().program;
-    let cut = EvalOptions { boolean_cut: true, ..EvalOptions::default() };
+    let rewrite_only = optimize(&original, &OptimizerConfig::rewrite_only())
+        .unwrap()
+        .program;
+    let full = optimize(&original, &OptimizerConfig::default())
+        .unwrap()
+        .program;
+    let cut = EvalOptions {
+        boolean_cut: true,
+        ..EvalOptions::default()
+    };
     for n in [256i64, 512] {
         let mut edb = workloads::chain("p", n);
         edb.extend(&workloads::unary("audit", 128));
         let params = format!("chain_n{n}");
-        bench_variant(c, "e10_ablation", "original", &params, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e10_ablation", "rewrite_only", &params, &rewrite_only, &edb, &cut);
+        bench_variant(
+            c,
+            "e10_ablation",
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e10_ablation",
+            "rewrite_only",
+            &params,
+            &rewrite_only,
+            &edb,
+            &cut,
+        );
         bench_variant(c, "e10_ablation", "full", &params, &full, &edb, &cut);
     }
 }

@@ -9,12 +9,30 @@ use datalog_opt::{optimize, paper, OptimizerConfig};
 
 fn bench(c: &mut Criterion) {
     let original = parse_program(paper::EXAMPLE_1).unwrap().program;
-    let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    let optimized = optimize(&original, &OptimizerConfig::default())
+        .unwrap()
+        .program;
     for n in [128i64, 512] {
         let edb = workloads::chain("p", n);
         let params = format!("chain_n{n}");
-        bench_variant(c, "e1_projection", "original", &params, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e1_projection", "optimized", &params, &optimized, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e1_projection",
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e1_projection",
+            "optimized",
+            &params,
+            &optimized,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

@@ -14,13 +14,34 @@ const SRC: &str = "q(X, Y) :- sub(X, Z), q(Z, Y), certified(W).\n\
 
 fn bench(c: &mut Criterion) {
     let original = parse_program(SRC).unwrap().program;
-    let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
-    let cut = EvalOptions { boolean_cut: true, ..EvalOptions::default() };
+    let optimized = optimize(&original, &OptimizerConfig::default())
+        .unwrap()
+        .program;
+    let cut = EvalOptions {
+        boolean_cut: true,
+        ..EvalOptions::default()
+    };
     for certs in [1_000i64, 20_000] {
         let edb = workloads::bom(128, 2, certs);
         let params = format!("certified_{certs}");
-        bench_variant(c, "e2_cut", "original", &params, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e2_cut", "optimized_cut", &params, &optimized, &edb, &cut);
+        bench_variant(
+            c,
+            "e2_cut",
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e2_cut",
+            "optimized_cut",
+            &params,
+            &optimized,
+            &edb,
+            &cut,
+        );
     }
 }
 

@@ -14,7 +14,9 @@ const SRC: &str = "a(X, Y) :- a(X, Z), p(Z, Y).\n\
 
 fn bench(c: &mut Criterion) {
     let original = parse_program(SRC).unwrap().program;
-    let full = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    let full = optimize(&original, &OptimizerConfig::default())
+        .unwrap()
+        .program;
     let uniform_only = {
         let mut cfg = OptimizerConfig::default();
         cfg.freeze.uqe = false;
@@ -24,9 +26,33 @@ fn bench(c: &mut Criterion) {
     for n in [128i64, 512] {
         let edb = workloads::chain("p", n);
         let params = format!("chain_n{n}");
-        bench_variant(c, "e3_uqe", "original", &params, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e3_uqe", "uniform_only", &params, &uniform_only, &edb, &EvalOptions::default());
-        bench_variant(c, "e3_uqe", "uqe_full", &params, &full, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e3_uqe",
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e3_uqe",
+            "uniform_only",
+            &params,
+            &uniform_only,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e3_uqe",
+            "uqe_full",
+            &params,
+            &full,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

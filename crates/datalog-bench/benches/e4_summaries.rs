@@ -9,10 +9,28 @@ use datalog_opt::{optimize, paper, OptimizerConfig};
 fn bench(c: &mut Criterion) {
     for name in ["example_7", "example_8", "example_10"] {
         let original = paper::parse_example(name).unwrap();
-        let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+        let optimized = optimize(&original, &OptimizerConfig::default())
+            .unwrap()
+            .program;
         let edb = workloads::edb_for(&original, 48, 256, 11);
-        bench_variant(c, "e4_summaries", "original", name, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e4_summaries", "optimized", name, &optimized, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e4_summaries",
+            "original",
+            name,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e4_summaries",
+            "optimized",
+            name,
+            &optimized,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

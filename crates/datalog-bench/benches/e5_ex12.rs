@@ -9,12 +9,30 @@ use datalog_opt::paper;
 
 fn bench(c: &mut Criterion) {
     let adorned = parse_program(paper::EXAMPLE_12_ADORNED).unwrap().program;
-    let transformed = parse_program(paper::EXAMPLE_12_TRANSFORMED).unwrap().program;
+    let transformed = parse_program(paper::EXAMPLE_12_TRANSFORMED)
+        .unwrap()
+        .program;
     for (levels, sel) in [(64i64, 1.0f64), (64, 0.1)] {
         let edb = workloads::updown(levels, 32, sel, 5);
         let params = format!("levels{levels}_sel{sel}");
-        bench_variant(c, "e5_ex12", "adorned_3ary", &params, &adorned, &edb, &EvalOptions::default());
-        bench_variant(c, "e5_ex12", "transformed_2ary", &params, &transformed, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e5_ex12",
+            "adorned_3ary",
+            &params,
+            &adorned,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e5_ex12",
+            "transformed_2ary",
+            &params,
+            &transformed,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

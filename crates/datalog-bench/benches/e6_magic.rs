@@ -15,15 +15,49 @@ const SRC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
 fn bench(c: &mut Criterion) {
     let original = parse_program(SRC).unwrap().program;
     let magic = magic_rewrite(&original).unwrap().program;
-    let exist = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+    let exist = optimize(&original, &OptimizerConfig::default())
+        .unwrap()
+        .program;
     let both = magic_rewrite(&exist).unwrap().program;
     for n in [256i64, 1024] {
         let edb = workloads::random_digraph("p", n, (n as usize) * 2, 9);
         let params = format!("rand_n{n}");
-        bench_variant(c, "e6_magic", "original", &params, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e6_magic", "magic", &params, &magic, &edb, &EvalOptions::default());
-        bench_variant(c, "e6_magic", "existential", &params, &exist, &edb, &EvalOptions::default());
-        bench_variant(c, "e6_magic", "both", &params, &both, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e6_magic",
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e6_magic",
+            "magic",
+            &params,
+            &magic,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e6_magic",
+            "existential",
+            &params,
+            &exist,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e6_magic",
+            "both",
+            &params,
+            &both,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

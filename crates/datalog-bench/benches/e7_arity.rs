@@ -10,7 +10,13 @@ use datalog_opt::{optimize, OptimizerConfig};
 fn padded_tc(k: usize) -> String {
     let es: Vec<String> = (1..=k).map(|i| format!("E{i}")).collect();
     let fs: Vec<String> = (1..=k).map(|i| format!("F{i}")).collect();
-    let tail = |v: &[String]| if v.is_empty() { String::new() } else { format!(", {}", v.join(", ")) };
+    let tail = |v: &[String]| {
+        if v.is_empty() {
+            String::new()
+        } else {
+            format!(", {}", v.join(", "))
+        }
+    };
     format!(
         "a(X, Y{e}) :- p(X, Z{f}), a(Z, Y{e}).\na(X, Y{e}) :- p(X, Y{e}).\n?- a(X, _{w}).",
         e = tail(&es),
@@ -23,11 +29,29 @@ fn bench(c: &mut Criterion) {
     for k in [0usize, 2, 4] {
         let src = padded_tc(k);
         let original = parse_program(&src).unwrap().program;
-        let optimized = optimize(&original, &OptimizerConfig::default()).unwrap().program;
+        let optimized = optimize(&original, &OptimizerConfig::default())
+            .unwrap()
+            .program;
         let edb = workloads::padded_edges("p", 192, k, 3);
         let params = format!("k{k}");
-        bench_variant(c, "e7_arity", "original", &params, &original, &edb, &EvalOptions::default());
-        bench_variant(c, "e7_arity", "optimized", &params, &optimized, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e7_arity",
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e7_arity",
+            "optimized",
+            &params,
+            &optimized,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

@@ -19,8 +19,24 @@ fn bench(c: &mut Criterion) {
     for n in [256i64, 1024] {
         let edb = workloads::chain("p", n);
         let params = format!("chain_n{n}");
-        bench_variant(c, "e8_grammar", "binary_tc", &params, &projected, &edb, &EvalOptions::default());
-        bench_variant(c, "e8_grammar", "monadic", &params, &rewrite.program, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e8_grammar",
+            "binary_tc",
+            &params,
+            &projected,
+            &edb,
+            &EvalOptions::default(),
+        );
+        bench_variant(
+            c,
+            "e8_grammar",
+            "monadic",
+            &params,
+            &rewrite.program,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

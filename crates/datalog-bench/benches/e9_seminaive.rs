@@ -12,12 +12,23 @@ const SRC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
 
 fn bench(c: &mut Criterion) {
     let p = parse_program(SRC).unwrap().program;
-    let naive = EvalOptions { strategy: Strategy::Naive, ..EvalOptions::default() };
+    let naive = EvalOptions {
+        strategy: Strategy::Naive,
+        ..EvalOptions::default()
+    };
     for n in [64i64, 192] {
         let edb = workloads::chain("p", n);
         let params = format!("chain_n{n}");
         bench_variant(c, "e9_seminaive", "naive", &params, &p, &edb, &naive);
-        bench_variant(c, "e9_seminaive", "semi_naive", &params, &p, &edb, &EvalOptions::default());
+        bench_variant(
+            c,
+            "e9_seminaive",
+            "semi_naive",
+            &params,
+            &p,
+            &edb,
+            &EvalOptions::default(),
+        );
     }
 }
 

@@ -23,8 +23,7 @@ pub fn bench_variant(
         .measurement_time(std::time::Duration::from_secs(2));
     g.bench_function(format!("{variant}/{params}"), |b| {
         b.iter(|| {
-            let (ans, _) =
-                query_answers(program, input, opts).expect("bench program evaluates");
+            let (ans, _) = query_answers(program, input, opts).expect("bench program evaluates");
             criterion::black_box(ans.len())
         })
     });

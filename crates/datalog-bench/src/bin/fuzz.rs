@@ -3,108 +3,26 @@
 //!
 //! ```text
 //! cargo run -p datalog-bench --release --bin fuzz -- [rounds] [base-seed]
+//! cargo run -p datalog-bench --release --bin fuzz -- --smoke
 //! ```
+//!
+//! `--smoke` runs the fixed-seed configuration the test suite also runs
+//! (small, deterministic), so CI scripts can invoke it without choosing
+//! parameters.
 
-use datalog_bench::workloads::{edb_for, random_program};
-use datalog_engine::{query_answers, EvalOptions, Strategy};
-use datalog_opt::{optimize, OptimizerConfig};
+use datalog_bench::fuzz::{run_rounds, SMOKE_BASE_SEED, SMOKE_ROUNDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let rounds: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(200);
-    let base: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1);
-    let mut failures = 0u64;
-    for round in 0..rounds {
-        let seed = base.wrapping_add(round);
-        let program = random_program(seed);
-        if program.validate().is_err() {
-            eprintln!("seed {seed}: generator produced an invalid program");
-            failures += 1;
-            continue;
-        }
-        let instance = edb_for(&program, 4, 12, seed ^ 0xabcdef);
-        let reference = match query_answers(&program, &instance, &EvalOptions::default()) {
-            Ok((a, _)) => a.rows,
-            Err(e) => {
-                eprintln!("seed {seed}: reference evaluation failed: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        let check = |label: &str,
-                     rows: &std::collections::BTreeSet<Vec<datalog_ast::Value>>|
-         -> u64 {
-            if *rows != reference {
-                eprintln!(
-                    "seed {seed}: {label} disagrees with reference\nprogram:\n{}",
-                    program.to_text()
-                );
-                1
-            } else {
-                0
-            }
-        };
-        // Naive strategy.
-        let (a, _) = query_answers(
-            &program,
-            &instance,
-            &EvalOptions {
-                strategy: Strategy::Naive,
-                ..EvalOptions::default()
-            },
+    let (rounds, base) = if args.iter().any(|a| a == "--smoke") {
+        (SMOKE_ROUNDS, SMOKE_BASE_SEED)
+    } else {
+        (
+            args.first().and_then(|a| a.parse().ok()).unwrap_or(200),
+            args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1),
         )
-        .expect("naive evaluates");
-        failures += check("naive", &a.rows);
-        // Reordered joins.
-        let (a, _) = query_answers(
-            &program,
-            &instance,
-            &EvalOptions {
-                reorder_joins: true,
-                ..EvalOptions::default()
-            },
-        )
-        .expect("reordered evaluates");
-        failures += check("reorder_joins", &a.rows);
-        // Full optimizer (+ cut).
-        match optimize(&program, &OptimizerConfig::default()) {
-            Ok(out) => {
-                let (a, _) = query_answers(
-                    &out.program,
-                    &instance,
-                    &EvalOptions {
-                        boolean_cut: true,
-                        ..EvalOptions::default()
-                    },
-                )
-                .expect("optimized evaluates");
-                failures += check("optimizer", &a.rows);
-            }
-            Err(e) => {
-                eprintln!("seed {seed}: optimizer failed: {e}");
-                failures += 1;
-            }
-        }
-        // Aggressive optimizer (auto-fold).
-        match optimize(&program, &OptimizerConfig::aggressive()) {
-            Ok(out) => {
-                let (a, _) = query_answers(
-                    &out.program,
-                    &instance,
-                    &EvalOptions {
-                        boolean_cut: true,
-                        ..EvalOptions::default()
-                    },
-                )
-                .expect("aggressive evaluates");
-                failures += check("aggressive-optimizer", &a.rows);
-            }
-            Err(e) => {
-                eprintln!("seed {seed}: aggressive optimizer failed: {e}");
-                failures += 1;
-            }
-        }
-    }
+    };
+    let failures = run_rounds(rounds, base, true);
     if failures == 0 {
         println!("fuzz: {rounds} rounds, no disagreements");
     } else {

@@ -27,10 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let ids: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     if ids.iter().any(|a| a.as_str() == "list") {
         emit("available experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 (or `all`)\n");
@@ -58,7 +55,8 @@ fn main() {
     };
 
     if json {
-        emit(&serde_json::to_string_pretty(&results).expect("results serialize"));
+        let doc = datalog_trace::Json::Arr(results.iter().map(|r| r.to_json()).collect());
+        emit(&doc.to_pretty());
         emit("\n");
     } else {
         for r in &results {

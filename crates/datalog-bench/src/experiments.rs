@@ -16,7 +16,9 @@ use crate::measure::{measure, ExperimentResult};
 use crate::workloads;
 
 fn parse(src: &str) -> Program {
-    parse_program(src).expect("experiment program parses").program
+    parse_program(src)
+        .expect("experiment program parses")
+        .program
 }
 
 fn optimized(src: &str) -> Program {
@@ -41,19 +43,59 @@ pub fn e1(quick: bool) -> ExperimentResult {
         "optimized program: {}",
         opt.to_text().replace('\n', "  ")
     ));
-    let sizes: &[i64] = if quick { &[32, 64] } else { &[128, 256, 512, 1024] };
+    let sizes: &[i64] = if quick {
+        &[32, 64]
+    } else {
+        &[128, 256, 512, 1024]
+    };
     for &n in sizes {
         let edb = workloads::chain("p", n);
         let params = format!("chain n={n}");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "optimized", &params, &opt, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "optimized",
+            &params,
+            &opt,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
-    let gsizes: &[(i64, usize)] = if quick { &[(64, 128)] } else { &[(256, 512), (512, 1024)] };
+    let gsizes: &[(i64, usize)] = if quick {
+        &[(64, 128)]
+    } else {
+        &[(256, 512), (512, 1024)]
+    };
     for &(n, m) in gsizes {
         let edb = workloads::random_digraph("p", n, m, 42);
         let params = format!("rand n={n} m={m}");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "optimized", &params, &opt, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "optimized",
+            &params,
+            &opt,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -64,7 +106,9 @@ pub fn e2(quick: bool) -> ExperimentResult {
         "e2",
         "boolean cut: existential subquery fenced behind a boolean (Example 2, section 3.1)",
     );
-    r.note("expect: original rescans `certified` per binding; optimized proves b1 once and retires it");
+    r.note(
+        "expect: original rescans `certified` per binding; optimized proves b1 once and retires it",
+    );
     const SRC: &str = "q(X, Y) :- sub(X, Z), q(Z, Y), certified(W).\n\
                        q(X, Y) :- sub(X, Y), certified(W).\n\
                        ?- q(X, _).";
@@ -74,13 +118,33 @@ pub fn e2(quick: bool) -> ExperimentResult {
         boolean_cut: true,
         ..EvalOptions::default()
     };
-    let certs: &[i64] = if quick { &[100, 1000] } else { &[100, 1000, 10_000, 100_000] };
+    let certs: &[i64] = if quick {
+        &[100, 1000]
+    } else {
+        &[100, 1000, 10_000, 100_000]
+    };
     for &c in certs {
         let mut edb = workloads::bom(if quick { 64 } else { 256 }, 2, c);
         edb.extend(&workloads::chain("unused", 0));
         let params = format!("bom certified={c}");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "optimized+cut", &params, &opt, &edb, &cut_opts, RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "optimized+cut",
+            &params,
+            &opt,
+            &edb,
+            &cut_opts,
+            RUNS,
+        );
     }
     r
 }
@@ -104,14 +168,46 @@ pub fn e3(quick: bool) -> ExperimentResult {
         cfg.summary.add_cover_unit_rules = false;
         optimize(&original, &cfg).unwrap().program
     };
-    r.note(format!("uniform-only: {} rule(s); full: {} rule(s)", uniform_only.rules.len(), full.rules.len()));
-    let sizes: &[i64] = if quick { &[32, 64] } else { &[128, 256, 512, 1024] };
+    r.note(format!(
+        "uniform-only: {} rule(s); full: {} rule(s)",
+        uniform_only.rules.len(),
+        full.rules.len()
+    ));
+    let sizes: &[i64] = if quick {
+        &[32, 64]
+    } else {
+        &[128, 256, 512, 1024]
+    };
     for &n in sizes {
         let edb = workloads::chain("p", n);
         let params = format!("chain n={n}");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "uniform-only", &params, &uniform_only, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "uqe-full", &params, &full, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "uniform-only",
+            &params,
+            &uniform_only,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "uqe-full",
+            &params,
+            &full,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -136,8 +232,24 @@ pub fn e4(quick: bool) -> ExperimentResult {
         ));
         let edb = workloads::edb_for(&original, n, per, 11);
         let params = format!("{name} n={n} per_rel={per}");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "optimized", &params, &out.program, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "optimized",
+            &params,
+            &out.program,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -160,8 +272,24 @@ pub fn e5(quick: bool) -> ExperimentResult {
     for &(levels, width, sel) in shapes {
         let edb = workloads::updown(levels, width, sel, 5);
         let params = format!("updown levels={levels} width={width} c_sel={sel}");
-        measure(&mut r, "adorned(3-ary)", &params, &adorned, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "transformed(2-ary)", &params, &transformed, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "adorned(3-ary)",
+            &params,
+            &adorned,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "transformed(2-ary)",
+            &params,
+            &transformed,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -188,10 +316,42 @@ pub fn e6(quick: bool) -> ExperimentResult {
         // so also use a random graph where 0 reaches a fraction.
         let edb = workloads::random_digraph("p", n, (n as usize) * 2, 9);
         let params = format!("rand n={n} m={}", n * 2);
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "magic", &params, &magic_only, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "existential", &params, &exist_only, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "both", &params, &both, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "magic",
+            &params,
+            &magic_only,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "existential",
+            &params,
+            &exist_only,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "both",
+            &params,
+            &both,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -234,8 +394,24 @@ pub fn e7(quick: bool) -> ExperimentResult {
         let opt = optimized(&src);
         let edb = workloads::padded_edges("p", n, k, 3);
         let params = format!("chain n={n} k={k}");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "optimized", &params, &opt, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "optimized",
+            &params,
+            &opt,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -275,8 +451,24 @@ pub fn e8(quick: bool) -> ExperimentResult {
     for &n in sizes {
         let edb = workloads::chain("p", n);
         let params = format!("chain n={n}");
-        measure(&mut r, "binary-TC", &params, &projected, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "monadic(Thm3.3)", &params, &rewrite.program, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "binary-TC",
+            &params,
+            &projected,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "monadic(Thm3.3)",
+            &params,
+            &rewrite.program,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -298,14 +490,34 @@ pub fn e9(quick: bool) -> ExperimentResult {
         let edb = workloads::chain("p", n);
         let params = format!("chain n={n}");
         measure(&mut r, "naive", &params, &p, &edb, &naive, RUNS);
-        measure(&mut r, "semi-naive", &params, &p, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "semi-naive",
+            &params,
+            &p,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
-    let gr: &[(i64, usize)] = if quick { &[(48, 96)] } else { &[(128, 256), (192, 768)] };
+    let gr: &[(i64, usize)] = if quick {
+        &[(48, 96)]
+    } else {
+        &[(128, 256), (192, 768)]
+    };
     for &(n, m) in gr {
         let edb = workloads::random_digraph("p", n, m, 21);
         let params = format!("rand n={n} m={m}");
         measure(&mut r, "naive", &params, &p, &edb, &naive, RUNS);
-        measure(&mut r, "semi-naive", &params, &p, &edb, &EvalOptions::default(), RUNS);
+        measure(
+            &mut r,
+            "semi-naive",
+            &params,
+            &p,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
     }
     r
 }
@@ -353,9 +565,33 @@ pub fn e10(quick: bool) -> ExperimentResult {
         let mut edb = workloads::chain("p", n);
         edb.extend(&workloads::unary("audit", 128));
         let params = format!("chain n={n} + audit");
-        measure(&mut r, "original", &params, &original, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "adorned", &params, &adorn_only, &edb, &EvalOptions::default(), RUNS);
-        measure(&mut r, "+components", &params, &components_only, &edb, &cut, RUNS);
+        measure(
+            &mut r,
+            "original",
+            &params,
+            &original,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "adorned",
+            &params,
+            &adorn_only,
+            &edb,
+            &EvalOptions::default(),
+            RUNS,
+        );
+        measure(
+            &mut r,
+            "+components",
+            &params,
+            &components_only,
+            &edb,
+            &cut,
+            RUNS,
+        );
         measure(&mut r, "+projection", &params, &projected, &edb, &cut, RUNS);
         measure(&mut r, "full", &params, &full, &edb, &cut, RUNS);
     }

@@ -1,0 +1,146 @@
+//! Differential fuzzing: random safe programs × random instances, evaluated
+//! under every engine/optimizer configuration; any disagreement is a bug.
+//!
+//! The logic lives here (not in the `fuzz` binary) so the test suite can run
+//! a small fixed-seed smoke round on every `cargo test`, keeping the
+//! differential oracle exercised without a separate manual step.
+
+use datalog_engine::{query_answers, EvalOptions, Strategy};
+use datalog_opt::{optimize, OptimizerConfig};
+
+use crate::workloads::{edb_for, random_program};
+
+/// Rounds and base seed of the fixed `--smoke` configuration. Small enough
+/// for a debug-profile test run, deterministic so failures reproduce.
+pub const SMOKE_ROUNDS: u64 = 25;
+/// Base seed used by `--smoke`.
+pub const SMOKE_BASE_SEED: u64 = 1;
+
+/// Run `rounds` differential rounds starting at `base` seed; returns the
+/// number of failures. When `verbose` is false, per-failure diagnostics are
+/// suppressed (the caller only wants the count).
+pub fn run_rounds(rounds: u64, base: u64, verbose: bool) -> u64 {
+    let mut failures = 0u64;
+    macro_rules! complain {
+        ($($arg:tt)*) => {
+            if verbose {
+                eprintln!($($arg)*);
+            }
+        };
+    }
+    for round in 0..rounds {
+        let seed = base.wrapping_add(round);
+        let program = random_program(seed);
+        if program.validate().is_err() {
+            complain!("seed {seed}: generator produced an invalid program");
+            failures += 1;
+            continue;
+        }
+        let instance = edb_for(&program, 4, 12, seed ^ 0xabcdef);
+        let reference = match query_answers(&program, &instance, &EvalOptions::default()) {
+            Ok((a, _)) => a.rows,
+            Err(e) => {
+                complain!("seed {seed}: reference evaluation failed: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let check =
+            |label: &str, rows: &std::collections::BTreeSet<Vec<datalog_ast::Value>>| -> u64 {
+                if *rows != reference {
+                    complain!(
+                        "seed {seed}: {label} disagrees with reference\nprogram:\n{}",
+                        program.to_text()
+                    );
+                    1
+                } else {
+                    0
+                }
+            };
+        // Naive strategy.
+        let (a, _) = query_answers(
+            &program,
+            &instance,
+            &EvalOptions {
+                strategy: Strategy::Naive,
+                ..EvalOptions::default()
+            },
+        )
+        .expect("naive evaluates");
+        failures += check("naive", &a.rows);
+        // Reordered joins.
+        let (a, _) = query_answers(
+            &program,
+            &instance,
+            &EvalOptions {
+                reorder_joins: true,
+                ..EvalOptions::default()
+            },
+        )
+        .expect("reordered evaluates");
+        failures += check("reorder_joins", &a.rows);
+        // Profiled evaluation must not change answers (and partitions the
+        // global counters — checked in depth by the engine's tests).
+        let (a, _) = query_answers(
+            &program,
+            &instance,
+            &EvalOptions {
+                profile: true,
+                ..EvalOptions::default()
+            },
+        )
+        .expect("profiled evaluates");
+        failures += check("profiled", &a.rows);
+        // Full optimizer (+ cut).
+        match optimize(&program, &OptimizerConfig::default()) {
+            Ok(out) => {
+                let (a, _) = query_answers(
+                    &out.program,
+                    &instance,
+                    &EvalOptions {
+                        boolean_cut: true,
+                        ..EvalOptions::default()
+                    },
+                )
+                .expect("optimized evaluates");
+                failures += check("optimizer", &a.rows);
+            }
+            Err(e) => {
+                complain!("seed {seed}: optimizer failed: {e}");
+                failures += 1;
+            }
+        }
+        // Aggressive optimizer (auto-fold).
+        match optimize(&program, &OptimizerConfig::aggressive()) {
+            Ok(out) => {
+                let (a, _) = query_answers(
+                    &out.program,
+                    &instance,
+                    &EvalOptions {
+                        boolean_cut: true,
+                        ..EvalOptions::default()
+                    },
+                )
+                .expect("aggressive evaluates");
+                failures += check("aggressive-optimizer", &a.rows);
+            }
+            Err(e) => {
+                complain!("seed {seed}: aggressive optimizer failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fixed-seed smoke configuration must stay green: it is the same
+    /// oracle the `fuzz --smoke` binary invocation runs.
+    #[test]
+    fn smoke_rounds_find_no_disagreements() {
+        assert_eq!(run_rounds(SMOKE_ROUNDS, SMOKE_BASE_SEED, true), 0);
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod bench_support;
 pub mod experiments;
+pub mod fuzz;
 pub mod measure;
 pub mod workloads;
 

@@ -4,11 +4,11 @@
 use std::time::{Duration, Instant};
 
 use datalog_ast::Program;
-use datalog_engine::{query_answers, EvalOptions, EvalStats};
-use serde::Serialize;
+use datalog_engine::{query_answers, query_answers_full, EvalOptions, EvalStats};
+use datalog_trace::{Json, RuleProfile};
 
 /// One measured row of an experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Variant label, e.g. `original` / `optimized`.
     pub label: String,
@@ -28,10 +28,33 @@ pub struct Measurement {
     pub retired: u64,
     /// Median wall time in microseconds.
     pub wall_us: u128,
+    /// Per-rule profiles from one extra *untimed* profiled run (the timed
+    /// runs always execute with profiling off, so the medians stay clean).
+    pub rules: Vec<RuleProfile>,
+}
+
+impl Measurement {
+    /// JSON object for export.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("label", self.label.as_str())
+            .with("params", self.params.as_str())
+            .with("answers", self.answers)
+            .with("facts", self.facts)
+            .with("duplicates", self.duplicates)
+            .with("scanned", self.scanned)
+            .with("iterations", self.iterations)
+            .with("retired", self.retired)
+            .with("wall_us", self.wall_us as u64)
+            .with(
+                "rules",
+                Json::Arr(self.rules.iter().map(RuleProfile::to_json).collect()),
+            )
+    }
 }
 
 /// A full experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id, e.g. `e1`.
     pub id: String,
@@ -57,6 +80,21 @@ impl ExperimentResult {
     /// Add a note line.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// JSON object for export.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("id", self.id.as_str())
+            .with("title", self.title.as_str())
+            .with(
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+            )
+            .with(
+                "rows",
+                Json::Arr(self.rows.iter().map(Measurement::to_json).collect()),
+            )
     }
 
     /// Render as an aligned text table.
@@ -104,7 +142,9 @@ impl ExperimentResult {
 }
 
 /// Evaluate `program` on `input` `runs` times; record stats from the first
-/// run (they are deterministic) and the median wall time.
+/// run (they are deterministic) and the median wall time. One extra
+/// *untimed* run with profiling enabled supplies the per-rule profiles, so
+/// the timed runs measure the production (profile-off) configuration.
 pub fn measure(
     result: &mut ExperimentResult,
     label: &str,
@@ -114,17 +154,20 @@ pub fn measure(
     opts: &EvalOptions,
     runs: usize,
 ) -> EvalStats {
+    let profiled_opts = EvalOptions {
+        profile: true,
+        ..opts.clone()
+    };
+    let (ans, out) =
+        query_answers_full(program, input, &profiled_opts).expect("experiment program evaluates");
+    let stats = out.stats;
+    let answers = ans.len();
+    let rules = out.profile.map(|p| p.rules).unwrap_or_default();
     let mut walls: Vec<Duration> = Vec::with_capacity(runs.max(1));
-    let mut stats = EvalStats::default();
-    let mut answers = 0;
-    for i in 0..runs.max(1) {
+    for _ in 0..runs.max(1) {
         let t0 = Instant::now();
-        let (ans, st) = query_answers(program, input, opts).expect("experiment program evaluates");
+        let _ = query_answers(program, input, opts).expect("experiment program evaluates");
         walls.push(t0.elapsed());
-        if i == 0 {
-            stats = st;
-            answers = ans.len();
-        }
     }
     walls.sort();
     let median = walls[walls.len() / 2];
@@ -138,6 +181,7 @@ pub fn measure(
         iterations: stats.iterations,
         retired: stats.rules_retired,
         wall_us: median.as_micros(),
+        rules,
     });
     stats
 }
@@ -159,7 +203,15 @@ mod tests {
         .program;
         let mut r = ExperimentResult::new("t", "test");
         r.note("a note");
-        let stats = measure(&mut r, "orig", "chain n=8", &p, &chain("p", 8), &EvalOptions::default(), 3);
+        let stats = measure(
+            &mut r,
+            "orig",
+            "chain n=8",
+            &p,
+            &chain("p", 8),
+            &EvalOptions::default(),
+            3,
+        );
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].answers, 36);
         assert!(stats.facts_derived >= 36);
@@ -167,5 +219,36 @@ mod tests {
         assert!(table.contains("chain n=8"));
         assert!(table.contains("a note"));
         assert!(table.contains("answers"));
+    }
+
+    #[test]
+    fn measure_attaches_per_rule_profiles() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        )
+        .unwrap()
+        .program;
+        let mut r = ExperimentResult::new("t", "test");
+        let stats = measure(
+            &mut r,
+            "orig",
+            "chain n=8",
+            &p,
+            &chain("p", 8),
+            &EvalOptions::default(),
+            1,
+        );
+        let rules = &r.rows[0].rules;
+        assert_eq!(rules.len(), 2);
+        // The per-rule partition covers the global counters exactly.
+        assert_eq!(
+            rules.iter().map(|rp| rp.derivations).sum::<u64>(),
+            stats.derivations
+        );
+        let j = r.to_json().to_string();
+        assert!(j.contains("\"rules\""), "{j}");
+        assert!(j.contains("\"wall_ns\""), "{j}");
     }
 }

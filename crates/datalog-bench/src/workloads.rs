@@ -89,10 +89,7 @@ pub fn updown(levels: i64, width: i64, c_selectivity: f64, seed: u64) -> FactSet
     for off in 0..width {
         // Base triples tie the two towers together at the deepest level.
         let z = Value::int(2_000_000 + off);
-        fs.insert(
-            b.clone(),
-            vec![node(levels, off), dnode(levels, off), z],
-        );
+        fs.insert(b.clone(), vec![node(levels, off), dnode(levels, off), z]);
         if rng.gen_bool(c_selectivity) {
             fs.insert(c.clone(), vec![z]);
         }
@@ -106,11 +103,15 @@ pub fn updown(levels: i64, width: i64, c_selectivity: f64, seed: u64) -> FactSet
 pub fn edb_for(program: &datalog_ast::Program, n: i64, per_rel: usize, seed: u64) -> FactSet {
     let mut fs = FactSet::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    let arities = program.arities().expect("workload program has consistent arities");
+    let arities = program
+        .arities()
+        .expect("workload program has consistent arities");
     for pred in program.edb_preds() {
         let arity = arities[&pred];
         for _ in 0..per_rel {
-            let t: Vec<Value> = (0..arity).map(|_| Value::int(rng.gen_range(0..n))).collect();
+            let t: Vec<Value> = (0..arity)
+                .map(|_| Value::int(rng.gen_range(0..n)))
+                .collect();
             fs.insert(pred.clone(), t);
         }
     }
@@ -162,7 +163,11 @@ pub fn random_program(seed: u64) -> datalog_ast::Program {
     let n_rules = rng.gen_range(2..=5);
     for k in 0..n_rules {
         // Guarantee at least one rule per IDB pred.
-        let (hname, harity) = if k < idb.len() { idb[k] } else { idb[rng.gen_range(0..idb.len())] };
+        let (hname, harity) = if k < idb.len() {
+            idb[k]
+        } else {
+            idb[rng.gen_range(0..idb.len())]
+        };
         let n_lits = rng.gen_range(1..=3);
         let mut body = Vec::new();
         let mut body_vars: Vec<Var> = Vec::new();
@@ -278,11 +283,9 @@ mod tests {
 
     #[test]
     fn edb_for_follows_program_schema() {
-        let p = datalog_ast::parse_program(
-            "q(X) :- e2(X, Y), e3(X, Y, Z).\n?- q(X).",
-        )
-        .unwrap()
-        .program;
+        let p = datalog_ast::parse_program("q(X) :- e2(X, Y), e3(X, Y, Z).\n?- q(X).")
+            .unwrap()
+            .program;
         let fs = edb_for(&p, 10, 5, 3);
         assert!(fs.count(&PredRef::new("e2")) > 0);
         assert!(fs.count(&PredRef::new("e3")) > 0);

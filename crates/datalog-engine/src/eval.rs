@@ -20,8 +20,10 @@
 //! it can also be discarded after `B2` is shown true").
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use datalog_ast::{subst, Program, Term, Value};
+use datalog_trace::{EvalProfile, IterationProfile, PredDelta, RuleProfile};
 
 use crate::database::{Database, PredId};
 use crate::facts::{AnswerSet, FactSet};
@@ -53,6 +55,14 @@ pub struct EvalOptions {
     /// already placed — turning cold scans into index probes. Off by
     /// default so the experiment counters reflect source order.
     pub reorder_joins: bool,
+    /// Collect a per-rule / per-iteration [`EvalProfile`]: each rule's
+    /// share of the [`EvalStats`] counters plus wall time, the
+    /// per-iteration predicate-growth timeline, and the iteration at which
+    /// the §3.1 cut retired each rule. Off by default; when off, the only
+    /// cost is one branch per rule per iteration (the join inner loops are
+    /// untouched either way — attribution works by differencing the global
+    /// counters around each rule's join variants).
+    pub profile: bool,
     /// Safety bound on fixpoint iterations.
     pub max_iterations: usize,
 }
@@ -64,6 +74,7 @@ impl Default for EvalOptions {
             boolean_cut: false,
             record_provenance: false,
             reorder_joins: false,
+            profile: false,
             max_iterations: 1_000_000,
         }
     }
@@ -78,6 +89,10 @@ pub struct EvalOutput {
     pub stats: EvalStats,
     /// Provenance, if requested.
     pub provenance: Option<Provenance>,
+    /// Per-rule / per-iteration profile, if [`EvalOptions::profile`] was
+    /// set. Its per-rule counters partition the global [`EvalStats`]: each
+    /// counter summed over all rules equals the global value.
+    pub profile: Option<EvalProfile>,
 }
 
 /// A term slot in a compiled rule: constant or rule-local variable index.
@@ -125,6 +140,8 @@ struct Machine<'a> {
     mark_cur: Vec<usize>,
     stats: EvalStats,
     provenance: Option<Provenance>,
+    /// Per-rule counters + timeline, accumulated when profiling is on.
+    profile: Option<EvalProfile>,
     query_pred: Option<PredId>,
     /// Set while evaluating a zero-arity head under the boolean cut: once
     /// one witness is found the join unwinds immediately (the paper's
@@ -165,15 +182,66 @@ impl<'a> Machine<'a> {
         true
     }
 
+    /// [`Machine::run_variant`], attributing the counter and wall-time
+    /// deltas to the rule's profile when profiling is on. Attribution by
+    /// differencing the global counters keeps the join inner loops free of
+    /// profiling branches.
+    fn run_variant_profiled(&mut self, plan_idx: usize, delta_idx: Option<usize>) {
+        if self.profile.is_none() {
+            self.run_variant(plan_idx, delta_idx);
+            return;
+        }
+        let before = self.stats;
+        let t0 = Instant::now();
+        self.run_variant(plan_idx, delta_idx);
+        let wall = t0.elapsed();
+        let after = self.stats;
+        let rule = &mut self.profile.as_mut().expect("checked above").rules[plan_idx];
+        rule.evals += 1;
+        rule.derivations += after.derivations - before.derivations;
+        rule.facts_derived += after.facts_derived - before.facts_derived;
+        rule.duplicates += after.duplicates - before.duplicates;
+        rule.tuples_scanned += after.tuples_scanned - before.tuples_scanned;
+        rule.index_probes += after.index_probes - before.index_probes;
+        rule.wall_ns += wall.as_nanos() as u64;
+    }
+
+    /// Append one iteration to the profile timeline: every predicate's
+    /// growth relative to the iteration-start marks, plus rules retired by
+    /// the boolean cut during this iteration.
+    fn record_iteration(&mut self, stratum: usize, wall_ns: u64, retired: u64) {
+        let iteration = self.stats.iterations;
+        let mut deltas = Vec::new();
+        for p in 0..self.db.pred_count() {
+            let id = PredId(p as u32);
+            let total = self.db.relation(id).len();
+            let new = total - self.mark_cur[p];
+            if new > 0 {
+                deltas.push(PredDelta {
+                    pred: self.db.pred_ref(id).to_string(),
+                    new_facts: new as u64,
+                    total: total as u64,
+                });
+            }
+        }
+        if let Some(profile) = &mut self.profile {
+            profile.timeline.push(IterationProfile {
+                iteration,
+                stratum,
+                wall_ns,
+                deltas,
+                rules_retired: retired,
+            });
+        }
+    }
+
     /// Evaluate one join variant of one rule. `delta_idx = None` means all
     /// literals read `Full` (used by the naive strategy and the seed round).
     fn run_variant(&mut self, plan_idx: usize, delta_idx: Option<usize>) {
         let plan = self.plans[plan_idx].clone();
         // Under the boolean cut, a proven zero-arity head needs no further
         // derivations at all.
-        if self.boolean_cut
-            && plan.head_slots.is_empty()
-            && !self.db.relation(plan.head).is_empty()
+        if self.boolean_cut && plan.head_slots.is_empty() && !self.db.relation(plan.head).is_empty()
         {
             return;
         }
@@ -274,8 +342,9 @@ impl<'a> Machine<'a> {
             .iter()
             .map(|s| match s {
                 Slot::Const(c) => *c,
-                Slot::Var(v) => bindings[*v as usize]
-                    .expect("safety guarantees head variables are bound"),
+                Slot::Var(v) => {
+                    bindings[*v as usize].expect("safety guarantees head variables are bound")
+                }
             })
             .collect();
         let rel = self.db.relation_mut(plan.head);
@@ -294,6 +363,17 @@ impl<'a> Machine<'a> {
         }
     }
 
+    /// Record the iteration at which the boolean cut retired rule `i`.
+    fn mark_retired(&mut self, i: usize) {
+        let iteration = self.stats.iterations;
+        if let Some(profile) = &mut self.profile {
+            let slot = &mut profile.rules[i].retired_at;
+            if slot.is_none() {
+                *slot = Some(iteration);
+            }
+        }
+    }
+
     /// §3.1 boolean cut: retire rules defining proven zero-arity predicates,
     /// then transitively retire rules whose head predicate has no remaining
     /// consumer and is not the query predicate.
@@ -307,6 +387,7 @@ impl<'a> Machine<'a> {
             if self.db.relation(head).arity() == 0 && !self.db.relation(head).is_empty() {
                 self.active[i] = false;
                 self.stats.rules_retired += 1;
+                self.mark_retired(i);
             }
         }
         // Transitively retire producers that nothing consumes any more.
@@ -327,6 +408,7 @@ impl<'a> Machine<'a> {
                 if self.active[i] && !consumed[self.plans[i].head.0 as usize] {
                     self.active[i] = false;
                     self.stats.rules_retired += 1;
+                    self.mark_retired(i);
                     changed = true;
                 }
             }
@@ -344,8 +426,7 @@ impl<'a> Machine<'a> {
 fn stratify(program: &Program) -> Result<Vec<usize>, EngineError> {
     use std::collections::BTreeMap;
     let idb = program.idb_preds();
-    let mut stratum: BTreeMap<&datalog_ast::PredRef, usize> =
-        idb.iter().map(|p| (p, 0)).collect();
+    let mut stratum: BTreeMap<&datalog_ast::PredRef, usize> = idb.iter().map(|p| (p, 0)).collect();
     let bound = idb.len() + 1;
     loop {
         let mut changed = false;
@@ -525,6 +606,15 @@ pub fn evaluate(
         mark_cur: vec![0; n_preds],
         stats: EvalStats::default(),
         provenance: opts.record_provenance.then(Provenance::new),
+        profile: opts.profile.then(|| EvalProfile {
+            rules: (0..n_plans)
+                .map(|i| RuleProfile {
+                    rule_idx: i,
+                    ..RuleProfile::default()
+                })
+                .collect(),
+            timeline: Vec::new(),
+        }),
         query_pred,
         stop_current: false,
         boolean_cut: opts.boolean_cut,
@@ -551,6 +641,8 @@ pub fn evaluate(
             m.stats.iterations += 1;
             local_iter += 1;
             let first = local_iter == 1;
+            let iter_start = opts.profile.then(Instant::now);
+            let retired_before = m.stats.rules_retired;
             // Snapshot marks for this iteration.
             for p in 0..n_preds {
                 m.mark_cur[p] = m.db.relation(PredId(p as u32)).len();
@@ -561,7 +653,7 @@ pub fn evaluate(
                     // Naive round: every active rule against full relations.
                     for &i in &mine {
                         if m.active[i] {
-                            m.run_variant(i, None);
+                            m.run_variant_profiled(i, None);
                         }
                     }
                 }
@@ -574,18 +666,22 @@ pub fn evaluate(
                             let pred = m.plans[i].body[lit].pred;
                             let (s, e) = m.bounds(pred, Range::Delta);
                             if s < e {
-                                m.run_variant(i, Some(lit));
+                                m.run_variant_profiled(i, Some(lit));
                             }
                         }
                     }
                 }
             }
+            if opts.boolean_cut {
+                m.apply_boolean_cut();
+            }
+            if let Some(t0) = iter_start {
+                let retired = m.stats.rules_retired - retired_before;
+                m.record_iteration(stratum, t0.elapsed().as_nanos() as u64, retired);
+            }
             // Advance marks: what was current becomes previous.
             for p in 0..n_preds {
                 m.mark_prev[p] = m.mark_cur[p];
-            }
-            if opts.boolean_cut {
-                m.apply_boolean_cut();
             }
             if m.db.total_facts() == before {
                 break;
@@ -594,10 +690,20 @@ pub fn evaluate(
     }
     let stats = m.stats;
     let provenance = m.provenance.take();
+    let mut profile = m.profile.take();
+    if let Some(profile) = &mut profile {
+        // Fill in the source renderings now that the machine is done.
+        for (i, rp) in profile.rules.iter_mut().enumerate() {
+            let rule = &program.rules[i];
+            rp.rule = rule.to_string();
+            rp.head = rule.head.pred.to_string();
+        }
+    }
     Ok(EvalOutput {
         database: db,
         stats,
         provenance,
+        profile,
     })
 }
 
@@ -609,9 +715,22 @@ pub fn query_answers(
     input: &FactSet,
     opts: &EvalOptions,
 ) -> Result<(AnswerSet, EvalStats), EngineError> {
-    let q = program.query.clone().ok_or(EngineError::Ast(
-        datalog_ast::AstError::NoQuery,
-    ))?;
+    let (answers, out) = query_answers_full(program, input, opts)?;
+    Ok((answers, out.stats))
+}
+
+/// Like [`query_answers`], but returns the whole [`EvalOutput`] so callers
+/// can reach the final database, provenance, and (when
+/// [`EvalOptions::profile`] is set) the per-rule/per-iteration profile.
+pub fn query_answers_full(
+    program: &Program,
+    input: &FactSet,
+    opts: &EvalOptions,
+) -> Result<(AnswerSet, EvalOutput), EngineError> {
+    let q = program
+        .query
+        .clone()
+        .ok_or(EngineError::Ast(datalog_ast::AstError::NoQuery))?;
     let out = evaluate(program, input, opts)?;
     let mut answers = AnswerSet::default();
     // Output columns: named variables in first-occurrence order.
@@ -638,7 +757,7 @@ pub fn query_answers(
             }
         }
     }
-    Ok((answers, out.stats))
+    Ok((answers, out))
 }
 
 #[cfg(test)]
@@ -847,8 +966,7 @@ mod tests {
     #[test]
     fn empty_edb_yields_empty_answers() {
         let p = parse_program(TC).unwrap().program;
-        let (ans, stats) =
-            query_answers(&p, &FactSet::new(), &EvalOptions::default()).unwrap();
+        let (ans, stats) = query_answers(&p, &FactSet::new(), &EvalOptions::default()).unwrap();
         assert!(ans.is_empty());
         assert_eq!(stats.facts_derived, 0);
     }

@@ -166,7 +166,7 @@ impl AnswerSet {
     /// A zero-column answer set is a boolean: true iff the (empty) row is
     /// present.
     pub fn as_bool(&self) -> Option<bool> {
-        self.columns.is_empty().then(|| !self.rows.is_empty())
+        self.columns.is_empty().then_some(!self.rows.is_empty())
     }
 }
 

@@ -35,7 +35,7 @@ pub mod relation;
 pub mod stats;
 
 pub use database::{Database, PredId};
-pub use eval::{evaluate, query_answers, EvalOptions, EvalOutput, Strategy};
+pub use eval::{evaluate, query_answers, query_answers_full, EvalOptions, EvalOutput, Strategy};
 pub use facts::{AnswerSet, FactSet};
 pub use optimistic::optimistic_fixpoint;
 pub use oracle::{uniform_query_test, uniform_test};
@@ -59,16 +59,18 @@ pub enum EngineError {
     /// The fixpoint exceeded the configured iteration bound.
     IterationLimit(usize),
     /// The program negates through recursion: no stratification exists.
-    NotStratified {
-        pred: String,
-    },
+    NotStratified { pred: String },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Ast(e) => write!(f, "{e}"),
-            EngineError::FactArity { pred, expected, found } => write!(
+            EngineError::FactArity {
+                pred,
+                expected,
+                found,
+            } => write!(
                 f,
                 "fact for {pred} has arity {found}, program uses {expected}"
             ),
@@ -76,7 +78,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "fixpoint did not converge within {n} iterations")
             }
             EngineError::NotStratified { pred } => {
-                write!(f, "program is not stratified: {pred} is negated through recursion")
+                write!(
+                    f,
+                    "program is not stratified: {pred} is negated through recursion"
+                )
             }
         }
     }

@@ -45,7 +45,12 @@ pub fn optimistic_fixpoint(program: &Program, input: &FactSet, grounding: Ground
     // Active domain: input constants plus constants in the rules.
     let mut domain: BTreeSet<Value> = input.active_domain();
     for r in &program.rules {
-        for t in r.head.terms.iter().chain(r.body.iter().flat_map(|a| a.terms.iter())) {
+        for t in r
+            .head
+            .terms
+            .iter()
+            .chain(r.body.iter().flat_map(|a| a.terms.iter()))
+        {
             if let Term::Const(c) = t {
                 domain.insert(*c);
             }
@@ -58,8 +63,7 @@ pub fn optimistic_fixpoint(program: &Program, input: &FactSet, grounding: Ground
         for rule in &program.rules {
             for lit in &rule.body {
                 // Unify this literal with each known fact of its predicate.
-                let snapshot: Vec<Vec<Value>> =
-                    known.tuples(&lit.pred).cloned().collect();
+                let snapshot: Vec<Vec<Value>> = known.tuples(&lit.pred).cloned().collect();
                 for tuple in snapshot {
                     let fact = datalog_ast::Atom::fact(lit.pred.clone(), tuple);
                     let mut s = subst::Subst::new();

@@ -86,7 +86,7 @@ impl Relation {
     /// when no row matches.
     pub fn probe(&mut self, col: usize, value: Value) -> &[u32] {
         debug_assert!(col < self.arity);
-        let index = self.indices.entry(col).or_insert_with(HashMap::new);
+        let index = self.indices.entry(col).or_default();
         if index.is_empty() && !self.rows.is_empty() {
             for (i, row) in self.rows.iter().enumerate() {
                 index.entry(row[col]).or_default().push(i as u32);

@@ -28,8 +28,21 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
-    /// Merge another stats record into this one (iterations take the max,
-    /// counters add). Useful when an experiment evaluates several programs.
+    /// Merge another stats record into this one.
+    ///
+    /// Deliberately **asymmetric** across fields: `iterations` takes the
+    /// *max*, every other counter *adds*. The intended reading is "several
+    /// evaluations run side by side" (an experiment evaluating program
+    /// variants, or per-stratum sub-runs): total work — facts, derivations,
+    /// scans, probes — accumulates across runs, but iteration counts of
+    /// independent fixpoints are not commensurable work units, so the merge
+    /// keeps the deepest fixpoint instead of a meaningless sum.
+    ///
+    /// Consequences worth knowing:
+    /// * `EvalStats::default()` is a true identity: merging it in (either
+    ///   direction) changes nothing.
+    /// * The operation is commutative and associative (max and + both are),
+    ///   so [`std::iter::Sum`] over any order gives the same result.
     pub fn merge(&mut self, other: &EvalStats) {
         self.iterations = self.iterations.max(other.iterations);
         self.facts_derived += other.facts_derived;
@@ -38,6 +51,37 @@ impl EvalStats {
         self.tuples_scanned += other.tuples_scanned;
         self.index_probes += other.index_probes;
         self.rules_retired += other.rules_retired;
+    }
+
+    /// JSON object for export (field names match the struct).
+    pub fn to_json(&self) -> datalog_trace::Json {
+        datalog_trace::Json::obj()
+            .with("iterations", self.iterations)
+            .with("facts_derived", self.facts_derived)
+            .with("derivations", self.derivations)
+            .with("duplicates", self.duplicates)
+            .with("tuples_scanned", self.tuples_scanned)
+            .with("index_probes", self.index_probes)
+            .with("rules_retired", self.rules_retired)
+    }
+}
+
+/// `+=` is [`EvalStats::merge`]: max of iterations, sum of the rest.
+impl std::ops::AddAssign<EvalStats> for EvalStats {
+    fn add_assign(&mut self, rhs: EvalStats) {
+        self.merge(&rhs);
+    }
+}
+
+/// Summing stats records merges them pairwise (see [`EvalStats::merge`];
+/// the default value is the identity, so empty iterators are fine).
+impl std::iter::Sum for EvalStats {
+    fn sum<I: Iterator<Item = EvalStats>>(iter: I) -> EvalStats {
+        let mut acc = EvalStats::default();
+        for s in iter {
+            acc += s;
+        }
+        acc
     }
 }
 
@@ -85,6 +129,68 @@ mod tests {
         assert_eq!(a.iterations, 5);
         assert_eq!(a.facts_derived, 11);
         assert_eq!(a.tuples_scanned, 110);
+    }
+
+    #[test]
+    fn default_is_merge_identity_both_directions() {
+        let a = EvalStats {
+            iterations: 3,
+            facts_derived: 10,
+            derivations: 12,
+            duplicates: 2,
+            tuples_scanned: 100,
+            index_probes: 5,
+            rules_retired: 1,
+        };
+        // identity on the right
+        let mut lhs = a;
+        lhs.merge(&EvalStats::default());
+        assert_eq!(lhs, a);
+        // identity on the left
+        let mut zero = EvalStats::default();
+        zero.merge(&a);
+        assert_eq!(zero, a);
+        // merging a zero record into a zero record stays zero
+        let mut z = EvalStats::default();
+        z.merge(&EvalStats::default());
+        assert_eq!(z, EvalStats::default());
+    }
+
+    #[test]
+    fn add_assign_and_sum_agree_with_merge() {
+        let a = EvalStats {
+            iterations: 3,
+            facts_derived: 10,
+            ..EvalStats::default()
+        };
+        let b = EvalStats {
+            iterations: 5,
+            facts_derived: 1,
+            ..EvalStats::default()
+        };
+        let mut via_merge = a;
+        via_merge.merge(&b);
+        let mut via_add = a;
+        via_add += b;
+        assert_eq!(via_add, via_merge);
+        let via_sum: EvalStats = [a, b].into_iter().sum();
+        assert_eq!(via_sum, via_merge);
+        // Empty sum is the identity.
+        let empty: EvalStats = std::iter::empty().sum();
+        assert_eq!(empty, EvalStats::default());
+    }
+
+    #[test]
+    fn json_export_carries_all_fields() {
+        let s = EvalStats {
+            iterations: 2,
+            rules_retired: 1,
+            ..EvalStats::default()
+        };
+        let j = s.to_json().to_string();
+        assert!(j.contains("\"iterations\":2"), "{j}");
+        assert!(j.contains("\"rules_retired\":1"), "{j}");
+        assert!(j.contains("\"tuples_scanned\":0"), "{j}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Stratified-negation evaluation tests (the §6 extension).
 
 use datalog_ast::{parse_program, PredRef, Value};
-use datalog_engine::{evaluate, query_answers, EvalOptions, EngineError, FactSet, Strategy};
+use datalog_engine::{evaluate, query_answers, EngineError, EvalOptions, FactSet, Strategy};
 
 fn fs(pairs: &[(&str, &[i64])]) -> FactSet {
     let mut f = FactSet::new();

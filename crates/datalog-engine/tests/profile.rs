@@ -1,0 +1,175 @@
+//! Integration tests for the per-rule / per-iteration profiler.
+//!
+//! The profiler attributes the engine's *global* counters to individual
+//! rules by differencing `EvalStats` around each join variant, so the
+//! per-rule profiles must partition the global numbers exactly — that
+//! invariant is what makes the hot-rule table trustworthy, and it is
+//! checked here on a semi-naive transitive-closure run. The boolean-cut
+//! retirement bookkeeping (§3.1) is checked on a program whose boolean
+//! rules actually retire.
+
+use datalog_ast::{parse_program, PredRef, Value};
+use datalog_engine::{evaluate, query_answers_full, EvalOptions, FactSet, Strategy};
+
+fn chain_edb(n: i64) -> FactSet {
+    let mut fs = FactSet::new();
+    for i in 0..n {
+        fs.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+    }
+    fs
+}
+
+const TC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                  a(X, Y) :- p(X, Y).\n\
+                  ?- a(X, Y).";
+
+#[test]
+fn per_rule_profiles_partition_global_stats_seminaive() {
+    let p = parse_program(TC).unwrap().program;
+    let opts = EvalOptions {
+        profile: true,
+        strategy: Strategy::SemiNaive,
+        ..EvalOptions::default()
+    };
+    let (answers, out) = query_answers_full(&p, &chain_edb(12), &opts).unwrap();
+    assert_eq!(answers.len(), 78); // 12*13/2
+    let profile = out.profile.as_ref().expect("profiling was on");
+    assert_eq!(profile.rules.len(), 2);
+
+    // Every global counter is exactly the sum of the per-rule counters:
+    // all stats mutations happen inside join variants, and the profiler
+    // snapshots stats around each variant.
+    let sum =
+        |f: fn(&datalog_trace::RuleProfile) -> u64| -> u64 { profile.rules.iter().map(f).sum() };
+    assert_eq!(sum(|r| r.derivations), out.stats.derivations);
+    assert_eq!(sum(|r| r.facts_derived), out.stats.facts_derived);
+    assert_eq!(sum(|r| r.duplicates), out.stats.duplicates);
+    assert_eq!(sum(|r| r.tuples_scanned), out.stats.tuples_scanned);
+    assert_eq!(sum(|r| r.index_probes), out.stats.index_probes);
+
+    // The timeline's per-predicate growth also partitions facts_derived,
+    // and covers every iteration of the fixpoint.
+    assert_eq!(profile.timeline.len(), out.stats.iterations);
+    let timeline_facts: u64 = profile
+        .timeline
+        .iter()
+        .flat_map(|it| it.deltas.iter())
+        .map(|d| d.new_facts)
+        .sum();
+    assert_eq!(timeline_facts, out.stats.facts_derived);
+
+    // Rule source text is filled in for rendering.
+    assert!(profile.rules.iter().all(|r| !r.rule.is_empty()));
+    assert_eq!(profile.rules[0].head, "a");
+}
+
+#[test]
+fn naive_and_seminaive_profiles_agree_on_derived_facts() {
+    let p = parse_program(TC).unwrap().program;
+    let run = |strategy| {
+        let opts = EvalOptions {
+            profile: true,
+            strategy,
+            ..EvalOptions::default()
+        };
+        query_answers_full(&p, &chain_edb(8), &opts).unwrap().1
+    };
+    let naive = run(Strategy::Naive);
+    let semi = run(Strategy::SemiNaive);
+    let facts = |out: &datalog_engine::EvalOutput, i: usize| {
+        out.profile.as_ref().unwrap().rules[i].facts_derived
+    };
+    // Distinct facts per rule are strategy-independent; join effort is not.
+    assert_eq!(facts(&naive, 0), facts(&semi, 0));
+    assert_eq!(facts(&naive, 1), facts(&semi, 1));
+}
+
+#[test]
+fn boolean_cut_retirement_iterations_match_stats() {
+    // `b` is a zero-arity (boolean) head: once it derives, the §3.1 cut
+    // retires its rule. `a` keeps iterating, so the fixpoint continues
+    // after the retirement.
+    let src = "b :- p(X, Y).\n\
+               a(X, Y) :- p(X, Y), b.\n\
+               a(X, Y) :- p(X, Z), a(Z, Y), b.\n\
+               ?- a(X, Y).";
+    let p = parse_program(src).unwrap().program;
+    let opts = EvalOptions {
+        profile: true,
+        boolean_cut: true,
+        ..EvalOptions::default()
+    };
+    let (answers, out) = query_answers_full(&p, &chain_edb(6), &opts).unwrap();
+    assert_eq!(answers.len(), 21); // 6*7/2
+    assert!(out.stats.rules_retired > 0, "{}", out.stats);
+    let profile = out.profile.as_ref().expect("profiling was on");
+
+    // Exactly `rules_retired` rules carry a retirement iteration.
+    let retired: Vec<&datalog_trace::RuleProfile> = profile
+        .rules
+        .iter()
+        .filter(|r| r.retired_at.is_some())
+        .collect();
+    assert_eq!(retired.len() as u64, out.stats.rules_retired);
+    // The boolean rule itself is among them, and its retirement iteration
+    // appears in the timeline's rules_retired accounting.
+    assert!(retired.iter().any(|r| r.head == "b"));
+    for r in &retired {
+        let it = r.retired_at.unwrap();
+        let iter_profile = profile
+            .timeline
+            .iter()
+            .find(|t| t.iteration == it)
+            .expect("retirement iteration is in the timeline");
+        assert!(iter_profile.rules_retired > 0);
+    }
+    // Timeline total matches the global counter too.
+    let timeline_retired: u64 = profile.timeline.iter().map(|t| t.rules_retired).sum();
+    assert_eq!(timeline_retired, out.stats.rules_retired);
+}
+
+#[test]
+fn profiling_off_yields_no_profile_and_same_answers() {
+    let p = parse_program(TC).unwrap().program;
+    let on = EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    };
+    let off = EvalOptions::default();
+    let (a_on, out_on) = query_answers_full(&p, &chain_edb(10), &on).unwrap();
+    let (a_off, out_off) = query_answers_full(&p, &chain_edb(10), &off).unwrap();
+    assert!(out_on.profile.is_some());
+    assert!(out_off.profile.is_none());
+    assert_eq!(a_on.rows, a_off.rows);
+    assert_eq!(out_on.stats, out_off.stats);
+}
+
+#[test]
+fn evaluate_profile_covers_stratified_negation() {
+    // Two strata: reach in stratum 0, unreached (negation) in stratum 1.
+    let src = "reach(X) :- start(X).\n\
+               reach(Y) :- reach(X), edge(X, Y).\n\
+               unreached(X) :- node(X), not reach(X).\n\
+               ?- unreached(X).";
+    let p = parse_program(src).unwrap().program;
+    let mut fs = FactSet::new();
+    for i in 0..5 {
+        fs.insert(PredRef::new("node"), vec![Value::int(i)]);
+    }
+    fs.insert(PredRef::new("start"), vec![Value::int(0)]);
+    fs.insert(PredRef::new("edge"), vec![Value::int(0), Value::int(1)]);
+    fs.insert(PredRef::new("edge"), vec![Value::int(1), Value::int(2)]);
+    let opts = EvalOptions {
+        profile: true,
+        ..EvalOptions::default()
+    };
+    let out = evaluate(&p, &fs, &opts).unwrap();
+    let profile = out.profile.as_ref().unwrap();
+    // Iterations from more than one stratum appear in the timeline.
+    let strata: std::collections::BTreeSet<usize> =
+        profile.timeline.iter().map(|t| t.stratum).collect();
+    assert!(strata.len() >= 2, "timeline: {:?}", profile.timeline);
+    // And the partition invariant holds across strata as well.
+    let sum: u64 = profile.rules.iter().map(|r| r.derivations).sum();
+    assert_eq!(sum, out.stats.derivations);
+}

@@ -125,11 +125,7 @@ impl Nfa {
         let accepting = subsets
             .iter()
             .enumerate()
-            .filter_map(|(i, set)| {
-                set.iter()
-                    .any(|s| self.accepting.contains(s))
-                    .then_some(i)
-            })
+            .filter_map(|(i, set)| set.iter().any(|s| self.accepting.contains(s)).then_some(i))
             .collect();
         Dfa {
             states: subsets.len(),
@@ -264,11 +260,7 @@ impl Dfa {
     /// Language equivalence via the product construction: search for a
     /// reachable pair of states with different acceptance.
     pub fn equivalent(&self, other: &Dfa) -> bool {
-        let alphabet: BTreeSet<Symbol> = self
-            .alphabet
-            .union(&other.alphabet)
-            .copied()
-            .collect();
+        let alphabet: BTreeSet<Symbol> = self.alphabet.union(&other.alphabet).copied().collect();
         let a = self.completed(&alphabet);
         let b = other.completed(&alphabet);
         let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();

@@ -22,10 +22,7 @@ use crate::chain::{Cfg, GSym};
 use crate::GrammarError;
 
 /// Enumerate all terminal strings of length ≤ `max_len` in `L(G, start)`.
-pub fn bounded_language(
-    cfg: &Cfg,
-    max_len: usize,
-) -> Result<BTreeSet<Vec<Symbol>>, GrammarError> {
+pub fn bounded_language(cfg: &Cfg, max_len: usize) -> Result<BTreeSet<Vec<Symbol>>, GrammarError> {
     let forms = expand(cfg, max_len, false)?;
     Ok(forms
         .into_iter()
@@ -50,11 +47,7 @@ pub fn bounded_extended_language(
     expand(cfg, max_len, true)
 }
 
-fn expand(
-    cfg: &Cfg,
-    max_len: usize,
-    any_order: bool,
-) -> Result<BTreeSet<Vec<GSym>>, GrammarError> {
+fn expand(cfg: &Cfg, max_len: usize, any_order: bool) -> Result<BTreeSet<Vec<GSym>>, GrammarError> {
     cfg.check_epsilon_free()?;
     let mut seen: BTreeSet<Vec<GSym>> = BTreeSet::new();
     let mut queue: VecDeque<Vec<GSym>> = VecDeque::new();
@@ -81,7 +74,9 @@ fn expand(
                 .collect()
         };
         for pos in positions {
-            let GSym::N(nt) = form[pos] else { unreachable!() };
+            let GSym::N(nt) = form[pos] else {
+                unreachable!()
+            };
             for prod in cfg.productions_for(nt) {
                 let new_len = form.len() - 1 + prod.rhs.len();
                 if new_len > max_len {
@@ -147,12 +142,7 @@ mod tests {
 
     fn strings(set: &BTreeSet<Vec<Symbol>>) -> BTreeSet<String> {
         set.iter()
-            .map(|w| {
-                w.iter()
-                    .map(|s| s.as_str())
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            })
+            .map(|w| w.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" "))
             .collect()
     }
 

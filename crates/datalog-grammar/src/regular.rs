@@ -31,13 +31,10 @@ pub enum Linearity {
 /// Classify the grammar's linearity, if any. A grammar that is both (no
 /// production uses a nonterminal except trivially) reports `Right`.
 pub fn linearity(cfg: &Cfg) -> Option<Linearity> {
-    let right = cfg.productions.iter().all(|p| {
-        p.rhs
-            .iter()
-            .rev()
-            .skip(1)
-            .all(|g| g.is_terminal())
-    });
+    let right = cfg
+        .productions
+        .iter()
+        .all(|p| p.rhs.iter().rev().skip(1).all(|g| g.is_terminal()));
     if right {
         return Some(Linearity::Right);
     }
@@ -54,16 +51,14 @@ fn eliminate_units(cfg: &Cfg) -> Cfg {
     use std::collections::BTreeSet;
     let nts: Vec<Symbol> = cfg.nonterminals().into_iter().collect();
     // unit_reach[a] = all B with A ⇒* B via unit productions (incl. A).
-    let mut unit_reach: BTreeMap<Symbol, BTreeSet<Symbol>> = nts
-        .iter()
-        .map(|&n| (n, BTreeSet::from([n])))
-        .collect();
+    let mut unit_reach: BTreeMap<Symbol, BTreeSet<Symbol>> =
+        nts.iter().map(|&n| (n, BTreeSet::from([n]))).collect();
     loop {
         let mut changed = false;
         for p in &cfg.productions {
             if let [GSym::N(b)] = p.rhs.as_slice() {
                 let b = *b;
-                for a in nts.iter().copied().collect::<Vec<_>>() {
+                for &a in &nts {
                     if unit_reach[&a].contains(&p.lhs) {
                         let targets: Vec<Symbol> =
                             unit_reach.get(&b).into_iter().flatten().copied().collect();
@@ -104,8 +99,7 @@ fn eliminate_units(cfg: &Cfg) -> Cfg {
 /// Build an NFA for a right-linear, unit-free grammar.
 fn right_linear_nfa(cfg: &Cfg) -> Nfa {
     let nts: Vec<Symbol> = cfg.nonterminals().into_iter().collect();
-    let state_of: BTreeMap<Symbol, usize> =
-        nts.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let state_of: BTreeMap<Symbol, usize> = nts.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut nfa = Nfa::new(nts.len() + 1);
     let accept = nts.len();
     nfa.start = state_of[&cfg.start];
@@ -196,9 +190,7 @@ pub fn monadic_equivalent(
             rule: program
                 .rules
                 .iter()
-                .find(|r| {
-                    !is_chain_program(&Program::new(vec![(*r).clone()]))
-                })
+                .find(|r| !is_chain_program(&Program::new(vec![(*r).clone()])))
                 .map(|r| r.to_string())
                 .unwrap_or_default(),
         });
@@ -208,8 +200,7 @@ pub fn monadic_equivalent(
         return Ok(None);
     };
     let qname = cfg.start.as_str();
-    let state_pred =
-        |s: usize| -> PredRef { PredRef::new(&format!("{qname}_st{s}")) };
+    let state_pred = |s: usize| -> PredRef { PredRef::new(&format!("{qname}_st{s}")) };
     let answer = PredRef::new(&format!("exists_{qname}"));
     let mut rules = Vec::new();
     match kept {
@@ -226,7 +217,10 @@ pub fn monadic_equivalent(
                 );
                 rules.push(Rule::new(
                     Atom::new(state_pred(*q), vec![Term::var("X")]),
-                    vec![edge.clone(), Atom::new(state_pred(*q2), vec![Term::var("Y")])],
+                    vec![
+                        edge.clone(),
+                        Atom::new(state_pred(*q2), vec![Term::var("Y")]),
+                    ],
                 ));
                 if dfa.accepting.contains(q2) {
                     rules.push(Rule::new(
@@ -346,10 +340,16 @@ mod tests {
     fn two_chain_edb(n: i64) -> FactSet {
         let mut fs = FactSet::new();
         for i in 0..n {
-            fs.insert(PredRef::new("p"), vec![datalog_ast::Value::int(i), datalog_ast::Value::int(i + 1)]);
+            fs.insert(
+                PredRef::new("p"),
+                vec![datalog_ast::Value::int(i), datalog_ast::Value::int(i + 1)],
+            );
         }
         // A disconnected extra edge relation to exercise dead paths.
-        fs.insert(PredRef::new("p"), vec![datalog_ast::Value::int(100), datalog_ast::Value::int(100)]);
+        fs.insert(
+            PredRef::new("p"),
+            vec![datalog_ast::Value::int(100), datalog_ast::Value::int(100)],
+        );
         fs
     }
 
@@ -364,8 +364,7 @@ mod tests {
         proj.query = Some(Query::new(datalog_ast::parse_atom("a(X, _)").unwrap()));
         let edb = two_chain_edb(6);
         let (orig, _) = query_answers(&proj, &edb, &EvalOptions::default()).unwrap();
-        let (mono, _) =
-            query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+        let (mono, _) = query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
         assert_eq!(orig.rows, mono.rows);
         assert!(!mono.rows.is_empty());
         // Every derived predicate of the rewrite is unary.
@@ -384,8 +383,7 @@ mod tests {
         proj.query = Some(Query::new(datalog_ast::parse_atom("a(_, Y)").unwrap()));
         let edb = two_chain_edb(6);
         let (orig, _) = query_answers(&proj, &edb, &EvalOptions::default()).unwrap();
-        let (mono, _) =
-            query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+        let (mono, _) = query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
         assert_eq!(orig.rows, mono.rows);
     }
 
@@ -415,8 +413,7 @@ mod tests {
         edb.insert(PredRef::new("up"), vec![Value::int(1), Value::int(2)]);
         edb.insert(PredRef::new("dn"), vec![Value::int(2), Value::int(3)]);
         edb.insert(PredRef::new("up"), vec![Value::int(3), Value::int(4)]);
-        let (mono, _) =
-            query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
+        let (mono, _) = query_answers(&rewrite.program, &edb, &EvalOptions::default()).unwrap();
         // Only node 1 starts an (up dn)+ path.
         assert_eq!(mono.rows.len(), 1);
         assert!(mono.rows.contains(&vec![Value::int(1)]));

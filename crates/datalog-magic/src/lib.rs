@@ -348,7 +348,10 @@ mod tests {
         for i in 0..6 {
             edb.insert(PredRef::new("up"), vec![Value::int(i), Value::int(i + 10)]);
             edb.insert(PredRef::new("dn"), vec![Value::int(i + 10), Value::int(i)]);
-            edb.insert(PredRef::new("flat"), vec![Value::int(i + 10), Value::int(i + 10)]);
+            edb.insert(
+                PredRef::new("flat"),
+                vec![Value::int(i + 10), Value::int(i + 10)],
+            );
         }
         let (orig, _) = query_answers(&p, &edb, &EvalOptions::default()).unwrap();
         let (magic, _) = query_answers(&m.program, &edb, &EvalOptions::default()).unwrap();

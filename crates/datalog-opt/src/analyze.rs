@@ -181,8 +181,12 @@ pub fn analyze(program: &Program) -> Vec<Finding> {
     // Chain program / grammar applicability.
     if program.query.is_some() && is_chain_program(program) {
         let note = match program_to_grammar(program).ok().and_then(|g| linearity(&g)) {
-            Some(Linearity::Right) => "right-linear grammar: regular; Theorem 3.3 monadic rewrite applies",
-            Some(Linearity::Left) => "left-linear grammar: regular; Theorem 3.3 monadic rewrite applies",
+            Some(Linearity::Right) => {
+                "right-linear grammar: regular; Theorem 3.3 monadic rewrite applies"
+            }
+            Some(Linearity::Left) => {
+                "left-linear grammar: regular; Theorem 3.3 monadic rewrite applies"
+            }
             None => "grammar is not linear: regularity undecided (Theorem 3.3 boundary)",
         };
         out.push(Finding {
@@ -261,8 +265,7 @@ mod tests {
         assert!(f.iter().any(|x| x.kind == FindingKind::SubsumedRule));
         assert!(f
             .iter()
-            .any(|x| x.kind == FindingKind::UnreachablePredicate
-                && x.message.contains("island")));
+            .any(|x| x.kind == FindingKind::UnreachablePredicate && x.message.contains("island")));
     }
 
     #[test]
@@ -294,9 +297,10 @@ mod tests {
              ?- a(X, Y).",
         );
         // Chain-program note is informational; nothing else should fire.
-        assert!(f
-            .iter()
-            .all(|x| x.kind == FindingKind::ChainProgram), "{f:?}");
+        assert!(
+            f.iter().all(|x| x.kind == FindingKind::ChainProgram),
+            "{f:?}"
+        );
         assert!(render(&f).contains("chain-program"));
     }
 }

@@ -236,9 +236,10 @@ mod tests {
         let lossy = proj("a[nn](X, Y)", "a[nn](X, Y)", &[(0, 1)]);
         let closed = close_summaries(&[lossy.clone()].into());
         assert_eq!(closed.len(), 2);
-        assert!(closed
-            .iter()
-            .any(|p| p.edges.is_empty()), "lossy ∘ lossy has no edges");
+        assert!(
+            closed.iter().any(|p| p.edges.is_empty()),
+            "lossy ∘ lossy has no edges"
+        );
     }
 
     #[test]

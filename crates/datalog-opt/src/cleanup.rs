@@ -21,6 +21,7 @@ use std::collections::BTreeSet;
 use datalog_ast::{PredRef, Program};
 
 use crate::report::{EquivalenceLevel, Phase, Report};
+use datalog_trace::PhaseEvent;
 
 /// Run all cleanup passes to a fixpoint. `derived` is the set of
 /// predicates that are semantically IDB (empty on real inputs) — it must be
@@ -56,10 +57,14 @@ pub fn drop_undefined_users(
                 .iter()
                 .any(|a| derived.contains(&a.pred) && !defined.contains(&a.pred));
             if dead {
-                report.record(
+                report.record_event(
                     Phase::Cleanup,
                     EquivalenceLevel::Query,
                     format!("dropped rule using undefined derived predicate: {r}"),
+                    PhaseEvent::RuleDeleted {
+                        rule: r.to_string(),
+                        condition: "body uses a derived predicate with no remaining rules".into(),
+                    },
                 );
                 changed = true;
             } else {
@@ -92,9 +97,10 @@ pub fn drop_unproductive(
             if productive.contains(&r.head.pred) {
                 continue;
             }
-            let ok = r.body.iter().all(|a| {
-                !derived.contains(&a.pred) || productive.contains(&a.pred)
-            });
+            let ok = r
+                .body
+                .iter()
+                .all(|a| !derived.contains(&a.pred) || productive.contains(&a.pred));
             if ok {
                 productive.insert(r.head.pred.clone());
                 changed = true;
@@ -110,10 +116,14 @@ pub fn drop_unproductive(
             .chain(r.body.iter())
             .any(|a| derived.contains(&a.pred) && !productive.contains(&a.pred));
         if dead {
-            report.record(
+            report.record_event(
                 Phase::Cleanup,
                 EquivalenceLevel::Query,
                 format!("dropped rule involving unproductive predicate: {r}"),
+                PhaseEvent::RuleDeleted {
+                    rule: r.to_string(),
+                    condition: "involves a predicate with no productive derivation path".into(),
+                },
             );
         } else {
             kept.push(r.clone());
@@ -136,10 +146,14 @@ pub fn drop_unreachable(program: &Program, report: &mut Report) -> Program {
         if reachable.contains(&r.head.pred) {
             kept.push(r.clone());
         } else {
-            report.record(
+            report.record_event(
                 Phase::Cleanup,
                 EquivalenceLevel::Query,
                 format!("dropped rule unreachable from the query: {r}"),
+                PhaseEvent::RuleDeleted {
+                    rule: r.to_string(),
+                    condition: "head predicate unreachable from the query".into(),
+                },
             );
         }
     }

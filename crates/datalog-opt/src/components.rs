@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use datalog_ast::{Ad, Atom, PredRef, Program, Rule, Term, Var};
 
 use crate::report::{EquivalenceLevel, Phase, Report};
+use datalog_trace::PhaseEvent;
 
 /// Result of the components transformation.
 #[derive(Debug, Clone)]
@@ -166,10 +167,9 @@ pub fn extract_components(
         let mut main_body: Vec<Atom> = Vec::new();
         let mut main_negative: Vec<Atom> = Vec::new();
         let mut extracted: Vec<Vec<usize>> = Vec::new();
-        for i in 0..n {
+        for (i, (lit, negated)) in all_lits.iter().enumerate() {
             let root = uf.find(i);
             if head_roots.contains(&root) {
-                let (lit, negated) = &all_lits[i];
                 if *negated {
                     main_negative.push(lit.clone());
                 } else {
@@ -188,8 +188,7 @@ pub fn extract_components(
         // them). Only possible when assume_projection allowed d-anchored
         // components to leave.
         let mut head = rule.head.clone();
-        let extracted_lits: BTreeSet<usize> =
-            extracted.iter().flatten().copied().collect();
+        let extracted_lits: BTreeSet<usize> = extracted.iter().flatten().copied().collect();
         let main_vars: BTreeSet<Var> = all_lits
             .iter()
             .enumerate()
@@ -236,7 +235,12 @@ pub fn extract_components(
                     }
                 }
             }
-            report.record(
+            let definition = Rule::with_negation(
+                Atom::new(b.clone(), vec![]),
+                component.clone(),
+                component_negative.clone(),
+            );
+            report.record_event(
                 Phase::Components,
                 EquivalenceLevel::Uniform,
                 format!(
@@ -247,12 +251,12 @@ pub fn extract_components(
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
+                PhaseEvent::BooleanExtracted {
+                    boolean: b.to_string(),
+                    definition: definition.to_string(),
+                },
             );
-            out.rules.push(Rule::with_negation(
-                Atom::new(b.clone(), vec![]),
-                component,
-                component_negative,
-            ));
+            out.rules.push(definition);
             new_body.push(Atom::new(b.clone(), vec![]));
             booleans.push(b);
         }
@@ -314,7 +318,10 @@ mod tests {
         assert!(text.contains("b2 :- q5(_)."), "{text}");
         // The head's U became a dangling wildcard: projection required.
         assert!(r.needs_projection);
-        assert!(text.contains("p[nd](X, _) :- q1(X, Y), q2(Y, Z), b1, b2."), "{text}");
+        assert!(
+            text.contains("p[nd](X, _) :- q1(X, Y), q2(Y, Z), b1, b2."),
+            "{text}"
+        );
     }
 
     /// Without assume_projection, a component anchored at a head `d`
@@ -329,7 +336,10 @@ mod tests {
         let text = r.program.to_text();
         assert_eq!(r.booleans.len(), 1); // only q5 leaves
         assert!(text.contains("b1 :- q5(_)."), "{text}");
-        assert!(text.contains("p[nd](X, U) :- q1(X, Y), q3(U, V), b1."), "{text}");
+        assert!(
+            text.contains("p[nd](X, U) :- q1(X, Y), q3(U, V), b1."),
+            "{text}"
+        );
         assert!(!r.needs_projection);
         r.program.validate().expect("output stays safe");
     }

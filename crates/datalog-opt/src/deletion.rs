@@ -31,6 +31,7 @@ use crate::argproj::{close_summaries, rule_projection, ArgProj};
 use crate::cleanup::cleanup;
 use crate::report::{EquivalenceLevel, Phase, Report};
 use crate::OptError;
+use datalog_trace::PhaseEvent;
 
 /// Configuration for summary-based deletion.
 #[derive(Debug, Clone)]
@@ -104,10 +105,7 @@ fn occurrence_summaries(
                         if occ.entry((ri, li)).or_default().insert(t.clone()) {
                             changed = true;
                         }
-                        changed |= head_sums
-                            .entry(t.dst.clone())
-                            .or_default()
-                            .insert(t);
+                        changed |= head_sums.entry(t.dst.clone()).or_default().insert(t);
                     }
                 }
             }
@@ -245,15 +243,24 @@ pub fn summary_deletion(
             let mut trial = current.clone();
             trial.rules.push(cover.clone());
             let mut trial_report = Report::default();
-            let reduced =
-                run_to_fixpoint(&trial, derived, &query_pred, n_query, cfg, &mut trial_report);
+            let reduced = run_to_fixpoint(
+                &trial,
+                derived,
+                &query_pred,
+                n_query,
+                cfg,
+                &mut trial_report,
+            );
             // Keep the cover only if it paid for itself: a net shrink,
             // i.e. at least two deletions beyond the rule we just added.
             if reduced.rules.len() < current.rules.len() {
-                report.record(
+                report.record_event(
                     Phase::UnitRules,
                     EquivalenceLevel::Query,
                     format!("added cover unit rule: {cover}"),
+                    PhaseEvent::UnitRuleAdded {
+                        rule: cover.to_string(),
+                    },
                 );
                 report.actions.extend(trial_report.actions);
                 current = reduced;
@@ -278,13 +285,20 @@ fn run_to_fixpoint(
         // case a cleanup unlocks further deletions.
         match find_deletable(&current, derived, query_pred, n_query, cfg) {
             Some((ri, li)) => {
-                report.record(
+                report.record_event(
                     Phase::SummaryDeletion,
                     EquivalenceLevel::UniformQuery,
                     format!(
                         "deleted rule (Lemma 5.3 via occurrence {}): {}",
                         current.rules[ri].body[li], current.rules[ri]
                     ),
+                    PhaseEvent::RuleDeleted {
+                        rule: current.rules[ri].to_string(),
+                        condition: format!(
+                            "Lemma 5.3 summary test via occurrence {}",
+                            current.rules[ri].body[li]
+                        ),
+                    },
                 );
                 current = current.without_rule(ri);
             }
@@ -315,7 +329,11 @@ mod tests {
         let out = summary_deletion(&p, &derived, cfg, &mut report).unwrap();
         // Every run must preserve query equivalence on random instances.
         let w = bounded_equiv_check(&p, &out, &EquivCheckConfig::default()).unwrap();
-        assert!(w.is_none(), "deletion changed answers: {w:?}\n{}", out.to_text());
+        assert!(
+            w.is_none(),
+            "deletion changed answers: {w:?}\n{}",
+            out.to_text()
+        );
         (out, report)
     }
 
@@ -439,10 +457,7 @@ mod tests {
         assert_eq!(out.rules.len(), 3, "{text}");
         assert!(text.contains("a[nd](X) :- p(X, Y)."));
         assert!(!text.contains("a[nn](X, Z), p(Z, Y)"), "{text}");
-        assert!(report
-            .actions
-            .iter()
-            .any(|a| a.phase == Phase::UnitRules));
+        assert!(report.actions.iter().any(|a| a.phase == Phase::UnitRules));
         assert_eq!(report.weakest_level(), EquivalenceLevel::Query);
     }
 

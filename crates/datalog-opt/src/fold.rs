@@ -24,6 +24,7 @@ use datalog_ast::{subst, Atom, PredRef, Program, Rule, Term, Var};
 
 use crate::report::{EquivalenceLevel, Phase, Report};
 use crate::OptError;
+use datalog_trace::PhaseEvent;
 
 /// Introduce `aux(shared vars) :- body[lit_indices]` in place of the chosen
 /// literals of rule `rule_idx`. Returns the rewritten program; the new
@@ -113,7 +114,9 @@ pub fn fold_with(program: &Program, def_idx: usize) -> Result<(Program, usize), 
         .cloned()
         .ok_or(OptError::BadRuleIndex(def_idx))?;
     if program.rules_for(&def.head.pred).len() != 1 {
-        return Err(OptError::FoldNeedsSingleDefinition(def.head.pred.to_string()));
+        return Err(OptError::FoldNeedsSingleDefinition(
+            def.head.pred.to_string(),
+        ));
     }
     let def_head_vars: BTreeSet<Var> = def.head.var_occurrences().collect();
     let mut out = program.clone();
@@ -146,9 +149,10 @@ fn try_fold_rule(rule: &Rule, def: &Rule, def_head_vars: &BTreeSet<Var>) -> Opti
     let indices: Vec<usize> = (0..rule.body.len()).collect();
     for combo in combinations(&indices, n) {
         let mut map: std::collections::BTreeMap<Var, Term> = std::collections::BTreeMap::new();
-        let ok = combo.iter().enumerate().all(|(k, &i)| {
-            crate::subsume::match_onto(&def.body[k], &rule.body[i], &mut map)
-        });
+        let ok = combo
+            .iter()
+            .enumerate()
+            .all(|(k, &i)| crate::subsume::match_onto(&def.body[k], &rule.body[i], &mut map));
         if !ok {
             continue;
         }
@@ -276,8 +280,7 @@ pub fn suggest_folds(
                 if !combo.iter().any(|&i| derived.contains(&rule.body[i].pred)) {
                     continue;
                 }
-                let Ok(extracted) = extract_definition(program, ri, &combo, "$fold_probe")
-                else {
+                let Ok(extracted) = extract_definition(program, ri, &combo, "$fold_probe") else {
                     continue;
                 };
                 let def_idx = extracted.rules.len() - 1;
@@ -333,14 +336,17 @@ pub fn apply_best_fold(
     let extracted = extract_definition(program, best.source_rule, &best.literals, &name)?;
     let def_idx = extracted.rules.len() - 1;
     let (folded, count) = fold_with(&extracted, def_idx)?;
-    report.record(
+    report.record_event(
         Phase::UnitRules,
         EquivalenceLevel::Query,
         format!(
             "folded {} rule(s) through new definition: {}",
-            count,
-            folded.rules[def_idx]
+            count, folded.rules[def_idx]
         ),
+        PhaseEvent::Folded {
+            pred: name.clone(),
+            definition: folded.rules[def_idx].to_string(),
+        },
     );
     Ok(Some(folded))
 }
@@ -349,7 +355,13 @@ pub fn apply_best_fold(
 fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut combo: Vec<usize> = Vec::with_capacity(k);
-    fn rec(items: &[usize], k: usize, start: usize, combo: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        combo: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if combo.len() == k {
             out.push(combo.clone());
             return;
@@ -453,7 +465,9 @@ mod tests {
 
     #[test]
     fn extract_rejects_existing_predicate_and_bad_indices() {
-        let p = parse_program("q(X) :- e(X, Y), f(Y).\n?- q(X).").unwrap().program;
+        let p = parse_program("q(X) :- e(X, Y), f(Y).\n?- q(X).")
+            .unwrap()
+            .program;
         assert!(matches!(
             extract_definition(&p, 0, &[0], "q"),
             Err(OptError::PredicateExists(_))
@@ -502,8 +516,10 @@ mod tests {
         let nine = parse_program(crate::paper::EXAMPLE_9).unwrap().program;
         // Default pipeline cannot remove the g4 rule via summaries (the
         // freeze phase may or may not; disable it to isolate the claim).
-        let mut summary_only = OptimizerConfig::default();
-        summary_only.freeze_enabled = false;
+        let summary_only = OptimizerConfig {
+            freeze_enabled: false,
+            ..OptimizerConfig::default()
+        };
         let stuck = optimize(&nine, &summary_only).unwrap();
         assert!(stuck.program.to_text().contains("g4"));
 

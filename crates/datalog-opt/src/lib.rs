@@ -91,7 +91,10 @@ impl std::fmt::Display for OptError {
             OptError::BadRuleIndex(i) => write!(f, "rule/literal index {i} out of range"),
             OptError::PredicateExists(p) => write!(f, "predicate {p} already exists"),
             OptError::FoldNeedsSingleDefinition(p) => {
-                write!(f, "folding through {p} requires it to have exactly one rule")
+                write!(
+                    f,
+                    "folding through {p} requires it to have exactly one rule"
+                )
             }
         }
     }

@@ -125,8 +125,7 @@ pub const EXAMPLE_11: &str = "pq[nd](X) :- q[nnn](X, Z, U).\n\
 /// body, so the adornment algorithm cannot mark it don't-care, and "the
 /// process of pushing projection is not very useful" (the recursion stays
 /// ternary).
-pub const EXAMPLE_12_ADORNED: &str =
-    "query[nn](X, Y) :- p[nnd](X, Y, Z).\n\
+pub const EXAMPLE_12_ADORNED: &str = "query[nn](X, Y) :- p[nnd](X, Y, Z).\n\
      p[nnd](X, Y, Z) :- up(X, X1), p[nnn](X1, Y1, Z), dn(Y1, Y), c(Z).\n\
      p[nnd](X, Y, Z) :- b(X, Y, Z).\n\
      p[nnn](X, Y, Z) :- up(X, X1), p[nnn](X1, Y1, Z), dn(Y1, Y), c(Z).\n\
@@ -137,8 +136,7 @@ pub const EXAMPLE_12_ADORNED: &str =
 /// rule, the recursion drops to binary. Preserves uniform query
 /// equivalence; our integration tests check equivalence on random
 /// instances and the benches measure the arity win (experiment E5).
-pub const EXAMPLE_12_TRANSFORMED: &str =
-    "query[nn](X, Y) :- p[nn](X, Y).\n\
+pub const EXAMPLE_12_TRANSFORMED: &str = "query[nn](X, Y) :- p[nn](X, Y).\n\
      query[nn](X, Y) :- b(X, Y, Z).\n\
      p[nn](X, Y) :- up(X, X1), p[nn](X1, Y1), dn(Y1, Y).\n\
      p[nn](X, Y) :- b(X, Y, Z), c(Z).\n\
@@ -251,10 +249,11 @@ pub fn catalog() -> Vec<PaperExample> {
 
 /// Parse one example by name.
 pub fn parse_example(name: &str) -> Option<Program> {
-    catalog()
-        .into_iter()
-        .find(|e| e.name == name)
-        .map(|e| parse_program(e.text).expect("catalog programs parse").program)
+    catalog().into_iter().find(|e| e.name == name).map(|e| {
+        parse_program(e.text)
+            .expect("catalog programs parse")
+            .program
+    })
 }
 
 #[cfg(test)]
@@ -296,6 +295,9 @@ mod tests {
         let adorned = parse_example("example_12_adorned").unwrap();
         let transformed = parse_example("example_12_transformed").unwrap();
         let w = bounded_equiv_check(&adorned, &transformed, &EquivCheckConfig::default()).unwrap();
-        assert!(w.is_none(), "Example 12 transformation changed answers: {w:?}");
+        assert!(
+            w.is_none(),
+            "Example 12 transformation changed answers: {w:?}"
+        );
     }
 }

@@ -18,11 +18,12 @@ use datalog_ast::Program;
 
 use crate::components::extract_components;
 use crate::deletion::{summary_deletion, SummaryConfig};
-use crate::subsume::delete_subsumed;
 use crate::projection::push_projections;
 use crate::report::{EquivalenceLevel, Phase, Report};
+use crate::subsume::delete_subsumed;
 use crate::uniform::{freeze_deletion, UniformConfig};
 use crate::OptError;
+use datalog_trace::PhaseEvent;
 
 /// Pipeline configuration. The default runs everything the paper
 /// describes, with randomized validation guarding the UQE freeze test.
@@ -115,7 +116,7 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
         let adorned = datalog_adorn::adorn(&current)?;
         let versions = adorned.version_count();
         if versions > 0 {
-            report.record(
+            report.record_event(
                 Phase::Adorn,
                 EquivalenceLevel::Uniform,
                 format!(
@@ -123,6 +124,10 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
                     versions,
                     adorned.program.rules.len()
                 ),
+                PhaseEvent::Adorned {
+                    versions,
+                    rules_after: adorned.program.rules.len(),
+                },
             );
             current = adorned.program;
         }
@@ -218,17 +223,18 @@ mod tests {
     /// with an existential query ends as a single non-recursive rule.
     #[test]
     fn flagship_example_1_to_4() {
-        let out = run(
-            "query(X) :- a(X, Y).\n\
+        let out = run("query(X) :- a(X, Y).\n\
              a(X, Y) :- p(X, Z), a(Z, Y).\n\
              a(X, Y) :- p(X, Y).\n\
-             ?- query(X).",
-        );
+             ?- query(X).");
         let text = out.program.to_text();
         // Adornment produced a[nd]; projection made it unary; the uniform
         // test deleted the recursive rule.
         assert!(!out.program.is_recursive(), "{text}");
-        assert!(text.contains("a[nd](X) :- p(X, Y).") || text.contains("a[nd](X) :- p(X, Z)."), "{text}");
+        assert!(
+            text.contains("a[nd](X) :- p(X, Y).") || text.contains("a[nd](X) :- p(X, Z)."),
+            "{text}"
+        );
         assert_eq!(out.report.rules_before, 3);
         assert!(out.report.rules_after <= 3);
         assert!(out
@@ -242,11 +248,9 @@ mod tests {
     /// (covers + summaries + UQE) reduces four adorned rules to one.
     #[test]
     fn example_6_full_pipeline() {
-        let out = run(
-            "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+        let out = run("a(X, Y) :- a(X, Z), p(Z, Y).\n\
              a(X, Y) :- p(X, Y).\n\
-             ?- a(X, _).",
-        );
+             ?- a(X, _).");
         let text = out.program.to_text();
         assert_eq!(out.program.rules.len(), 1, "{text}");
         assert!(!out.program.is_recursive());
@@ -257,11 +261,9 @@ mod tests {
     /// boolean; the program stays recursive but c is fenced off.
     #[test]
     fn motivating_example_gets_boolean() {
-        let out = run(
-            "q(X, Y) :- a(X, Z), q(Z, Y), c(W).\n\
+        let out = run("q(X, Y) :- a(X, Z), q(Z, Y), c(W).\n\
              q(X, Y) :- b(X, Y).\n\
-             ?- q(X, Y).",
-        );
+             ?- q(X, Y).");
         let text = out.program.to_text();
         assert!(text.contains("b1 :- c(_)."), "{text}");
         assert!(out
@@ -274,11 +276,9 @@ mod tests {
     /// All-needed query: the pipeline must not degrade a plain TC.
     #[test]
     fn plain_tc_survives_unharmed() {
-        let out = run(
-            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+        let out = run("a(X, Y) :- p(X, Z), a(Z, Y).\n\
              a(X, Y) :- p(X, Y).\n\
-             ?- a(X, Y).",
-        );
+             ?- a(X, Y).");
         assert_eq!(out.program.rules.len(), 2);
         assert!(out.program.is_recursive());
         assert_eq!(out.report.deletions(), 0);
@@ -317,12 +317,10 @@ mod tests {
     /// The report records phases in order and totals line up.
     #[test]
     fn report_bookkeeping() {
-        let out = run(
-            "query(X) :- a(X, Y).\n\
+        let out = run("query(X) :- a(X, Y).\n\
              a(X, Y) :- p(X, Z), a(Z, Y).\n\
              a(X, Y) :- p(X, Y).\n\
-             ?- query(X).",
-        );
+             ?- query(X).");
         assert_eq!(out.report.rules_before, 3);
         assert_eq!(out.report.rules_after, out.program.rules.len());
         let text = out.report.to_text();

@@ -18,13 +18,23 @@ use datalog_ast::{Ad, Atom, Program, Term};
 
 use crate::report::{EquivalenceLevel, Phase, Report};
 use crate::OptError;
+use datalog_trace::PhaseEvent;
+
+/// One projected atom occurrence: which predicate shrank, by how much, and
+/// the rendered before/after for the report.
+struct Projected {
+    pred: String,
+    arity_before: usize,
+    arity_after: usize,
+    desc: String,
+}
 
 /// Drop the `d` positions of every adorned atom (Lemma 3.2). Atoms whose
 /// argument count already equals the adornment's needed-count are left
 /// alone, so the transformation is idempotent.
 pub fn push_projections(program: &Program, report: &mut Report) -> Result<Program, OptError> {
     let mut out = program.clone();
-    let mut projected: Vec<String> = Vec::new();
+    let mut projected: Vec<Projected> = Vec::new();
     for rule in out.rules.iter_mut() {
         // Check dropped body variables do not occur elsewhere in the rule
         // (they cannot, for programs produced by the adornment algorithm,
@@ -43,8 +53,7 @@ pub fn push_projections(program: &Program, report: &mut Report) -> Result<Progra
             if lit.arity() != before.arity() {
                 // Dropped variables must not be used in any *other* literal
                 // or in a surviving (n) position of the head.
-                let kept: std::collections::BTreeSet<_> =
-                    lit.var_occurrences().collect();
+                let kept: std::collections::BTreeSet<_> = lit.var_occurrences().collect();
                 for v in before.var_occurrences() {
                     if kept.contains(&v) {
                         continue;
@@ -74,7 +83,16 @@ pub fn push_projections(program: &Program, report: &mut Report) -> Result<Progra
         project_atom(&mut q.atom, &mut projected)?;
     }
     for p in projected {
-        report.record(Phase::Projection, EquivalenceLevel::UniformQuery, p);
+        report.record_event(
+            Phase::Projection,
+            EquivalenceLevel::UniformQuery,
+            p.desc,
+            PhaseEvent::ArityReduced {
+                pred: p.pred,
+                before: p.arity_before,
+                after: p.arity_after,
+            },
+        );
     }
     Ok(out)
 }
@@ -87,11 +105,11 @@ fn occurs_in_needed_head(rule: &datalog_ast::Rule, v: datalog_ast::Var) -> bool 
             .iter()
             .enumerate()
             .any(|(i, t)| ad[i] == Ad::N && *t == Term::Var(v)),
-        _ => rule.head.terms.iter().any(|t| *t == Term::Var(v)),
+        _ => rule.head.terms.contains(&Term::Var(v)),
     }
 }
 
-fn project_atom(atom: &mut Atom, log: &mut Vec<String>) -> Result<(), OptError> {
+fn project_atom(atom: &mut Atom, log: &mut Vec<Projected>) -> Result<(), OptError> {
     let Some(ad) = atom.pred.adornment.clone() else {
         return Ok(()); // unadorned (EDB or boolean): untouched
     };
@@ -109,12 +127,18 @@ fn project_atom(atom: &mut Atom, log: &mut Vec<String>) -> Result<(), OptError> 
         return Ok(());
     }
     let before = atom.to_string();
+    let arity_before = atom.arity();
     atom.terms = ad
         .needed_positions()
         .into_iter()
         .map(|i| atom.terms[i])
         .collect();
-    log.push(format!("projected {before} -> {atom}"));
+    log.push(Projected {
+        pred: atom.pred.to_string(),
+        arity_before,
+        arity_after: atom.arity(),
+        desc: format!("projected {before} -> {atom}"),
+    });
     Ok(())
 }
 
@@ -177,7 +201,8 @@ mod tests {
         let text = out.to_text();
         assert!(text.contains("p[nd](X) :- q1(X, Y), b1."), "{text}");
         assert!(text.contains("?- p[nd](X)."), "{text}");
-        out.validate().expect("valid after dropping dangling head vars");
+        out.validate()
+            .expect("valid after dropping dangling head vars");
     }
 
     #[test]

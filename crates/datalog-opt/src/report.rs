@@ -10,6 +10,8 @@
 //! optimizer needs, but worth recording. The weakest level used bounds the
 //! guarantee of the whole pipeline.
 
+use datalog_trace::{Json, PhaseEvent};
+
 /// Which equivalence notion an action preserves (strongest first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EquivalenceLevel {
@@ -77,6 +79,9 @@ pub struct Action {
     pub description: String,
     /// Equivalence level preserved by this action.
     pub level: EquivalenceLevel,
+    /// What changed, as structured data (a [`PhaseEvent::Note`] when the
+    /// phase had nothing structural to say).
+    pub event: PhaseEvent,
 }
 
 /// The full report of one optimization run.
@@ -91,13 +96,70 @@ pub struct Report {
 }
 
 impl Report {
-    /// Record an action.
-    pub fn record(&mut self, phase: Phase, level: EquivalenceLevel, description: impl Into<String>) {
+    /// Record an action with only a prose description; the structured event
+    /// becomes a [`PhaseEvent::Note`]. Prefer [`Report::record_event`] when
+    /// the change has structure worth keeping.
+    pub fn record(
+        &mut self,
+        phase: Phase,
+        level: EquivalenceLevel,
+        description: impl Into<String>,
+    ) {
+        let description = description.into();
+        let event = PhaseEvent::Note {
+            text: description.clone(),
+        };
+        self.actions.push(Action {
+            phase,
+            description,
+            level,
+            event,
+        });
+    }
+
+    /// Record an action along with the typed [`PhaseEvent`] describing it.
+    pub fn record_event(
+        &mut self,
+        phase: Phase,
+        level: EquivalenceLevel,
+        description: impl Into<String>,
+        event: PhaseEvent,
+    ) {
         self.actions.push(Action {
             phase,
             description: description.into(),
             level,
+            event,
         });
+    }
+
+    /// The structured events in recording order.
+    pub fn events(&self) -> impl Iterator<Item = &PhaseEvent> {
+        self.actions.iter().map(|a| &a.event)
+    }
+
+    /// JSON object for export: totals, weakest level, and the full action
+    /// list with typed events.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("rules_before", self.rules_before)
+            .with("rules_after", self.rules_after)
+            .with("weakest_level", self.weakest_level().to_string())
+            .with(
+                "actions",
+                Json::Arr(
+                    self.actions
+                        .iter()
+                        .map(|a| {
+                            Json::obj()
+                                .with("phase", a.phase.to_string())
+                                .with("level", a.level.to_string())
+                                .with("description", a.description.as_str())
+                                .with("event", a.event.to_json())
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     /// The weakest equivalence level used (or `Uniform` if nothing weaker
@@ -174,9 +236,37 @@ mod tests {
             rules_after: 2,
             ..Report::default()
         };
-        r.record(Phase::Projection, EquivalenceLevel::UniformQuery, "projected a[nd]");
+        r.record(
+            Phase::Projection,
+            EquivalenceLevel::UniformQuery,
+            "projected a[nd]",
+        );
         let text = r.to_text();
         assert!(text.contains("5 -> 2"));
         assert!(text.contains("[projection | uniform-query] projected a[nd]"));
+    }
+
+    #[test]
+    fn record_event_carries_structure_and_json_exports_it() {
+        let mut r = Report::default();
+        r.record(Phase::Adorn, EquivalenceLevel::Uniform, "plain note");
+        r.record_event(
+            Phase::Projection,
+            EquivalenceLevel::UniformQuery,
+            "reduced a[nd]: arity 2 -> 1",
+            PhaseEvent::ArityReduced {
+                pred: "a[nd]".into(),
+                before: 2,
+                after: 1,
+            },
+        );
+        let events: Vec<&PhaseEvent> = r.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind(), "note");
+        assert_eq!(events[1].kind(), "arity-reduced");
+        let s = r.to_json().to_string();
+        assert!(s.contains("\"weakest_level\":\"uniform-query\""), "{s}");
+        assert!(s.contains("\"type\":\"arity-reduced\""), "{s}");
+        assert!(s.contains("\"before\":2"), "{s}");
     }
 }

@@ -21,6 +21,7 @@ use std::collections::BTreeSet;
 use datalog_ast::{Program, Rule};
 
 use crate::report::{EquivalenceLevel, Phase, Report};
+use datalog_trace::PhaseEvent;
 
 /// Does `general` θ-subsume `specific`?
 ///
@@ -119,6 +120,10 @@ pub fn delete_subsumed(program: &Program, report: &mut Report) -> Program {
         if !keep[i] {
             continue;
         }
+        // Indexing is deliberate: `keep[i]` and `keep[j]` are read and
+        // written across both loop levels, which iterator adapters can't
+        // borrow-check.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..program.rules.len() {
             if i == j || !keep[j] {
                 continue;
@@ -130,13 +135,17 @@ pub fn delete_subsumed(program: &Program, report: &mut Report) -> Program {
                     continue;
                 }
                 keep[j] = false;
-                report.record(
+                report.record_event(
                     Phase::UniformDeletion,
                     EquivalenceLevel::Uniform,
                     format!(
                         "deleted rule (subsumed by `{}`): {}",
                         program.rules[i], program.rules[j]
                     ),
+                    PhaseEvent::RuleDeleted {
+                        rule: program.rules[j].to_string(),
+                        condition: format!("θ-subsumed by `{}`", program.rules[i]),
+                    },
                 );
             }
         }

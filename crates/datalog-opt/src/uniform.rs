@@ -28,6 +28,7 @@ use datalog_engine::oracle::{
 use crate::cleanup::cleanup;
 use crate::report::{EquivalenceLevel, Phase, Report};
 use crate::OptError;
+use datalog_trace::PhaseEvent;
 
 /// Configuration for the freeze-test deletion loop.
 #[derive(Debug, Clone)]
@@ -90,10 +91,14 @@ pub fn freeze_deletion(
         // equivalent-but-slower unit chain.
         for ri in order(&current) {
             if cfg.uniform && uniform_test(&current, ri).map_err(OptError::Engine)? {
-                report.record(
+                report.record_event(
                     Phase::UniformDeletion,
                     EquivalenceLevel::Uniform,
                     format!("deleted rule (Sagiv uniform test): {}", current.rules[ri]),
+                    PhaseEvent::RuleDeleted {
+                        rule: current.rules[ri].to_string(),
+                        condition: "Sagiv uniform-equivalence test".into(),
+                    },
                 );
                 current = current.without_rule(ri);
                 continue 'outer;
@@ -122,7 +127,7 @@ pub fn freeze_deletion(
                         continue;
                     }
                 }
-                report.record(
+                report.record_event(
                     Phase::UqeDeletion,
                     EquivalenceLevel::UniformQuery,
                     format!(
@@ -134,6 +139,14 @@ pub fn freeze_deletion(
                         },
                         current.rules[ri]
                     ),
+                    PhaseEvent::RuleDeleted {
+                        rule: current.rules[ri].to_string(),
+                        condition: if cfg.validate_uqe.is_some() {
+                            "uniform-query freeze test (randomized validation passed)".into()
+                        } else {
+                            "uniform-query freeze test (unvalidated)".into()
+                        },
+                    },
                 );
                 current = reduced;
                 continue 'outer;

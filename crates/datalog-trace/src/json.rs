@@ -1,0 +1,278 @@
+//! A small self-contained JSON document model and serializer.
+//!
+//! The build environment is offline, so `serde`/`serde_json` are not
+//! available; every machine-readable surface in the workspace (profiles,
+//! optimizer traces, `--json` CLI flags, the bench harness) serializes
+//! through this module instead. Object key order is preserved as inserted,
+//! which keeps diffs of exported trajectories stable.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers keep their integer/float distinction so counters
+/// round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (exact).
+    Int(i64),
+    /// Unsigned integer (exact; covers the u64 counters).
+    UInt(u64),
+    /// Floating point; non-finite values serialize as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert a key (builder style). Panics on non-objects.
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("Json::with on a non-object"),
+        }
+        self
+    }
+
+    /// Insert a key into an object in place. Panics on non-objects.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Look up a key on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Pretty serialization (two-space indent). Compact serialization is
+    /// `to_string()` via [`std::fmt::Display`].
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent, so floats
+                    // stay floats on re-parse.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                let (k, v) = &pairs[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                v.write(out, indent, depth + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u.into())
+    }
+}
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+impl From<u128> for Json {
+    fn from(u: u128) -> Json {
+        // Nanosecond counters can exceed u64 in pathological cases; clamp
+        // rather than silently wrap (JSON numbers are lossy past 2^53
+        // anyway, but exactness up to u64::MAX is preserved).
+        Json::UInt(u.min(u64::MAX as u128) as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+impl<T> From<Option<T>> for Json
+where
+    T: Into<Json>,
+{
+    fn from(o: Option<T>) -> Json {
+        o.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let j = Json::obj()
+            .with("name", "tc")
+            .with("n", 3u64)
+            .with("neg", -4i64)
+            .with("ok", true)
+            .with("none", Json::Null)
+            .with("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"tc","n":3,"neg":-4,"ok":true,"none":null,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(j.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let j = Json::obj().with("a", Json::Arr(vec![Json::Int(1)]));
+        assert_eq!(j.to_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_and_edge_numbers() {
+        assert_eq!(Json::Float(1.5).to_string(), "1.5");
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn get_looks_up_keys() {
+        let j = Json::obj().with("k", 7u64);
+        assert_eq!(j.get("k"), Some(&Json::UInt(7)));
+        assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::obj().to_string(), "{}");
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]");
+    }
+}

@@ -1,0 +1,35 @@
+//! # datalog-trace
+//!
+//! The observability layer of the workspace: typed, exportable records of
+//! *where evaluation cost goes* and *what the optimizer did*.
+//!
+//! The paper's argument is quantitative — the §3.1 boolean cut retires
+//! rules, §3.2 projection shrinks arities and duplicate-elimination cost,
+//! §3.3/§5 deletion removes join work — so validating it requires
+//! attributing cost to rules, predicates, and optimizer phases, not just a
+//! global counter blob. This crate defines:
+//!
+//! * [`RuleProfile`] — per-rule counters (derivations, duplicates, scans,
+//!   probes, wall time, and the iteration the boolean cut retired the
+//!   rule), accumulated by `datalog-engine` when
+//!   `EvalOptions::profile` is enabled;
+//! * [`IterationProfile`] / [`PredDelta`] — the per-iteration timeline of
+//!   predicate growth, for diagnosing convergence and explosions;
+//! * [`EvalProfile`] — the two of those together, with ranked hot-rule and
+//!   timeline text renderings;
+//! * [`PhaseEvent`] — structured optimizer trace events recorded by
+//!   `datalog-opt`'s pipeline phases;
+//! * [`json::Json`] — a small self-contained JSON serializer every
+//!   machine-readable surface shares (the environment is offline, so no
+//!   serde).
+//!
+//! The crate deliberately depends on nothing: the engine and optimizer
+//! depend on it, never the reverse.
+
+pub mod json;
+pub mod phase;
+pub mod profile;
+
+pub use json::Json;
+pub use phase::PhaseEvent;
+pub use profile::{EvalProfile, IterationProfile, PredDelta, RuleProfile};

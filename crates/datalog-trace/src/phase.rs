@@ -1,0 +1,154 @@
+//! Typed optimizer trace events.
+//!
+//! Each optimizer phase records *what changed* as data, not only as prose:
+//! which predicate lost which arity (§3.2), which rule was deleted under
+//! which sufficient condition (§3.3/§5), which boolean was extracted from
+//! which rule (§3.1). Tools consume these events to answer "what did the
+//! optimizer actually do and why" without parsing log strings.
+
+use crate::json::Json;
+
+/// What one optimizer action changed, as structured data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseEvent {
+    /// §2 adornment ran.
+    Adorned {
+        /// Number of adorned predicate versions generated.
+        versions: usize,
+        /// Rule count of the adorned program.
+        rules_after: usize,
+    },
+    /// §3.1: an existential subquery became a zero-arity boolean predicate.
+    BooleanExtracted {
+        /// Name of the new boolean predicate.
+        boolean: String,
+        /// The rule defining the boolean, rendered as text.
+        definition: String,
+    },
+    /// §3.2: projection dropped argument positions of a predicate.
+    ArityReduced {
+        /// The predicate whose arity shrank.
+        pred: String,
+        /// Arity before.
+        before: usize,
+        /// Arity after.
+        after: usize,
+    },
+    /// A rule was deleted; `condition` names the sufficient condition that
+    /// justified it (Sagiv's uniform test, Lemma 5.1/5.3 summaries, the
+    /// UQE freeze test, θ-subsumption, or a cleanup invariant).
+    RuleDeleted {
+        /// The deleted rule, rendered as text.
+        rule: String,
+        /// The sufficient condition used.
+        condition: String,
+    },
+    /// A rule was rewritten in place.
+    RuleRewritten {
+        /// Rule before, rendered as text.
+        before: String,
+        /// Rule after, rendered as text.
+        after: String,
+    },
+    /// §6 / Example 11: a folding introduced a new predicate.
+    Folded {
+        /// The newly introduced predicate.
+        pred: String,
+        /// The folded definition, rendered as text.
+        definition: String,
+    },
+    /// §5: a unit rule was added via the `covers` relation.
+    UnitRuleAdded {
+        /// The added rule, rendered as text.
+        rule: String,
+    },
+    /// Free-form note (phases with nothing structural to say).
+    Note {
+        /// The note.
+        text: String,
+    },
+}
+
+impl PhaseEvent {
+    /// Stable kind tag used in JSON exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PhaseEvent::Adorned { .. } => "adorned",
+            PhaseEvent::BooleanExtracted { .. } => "boolean-extracted",
+            PhaseEvent::ArityReduced { .. } => "arity-reduced",
+            PhaseEvent::RuleDeleted { .. } => "rule-deleted",
+            PhaseEvent::RuleRewritten { .. } => "rule-rewritten",
+            PhaseEvent::Folded { .. } => "folded",
+            PhaseEvent::UnitRuleAdded { .. } => "unit-rule-added",
+            PhaseEvent::Note { .. } => "note",
+        }
+    }
+
+    /// JSON object for export (always carries a `"type"` tag).
+    pub fn to_json(&self) -> Json {
+        let j = Json::obj().with("type", self.kind());
+        match self {
+            PhaseEvent::Adorned {
+                versions,
+                rules_after,
+            } => j
+                .with("versions", *versions)
+                .with("rules_after", *rules_after),
+            PhaseEvent::BooleanExtracted {
+                boolean,
+                definition,
+            } => j
+                .with("boolean", boolean.as_str())
+                .with("definition", definition.as_str()),
+            PhaseEvent::ArityReduced {
+                pred,
+                before,
+                after,
+            } => j
+                .with("pred", pred.as_str())
+                .with("before", *before)
+                .with("after", *after),
+            PhaseEvent::RuleDeleted { rule, condition } => j
+                .with("rule", rule.as_str())
+                .with("condition", condition.as_str()),
+            PhaseEvent::RuleRewritten { before, after } => j
+                .with("before", before.as_str())
+                .with("after", after.as_str()),
+            PhaseEvent::Folded { pred, definition } => j
+                .with("pred", pred.as_str())
+                .with("definition", definition.as_str()),
+            PhaseEvent::UnitRuleAdded { rule } => j.with("rule", rule.as_str()),
+            PhaseEvent::Note { text } => j.with("text", text.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_tags() {
+        assert_eq!(
+            PhaseEvent::ArityReduced {
+                pred: "a[nd]".into(),
+                before: 2,
+                after: 1
+            }
+            .kind(),
+            "arity-reduced"
+        );
+        assert_eq!(PhaseEvent::Note { text: "x".into() }.kind(), "note");
+    }
+
+    #[test]
+    fn json_carries_type_and_payload() {
+        let e = PhaseEvent::RuleDeleted {
+            rule: "a(X, Y) :- p(X, Z), a(Z, Y).".into(),
+            condition: "Sagiv uniform test".into(),
+        };
+        let s = e.to_json().to_string();
+        assert!(s.contains("\"type\":\"rule-deleted\""));
+        assert!(s.contains("\"condition\":\"Sagiv uniform test\""));
+    }
+}

@@ -18,12 +18,7 @@ fn show(title: &str, source: &str) {
     let words = bounded_language(&cfg, 5).expect("enumerates");
     let rendered: Vec<String> = words
         .iter()
-        .map(|w| {
-            w.iter()
-                .map(|s| s.as_str())
-                .collect::<Vec<_>>()
-                .join(" ")
-        })
+        .map(|w| w.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" "))
         .collect();
     println!("L(G) up to length 5: {{ {} }}", rendered.join(", "));
     match monadic_equivalent(&program, KeptArg::First).expect("chain program") {

@@ -75,11 +75,9 @@ fn main() {
         .database
         .pred_id(&PredRef::new("oversees"))
         .expect("registered");
-    if let Some(tree) = prov.derivation_tree(
-        &out.database,
-        oversees,
-        &[Value::sym("ceo"), Value::int(3)],
-    ) {
+    if let Some(tree) =
+        prov.derivation_tree(&out.database, oversees, &[Value::sym("ceo"), Value::int(3)])
+    {
         println!("\nwhy does the CEO oversee employee 3?\n{}", tree.render());
     }
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Full local gate: release build, tests, lints, formatting.
+# Offline-safe: the workspace vendors its few dev-dependencies, so no
+# network or registry access is needed.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
+
+echo "check.sh: all green"

@@ -40,12 +40,12 @@ const VAR_POOL: [&str; 6] = ["X", "Y", "Z", "U", "V", "W"];
 /// variables that occur in the generated body.
 fn rule_strategy(schema: Schema, head_idx: usize) -> impl Strategy<Value = Rule> {
     let preds = schema.all();
-    let (head_name, head_arity) = (
-        schema.idb[head_idx].0.clone(),
-        schema.idb[head_idx].1,
-    );
+    let (head_name, head_arity) = (schema.idb[head_idx].0.clone(), schema.idb[head_idx].1);
     // Body: 1..=3 literals, each a predicate with variable picks.
-    let lit = (0..preds.len(), proptest::collection::vec(0..VAR_POOL.len(), 0..4));
+    let lit = (
+        0..preds.len(),
+        proptest::collection::vec(0..VAR_POOL.len(), 0..4),
+    );
     proptest::collection::vec(lit, 1..=3).prop_flat_map(move |body_spec| {
         let preds = preds.clone();
         let head_name = head_name.clone();
@@ -76,7 +76,10 @@ fn rule_strategy(schema: Schema, head_idx: usize) -> impl Strategy<Value = Rule>
                 .iter()
                 .map(|&i| Term::Var(body_vars[i % body_vars.len()]))
                 .collect();
-            Rule::new(Atom::new(PredRef::new(&head_name), head_terms), body.clone())
+            Rule::new(
+                Atom::new(PredRef::new(&head_name), head_terms),
+                body.clone(),
+            )
         })
     })
 }
@@ -142,7 +145,11 @@ pub fn right_linear_chain_strategy() -> impl Strategy<Value = Program> {
             if tail.is_none() {
                 has_exit[*lhs] = true;
             }
-            rules.push(make_chain_rule(nts[*lhs], &terms.iter().map(|&t| ts[t]).collect::<Vec<_>>(), tail.map(|t| nts[t])));
+            rules.push(make_chain_rule(
+                nts[*lhs],
+                &terms.iter().map(|&t| ts[t]).collect::<Vec<_>>(),
+                tail.map(|t| nts[t]),
+            ));
         }
         // Guarantee productivity: give every used nonterminal an exit rule.
         for (i, nt) in nts.iter().enumerate() {
@@ -196,10 +203,7 @@ mod smoke {
     fn strategies_produce_valid_programs() {
         let mut runner = TestRunner::default();
         for _ in 0..50 {
-            let p = program_strategy()
-                .new_tree(&mut runner)
-                .unwrap()
-                .current();
+            let p = program_strategy().new_tree(&mut runner).unwrap().current();
             p.validate().expect("generated program must be safe");
         }
         for _ in 0..50 {

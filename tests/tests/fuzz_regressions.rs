@@ -10,7 +10,9 @@ use datalog_opt::{optimize, OptimizerConfig};
 fn check_equiv(src: &str, cfg: &OptimizerConfig) {
     let p = parse_program(src).unwrap().program;
     let out = optimize(&p, cfg).unwrap();
-    out.program.validate().expect("optimizer output must validate");
+    out.program
+        .validate()
+        .expect("optimizer output must validate");
     let w = bounded_equiv_check(
         &p,
         &out.program,

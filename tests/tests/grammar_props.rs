@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use datalog_ast::{parse_atom, Query};
 use datalog_engine::{query_answers, EvalOptions, FactSet};
 use datalog_grammar::regular::{monadic_equivalent, KeptArg};
-use datalog_grammar::{
-    bounded_language, grammar_to_program, is_chain_program, program_to_grammar,
-};
+use datalog_grammar::{bounded_language, grammar_to_program, is_chain_program, program_to_grammar};
 use xdl_integration_tests::right_linear_chain_strategy;
 
 /// Random edge instance over the chain program's terminal relations.

@@ -78,10 +78,7 @@ fn negated_existential_subquery_becomes_boolean() {
     ]);
     let out = optimize_and_compare(src, &input);
     let text = out.program.to_text();
-    assert!(
-        text.contains("b1 :- audit(A), not revoked(A)."),
-        "{text}"
-    );
+    assert!(text.contains("b1 :- audit(A), not revoked(A)."), "{text}");
 }
 
 #[test]

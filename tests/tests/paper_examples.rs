@@ -91,13 +91,18 @@ fn example_5_vs_6_contrast() {
 #[test]
 fn example_7_endgame() {
     let program = parse_program(paper::EXAMPLE_7).unwrap().program;
-    let mut summary_only = OptimizerConfig::default();
-    summary_only.freeze_enabled = false;
+    let mut summary_only = OptimizerConfig {
+        freeze_enabled: false,
+        ..OptimizerConfig::default()
+    };
     summary_only.summary.add_cover_unit_rules = false;
     let out = optimize(&program, &summary_only).unwrap();
     let text = out.program.to_text();
     assert_eq!(out.program.rules.len(), 3, "{text}");
-    assert!(text.contains("p[nd](X) :- b1(X, Y)."), "summary cannot remove this: {text}");
+    assert!(
+        text.contains("p[nd](X) :- b1(X, Y)."),
+        "summary cannot remove this: {text}"
+    );
 
     // With the freeze tests on, the residual rule is also removed (our
     // pipeline complements the paper's procedure, as §6 suggests).
@@ -118,7 +123,11 @@ fn example_8_collapses_to_empty() {
 fn example_10_lemma_5_3() {
     let program = parse_program(paper::EXAMPLE_10).unwrap().program;
     let out = optimize(&program, &OptimizerConfig::default()).unwrap();
-    assert!(!out.program.to_text().contains("big"), "{}", out.program.to_text());
+    assert!(
+        !out.program.to_text().contains("big"),
+        "{}",
+        out.program.to_text()
+    );
 }
 
 /// Example 9 vs 11: folding manufactures the unit rule that makes the
@@ -127,8 +136,10 @@ fn example_10_lemma_5_3() {
 fn example_9_vs_11_folding() {
     // Example 9: the summary procedure alone cannot delete the g4 rule.
     let nine = parse_program(paper::EXAMPLE_9).unwrap().program;
-    let mut summary_only = OptimizerConfig::default();
-    summary_only.freeze_enabled = false;
+    let summary_only = OptimizerConfig {
+        freeze_enabled: false,
+        ..OptimizerConfig::default()
+    };
     let out9 = optimize(&nine, &summary_only).unwrap();
     assert!(
         out9.program.to_text().contains("g4"),
@@ -150,7 +161,9 @@ fn example_9_vs_11_folding() {
 #[test]
 fn example_12_arity_reduction() {
     let adorned = parse_program(paper::EXAMPLE_12_ADORNED).unwrap().program;
-    let transformed = parse_program(paper::EXAMPLE_12_TRANSFORMED).unwrap().program;
+    let transformed = parse_program(paper::EXAMPLE_12_TRANSFORMED)
+        .unwrap()
+        .program;
     assert_equivalent(&adorned, &transformed);
     let rec_arity = |p: &datalog_ast::Program| {
         p.rules

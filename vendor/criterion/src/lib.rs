@@ -1,0 +1,232 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API the bench
+//! targets use: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size` / `warm_up_time` / `measurement_time`),
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be fetched. This shim keeps every bench target compiling and
+//! runnable (`cargo bench`) with a simple median-of-samples timer: each
+//! sample times one closure invocation after a warm-up phase, and the
+//! median/min/max are printed per benchmark id. It does no statistical
+//! outlier analysis and writes no reports — for trajectory tracking this
+//! repo uses the `harness` binary and `xdl profile` instead, which emit
+//! machine-readable JSON.
+
+use std::time::{Duration, Instant};
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver handle.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Accept (and mostly ignore) criterion-style CLI arguments; a bare
+    /// positional argument becomes a substring filter on benchmark ids.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                // Flags cargo-bench / criterion pass that we ignore.
+                "--bench" | "--test" | "--verbose" | "--quiet" | "--noplot" => {}
+                // Options with a value we ignore.
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" | "--output-format" => {
+                    let _ = it.next();
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            criterion: self,
+        }
+    }
+
+    /// Register a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sampling budget (a cap: sampling also stops at `sample_size`).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Time `f` and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Close the group (no-op beyond dropping the borrow).
+    pub fn finish(self) {}
+}
+
+/// Times a closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, then record one wall-time sample per
+    /// invocation until the sample count or the measurement budget is hit.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let run_start = Instant::now();
+        while self.samples.len() < self.sample_size
+            && (self.samples.is_empty() || run_start.elapsed() < self.measurement)
+        {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id}: no samples recorded");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{id}: median {:.3} ms (min {:.3} ms, max {:.3} ms, {} samples)",
+            median.as_secs_f64() * 1e3,
+            min.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        g.bench_function("id", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut g = c.benchmark_group("group");
+        let mut ran = false;
+        g.bench_function("id", |_b| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace's property tests use.
+//!
+//! The build environment has no crates.io access, so the real proptest
+//! cannot be fetched. This shim keeps the property-test suites compiling
+//! and *running*: strategies generate deterministic pseudo-random values
+//! (seeded per test from the test's name, so failures reproduce across
+//! runs), the [`proptest!`] macro expands to ordinary `#[test]` functions
+//! looping over `ProptestConfig::cases` cases, and `prop_assert*` macros
+//! report failures through ordinary panics.
+//!
+//! What is intentionally **not** implemented: shrinking (a failing case is
+//! reported as-is; the assertion messages in this workspace already print
+//! the offending program text), failure persistence (`.proptest-regressions`
+//! files are ignored), and the full strategy combinator zoo — only the
+//! combinators the test suites use exist, so an unsupported API fails the
+//! build loudly instead of changing semantics silently.
+
+pub mod test_runner {
+    /// Subset of proptest's config: case count plus the (accepted but
+    /// unused, since this shim does not shrink) shrink-iteration cap.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for source compatibility; this shim never rejects
+        /// inputs, so the cap is unused.
+        pub max_global_rejects: u32,
+        /// Accepted for source compatibility; unused (no verbose output).
+        pub verbose: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_global_rejects: 65_536,
+                verbose: 0,
+            }
+        }
+    }
+
+    /// Error a test-case body can return (`return Ok(())` early-exits a
+    /// case; `Err` fails the test). Mirrors upstream's two variants.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The input was rejected (upstream would retry; this shim fails).
+        Reject(String),
+        /// The case genuinely failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    /// Carries the RNG state threaded through strategy generation.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> TestRunner {
+            TestRunner::from_seed(0x5EED_0BAD_F00D_CAFE)
+        }
+    }
+
+    impl TestRunner {
+        /// Runner with the default seed (config is accepted for API
+        /// compatibility; it only matters to the `proptest!` macro loop).
+        pub fn new(_config: ProptestConfig) -> TestRunner {
+            TestRunner::default()
+        }
+
+        /// Runner seeded from an explicit 64-bit state.
+        pub fn from_seed(seed: u64) -> TestRunner {
+            TestRunner { state: seed }
+        }
+
+        /// Runner deterministically seeded from a test name (FNV-1a), so
+        /// every `proptest!` test replays the same cases on every run.
+        pub fn for_test(name: &str) -> TestRunner {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner::from_seed(h)
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi]` (inclusive), in i128 space so every
+        /// integer strategy can share it.
+        pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo <= hi, "empty strategy range");
+            let span = (hi - lo) as u128 + 1;
+            lo + ((self.next_u64() as u128) % span) as i128
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use std::cell::RefCell;
+
+    /// A generated value wrapper. Real proptest uses value trees for
+    /// shrinking; this shim's tree is just the value, consumable once.
+    pub trait ValueTree {
+        /// The value's type.
+        type Value;
+        /// Take the generated value (single use).
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The one [`ValueTree`] implementation: holds the generated value.
+    pub struct OnceTree<T>(RefCell<Option<T>>);
+
+    impl<T> ValueTree for OnceTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0
+                .borrow_mut()
+                .take()
+                .expect("OnceTree::current consumed twice (shim limitation)")
+        }
+    }
+
+    /// Something that can generate random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// proptest-compatible entry point (always succeeds here).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<OnceTree<Self::Value>, String> {
+            Ok(OnceTree(RefCell::new(Some(self.generate(runner)))))
+        }
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Filter generated values (retries until `f` accepts, with a cap).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+            (self.f)(self.inner.generate(runner)).generate(runner)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(runner);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 candidates", self.whence);
+        }
+    }
+
+    macro_rules! impl_int_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    runner.int_in(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.int_in(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Inclusive size bounds for [`vec`], converted from `usize`,
+    /// `Range<usize>`, or `RangeInclusive<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = runner.int_in(self.size.lo as i128, self.size.hi as i128) as usize;
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy for `Option<S::Value>`; see [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, like proptest's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(runner))
+            }
+        }
+    }
+}
+
+/// The imports every property-test file pulls in.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property, reporting failure by panic (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that loops over `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::{Strategy as _, ValueTree as _};
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $pat = ($strat)
+                    .new_tree(&mut runner)
+                    .expect("strategy generation cannot fail in this shim")
+                    .current();)*
+                // Mirror upstream proptest: the body runs inside a
+                // `Result`-returning scope so `return Ok(())` (skip this
+                // case) and `?` both work.
+                let body = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let ::core::result::Result::Err(e) = body() {
+                    panic!("test case failed: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Ranges stay in bounds; tuples and vecs compose.
+        #[test]
+        fn composite_strategies_work(
+            x in 0..10usize,
+            (a, b) in (0..5i64, crate::collection::vec(0..3u32, 1..=4)),
+            flag in crate::bool::ANY,
+            opt in crate::option::of(1..3i32),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((0..5).contains(&a));
+            prop_assert!(!b.is_empty() && b.len() <= 4);
+            prop_assert!(b.iter().all(|&v| v < 3));
+            prop_assert!(u8::from(flag) <= 1);
+            if let Some(v) = opt {
+                prop_assert!((1..3).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn maps_and_flat_maps_compose() {
+        use crate::strategy::ValueTree as _;
+        let mut runner = TestRunner::default();
+        let s = (0..5usize)
+            .prop_flat_map(|n| crate::collection::vec(0..10u64, n).prop_map(move |v| (n, v)));
+        for _ in 0..50 {
+            let (n, v) = s.new_tree(&mut runner).unwrap().current();
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn test_runner_is_deterministic_per_name() {
+        let mut a = TestRunner::for_test("same");
+        let mut b = TestRunner::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
