@@ -8,6 +8,9 @@
 //! xdl explain <file.dl> <fact>
 //! xdl grammar <file.dl> [--words <len>] [--monadic first|second]
 //! xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]
+//! xdl serve [--port <p>] [--threads <n>]
+//! xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]...
+//!           [--stats] [--trace] [--shutdown] ['?- atom.']
 //! ```
 //!
 //! A `.dl` file holds rules, facts (ground atoms) and one `?- query.`:
@@ -26,6 +29,7 @@ use existential_datalog::engine::oracle::{bounded_equiv_check, EquivCheckConfig}
 use existential_datalog::grammar::regular::{monadic_equivalent, KeptArg};
 use existential_datalog::grammar::{bounded_language, program_to_grammar};
 use existential_datalog::prelude::*;
+use existential_datalog::server::{Client, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,7 +51,10 @@ fn usage() -> String {
      xdl analyze <file.dl> [--json]\n  \
      xdl explain <file.dl> <fact>\n  \
      xdl grammar <file.dl> [--words <len>] [--monadic first|second]\n  \
-     xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]"
+     xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]\n  \
+     xdl serve [--port <p>] [--threads <n>]\n  \
+     xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]... \
+     [--stats] [--trace] [--shutdown] ['?- atom.']"
         .to_owned()
 }
 
@@ -63,6 +70,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "explain" => cmd_explain(&rest),
         "grammar" => cmd_grammar(&rest),
         "check" => cmd_check(&rest),
+        "serve" => cmd_serve(&rest),
+        "query" => cmd_query(&rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -98,7 +107,8 @@ fn positional<'a>(rest: &'a [&String], idx: usize) -> Option<&'a str> {
 
 fn load(path: &str) -> Result<(Program, FactSet), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let parsed = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    // `file:line:col: message` — the shape editors and CI annotate from.
+    let parsed = parse_program(&text).map_err(|e| e.render_at(path))?;
     parsed
         .program
         .validate()
@@ -332,6 +342,100 @@ fn cmd_grammar(rest: &[&String]) -> Result<(), String> {
             }
             None => println!("not certifiably regular: no monadic rewrite."),
         }
+    }
+    Ok(())
+}
+
+fn cmd_serve(rest: &[&String]) -> Result<(), String> {
+    let port: u16 = match option_value(rest, "--port") {
+        Some(p) => p.parse().map_err(|_| "--port takes a port number")?,
+        None => 7654,
+    };
+    let threads: usize = match option_value(rest, "--threads") {
+        Some(n) => n.parse().map_err(|_| "--threads takes a number")?,
+        None => 4,
+    };
+    let cfg = ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        threads,
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(&cfg).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    // Scripts poll for this line to learn the resolved (ephemeral) port.
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
+}
+
+fn cmd_query(rest: &[&String]) -> Result<(), String> {
+    let addr = option_value(rest, "--connect").ok_or("query needs --connect <addr>")?;
+    // Collect repeated --load/--fact in order, plus the one query positional.
+    let mut loads: Vec<&str> = Vec::new();
+    let mut facts: Vec<&str> = Vec::new();
+    let mut query_text: Option<&str> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--connect" => i += 1,
+            "--load" => {
+                loads.push(rest.get(i + 1).ok_or("--load takes a file path")?);
+                i += 1;
+            }
+            "--fact" => {
+                facts.push(rest.get(i + 1).ok_or("--fact takes a ground atom")?);
+                i += 1;
+            }
+            "--stats" | "--trace" | "--shutdown" => {}
+            s if s.starts_with("--") => return Err(format!("unknown option '{s}'\n{}", usage())),
+            s => {
+                if query_text.replace(s).is_some() {
+                    return Err("query takes at most one '?- atom.'".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    if loads.is_empty()
+        && facts.is_empty()
+        && query_text.is_none()
+        && !flag(rest, "--stats")
+        && !flag(rest, "--trace")
+        && !flag(rest, "--shutdown")
+    {
+        return Err(
+            "nothing to do: give a query, --load, --fact, --stats, --trace or --shutdown".into(),
+        );
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut send = |line: String| -> Result<existential_datalog::server::Response, String> {
+        let resp = client.request(&line).map_err(|e| format!("{addr}: {e}"))?;
+        if resp.ok {
+            Ok(resp)
+        } else {
+            Err(resp.error)
+        }
+    };
+    for path in loads {
+        send(format!("LOAD {path}"))?;
+    }
+    for atom in facts {
+        send(format!("FACT {atom}"))?;
+    }
+    if let Some(q) = query_text {
+        let resp = send(format!("QUERY {q}"))?;
+        // Byte-identical to `xdl run` on the same program and facts.
+        print!("{}", resp.payload_text());
+    }
+    if flag(rest, "--stats") {
+        println!("{}", send("STATS".to_string())?.payload_text().trim_end());
+    }
+    if flag(rest, "--trace") {
+        println!("{}", send("TRACE".to_string())?.payload_text().trim_end());
+    }
+    if flag(rest, "--shutdown") {
+        send("SHUTDOWN".to_string())?;
     }
     Ok(())
 }

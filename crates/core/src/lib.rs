@@ -15,7 +15,9 @@
 //!   uniform-query freeze test (§3.3–§5) ([`datalog_opt`]);
 //! * [`grammar`] — chain programs, CFGs, Theorem 3.3's monadic rewriting
 //!   ([`datalog_grammar`]);
-//! * [`magic`] — the orthogonal Magic Sets rewriting ([`datalog_magic`]).
+//! * [`magic`] — the orthogonal Magic Sets rewriting ([`datalog_magic`]);
+//! * [`server`] — the long-lived query service with a prepared-query cache
+//!   and snapshot-isolated concurrent reads ([`datalog_server`]).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +58,7 @@ pub use datalog_engine as engine;
 pub use datalog_grammar as grammar;
 pub use datalog_magic as magic;
 pub use datalog_opt as opt;
+pub use datalog_server as server;
 pub use datalog_trace as trace;
 
 /// The most common imports in one place.

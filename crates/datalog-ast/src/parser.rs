@@ -43,6 +43,17 @@ pub struct ParseError {
     pub col: usize,
 }
 
+impl ParseError {
+    /// Render as a `origin:line:col: message` diagnostic, the conventional
+    /// compiler-style form. `origin` is typically a file path; tools that
+    /// parse protocol input use a pseudo-origin such as `"query"`. The
+    /// rendering is click-through friendly for editors and is what `xdl`
+    /// prints (and what `datalog-server` returns in-protocol as `ERR ...`).
+    pub fn render_at(&self, origin: &str) -> String {
+        format!("{origin}:{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -572,6 +583,17 @@ mod tests {
         assert!(e.col > 1);
 
         let e = parse_program("q(X)\n:~ p(X).").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn render_at_is_file_line_col() {
+        let e = parse_program("q(X) :-\n  p(X Y).").unwrap_err();
+        let rendered = e.render_at("examples/bad.dl");
+        assert_eq!(
+            rendered,
+            format!("examples/bad.dl:{}:{}: {}", e.line, e.col, e.message)
+        );
         assert_eq!(e.line, 2);
     }
 

@@ -598,6 +598,175 @@ pub fn e10(quick: bool) -> ExperimentResult {
     r
 }
 
+/// E11 — the query server: prepared-form cache vs the cold optimizer
+/// path, answer memoization, and throughput at 1/4/8 concurrent clients.
+///
+/// Engine counters (facts/dups/scanned/iters) do not apply to the wire
+/// measurements and are reported as 0; `wall_us` is the client-observed
+/// median round trip, except for the `throughput` rows where it is the
+/// total wall time of the whole run (queries/sec goes in the notes).
+pub fn e11(quick: bool) -> ExperimentResult {
+    use datalog_server::{Client, Server, ServerConfig};
+    use std::time::Instant;
+
+    let mut r = ExperimentResult::new(
+        "e11",
+        "server: prepared-query cache vs cold optimizer; qps at 1/4/8 clients",
+    );
+    r.note("expect: warm-prepared ≪ cold-miss (skips §2 adornment + §3 pipeline);");
+    r.note("answers-memo ≪ warm-prepared (skips evaluation too); qps holds under concurrency");
+
+    let n: i64 = if quick { 64 } else { 256 };
+    let per_client: usize = if quick { 50 } else { 200 };
+    let repeats: usize = if quick { 20 } else { 60 };
+
+    // Rules + a chain EDB, served from a file exactly as a client would.
+    let mut src = String::from("a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n");
+    for i in 0..n {
+        src.push_str(&format!("p({i}, {}).\n", i + 1));
+    }
+    let dir = std::env::temp_dir().join(format!("datalog-bench-e11-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for e11");
+    let file = dir.join("chain.dl");
+    std::fs::write(&file, &src).expect("write e11 workload");
+    let path = file.to_str().expect("utf-8 temp path").to_string();
+
+    let median_us = |mut walls: Vec<u128>| -> u128 {
+        walls.sort();
+        walls[walls.len() / 2]
+    };
+    let row = |r: &mut ExperimentResult, label: &str, params: &str, answers: usize, us: u128| {
+        r.rows.push(crate::measure::Measurement {
+            label: label.into(),
+            params: params.into(),
+            answers,
+            facts: 0,
+            duplicates: 0,
+            scanned: 0,
+            iterations: 0,
+            retired: 0,
+            wall_us: us,
+            rules: Vec::new(),
+        });
+    };
+    let params = format!("chain n={n}");
+
+    // Cold misses: the first sighting of each adornment form pays the full
+    // optimizer (visible as PhaseEvents in TRACE); fresh server per sample
+    // so every form is genuinely cold.
+    {
+        let mut walls = Vec::new();
+        let mut answers = 0;
+        for _ in 0..3 {
+            let server = Server::spawn(&ServerConfig::default()).expect("bind");
+            let mut c = Client::connect(server.addr()).expect("connect");
+            assert!(c.load(&path).expect("load").ok);
+            for q in ["?- a(X, _).", "?- a(X, Y).", "?- a(_, Y)."] {
+                let t0 = Instant::now();
+                let resp = c.query(q).expect("query");
+                walls.push(t0.elapsed().as_micros());
+                assert_eq!(resp.get("cache"), Some("miss"), "{q} was not cold");
+                answers = resp
+                    .get("answers")
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or(0);
+            }
+            c.shutdown().expect("shutdown");
+            server.join();
+        }
+        let p = format!("{params} first-seen form");
+        row(&mut r, "cold-miss", &p, answers, median_us(walls));
+    }
+
+    let server = Server::spawn(&ServerConfig {
+        threads: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let mut c = Client::connect(addr).expect("connect");
+    assert!(c.load(&path).expect("load").ok);
+    assert_eq!(
+        c.query("?- a(X, _).").expect("warm").get("cache"),
+        Some("miss")
+    );
+
+    // Warm prepared: same form, rotating constants — the optimized program
+    // is reused, only evaluation runs (the answer slot misses on purpose).
+    {
+        let mut walls = Vec::new();
+        let mut answers = 0;
+        for i in 0..repeats {
+            let q = format!("?- a({}, _).", i as i64 % n);
+            let t0 = Instant::now();
+            let resp = c.query(&q).expect("query");
+            walls.push(t0.elapsed().as_micros());
+            assert_eq!(resp.get("cache"), Some("hit"), "{q} missed the cache");
+            answers = resp
+                .get("answers")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0);
+        }
+        let p = format!("{params} rotating const");
+        row(&mut r, "warm-prepared", &p, answers, median_us(walls));
+    }
+
+    // Answer memoization: the identical query text is served straight from
+    // the watermark-validated answer slot.
+    {
+        let mut walls = Vec::new();
+        let mut answers = 0;
+        let _ = c.query("?- a(X, _).").expect("prime");
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let resp = c.query("?- a(X, _).").expect("query");
+            walls.push(t0.elapsed().as_micros());
+            assert_eq!(resp.get("cache"), Some("answers"));
+            answers = resp
+                .get("answers")
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(0);
+        }
+        let p = format!("{params} repeat text");
+        row(&mut r, "answers-memo", &p, answers, median_us(walls));
+    }
+
+    // Throughput: C clients hammer the warm prepared form concurrently.
+    for clients in [1usize, 4, 8] {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|tid| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for i in 0..per_client {
+                        let q = format!("?- a({}, _).", (tid * per_client + i) as i64 % n);
+                        let resp = c.query(&q).expect("query");
+                        assert!(resp.ok, "{}", resp.error);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        let total = t0.elapsed();
+        let qps = (clients * per_client) as f64 / total.as_secs_f64();
+        r.note(format!("clients={clients}: {qps:.0} queries/sec"));
+        row(
+            &mut r,
+            "throughput",
+            &format!("clients={clients} q={per_client} each"),
+            0,
+            total.as_micros(),
+        );
+    }
+
+    c.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    r
+}
+
 /// All experiments in order.
 pub fn all(quick: bool) -> Vec<ExperimentResult> {
     vec![
@@ -611,6 +780,7 @@ pub fn all(quick: bool) -> Vec<ExperimentResult> {
         e8(quick),
         e9(quick),
         e10(quick),
+        e11(quick),
     ]
 }
 
@@ -627,6 +797,7 @@ pub fn by_id(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e8" => Some(e8(quick)),
         "e9" => Some(e9(quick)),
         "e10" => Some(e10(quick)),
+        "e11" => Some(e11(quick)),
         _ => None,
     }
 }

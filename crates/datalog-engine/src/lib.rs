@@ -32,6 +32,7 @@ pub mod optimistic;
 pub mod oracle;
 pub mod provenance;
 pub mod relation;
+pub mod shared;
 pub mod stats;
 
 pub use database::{Database, PredId};
@@ -41,6 +42,7 @@ pub use optimistic::optimistic_fixpoint;
 pub use oracle::{uniform_query_test, uniform_test};
 pub use provenance::{DerivationTree, Provenance};
 pub use relation::Relation;
+pub use shared::{DbSnapshot, SharedDatabase, SharedDbError, SharedRelation};
 pub use stats::EvalStats;
 
 use datalog_ast::AstError;

@@ -1,0 +1,408 @@
+//! Concurrently shared EDB storage with snapshot-isolated reads.
+//!
+//! `datalog-server` keeps one long-lived fact store that a writer thread
+//! grows (FACT/LOAD ingestion) while N worker threads evaluate queries.
+//! The storage contract that makes this safe is the same one the in-process
+//! [`Relation`](crate::Relation) already exploits for semi-naive deltas:
+//! **rows are append-only**, so the prefix `[0, w)` of a relation is
+//! immutable once `w` rows have been committed.
+//!
+//! A [`SharedRelation`] therefore carries, next to its row vector, a
+//! *committed watermark* (an atomic row count, published with `Release`
+//! ordering after the row is in place). A [`DbSnapshot`] is nothing but an
+//! `Arc` handle per relation plus the watermark observed at capture time:
+//! cheap to take (no row copying), and every read through it is clamped to
+//! the captured watermark — a reader can never observe a torn or
+//! half-ingested state, only a consistent prefix of the ingestion order.
+//! Row memory itself is only touched under the relation's `RwLock` (a `Vec`
+//! push may reallocate), but the lock is held per-access, never across a
+//! whole query evaluation, so ingestion and evaluation interleave freely.
+//!
+//! Snapshots also record a global *version* (total successful inserts),
+//! which the server's prepared-query cache uses to tag materialized
+//! answers; per-relation watermarks give the precise "did anything this
+//! query depends on change" test.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use datalog_ast::{PredRef, Value};
+
+use crate::facts::FactSet;
+
+/// Errors from the shared store. These are deliberately separate from
+/// [`crate::EngineError`]: a long-running server must report them
+/// in-protocol, never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharedDbError {
+    /// A tuple's arity disagrees with the relation's registered arity.
+    Arity {
+        /// The predicate.
+        pred: String,
+        /// Registered arity.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for SharedDbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharedDbError::Arity {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "fact for {pred} has arity {found}, relation registered with {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SharedDbError {}
+
+/// Interior row storage: append-only rows plus the dedup set, guarded by
+/// one lock so insert (check + push) is atomic.
+#[derive(Debug, Default)]
+struct RelStore {
+    rows: Vec<Box<[Value]>>,
+    seen: HashSet<Box<[Value]>>,
+}
+
+/// One predicate's shared, append-only relation.
+///
+/// Readers address rows through a watermark they captured earlier; the
+/// watermark is published only after the row is fully in place, so
+/// `[0, watermark)` is always a valid, immutable prefix.
+#[derive(Debug)]
+pub struct SharedRelation {
+    arity: usize,
+    store: RwLock<RelStore>,
+    /// Number of committed rows, published with `Release` after each insert.
+    committed: AtomicUsize,
+}
+
+impl SharedRelation {
+    /// New empty relation of the given arity.
+    pub fn new(arity: usize) -> SharedRelation {
+        SharedRelation {
+            arity,
+            store: RwLock::new(RelStore::default()),
+            committed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Committed (reader-visible) row count.
+    pub fn len(&self) -> usize {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Whether no row has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a tuple; returns `Ok(true)` if it was new. Duplicates are
+    /// dropped exactly as in [`crate::Relation`].
+    pub fn insert(&self, tuple: &[Value]) -> Result<bool, SharedDbError> {
+        if tuple.len() != self.arity {
+            return Err(SharedDbError::Arity {
+                pred: String::new(), // filled in by SharedDatabase
+                expected: self.arity,
+                found: tuple.len(),
+            });
+        }
+        let mut g = self.store.write().expect("shared relation lock poisoned");
+        if g.seen.contains(tuple) {
+            return Ok(false);
+        }
+        let boxed: Box<[Value]> = tuple.into();
+        g.seen.insert(boxed.clone());
+        g.rows.push(boxed);
+        let n = g.rows.len();
+        // Publish while still holding the write lock so `committed` can
+        // never run ahead of a concurrent writer's in-flight push.
+        self.committed.store(n, Ordering::Release);
+        Ok(true)
+    }
+
+    /// Copy of the immutable prefix `[0, watermark)`, in insertion order.
+    /// The read lock is held only for the duration of the copy.
+    pub fn prefix(&self, watermark: usize) -> Vec<Vec<Value>> {
+        let g = self.store.read().expect("shared relation lock poisoned");
+        let end = watermark.min(g.rows.len());
+        g.rows[..end].iter().map(|r| r.to_vec()).collect()
+    }
+}
+
+/// A shared fact database: one [`SharedRelation`] per predicate, a global
+/// insert version, and cheap consistent snapshots.
+#[derive(Debug, Default)]
+pub struct SharedDatabase {
+    rels: RwLock<BTreeMap<PredRef, Arc<SharedRelation>>>,
+    /// Total successful inserts across all relations (monotone).
+    version: AtomicU64,
+}
+
+impl SharedDatabase {
+    /// Empty shared database.
+    pub fn new() -> SharedDatabase {
+        SharedDatabase::default()
+    }
+
+    /// The global insert version: bumped once per new fact, monotone.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Register (or look up) a predicate. Unlike
+    /// [`Database::register`](crate::Database::register) this does not
+    /// panic on an arity clash — the server reports the error in-protocol.
+    pub fn register(
+        &self,
+        pred: &PredRef,
+        arity: usize,
+    ) -> Result<Arc<SharedRelation>, SharedDbError> {
+        {
+            let g = self.rels.read().expect("shared db lock poisoned");
+            if let Some(rel) = g.get(pred) {
+                if rel.arity() != arity {
+                    return Err(SharedDbError::Arity {
+                        pred: pred.to_string(),
+                        expected: rel.arity(),
+                        found: arity,
+                    });
+                }
+                return Ok(Arc::clone(rel));
+            }
+        }
+        let mut g = self.rels.write().expect("shared db lock poisoned");
+        let rel = g
+            .entry(pred.clone())
+            .or_insert_with(|| Arc::new(SharedRelation::new(arity)));
+        if rel.arity() != arity {
+            return Err(SharedDbError::Arity {
+                pred: pred.to_string(),
+                expected: rel.arity(),
+                found: arity,
+            });
+        }
+        Ok(Arc::clone(rel))
+    }
+
+    /// Insert one fact, registering the predicate on first sight. Returns
+    /// `Ok(true)` if the fact was new.
+    pub fn insert(&self, pred: &PredRef, tuple: &[Value]) -> Result<bool, SharedDbError> {
+        let rel = self.register(pred, tuple.len())?;
+        let new = rel.insert(tuple).map_err(|e| match e {
+            SharedDbError::Arity {
+                expected, found, ..
+            } => SharedDbError::Arity {
+                pred: pred.to_string(),
+                expected,
+                found,
+            },
+        })?;
+        if new {
+            self.version.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(new)
+    }
+
+    /// Bulk-load a [`FactSet`]; returns the number of *new* facts.
+    pub fn load(&self, facts: &FactSet) -> Result<usize, SharedDbError> {
+        let mut fresh = 0;
+        for (pred, tuple) in facts.iter() {
+            if self.insert(pred, tuple)? {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Total committed facts.
+    pub fn total_facts(&self) -> usize {
+        let g = self.rels.read().expect("shared db lock poisoned");
+        g.values().map(|r| r.len()).sum()
+    }
+
+    /// Number of registered predicates.
+    pub fn pred_count(&self) -> usize {
+        self.rels.read().expect("shared db lock poisoned").len()
+    }
+
+    /// Capture a consistent snapshot: an `Arc` handle and the committed
+    /// watermark of every relation, plus the global version.
+    ///
+    /// The version is read *before* the watermarks: a concurrent insert can
+    /// then only make the snapshot look *older* than the rows it exposes,
+    /// so version-tagged caches recompute rather than serve stale answers.
+    pub fn snapshot(&self) -> DbSnapshot {
+        let version = self.version();
+        let g = self.rels.read().expect("shared db lock poisoned");
+        let rels = g
+            .iter()
+            .map(|(p, r)| (p.clone(), Arc::clone(r), r.len()))
+            .collect();
+        DbSnapshot { rels, version }
+    }
+}
+
+/// A consistent read view of a [`SharedDatabase`]: for every relation, the
+/// immutable row prefix `[0, watermark)` as of capture time.
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    rels: Vec<(PredRef, Arc<SharedRelation>, usize)>,
+    version: u64,
+}
+
+impl DbSnapshot {
+    /// The global version observed at (or just before) capture.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Facts visible in this snapshot.
+    pub fn total_facts(&self) -> usize {
+        self.rels.iter().map(|(_, _, w)| w).sum()
+    }
+
+    /// Visible row count of one predicate (0 when absent).
+    pub fn count(&self, pred: &PredRef) -> usize {
+        self.rels
+            .iter()
+            .find(|(p, _, _)| p == pred)
+            .map_or(0, |(_, _, w)| *w)
+    }
+
+    /// The `(pred, watermark)` pairs of this snapshot, restricted to the
+    /// given support set — the cache-validity fingerprint for a query that
+    /// reads exactly those predicates.
+    pub fn watermarks_for<'a>(
+        &self,
+        support: impl IntoIterator<Item = &'a PredRef>,
+    ) -> Vec<(PredRef, usize)> {
+        support
+            .into_iter()
+            .map(|p| (p.clone(), self.count(p)))
+            .collect()
+    }
+
+    /// Rows of one predicate visible in this snapshot, in insertion order.
+    pub fn rows(&self, pred: &PredRef) -> Vec<Vec<Value>> {
+        self.rels
+            .iter()
+            .find(|(p, _, _)| p == pred)
+            .map_or_else(Vec::new, |(_, rel, w)| rel.prefix(*w))
+    }
+
+    /// Materialize the snapshot as a [`FactSet`] — the engine's input
+    /// currency — copying only up to each relation's watermark.
+    pub fn to_factset(&self) -> FactSet {
+        let mut fs = FactSet::new();
+        for (pred, rel, w) in &self.rels {
+            for row in rel.prefix(*w) {
+                fs.insert(pred.clone(), row);
+            }
+        }
+        fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn insert_dedups_and_versions() {
+        let db = SharedDatabase::new();
+        let p = PredRef::new("p");
+        assert!(db.insert(&p, &t(&[1, 2])).unwrap());
+        assert!(!db.insert(&p, &t(&[1, 2])).unwrap());
+        assert!(db.insert(&p, &t(&[2, 3])).unwrap());
+        assert_eq!(db.version(), 2, "duplicates do not bump the version");
+        assert_eq!(db.total_facts(), 2);
+    }
+
+    #[test]
+    fn arity_clash_is_an_error_not_a_panic() {
+        let db = SharedDatabase::new();
+        let p = PredRef::new("p");
+        db.insert(&p, &t(&[1, 2])).unwrap();
+        let e = db.insert(&p, &t(&[1])).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                SharedDbError::Arity {
+                    expected: 2,
+                    found: 1,
+                    ..
+                }
+            ),
+            "{e:?}"
+        );
+        assert!(e.to_string().contains("arity 1"));
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_prefix() {
+        let db = SharedDatabase::new();
+        let p = PredRef::new("p");
+        for i in 0..5 {
+            db.insert(&p, &t(&[i])).unwrap();
+        }
+        let snap = db.snapshot();
+        assert_eq!(snap.count(&p), 5);
+        // Later inserts are invisible through the snapshot.
+        for i in 5..10 {
+            db.insert(&p, &t(&[i])).unwrap();
+        }
+        assert_eq!(snap.count(&p), 5);
+        assert_eq!(snap.total_facts(), 5);
+        let rows = snap.rows(&p);
+        assert_eq!(rows, (0..5).map(|i| t(&[i])).collect::<Vec<_>>());
+        // A fresh snapshot sees everything, in insertion order.
+        let snap2 = db.snapshot();
+        assert_eq!(snap2.rows(&p), (0..10).map(|i| t(&[i])).collect::<Vec<_>>());
+        assert!(snap2.version() > snap.version());
+    }
+
+    #[test]
+    fn snapshot_to_factset_and_watermarks() {
+        let db = SharedDatabase::new();
+        let p = PredRef::new("p");
+        let q = PredRef::new("q");
+        db.insert(&p, &t(&[1, 2])).unwrap();
+        db.insert(&q, &t(&[7])).unwrap();
+        let snap = db.snapshot();
+        let fs = snap.to_factset();
+        assert_eq!(fs.len(), 2);
+        assert!(fs.contains(&p, &t(&[1, 2])));
+        let wm = snap.watermarks_for([&p, &q, &PredRef::new("absent")]);
+        assert_eq!(
+            wm,
+            vec![(p.clone(), 1), (q.clone(), 1), (PredRef::new("absent"), 0)]
+        );
+    }
+
+    #[test]
+    fn missing_pred_reads_as_empty() {
+        let db = SharedDatabase::new();
+        let snap = db.snapshot();
+        assert_eq!(snap.count(&PredRef::new("nope")), 0);
+        assert!(snap.rows(&PredRef::new("nope")).is_empty());
+        assert_eq!(snap.version(), 0);
+    }
+}

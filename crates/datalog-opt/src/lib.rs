@@ -38,6 +38,7 @@ pub mod deletion;
 pub mod fold;
 pub mod paper;
 pub mod pipeline;
+pub mod prepare;
 pub mod projection;
 pub mod report;
 pub mod subsume;
@@ -49,6 +50,9 @@ pub use components::{extract_components, ComponentsResult};
 pub use deletion::{summary_deletion, SummaryConfig};
 pub use fold::{extract_definition, fold_with};
 pub use pipeline::{optimize, OptimizeOutcome, OptimizerConfig};
+pub use prepare::{
+    canonical_query_atom, edb_support, fingerprint_rules, prepare, PreparedProgram, QueryShape,
+};
 pub use projection::push_projections;
 pub use report::{Action, EquivalenceLevel, Phase, Report};
 pub use subsume::{delete_subsumed, subsumes};

@@ -1,0 +1,213 @@
+//! The prepared-query cache and its invalidation logic.
+//!
+//! Keyed by the paper's query *form* — `(rule-set fingerprint, query
+//! predicate, existential adornment)` — each entry stores the fully
+//! optimized program from `datalog-opt` ([`PreparedProgram`]), so a repeat
+//! of the same form skips the optimizer entirely. On top of that, each
+//! entry carries a one-slot *answer* cache: the rendered payload of the
+//! last evaluation, tagged with the per-predicate snapshot watermarks of
+//! the form's EDB support set. A later identical query can reuse the
+//! payload iff none of the supporting relations has grown past the
+//! recorded watermark.
+//!
+//! Ingestion invalidates *incrementally*: a new fact for predicate `p`
+//! clears the answer slots only of entries whose optimized program
+//! transitively reads `p` (the dependency analysis of
+//! `datalog_opt::prepare::edb_support`, built on the same reachability
+//! machinery as the §3.1 connected-components phase). Prepared programs
+//! themselves are never invalidated by facts — the optimization depends
+//! only on the rules, which the fingerprint tracks.
+
+use std::collections::BTreeMap;
+
+use datalog_ast::PredRef;
+use datalog_opt::PreparedProgram;
+
+/// Cache key: the query form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FormKey {
+    /// [`datalog_opt::fingerprint_rules`] of the server's rule set.
+    pub fingerprint: u64,
+    /// Base name of the query predicate.
+    pub pred: String,
+    /// The existential adornment, rendered (`"nd"`).
+    pub adornment: String,
+}
+
+/// A memoized answer payload, valid while the support watermarks hold.
+#[derive(Debug, Clone)]
+pub struct CachedAnswers {
+    /// Rendered query atom the payload answers (column names and constants
+    /// matter for byte-identity, not just the form).
+    pub query_repr: String,
+    /// `(pred, committed row count)` for every predicate in the form's EDB
+    /// support set, at evaluation time.
+    pub watermarks: Vec<(PredRef, usize)>,
+    /// The exact payload `QUERY` returned (what `xdl run` would print).
+    pub payload: String,
+    /// Number of answers (for the response header).
+    pub answers: usize,
+}
+
+/// One cache entry: the prepared program plus reuse bookkeeping.
+#[derive(Debug)]
+pub struct Entry {
+    /// The optimizer's output for this form.
+    pub prepared: PreparedProgram,
+    /// One-slot answer cache.
+    pub answers: Option<CachedAnswers>,
+    /// How often this form was served without re-optimizing.
+    pub hits: u64,
+    /// LRU clock value of the last use.
+    last_used: u64,
+}
+
+/// The prepared-query cache: bounded, LRU-evicted.
+#[derive(Debug)]
+pub struct PreparedCache {
+    entries: BTreeMap<FormKey, Entry>,
+    capacity: usize,
+    clock: u64,
+    /// Total answer-slot invalidations caused by ingestion.
+    pub invalidations: u64,
+}
+
+impl PreparedCache {
+    /// Cache holding at most `capacity` prepared forms.
+    pub fn new(capacity: usize) -> PreparedCache {
+        PreparedCache {
+            entries: BTreeMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Number of prepared forms currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a form, bumping its LRU clock. Callers decide whether the
+    /// access counts as a reuse (bump [`Entry::hits`] themselves) — the
+    /// bookkeeping lookup after an evaluation should not inflate the count.
+    pub fn get_mut(&mut self, key: &FormKey) -> Option<&mut Entry> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = clock;
+            e
+        })
+    }
+
+    /// Insert a freshly prepared form and return it, evicting the least
+    /// recently used entry if the cache is full.
+    pub fn insert(&mut self, key: FormKey, prepared: PreparedProgram) -> &mut Entry {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.entry(key).or_insert(Entry {
+            prepared,
+            answers: None,
+            hits: 0,
+            last_used: clock,
+        })
+    }
+
+    /// A fact arrived for (base) predicate `pred`: drop the answer slot of
+    /// every dependent entry. Returns how many slots were cleared.
+    pub fn invalidate_edb(&mut self, pred: &PredRef) -> usize {
+        let mut cleared = 0;
+        for e in self.entries.values_mut() {
+            if e.answers.is_some() && e.prepared.depends_on(pred) {
+                e.answers = None;
+                cleared += 1;
+            }
+        }
+        self.invalidations += cleared as u64;
+        cleared
+    }
+
+    /// Total prepared-form hits across all entries.
+    pub fn total_hits(&self) -> u64 {
+        self.entries.values().map(|e| e.hits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, Adornment};
+    use datalog_opt::{fingerprint_rules, prepare, OptimizerConfig};
+
+    fn prep(src: &str, pred: &str, ad: &str) -> (FormKey, PreparedProgram) {
+        let p = parse_program(src).unwrap().program;
+        let adornment = Adornment::parse(ad).unwrap();
+        let prepared = prepare(
+            &p.rules,
+            &PredRef::new(pred),
+            &adornment,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let key = FormKey {
+            fingerprint: fingerprint_rules(&p.rules),
+            pred: pred.to_string(),
+            adornment: ad.to_string(),
+        };
+        (key, prepared)
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_forms() {
+        let mut cache = PreparedCache::new(2);
+        let (k1, p1) = prep("a(X, Y) :- p(X, Y).\n?- a(X, _).", "a", "nd");
+        let (k2, p2) = prep("b(X, Y) :- q(X, Y).\n?- b(X, _).", "b", "nd");
+        let (k3, p3) = prep("c(X, Y) :- r(X, Y).\n?- c(X, _).", "c", "nd");
+        cache.insert(k1.clone(), p1);
+        cache.insert(k2.clone(), p2);
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get_mut(&k1).is_some());
+        cache.insert(k3.clone(), p3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_mut(&k2).is_none(), "LRU entry evicted");
+        assert!(cache.get_mut(&k1).is_some());
+        assert!(cache.get_mut(&k3).is_some());
+    }
+
+    #[test]
+    fn invalidation_is_dependency_scoped() {
+        let mut cache = PreparedCache::new(8);
+        let (k1, p1) = prep("a(X, Y) :- p(X, Y).\n?- a(X, _).", "a", "nd");
+        let (k2, p2) = prep("b(X, Y) :- q(X, Y).\n?- b(X, _).", "b", "nd");
+        let stale = CachedAnswers {
+            query_repr: "x".into(),
+            watermarks: vec![],
+            payload: String::new(),
+            answers: 0,
+        };
+        cache.insert(k1.clone(), p1).answers = Some(stale.clone());
+        cache.insert(k2.clone(), p2).answers = Some(stale);
+        // A fact for p invalidates only the form over a (which reads p).
+        assert_eq!(cache.invalidate_edb(&PredRef::new("p")), 1);
+        assert!(cache.get_mut(&k1).unwrap().answers.is_none());
+        assert!(cache.get_mut(&k2).unwrap().answers.is_some());
+        // An unrelated predicate invalidates nothing.
+        assert_eq!(cache.invalidate_edb(&PredRef::new("zzz")), 0);
+        assert_eq!(cache.invalidations, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # datalog-server
+//!
+//! A long-lived query service for the existential-Datalog toolkit,
+//! built only on `std::net` + `std::thread` (the build is offline and
+//! dependency-free by design).
+//!
+//! The paper's observation that motivates this crate: the adorned,
+//! optimized program `P^{e,ad}` (§2–§3 of *Optimizing Existential Datalog
+//! Queries*) depends only on the query *form* — rule set, query predicate,
+//! existential adornment — not on the concrete query atom or the EDB. A
+//! service that answers many queries against a persistent, growing fact
+//! base should therefore optimize each form **once** and reuse it. The
+//! three pieces:
+//!
+//! * **prepared-query cache** ([`cache`]): forms map to fully optimized
+//!   programs (`datalog_opt::prepare`); repeats skip the optimizer, which
+//!   is observable as zero new `PhaseEvent`s in the `TRACE` output;
+//! * **snapshot-isolated reads** (`datalog_engine::shared`): worker
+//!   threads evaluate against consistent watermark snapshots of the
+//!   append-only EDB while `FACT`/`LOAD` ingest concurrently;
+//! * **incremental invalidation**: a new fact clears memoized answers only
+//!   for forms whose optimized program transitively reads that predicate.
+//!
+//! Start it with `xdl serve [--port P] [--threads N]` and talk to it with
+//! `xdl query --connect ADDR` or any line-oriented TCP client (see
+//! [`protocol`] for the grammar). `QUERY` responses are byte-identical to
+//! `xdl run` on the same program and facts.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CachedAnswers, FormKey, PreparedCache};
+pub use client::Client;
+pub use protocol::{Request, Response};
+pub use server::{render_answers, Server, ServerConfig, ServerState};

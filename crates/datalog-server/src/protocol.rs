@@ -1,0 +1,271 @@
+//! The wire protocol: line-oriented text over TCP.
+//!
+//! Requests are single lines; the first word is the command, the rest is
+//! the argument:
+//!
+//! ```text
+//! FACT p(1, 2).          ingest one ground fact
+//! LOAD path/to/file.dl   merge a file's rules and facts
+//! QUERY ?- a(X, _).      evaluate a query
+//! STATS                  one-line JSON server statistics
+//! TRACE                  one-line JSON trace of the last query
+//! SHUTDOWN               stop the server
+//! ```
+//!
+//! Responses are a header line followed by zero or more payload lines:
+//!
+//! ```text
+//! OK <nlines>[ key=value]...
+//! <payload line 1>
+//! ...
+//! <payload line nlines>
+//! ```
+//!
+//! or, on failure, a single line `ERR <message>` (parse errors arrive as
+//! `ERR <origin>:<line>:<col>: <message>`). The connection stays usable
+//! after an `ERR`. `QUERY` payload lines are byte-identical to what
+//! `xdl run` prints for the same program and facts.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `FACT <ground atom>.`
+    Fact(String),
+    /// `LOAD <path>`
+    Load(String),
+    /// `QUERY ?- <atom>.`
+    Query(String),
+    /// `STATS`
+    Stats,
+    /// `TRACE`
+    Trace,
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line. Returns an error message suitable for an
+    /// `ERR` reply.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim();
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd.to_ascii_uppercase().as_str() {
+            "FACT" if !rest.is_empty() => Ok(Request::Fact(rest.to_string())),
+            "FACT" => Err("FACT takes a ground atom, e.g. FACT p(1, 2).".into()),
+            "LOAD" if !rest.is_empty() => Ok(Request::Load(rest.to_string())),
+            "LOAD" => Err("LOAD takes a file path".into()),
+            "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
+            "QUERY" => Err("QUERY takes a query, e.g. QUERY ?- a(X, _).".into()),
+            "STATS" => Ok(Request::Stats),
+            "TRACE" => Ok(Request::Trace),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown command '{other}' (expected FACT, LOAD, QUERY, STATS, TRACE or SHUTDOWN)"
+            )),
+        }
+    }
+}
+
+/// A response: either `Ok` with key=value metadata and payload lines, or
+/// `Err` with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Whether the header was `OK`.
+    pub ok: bool,
+    /// The `ERR` message (empty for `OK` responses).
+    pub error: String,
+    /// `key=value` pairs from the `OK` header, in order.
+    pub info: Vec<(String, String)>,
+    /// Payload lines (without trailing newlines).
+    pub payload: Vec<String>,
+}
+
+impl Response {
+    /// An `OK` response.
+    pub fn ok() -> Response {
+        Response {
+            ok: true,
+            error: String::new(),
+            info: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// An `ERR` response.
+    pub fn err(message: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            error: message.into(),
+            info: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Attach a `key=value` header pair (builder style). Keys and values
+    /// must not contain whitespace; values are rendered verbatim.
+    pub fn with_info(mut self, key: &str, value: impl ToString) -> Response {
+        self.info.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Attach payload lines from a (possibly multi-line) string. A trailing
+    /// newline does not produce an empty final line.
+    pub fn with_payload_text(mut self, text: &str) -> Response {
+        self.payload.extend(text.lines().map(|l| l.to_string()));
+        self
+    }
+
+    /// Look up a header value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.info
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The payload re-joined with newlines, with a trailing newline when
+    /// non-empty — the inverse of [`Response::with_payload_text`] for texts
+    /// that ended in `\n`.
+    pub fn payload_text(&self) -> String {
+        if self.payload.is_empty() {
+            String::new()
+        } else {
+            let mut s = self.payload.join("\n");
+            s.push('\n');
+            s
+        }
+    }
+
+    /// Serialize onto a writer (header + payload lines).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        if self.ok {
+            write!(w, "OK {}", self.payload.len())?;
+            for (k, v) in &self.info {
+                write!(w, " {k}={v}")?;
+            }
+            writeln!(w)?;
+            for line in &self.payload {
+                writeln!(w, "{line}")?;
+            }
+        } else {
+            // ERR is always a single line; flatten any embedded newlines.
+            let msg = self.error.replace('\n', " / ");
+            writeln!(w, "ERR {msg}")?;
+        }
+        w.flush()
+    }
+
+    /// Read one response from a buffered reader (header line + announced
+    /// payload lines). Returns `None` at EOF before a header.
+    pub fn read_from(r: &mut impl BufRead) -> std::io::Result<Option<Response>> {
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if let Some(msg) = header.strip_prefix("ERR ") {
+            return Ok(Some(Response::err(msg)));
+        }
+        let Some(rest) = header.strip_prefix("OK ") else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response header: {header:?}"),
+            ));
+        };
+        let mut words = rest.split_whitespace();
+        let n: usize = words.next().and_then(|w| w.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("missing payload count in header: {header:?}"),
+            )
+        })?;
+        let mut resp = Response::ok();
+        for w in words {
+            if let Some((k, v)) = w.split_once('=') {
+                resp.info.push((k.to_string(), v.to_string()));
+            }
+        }
+        for _ in 0..n {
+            let mut line = String::new();
+            if r.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-payload",
+                ));
+            }
+            resp.payload
+                .push(line.trim_end_matches(['\r', '\n']).to_string());
+        }
+        Ok(Some(resp))
+    }
+
+    /// Header pairs as a map (for tests and stats display).
+    pub fn info_map(&self) -> BTreeMap<String, String> {
+        self.info.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing() {
+        assert_eq!(
+            Request::parse("FACT p(1, 2)."),
+            Ok(Request::Fact("p(1, 2).".into()))
+        );
+        assert_eq!(
+            Request::parse("  query ?- a(X, _). "),
+            Ok(Request::Query("?- a(X, _).".into()))
+        );
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("shutdown"), Ok(Request::Shutdown));
+        assert!(Request::parse("FACT").is_err());
+        assert!(Request::parse("NOPE x").is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok()
+            .with_info("cache", "hit")
+            .with_info("answers", 3)
+            .with_payload_text("X\n1\n2\n3\n");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&buf),
+            "OK 4 cache=hit answers=3\nX\n1\n2\n3\n"
+        );
+        let back = Response::read_from(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.get("cache"), Some("hit"));
+        assert_eq!(back.payload_text(), "X\n1\n2\n3\n");
+    }
+
+    #[test]
+    fn err_roundtrip_flattens_newlines() {
+        let resp = Response::err("file.dl:3:7: expected ')'\nsecond");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&buf),
+            "ERR file.dl:3:7: expected ')' / second\n"
+        );
+        let back = Response::read_from(&mut buf.as_slice()).unwrap().unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error, "file.dl:3:7: expected ')' / second");
+    }
+
+    #[test]
+    fn read_from_eof_is_none() {
+        let empty: &[u8] = b"";
+        assert_eq!(Response::read_from(&mut &*empty).unwrap(), None);
+    }
+}

@@ -1,0 +1,645 @@
+//! The server: shared state, request handling, and the accept loop.
+//!
+//! N worker threads block in `accept()` on one shared listener; each
+//! connection is served to completion by the worker that accepted it, so
+//! the server handles up to N concurrent clients. All workers share one
+//! [`ServerState`]:
+//!
+//! * the rule set (plus its fingerprint), guarded by an `RwLock` — queries
+//!   read it, `LOAD` extends it;
+//! * the EDB in a [`SharedDatabase`]: writers ingest while readers evaluate
+//!   against [`DbSnapshot`]s, never blocking each other beyond per-access
+//!   row locks;
+//! * the [`PreparedCache`] behind a `Mutex` — held across a cold `prepare`
+//!   (optimization is the expensive, memoized step; serializing it
+//!   deduplicates concurrent cold misses of the same form);
+//! * the last query's trace, served by `TRACE`.
+//!
+//! The paper's IDB/EDB convention (§1.1: the IDB holds no facts) is
+//! enforced at the boundary: `FACT` refuses predicates derived by rules,
+//! `LOAD` refuses rules whose head predicate already has stored facts.
+//! This keeps every optimization the cache reuses valid — query
+//! equivalence of the optimized program is only guaranteed on IDB-empty
+//! inputs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use datalog_adorn::query_adornment;
+use datalog_ast::{parse_atom, parse_program, PredRef, Program, Query, Rule};
+use datalog_engine::{query_answers_full, AnswerSet, EvalOptions, SharedDatabase};
+use datalog_opt::{fingerprint_rules, prepare, OptimizerConfig, PreparedProgram};
+use datalog_trace::Json;
+
+use crate::cache::{CachedAnswers, FormKey, PreparedCache};
+use crate::protocol::{Request, Response};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of worker threads (= max concurrent clients).
+    pub threads: usize,
+    /// Prepared-form cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            cache_capacity: 256,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Everything the worker threads share.
+pub struct ServerState {
+    rules: RwLock<(Vec<Rule>, u64)>,
+    db: SharedDatabase,
+    cache: Mutex<PreparedCache>,
+    last_trace: Mutex<Option<Json>>,
+    shutdown: AtomicBool,
+    threads: usize,
+    queries: AtomicU64,
+    cache_misses: AtomicU64,
+    answer_hits: AtomicU64,
+}
+
+impl ServerState {
+    /// Fresh state with an empty rule set and EDB.
+    pub fn new(cache_capacity: usize, threads: usize) -> ServerState {
+        ServerState {
+            rules: RwLock::new((Vec::new(), fingerprint_rules(&[]))),
+            db: SharedDatabase::new(),
+            cache: Mutex::new(PreparedCache::new(cache_capacity)),
+            last_trace: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            threads,
+            queries: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            answer_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Handle one request. Pure state-in/response-out — shared by the TCP
+    /// loop, the tests, and the bench harness.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Fact(text) => self.handle_fact(text),
+            Request::Load(path) => self.handle_load(path),
+            Request::Query(text) => self.handle_query(text),
+            Request::Stats => self.handle_stats(),
+            Request::Trace => self.handle_trace(),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::Release);
+                Response::ok().with_info("bye", true)
+            }
+        }
+    }
+
+    fn handle_fact(&self, text: &str) -> Response {
+        let atom = match parse_atom(text) {
+            Ok(a) => a,
+            Err(e) => return Response::err(e.render_at("fact")),
+        };
+        if atom.pred.is_adorned() {
+            return Response::err("facts must use base (unadorned) predicates");
+        }
+        let Some(values) = atom.ground_values() else {
+            return Response::err(format!("fact '{atom}' is not ground"));
+        };
+        {
+            let rules = self
+                .rules
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if rules.0.iter().any(|r| r.head.pred.base() == atom.pred) {
+                return Response::err(format!(
+                    "{} is derived by rules; facts may only be asserted for EDB predicates",
+                    atom.pred
+                ));
+            }
+        }
+        let new = match self.db.insert(&atom.pred, &values) {
+            Ok(n) => n,
+            Err(e) => return Response::err(e.to_string()),
+        };
+        if new {
+            lock(&self.cache).invalidate_edb(&atom.pred);
+        }
+        Response::ok()
+            .with_info("new", new)
+            .with_info("pred", &atom.pred)
+            .with_info("version", self.db.version())
+    }
+
+    fn handle_load(&self, path: &str) -> Response {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return Response::err(format!("cannot read {path}: {e}")),
+        };
+        let parsed = match parse_program(&text) {
+            Ok(p) => p,
+            Err(e) => return Response::err(e.render_at(path)),
+        };
+        if let Err(e) = parsed.program.validate() {
+            return Response::err(format!("{path}: {e}"));
+        }
+        let mut rules = self
+            .rules
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let fresh: Vec<Rule> = parsed
+            .program
+            .rules
+            .iter()
+            .filter(|r| !rules.0.contains(r))
+            .cloned()
+            .collect();
+        // IDB predicates hold no facts (§1.1): a rule head must not collide
+        // with already-stored facts, and loaded facts must stay EDB-only
+        // w.r.t. the merged rule set.
+        let snapshot = self.db.snapshot();
+        for r in &fresh {
+            let head = r.head.pred.base();
+            if snapshot.count(&head) > 0 {
+                return Response::err(format!(
+                    "cannot load rule for {head}: facts already stored for it \
+                     (IDB predicates hold no facts)"
+                ));
+            }
+        }
+        let merged_heads: Vec<PredRef> = rules
+            .0
+            .iter()
+            .chain(fresh.iter())
+            .map(|r| r.head.pred.base())
+            .collect();
+        for pred in parsed.facts.keys() {
+            if merged_heads.contains(&pred.base()) {
+                return Response::err(format!(
+                    "{path}: {pred} is derived by rules; facts may only be loaded \
+                     for EDB predicates"
+                ));
+            }
+        }
+        let new_rules = fresh.len();
+        if new_rules > 0 {
+            rules.0.extend(fresh);
+            rules.1 = fingerprint_rules(&rules.0);
+        }
+        let total_rules = rules.0.len();
+        drop(rules);
+
+        let mut new_facts = 0usize;
+        let mut touched: Vec<PredRef> = Vec::new();
+        for (pred, tuples) in &parsed.facts {
+            let mut any = false;
+            for t in tuples {
+                match self.db.insert(pred, t) {
+                    Ok(true) => {
+                        new_facts += 1;
+                        any = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => return Response::err(format!("{path}: {e}")),
+                }
+            }
+            if any {
+                touched.push(pred.clone());
+            }
+        }
+        if !touched.is_empty() {
+            let mut cache = lock(&self.cache);
+            for p in &touched {
+                cache.invalidate_edb(p);
+            }
+        }
+        let mut resp = Response::ok()
+            .with_info("rules", total_rules)
+            .with_info("new_rules", new_rules)
+            .with_info("new_facts", new_facts)
+            .with_info("version", self.db.version());
+        if parsed.program.query.is_some() {
+            resp = resp.with_info("query_ignored", true);
+        }
+        resp
+    }
+
+    fn handle_query(&self, text: &str) -> Response {
+        let started = Instant::now();
+        let parsed = match parse_program(text) {
+            Ok(p) => p,
+            Err(e) => return Response::err(e.render_at("query")),
+        };
+        if !parsed.program.rules.is_empty() || !parsed.facts.is_empty() {
+            return Response::err("QUERY takes a single '?- atom.' (no rules or facts)");
+        }
+        let Some(query) = parsed.program.query else {
+            return Response::err("QUERY takes a single '?- atom.'");
+        };
+        let adornment = match query_adornment(&query) {
+            Ok(a) => a,
+            Err(e) => return Response::err(e.to_string()),
+        };
+
+        let (rules, fingerprint) = {
+            let g = self
+                .rules
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (g.0.clone(), g.1)
+        };
+        let program = Program::with_query(rules, query.clone());
+        if let Err(e) = program.validate() {
+            return Response::err(e.to_string());
+        }
+        let key = FormKey {
+            fingerprint,
+            pred: query.atom.pred.name.as_str(),
+            adornment: adornment.to_string(),
+        };
+        let query_repr = query.atom.to_string();
+
+        // Snapshot before consulting the answer slot: ingestion inserts the
+        // fact first and invalidates after, so a slot whose watermarks still
+        // match this snapshot cannot be stale.
+        let snapshot = self.db.snapshot();
+        self.queries.fetch_add(1, Ordering::AcqRel);
+
+        let mut cache = lock(&self.cache);
+        let mut resolved: Option<(&'static str, Program, std::collections::BTreeSet<PredRef>)> =
+            None;
+        if let Some(entry) = cache.get_mut(&key) {
+            entry.hits += 1;
+            if let Some(slot) = &entry.answers {
+                if slot.query_repr == query_repr
+                    && slot.watermarks == snapshot.watermarks_for(&entry.prepared.support)
+                {
+                    // Serve the memoized payload: no eval, no optimizer,
+                    // zero new phase events.
+                    self.answer_hits.fetch_add(1, Ordering::AcqRel);
+                    let resp = Response::ok()
+                        .with_info("cache", "answers")
+                        .with_info("answers", slot.answers)
+                        .with_info("wall_us", started.elapsed().as_micros())
+                        .with_payload_text(&slot.payload);
+                    let trace = Self::trace_json(&query, &key, "answers", None, &entry.prepared);
+                    drop(cache);
+                    *lock(&self.last_trace) = Some(trace);
+                    return resp;
+                }
+            }
+            resolved = entry
+                .prepared
+                .instantiate(&query.atom)
+                .map(|p| ("hit", p, entry.prepared.support.clone()));
+        }
+        let (status, eval_program, support) = match resolved {
+            Some(t) => t,
+            None => {
+                self.cache_misses.fetch_add(1, Ordering::AcqRel);
+                let prepared = match prepare(
+                    &program.rules,
+                    &query.atom.pred,
+                    &adornment,
+                    &OptimizerConfig::default(),
+                ) {
+                    Ok(p) => p,
+                    Err(e) => return Response::err(format!("optimizer: {e}")),
+                };
+                let entry = cache.insert(key.clone(), prepared);
+                match entry.prepared.instantiate(&query.atom) {
+                    Some(p) => ("miss", p, entry.prepared.support.clone()),
+                    // Defensive: fall back to the unoptimized program; its
+                    // support is computed directly so cached answers still
+                    // invalidate correctly.
+                    None => ("miss", program.clone(), datalog_opt::edb_support(&program)),
+                }
+            }
+        };
+        drop(cache);
+
+        let facts = snapshot.to_factset();
+        let opts = EvalOptions {
+            boolean_cut: true,
+            ..EvalOptions::default()
+        };
+        let (answers, _out) = match query_answers_full(&eval_program, &facts, &opts) {
+            Ok(r) => r,
+            Err(e) => return Response::err(format!("evaluation: {e}")),
+        };
+        let payload = render_answers(&answers);
+
+        let mut cache = lock(&self.cache);
+        if let Some(entry) = cache.get_mut(&key) {
+            entry.answers = Some(CachedAnswers {
+                query_repr,
+                watermarks: snapshot.watermarks_for(&support),
+                payload: payload.clone(),
+                answers: answers.len(),
+            });
+            let trace = Self::trace_json(
+                &query,
+                &key,
+                status,
+                (status == "miss").then_some(()),
+                &entry.prepared,
+            );
+            drop(cache);
+            *lock(&self.last_trace) = Some(trace);
+        }
+
+        Response::ok()
+            .with_info("cache", status)
+            .with_info("answers", answers.len())
+            .with_info("wall_us", started.elapsed().as_micros())
+            .with_payload_text(&payload)
+    }
+
+    /// The `TRACE` document for one query. `new_events` holds the phase
+    /// events the optimizer emitted *for this request* — the full trace on
+    /// a cold miss, empty on any cache hit (the observable promised by the
+    /// prepared-query cache).
+    fn trace_json(
+        query: &Query,
+        key: &FormKey,
+        status: &str,
+        fresh: Option<()>,
+        prepared: &PreparedProgram,
+    ) -> Json {
+        let new_events: Vec<Json> = if fresh.is_some() {
+            prepared.report.events().map(|e| e.to_json()).collect()
+        } else {
+            Vec::new()
+        };
+        Json::obj()
+            .with("query", query.to_string())
+            .with(
+                "form",
+                Json::obj()
+                    .with("fingerprint", format!("{:016x}", key.fingerprint))
+                    .with("pred", key.pred.as_str())
+                    .with("adornment", key.adornment.as_str()),
+            )
+            .with("cache", status)
+            .with("new_events", Json::Arr(new_events))
+            .with("prepared_report", prepared.report.to_json())
+    }
+
+    fn handle_stats(&self) -> Response {
+        let (rule_count, fingerprint) = {
+            let g = self
+                .rules
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (g.0.len(), g.1)
+        };
+        let cache = lock(&self.cache);
+        let doc = Json::obj()
+            .with("rules", rule_count)
+            .with("fingerprint", format!("{fingerprint:016x}"))
+            .with("preds", self.db.pred_count())
+            .with("facts", self.db.total_facts())
+            .with("version", self.db.version())
+            .with("queries", self.queries.load(Ordering::Acquire))
+            .with("prepared_forms", cache.len())
+            .with("prepared_hits", cache.total_hits())
+            .with("cache_misses", self.cache_misses.load(Ordering::Acquire))
+            .with("answer_hits", self.answer_hits.load(Ordering::Acquire))
+            .with("invalidations", cache.invalidations)
+            .with("threads", self.threads);
+        Response::ok().with_payload_text(&doc.to_string())
+    }
+
+    fn handle_trace(&self) -> Response {
+        match &*lock(&self.last_trace) {
+            Some(doc) => Response::ok().with_payload_text(&doc.to_string()),
+            None => Response::err("no query has been evaluated yet"),
+        }
+    }
+}
+
+/// Render an answer set exactly as `xdl run` prints it: `true`/`false`
+/// for boolean (zero-column) queries, otherwise the column header line
+/// followed by the sorted rows.
+pub fn render_answers(answers: &AnswerSet) -> String {
+    match answers.as_bool() {
+        Some(b) => format!("{b}\n"),
+        None => answers.to_string(),
+    }
+}
+
+/// A running server: listener address plus worker threads.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the worker threads. Returns once the listener is
+    /// accepting (the bound address is available immediately, which is what
+    /// tests and the smoke script poll for).
+    pub fn spawn(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let threads = cfg.threads.max(1);
+        let state = Arc::new(ServerState::new(cfg.cache_capacity, threads));
+        let listener = Arc::new(listener);
+        let workers = (0..threads)
+            .map(|_| {
+                let listener = Arc::clone(&listener);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || accept_loop(&listener, &state))
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            state,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state handle (for in-process drivers like the bench harness).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Request shutdown and wake any accept-blocked workers.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        for _ in 0..self.workers.len() {
+            // One nudge per worker: a throwaway connection unblocks accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Block until every worker has exited (i.e. shutdown was requested and
+    /// in-flight connections drained).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.is_shutdown() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.is_shutdown() {
+                    return;
+                }
+                serve_connection(stream, state);
+            }
+            Err(_) => {
+                if state.is_shutdown() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serve one client until it disconnects, errors, or the server shuts
+/// down. A short read timeout lets the worker notice shutdown while a
+/// client idles.
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    // Responses are written as one buffered chunk; without TCP_NODELAY the
+    // line-per-write pattern would stall ~40ms per exchange on loopback
+    // (Nagle vs. delayed ACK).
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.is_shutdown() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let resp = match Request::parse(trimmed) {
+            Ok(req) => {
+                let resp = state.handle(&req);
+                if req == Request::Shutdown {
+                    let _ = write_buffered(&resp, &mut writer);
+                    // Wake every accept()-blocked worker so join() returns.
+                    // The accepted stream's local address IS the listening
+                    // address, so a throwaway connection per worker suffices.
+                    if let Ok(addr) = writer.local_addr() {
+                        for _ in 0..state.threads {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                    return;
+                }
+                resp
+            }
+            Err(msg) => Response::err(msg),
+        };
+        if write_buffered(&resp, &mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serialize the whole response into one buffer and send it with a single
+/// `write_all`, so a multi-line payload costs one packet, not one per line.
+fn write_buffered(resp: &Response, writer: &mut TcpStream) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(256);
+    resp.write_to(&mut buf)?;
+    writer.write_all(&buf)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_xdl_run_shapes() {
+        let mut boolean = AnswerSet::default();
+        assert_eq!(render_answers(&boolean), "false\n");
+        boolean.rows.insert(vec![]);
+        assert_eq!(render_answers(&boolean), "true\n");
+        let mut unary = AnswerSet {
+            columns: vec!["X".into()],
+            rows: Default::default(),
+        };
+        unary.rows.insert(vec![datalog_ast::Value::int(1)]);
+        unary.rows.insert(vec![datalog_ast::Value::int(2)]);
+        assert_eq!(render_answers(&unary), "X\n1\n2\n");
+    }
+
+    #[test]
+    fn state_rejects_idb_facts_and_bad_queries() {
+        let state = ServerState::new(8, 1);
+        let dir = std::env::temp_dir().join(format!("xdl-server-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tc.dl");
+        std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\n").unwrap();
+        let resp = state.handle(&Request::Load(file.display().to_string()));
+        assert!(resp.ok, "{}", resp.error);
+
+        let resp = state.handle(&Request::Fact("a(1, 2).".into()));
+        assert!(!resp.ok);
+        assert!(resp.error.contains("derived by rules"), "{}", resp.error);
+
+        let resp = state.handle(&Request::Fact("p(1, X).".into()));
+        assert!(!resp.ok);
+        assert!(resp.error.contains("not ground"), "{}", resp.error);
+
+        let resp = state.handle(&Request::Query("?- a(X, _".into()));
+        assert!(!resp.ok);
+        assert!(resp.error.starts_with("query:1:"), "{}", resp.error);
+
+        let resp = state.handle(&Request::Query("?- a(X, _).".into()));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.get("cache"), Some("miss"));
+        assert_eq!(resp.payload, vec!["X", "1"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

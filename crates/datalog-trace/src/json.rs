@@ -36,20 +36,39 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Insert a key (builder style). Panics on non-objects.
+    /// Insert a key (builder style).
+    ///
+    /// Calling this on a non-object is a builder-invariant violation: it
+    /// fires a `debug_assert!` in debug builds and is a documented no-op
+    /// (returning the receiver unchanged) in release builds, so a malformed
+    /// trace can never abort a serving process. Use [`Json::try_set`] when
+    /// the outcome must be observable.
     pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
-            _ => panic!("Json::with on a non-object"),
-        }
+        let ok = self.try_set(key, value);
+        debug_assert!(ok, "Json::with on a non-object (ignored in release)");
         self
     }
 
-    /// Insert a key into an object in place. Panics on non-objects.
+    /// Insert a key into an object in place.
+    ///
+    /// Same invariant as [`Json::with`]: `debug_assert!` in debug builds,
+    /// documented no-op on non-object receivers in release builds.
     pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let ok = self.try_set(key, value);
+        debug_assert!(ok, "Json::set on a non-object (ignored in release)");
+    }
+
+    /// Fallible insert: pushes the key onto an object receiver and returns
+    /// `true`; returns `false` (leaving the receiver untouched) on any other
+    /// variant. This is the non-panicking primitive behind [`Json::with`] /
+    /// [`Json::set`].
+    pub fn try_set(&mut self, key: &str, value: impl Into<Json>) -> bool {
         match self {
-            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
-            _ => panic!("Json::set on a non-object"),
+            Json::Obj(pairs) => {
+                pairs.push((key.to_string(), value.into()));
+                true
+            }
+            _ => false,
         }
     }
 
@@ -261,6 +280,19 @@ mod tests {
         assert_eq!(Json::Float(2.0).to_string(), "2.0");
         assert_eq!(Json::Float(f64::NAN).to_string(), "null");
         assert_eq!(Json::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn try_set_refuses_non_objects_without_panicking() {
+        let mut j = Json::Int(3);
+        assert!(!j.try_set("k", 1u64));
+        assert_eq!(j, Json::Int(3), "non-object receiver is left untouched");
+        let mut arr = Json::Arr(vec![]);
+        assert!(!arr.try_set("k", 1u64));
+        assert_eq!(arr, Json::Arr(vec![]));
+        let mut obj = Json::obj();
+        assert!(obj.try_set("k", 1u64));
+        assert_eq!(obj.get("k"), Some(&Json::UInt(1)));
     }
 
     #[test]

@@ -10,4 +10,42 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 
+# Server smoke: serve on an ephemeral port, answer one query byte-identically
+# to `xdl run`, shut down cleanly.
+smoke_dir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$smoke_dir"
+}
+trap cleanup EXIT
+printf 'a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\np(1, 2).\np(2, 3).\n' \
+    > "$smoke_dir/tc.dl"
+{ cat "$smoke_dir/tc.dl"; printf '?- a(X, _).\n'; } > "$smoke_dir/run.dl"
+
+./target/release/xdl serve --port 0 --threads 2 > "$smoke_dir/serve.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: server did not announce its address" >&2
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --load "$smoke_dir/tc.dl" \
+    '?- a(X, _).' > "$smoke_dir/served.out"
+./target/release/xdl run "$smoke_dir/run.dl" > "$smoke_dir/ran.out"
+if ! cmp -s "$smoke_dir/served.out" "$smoke_dir/ran.out"; then
+    echo "check.sh: served answer differs from xdl run:" >&2
+    diff "$smoke_dir/served.out" "$smoke_dir/ran.out" >&2 || true
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --shutdown
+wait "$serve_pid"
+serve_pid=""
+echo "check.sh: server smoke ok"
+
 echo "check.sh: all green"
