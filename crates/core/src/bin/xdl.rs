@@ -4,14 +4,19 @@
 //! xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] [--json]
 //! xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]
 //! xdl optimize <file.dl> [--rewrite-only] [--aggressive]
+//! xdl lint <file.dl>... [--json]
+//! xdl verify-opt <file.dl>... [--json]
 //! xdl analyze <file.dl> [--json]
 //! xdl explain <file.dl> <fact>
 //! xdl grammar <file.dl> [--words <len>] [--monadic first|second]
 //! xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]
-//! xdl serve [--port <p>] [--threads <n>]
+//! xdl serve [--port <p>] [--threads <n>] [--verify]
 //! xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]...
 //!           [--stats] [--trace] [--shutdown] ['?- atom.']
 //! ```
+//!
+//! Exit codes: 0 on success; 1 when `lint` reports an error-severity
+//! diagnostic or `verify-opt` fails a check; 2 on usage or I/O errors.
 //!
 //! A `.dl` file holds rules, facts (ground atoms) and one `?- query.`:
 //!
@@ -34,7 +39,7 @@ use existential_datalog::server::{Client, Server, ServerConfig};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("xdl: {msg}");
             ExitCode::from(2)
@@ -48,33 +53,38 @@ fn usage() -> String {
      [--json]\n  \
      xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]\n  \
      xdl optimize <file.dl> [--rewrite-only] [--aggressive]\n  \
+     xdl lint <file.dl>... [--json]\n  \
+     xdl verify-opt <file.dl>... [--json]\n  \
      xdl analyze <file.dl> [--json]\n  \
      xdl explain <file.dl> <fact>\n  \
      xdl grammar <file.dl> [--words <len>] [--monadic first|second]\n  \
      xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]\n  \
-     xdl serve [--port <p>] [--threads <n>]\n  \
+     xdl serve [--port <p>] [--threads <n>] [--verify]\n  \
      xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]... \
      [--stats] [--trace] [--shutdown] ['?- atom.']"
         .to_owned()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let rest: Vec<&String> = it.collect();
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "run" => cmd_run(&rest),
-        "profile" => cmd_profile(&rest),
-        "optimize" => cmd_optimize(&rest),
-        "analyze" => cmd_analyze(&rest),
-        "explain" => cmd_explain(&rest),
-        "grammar" => cmd_grammar(&rest),
-        "check" => cmd_check(&rest),
-        "serve" => cmd_serve(&rest),
-        "query" => cmd_query(&rest),
+        "run" => done(cmd_run(&rest)),
+        "profile" => done(cmd_profile(&rest)),
+        "optimize" => done(cmd_optimize(&rest)),
+        "lint" => cmd_lint(&rest),
+        "verify-opt" => cmd_verify_opt(&rest),
+        "analyze" => done(cmd_analyze(&rest)),
+        "explain" => done(cmd_explain(&rest)),
+        "grammar" => done(cmd_grammar(&rest)),
+        "check" => done(cmd_check(&rest)),
+        "serve" => done(cmd_serve(&rest)),
+        "query" => done(cmd_query(&rest)),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -91,7 +101,7 @@ fn option_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-fn positional<'a>(rest: &'a [&String], idx: usize) -> Option<&'a str> {
+fn positionals<'a>(rest: &'a [&String]) -> Vec<&'a str> {
     rest.iter()
         .filter(|a| !a.starts_with("--"))
         // Skip values that follow a --option.
@@ -102,7 +112,11 @@ fn positional<'a>(rest: &'a [&String], idx: usize) -> Option<&'a str> {
         })
         .filter(|(skip, _)| !skip)
         .map(|(_, a)| a.as_str())
-        .nth(idx)
+        .collect()
+}
+
+fn positional<'a>(rest: &'a [&String], idx: usize) -> Option<&'a str> {
+    positionals(rest).get(idx).copied()
 }
 
 fn load(path: &str) -> Result<(Program, FactSet), String> {
@@ -259,6 +273,98 @@ fn cmd_optimize(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
+    let files = positionals(rest);
+    if files.is_empty() {
+        return Err(format!("lint needs at least one file\n{}", usage()));
+    }
+    let json = flag(rest, "--json");
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut docs: Vec<existential_datalog::prelude::Json> = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let diags = existential_datalog::lint::lint_source(&text);
+        for d in &diags {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            if json {
+                docs.push(d.to_json(path));
+            } else {
+                println!("{}", d.render_at(path));
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            existential_datalog::prelude::Json::obj()
+                .with("errors", errors)
+                .with("warnings", warnings)
+                .with("diagnostics", existential_datalog::prelude::Json::Arr(docs))
+                .to_pretty()
+        );
+    } else {
+        eprintln!(
+            "{} file(s): {errors} error(s), {warnings} warning(s)",
+            files.len()
+        );
+    }
+    Ok(if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_verify_opt(rest: &[&String]) -> Result<ExitCode, String> {
+    let files = positionals(rest);
+    if files.is_empty() {
+        return Err(format!("verify-opt needs at least one file\n{}", usage()));
+    }
+    let json = flag(rest, "--json");
+    let mut all_ok = true;
+    let mut docs: Vec<existential_datalog::prelude::Json> = Vec::new();
+    for path in &files {
+        let (program, _) = load(path)?;
+        if program.query.is_none() {
+            return Err(format!("{path}: no query (`?- ...`) in file"));
+        }
+        let out = optimize(&program, &OptimizerConfig::default())
+            .map_err(|e| format!("{path}: optimizer: {e}"))?;
+        let v = validate(&out.report);
+        all_ok &= v.ok();
+        if json {
+            docs.push(
+                existential_datalog::prelude::Json::obj()
+                    .with("file", *path)
+                    .with("validation", v.to_json()),
+            );
+        } else {
+            println!("{path}: {}", if v.ok() { "ok" } else { "FAIL" });
+            for line in v.to_text().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            existential_datalog::prelude::Json::obj()
+                .with("ok", all_ok)
+                .with("files", existential_datalog::prelude::Json::Arr(docs))
+                .to_pretty()
+        );
+    }
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
 fn cmd_analyze(rest: &[&String]) -> Result<(), String> {
     let path = positional(rest, 0).ok_or_else(usage)?;
     let (program, _) = load(path)?;
@@ -358,6 +464,7 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
     let cfg = ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         threads,
+        verify: flag(rest, "--verify"),
         ..ServerConfig::default()
     };
     let server = Server::spawn(&cfg).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;

@@ -15,6 +15,9 @@
 //!   uniform-query freeze test (§3.3–§5) ([`datalog_opt`]);
 //! * [`grammar`] — chain programs, CFGs, Theorem 3.3's monadic rewriting
 //!   ([`datalog_grammar`]);
+//! * [`lint`] — the static analyzer (safety, adornment audit, subsumption)
+//!   and the translation-validation checks behind `xdl lint` /
+//!   `xdl verify-opt` ([`datalog_lint`]);
 //! * [`magic`] — the orthogonal Magic Sets rewriting ([`datalog_magic`]);
 //! * [`server`] — the long-lived query service with a prepared-query cache
 //!   and snapshot-isolated concurrent reads ([`datalog_server`]).
@@ -56,6 +59,7 @@ pub use datalog_adorn as adorn;
 pub use datalog_ast as ast;
 pub use datalog_engine as engine;
 pub use datalog_grammar as grammar;
+pub use datalog_lint as lint;
 pub use datalog_magic as magic;
 pub use datalog_opt as opt;
 pub use datalog_server as server;
@@ -72,8 +76,11 @@ pub mod prelude {
         FactSet, Strategy,
     };
     pub use datalog_grammar::{is_chain_program, monadic_equivalent, program_to_grammar, Cfg};
+    pub use datalog_lint::{lint_program, lint_source, Diagnostic, Severity};
     pub use datalog_magic::magic_rewrite;
-    pub use datalog_opt::{optimize, EquivalenceLevel, OptimizeOutcome, OptimizerConfig, Report};
+    pub use datalog_opt::{
+        optimize, validate, EquivalenceLevel, OptimizeOutcome, OptimizerConfig, Report, Validation,
+    };
     pub use datalog_trace::{EvalProfile, Json, PhaseEvent};
 }
 

@@ -73,6 +73,22 @@ pub struct ParsedProgram {
     pub program: Program,
     /// Ground facts, grouped by predicate.
     pub facts: BTreeMap<PredRef, Vec<Vec<Value>>>,
+    /// 1-based (line, col) of the first token of each rule statement,
+    /// parallel to `program.rules`. Diagnostics tools (`datalog-lint`) use
+    /// these to point at the offending statement.
+    pub rule_spans: Vec<(usize, usize)>,
+    /// 1-based (line, col) of the `?-` token of the query, if any.
+    pub query_span: Option<(usize, usize)>,
+    /// 1-based (line, col) of each fact statement, in source order.
+    pub fact_spans: Vec<(PredRef, usize, usize)>,
+}
+
+impl ParsedProgram {
+    /// Span of rule `idx`, falling back to `1:1` when unknown (e.g. for a
+    /// program assembled in code rather than parsed from text).
+    pub fn rule_span(&self, idx: usize) -> (usize, usize) {
+        self.rule_spans.get(idx).copied().unwrap_or((1, 1))
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -415,19 +431,25 @@ impl Parser {
         Ok(Atom { pred, terms })
     }
 
-    fn parse_statement(
-        &mut self,
-        program: &mut Program,
-        facts: &mut BTreeMap<PredRef, Vec<Vec<Value>>>,
-    ) -> Result<(), ParseError> {
+    /// Position of the token about to be consumed (start of a statement).
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((1, 1))
+    }
+
+    fn parse_statement(&mut self, out: &mut ParsedProgram) -> Result<(), ParseError> {
+        let span = self.here();
         if self.peek() == Some(&Tok::QueryLead) {
             self.bump();
             let atom = self.parse_atom()?;
             self.expect(&Tok::Dot, "'.'")?;
-            if program.query.is_some() {
+            if out.program.query.is_some() {
                 return Err(self.err_here("multiple queries in program"));
             }
-            program.query = Some(Query::new(atom));
+            out.program.query = Some(Query::new(atom));
+            out.query_span = Some(span);
             return Ok(());
         }
         let head = self.parse_atom()?;
@@ -437,7 +459,8 @@ impl Parser {
                 // A fact statement.
                 match head.ground_values() {
                     Some(values) => {
-                        facts.entry(head.pred).or_default().push(values);
+                        out.fact_spans.push((head.pred.clone(), span.0, span.1));
+                        out.facts.entry(head.pred).or_default().push(values);
                     }
                     None => {
                         return Err(self.err_here(format!(
@@ -451,9 +474,10 @@ impl Parser {
                 self.bump();
                 let (body, negative) = self.parse_body()?;
                 self.expect(&Tok::Dot, "'.'")?;
-                program
+                out.program
                     .rules
                     .push(Rule::with_negation(head, body, negative));
+                out.rule_spans.push(span);
                 Ok(())
             }
             _ => Err(self.err_here("expected '.' or ':-'")),
@@ -465,12 +489,17 @@ impl Parser {
 pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseError> {
     let toks = Lexer::new(src).tokenize()?;
     let mut p = Parser { toks, pos: 0 };
-    let mut program = Program::default();
-    let mut facts = BTreeMap::new();
+    let mut out = ParsedProgram {
+        program: Program::default(),
+        facts: BTreeMap::new(),
+        rule_spans: Vec::new(),
+        query_span: None,
+        fact_spans: Vec::new(),
+    };
     while p.peek().is_some() {
-        p.parse_statement(&mut program, &mut facts)?;
+        p.parse_statement(&mut out)?;
     }
-    Ok(ParsedProgram { program, facts })
+    Ok(out)
 }
 
 /// Parse a single rule, e.g. `"a(X,Y) :- p(X,Z), a(Z,Y)."` (trailing dot
@@ -667,6 +696,17 @@ mod tests {
         let r2 = parse_rule("q(X) :- not(X, Y)").unwrap();
         assert!(r2.negative.is_empty());
         assert_eq!(r2.body[0].pred.name.as_str(), "not");
+    }
+
+    #[test]
+    fn statement_spans_recorded() {
+        let p = parse_program("p(1, 2).\nq(X) :- p(X, Y).\n\n% comment\n  r(X) :- q(X).\n?- r(X).")
+            .unwrap();
+        assert_eq!(p.rule_spans, vec![(2, 1), (5, 3)]);
+        assert_eq!(p.rule_span(0), (2, 1));
+        assert_eq!(p.rule_span(99), (1, 1));
+        assert_eq!(p.query_span, Some((6, 1)));
+        assert_eq!(p.fact_spans, vec![(PredRef::new("p"), 1, 1)]);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Adornment audit: an independent recomputation of the paper's Lemma 2.2
+//! propagation, used to cross-check `datalog-adorn`.
+//!
+//! Two entry points:
+//!
+//! * [`audit_adorned_rules`] — a per-rule *soundness* audit of any adorned
+//!   program: every `d` mark must be justified by Lemma 2.2 (the variable
+//!   occurs nowhere else in the rule except possibly in `d` positions of
+//!   the head). A position marked `n` where `d` would have been possible
+//!   is merely conservative and is never flagged — `n` is always sound.
+//! * [`recompute_adornment`] — a from-scratch reimplementation of the §2
+//!   worklist propagation. The translation validator diffs its output
+//!   against what `datalog-adorn` produced; any disagreement means one of
+//!   the two implementations drifted.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use datalog_ast::{Ad, Adornment, Atom, PredRef, Program, Query, Rule, Term, Var};
+
+/// Audit every adorned rule of `program` for unsound `d` marks. Returns
+/// `(rule_index, message)` pairs; an empty result means every `d` is
+/// justified by Lemma 2.2.
+pub fn audit_adorned_rules(program: &Program) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        audit_rule(ri, rule, &mut out);
+    }
+    out
+}
+
+fn audit_rule(ri: usize, rule: &Rule, out: &mut Vec<(usize, String)>) {
+    // Variables the head *needs*: at `n` positions of a full-length head
+    // adornment; every present variable of a projected head (the dropped
+    // positions were the `d` ones); every variable of an unadorned head.
+    let head_needs: BTreeSet<Var> = match &rule.head.pred.adornment {
+        Some(ad) if rule.head.arity() == ad.len() => rule
+            .head
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ad[*i] == Ad::N)
+            .filter_map(|(_, t)| t.as_var())
+            .collect(),
+        _ => rule.head.var_occurrences().collect(),
+    };
+    let head_vars: BTreeSet<Var> = rule.head.var_occurrences().collect();
+    let mut body_occ: BTreeMap<Var, usize> = BTreeMap::new();
+    for lit in rule.body.iter().chain(rule.negative.iter()) {
+        for v in lit.var_occurrences() {
+            *body_occ.entry(v).or_insert(0) += 1;
+        }
+    }
+    for lit in &rule.body {
+        let Some(ad) = &lit.pred.adornment else {
+            continue;
+        };
+        if lit.arity() != ad.len() {
+            // Post-projection atom: the `d` positions are already gone and
+            // every remaining term sits at a needed position.
+            continue;
+        }
+        for (i, t) in lit.terms.iter().enumerate() {
+            if ad[i] != Ad::D {
+                continue;
+            }
+            match t {
+                Term::Const(c) => out.push((
+                    ri,
+                    format!(
+                        "position {i} of `{lit}` is marked d but holds the constant {c}, \
+                         whose value constrains the match (Lemma 2.2 requires n)"
+                    ),
+                )),
+                Term::Var(v) => {
+                    let occurrences = body_occ.get(v).copied().unwrap_or(0);
+                    if occurrences > 1 {
+                        out.push((
+                            ri,
+                            format!(
+                                "position {i} of `{lit}` is marked d but variable {v} \
+                                 occurs {occurrences} times in the body (join variables \
+                                 are needed, Lemma 2.2)"
+                            ),
+                        ));
+                    } else if head_vars.contains(v) && head_needs.contains(v) {
+                        out.push((
+                            ri,
+                            format!(
+                                "position {i} of `{lit}` is marked d but variable {v} \
+                                 is needed by the head (Lemma 2.2)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for lit in &rule.negative {
+        if let Some(ad) = &lit.pred.adornment {
+            if !ad.is_all_needed() {
+                out.push((
+                    ri,
+                    format!(
+                        "negated literal `not {lit}` must be adorned all-needed: \
+                         negation-as-failure tests a specific tuple"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A from-scratch reimplementation of the §2 adornment propagation, kept
+/// deliberately separate from `datalog-adorn` so the two can cross-check
+/// each other. Returns the expected adorned program, or an error message
+/// when the input cannot be adorned (no query, bad explicit adornment).
+pub fn recompute_adornment(original: &Program) -> Result<Program, String> {
+    let query = original
+        .query
+        .as_ref()
+        .ok_or_else(|| "program has no query".to_string())?;
+    let derived = original.idb_preds();
+    let qbase = query.atom.pred.base();
+
+    let query_ad: Adornment = match &query.atom.pred.adornment {
+        Some(ad) => {
+            if ad.len() != query.atom.arity() {
+                return Err(format!(
+                    "explicit query adornment {ad} does not match arity {}",
+                    query.atom.arity()
+                ));
+            }
+            ad.clone()
+        }
+        None => query
+            .atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) if v.is_wildcard() => Ad::D,
+                _ => Ad::N,
+            })
+            .collect(),
+    };
+    if !derived.contains(&qbase) {
+        // EDB query: nothing to adorn.
+        return Ok(original.clone());
+    }
+
+    // Fixpoint over the set of demanded (pred, adornment) versions.
+    let mut demanded: BTreeSet<(PredRef, Adornment)> = BTreeSet::new();
+    let mut stack = vec![(qbase.clone(), query_ad.clone())];
+    let mut rules = Vec::new();
+    while let Some((pred, ad)) = stack.pop() {
+        if !demanded.insert((pred.clone(), ad.clone())) {
+            continue;
+        }
+        for rule in original.rules.iter().filter(|r| r.head.pred == pred) {
+            let adorned = expected_rule(rule, &ad, &derived);
+            for lit in adorned.body.iter().chain(adorned.negative.iter()) {
+                if let Some(lit_ad) = &lit.pred.adornment {
+                    stack.push((lit.pred.base(), lit_ad.clone()));
+                }
+            }
+            rules.push(adorned);
+        }
+    }
+
+    let mut qatom = query.atom.clone();
+    qatom.pred = qbase.with_adornment(query_ad);
+    Ok(Program {
+        rules,
+        query: Some(Query::new(qatom)),
+    })
+}
+
+/// Lemma 2.2 for one rule: a body argument is existential (`d`) iff it
+/// holds a variable occurring exactly once across the positive and negated
+/// body whose head occurrences (if any) all sit at `d` positions.
+fn expected_rule(rule: &Rule, head_ad: &Adornment, derived: &BTreeSet<PredRef>) -> Rule {
+    let mut occurrences: Vec<Var> = Vec::new();
+    for lit in rule.body.iter().chain(rule.negative.iter()) {
+        occurrences.extend(lit.var_occurrences());
+    }
+    let needed_by_head: BTreeSet<Var> = rule
+        .head
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| head_ad[*i] == Ad::N)
+        .filter_map(|(_, t)| t.as_var())
+        .collect();
+    let adorn_literal = |lit: &Atom| -> Atom {
+        if !derived.contains(&lit.pred) {
+            return lit.clone();
+        }
+        let ad: Adornment = lit
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(_) => Ad::N,
+                Term::Var(v) => {
+                    let once = occurrences.iter().filter(|w| *w == v).count() == 1;
+                    if once && !needed_by_head.contains(v) {
+                        Ad::D
+                    } else {
+                        Ad::N
+                    }
+                }
+            })
+            .collect();
+        Atom {
+            pred: lit.pred.with_adornment(ad),
+            terms: lit.terms.clone(),
+        }
+    };
+    Rule::with_negation(
+        Atom {
+            pred: rule.head.pred.with_adornment(head_ad.clone()),
+            terms: rule.head.terms.clone(),
+        },
+        rule.body.iter().map(adorn_literal).collect(),
+        rule.negative
+            .iter()
+            .map(|lit| {
+                if derived.contains(&lit.pred) {
+                    Atom {
+                        pred: lit.pred.with_adornment(Adornment::all_needed(lit.arity())),
+                        terms: lit.terms.clone(),
+                    }
+                } else {
+                    lit.clone()
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, parse_rule};
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    #[test]
+    fn sound_adornment_passes_audit() {
+        let p = program(
+            "a[nd](X, Y) :- p(X, Z), a[nd](Z, Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- a[nd](X, _).",
+        );
+        assert!(audit_adorned_rules(&p).is_empty());
+    }
+
+    #[test]
+    fn join_variable_marked_d_is_flagged() {
+        // Z occurs twice in the body: marking it d is unsound.
+        let p = program("a[nd](X, Y) :- p(X, Z), a[dd](Z, Y).\n?- a[nd](X, _).");
+        let v = audit_adorned_rules(&p);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].0, 0);
+        assert!(v[0].1.contains("occurs 2 times"), "{}", v[0].1);
+    }
+
+    #[test]
+    fn head_needed_variable_marked_d_is_flagged() {
+        let p = program("a[nn](X, Y) :- p[nd](X, Y).\n?- a[nn](X, Y).");
+        let v = audit_adorned_rules(&p);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].1.contains("needed by the head"), "{}", v[0].1);
+    }
+
+    #[test]
+    fn constant_marked_d_is_flagged() {
+        let p = program("a[n](X) :- p[nd](X, 3).\n?- a[n](X).");
+        let v = audit_adorned_rules(&p);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].1.contains("constant 3"), "{}", v[0].1);
+    }
+
+    #[test]
+    fn projected_atoms_are_not_flagged() {
+        // Post-projection form: a[nd] with a single (needed) argument.
+        let p = program("a[nd](X) :- p(X, Y).\nq[n](X) :- a[nd](X).\n?- q[n](X).");
+        assert!(audit_adorned_rules(&p).is_empty());
+    }
+
+    #[test]
+    fn negated_literal_with_existential_adornment_is_flagged() {
+        let r = parse_rule("q[n](X) :- e(X), not d[nd](X, Y)").unwrap();
+        // Y is unsafe here, but the audit only looks at adornments.
+        let p = Program {
+            rules: vec![r],
+            query: None,
+        };
+        let v = audit_adorned_rules(&p);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].1.contains("all-needed"), "{}", v[0].1);
+    }
+
+    #[test]
+    fn recomputation_matches_datalog_adorn() {
+        for src in [
+            "query(X) :- a(X, Y).\n\
+             a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- query(X).",
+            "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+            "s(X, Y) :- s(Y, X).\n\
+             s(X, Y) :- p(X, Y).\n\
+             ?- s(X, _).",
+            "q(X) :- a(X, Y), b(Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             b(Y) :- s(Y).\n\
+             ?- q(X).",
+            "helper(X) :- e(X, Y).\n?- e(X, _).",
+        ] {
+            let p = program(src);
+            let ours = recompute_adornment(&p).unwrap();
+            let theirs = datalog_adorn::adorn(&p).unwrap().program;
+            let render = |p: &Program| -> BTreeSet<String> {
+                p.rules.iter().map(|r| r.to_string()).collect()
+            };
+            assert_eq!(render(&ours), render(&theirs), "disagreement on:\n{src}");
+            assert_eq!(
+                ours.query.map(|q| q.atom.to_string()),
+                theirs.query.map(|q| q.atom.to_string())
+            );
+        }
+    }
+
+    #[test]
+    fn recomputation_requires_a_query() {
+        let p = program("a(X, Y) :- p(X, Y).");
+        assert!(recompute_adornment(&p).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Conjunctive-query containment via homomorphism.
+//!
+//! This is the single shared implementation of the one-way matching
+//! discipline behind θ-subsumption (`datalog-opt`'s deletion pre-pass
+//! delegates here), the duplicate-rule lint, and the translation
+//! validator's containment witnesses.
+//!
+//! Rule `r1` **θ-subsumes** `r2` when some substitution `σ` over `r1`'s
+//! variables maps `r1`'s head onto `r2`'s head and every literal of
+//! `σ(body(r1))` occurs in `body(r2)`. Then every fact `r2` derives (on
+//! any database) is derived by `r1` from a subset of the same premises, so
+//! deleting `r2` preserves **uniform equivalence** — the strongest level
+//! in the hierarchy of §4 of the paper. The same machinery decides CQ
+//! containment (Chandra–Merlin): a homomorphism from the containing
+//! query's canonical conjunction witnesses containment.
+
+use std::collections::BTreeMap;
+
+use datalog_ast::{Atom, Program, Rule, Term, Var};
+
+/// A homomorphism witness: the substitution that maps the pattern onto the
+/// target.
+pub type Homomorphism = BTreeMap<Var, Term>;
+
+/// Match `pattern` onto `target`, binding only pattern variables. Target
+/// terms (variables included) are treated as ground. Shared with
+/// `datalog-opt`'s fold machinery, which needs the same one-way discipline.
+pub fn match_atom_onto(pattern: &Atom, target: &Atom, map: &mut Homomorphism) -> bool {
+    if pattern.pred != target.pred || pattern.arity() != target.arity() {
+        return false;
+    }
+    for (pt, tt) in pattern.terms.iter().zip(target.terms.iter()) {
+        match pt {
+            Term::Const(c) => {
+                if *tt != Term::Const(*c) {
+                    return false;
+                }
+            }
+            Term::Var(v) => match map.get(v) {
+                Some(bound) => {
+                    if bound != tt {
+                        return false;
+                    }
+                }
+                None => {
+                    map.insert(*v, *tt);
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Find a homomorphism extending `seed` that maps every atom of
+/// `pos_pattern` onto some atom of `pos_target` and every atom of
+/// `neg_pattern` onto some atom of `neg_target`. Several pattern atoms may
+/// map onto the same target atom (e.g. `e(X,Y), e(X,Z)` maps onto a single
+/// `e(X,Y)`), which is what makes this a true CQ homomorphism rather than
+/// a sub-multiset test.
+pub fn conjunction_homomorphism(
+    pos_pattern: &[Atom],
+    neg_pattern: &[Atom],
+    pos_target: &[Atom],
+    neg_target: &[Atom],
+    seed: &Homomorphism,
+) -> Option<Homomorphism> {
+    let mut pattern: Vec<&Atom> = pos_pattern.iter().collect();
+    pattern.extend(neg_pattern.iter());
+    search(&pattern, pos_pattern.len(), pos_target, neg_target, 0, seed)
+}
+
+fn search(
+    pattern: &[&Atom],
+    split: usize,
+    pos: &[Atom],
+    neg: &[Atom],
+    idx: usize,
+    map: &Homomorphism,
+) -> Option<Homomorphism> {
+    if idx == pattern.len() {
+        return Some(map.clone());
+    }
+    let candidates: &[Atom] = if idx < split { pos } else { neg };
+    for candidate in candidates {
+        let mut m2 = map.clone();
+        if match_atom_onto(pattern[idx], candidate, &mut m2) {
+            if let Some(found) = search(pattern, split, pos, neg, idx + 1, &m2) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// The substitution witnessing that `general` θ-subsumes `specific`, if
+/// one exists.
+///
+/// Negated literals are constraints: every negation the general rule
+/// imposes must appear (instantiated) among the specific rule's negations
+/// too, or the general rule might fail to fire where the specific one
+/// does.
+pub fn subsumption_witness(general: &Rule, specific: &Rule) -> Option<Homomorphism> {
+    // No body-length guard: several pattern literals may map onto one
+    // target literal (e.g. q(X) :- e(X,Y), e(X,Z) subsumes q(X) :- e(X,Y)).
+    let mut map = Homomorphism::new();
+    if !match_atom_onto(&general.head, &specific.head, &mut map) {
+        return None;
+    }
+    conjunction_homomorphism(
+        &general.body,
+        &general.negative,
+        &specific.body,
+        &specific.negative,
+        &map,
+    )
+}
+
+/// Does `general` θ-subsume `specific`?
+pub fn subsumes(general: &Rule, specific: &Rule) -> bool {
+    subsumption_witness(general, specific).is_some()
+}
+
+/// Pairs `(subsumer, subsumed)` of rule indices: rule `subsumed` is
+/// θ-subsumed by the distinct rule `subsumer`. Mutual subsumption
+/// (duplicate rules) is tie-broken so only the later occurrence is
+/// reported, matching the optimizer's keep-the-first discipline.
+pub fn subsumption_pairs(program: &Program) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..program.rules.len() {
+        for j in 0..program.rules.len() {
+            if i != j
+                && subsumes(&program.rules[i], &program.rules[j])
+                && !(subsumes(&program.rules[j], &program.rules[i]) && j < i)
+            {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Indices of rules subsumed by some other rule of the program.
+pub fn subsumed_indices(program: &Program) -> std::collections::BTreeSet<usize> {
+    subsumption_pairs(program)
+        .into_iter()
+        .map(|(_, j)| j)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_program, parse_rule};
+
+    fn rule(s: &str) -> Rule {
+        parse_rule(s).unwrap()
+    }
+
+    #[test]
+    fn extra_literal_is_subsumed() {
+        let g = rule("q(X) :- e(X, Y)");
+        let s = rule("q(X) :- e(X, Y), f(Y)");
+        assert!(subsumes(&g, &s));
+        assert!(!subsumes(&s, &g));
+    }
+
+    #[test]
+    fn witness_is_a_real_homomorphism() {
+        let g = rule("q(X) :- e(X, Y)");
+        let s = rule("q(A) :- e(A, 3)");
+        let w = subsumption_witness(&g, &s).unwrap();
+        assert_eq!(w[&Var::new("X")], Term::var("A"));
+        assert_eq!(w[&Var::new("Y")], Term::int(3));
+    }
+
+    #[test]
+    fn variable_and_constant_specialization() {
+        assert!(subsumes(
+            &rule("q(X, Y) :- e(X, Y)"),
+            &rule("q(X, X) :- e(X, X)")
+        ));
+        assert!(subsumes(&rule("q(X) :- e(X, Y)"), &rule("q(X) :- e(X, 3)")));
+        assert!(!subsumes(
+            &rule("q(X) :- e(X, 3)"),
+            &rule("q(X) :- e(X, Y)")
+        ));
+    }
+
+    #[test]
+    fn different_heads_do_not_subsume() {
+        let g = rule("q(X) :- e(X, Y)");
+        assert!(!subsumes(&g, &rule("r(X) :- e(X, Y)")));
+        assert!(!subsumes(&g, &rule("q(Y) :- e(X, Y)")));
+    }
+
+    #[test]
+    fn repeated_literal_maps_onto_one() {
+        let g = rule("q(X) :- e(X, Y), e(X, Z)");
+        let s = rule("q(X) :- e(X, Y)");
+        assert!(subsumes(&g, &s));
+        assert!(subsumes(&s, &g));
+    }
+
+    #[test]
+    fn negatives_are_constraints() {
+        let g = rule("q(X) :- e(X), not d(X)");
+        let s = rule("q(X) :- e(X), f(X), not d(X)");
+        assert!(subsumes(&g, &s));
+        // The general rule imposes a negation the specific one lacks.
+        let s2 = rule("q(X) :- e(X), f(X)");
+        assert!(!subsumes(&g, &s2));
+    }
+
+    #[test]
+    fn pairs_and_indices_agree() {
+        let p = parse_program(
+            "q(X) :- r(X).\n\
+             q(U) :- r(U).\n\
+             q(X) :- r(X), s(X).\n\
+             ?- q(X).",
+        )
+        .unwrap()
+        .program;
+        let pairs = subsumption_pairs(&p);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(0, 2)));
+        assert_eq!(subsumed_indices(&p), [1usize, 2].into());
+    }
+
+    #[test]
+    fn recursion_is_not_falsely_subsumed() {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        )
+        .unwrap()
+        .program;
+        assert!(subsumed_indices(&p).is_empty());
+    }
+
+    #[test]
+    fn seeded_homomorphism_respects_pins() {
+        let pat = [parse_rule("h(X) :- e(X, Y)").unwrap().body[0].clone()];
+        let tgt = [parse_rule("h(A) :- e(A, B)").unwrap().body[0].clone()];
+        let mut seed = Homomorphism::new();
+        seed.insert(Var::new("X"), Term::var("B")); // wrong pin: X must map to A
+        assert!(conjunction_homomorphism(&pat, &[], &tgt, &[], &seed).is_none());
+        let free = Homomorphism::new();
+        assert!(conjunction_homomorphism(&pat, &[], &tgt, &[], &free).is_some());
+    }
+}

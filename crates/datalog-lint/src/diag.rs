@@ -1,0 +1,145 @@
+//! Lint diagnostics.
+//!
+//! Diagnostics carry a severity, a stable machine-readable code, a message
+//! and a 1-based source position, and render in the same compiler-style
+//! `origin:line:col: ...` form as [`datalog_ast::ParseError::render_at`],
+//! so editors and CI can click through to the offending statement.
+
+use datalog_trace::Json;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or suspicious-but-legal construct.
+    Warning,
+    /// The program is malformed or cannot mean what it says.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"safety"`, `"singleton-var"`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// 1-based column of the offending statement.
+    pub col: usize,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(
+        code: &'static str,
+        span: (usize, usize),
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            line: span.0,
+            col: span.1,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        span: (usize, usize),
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            line: span.0,
+            col: span.1,
+        }
+    }
+
+    /// Render as `origin:line:col: severity[code]: message`, the same
+    /// span shape as [`datalog_ast::ParseError::render_at`].
+    pub fn render_at(&self, origin: &str) -> String {
+        format!(
+            "{origin}:{}:{}: {}[{}]: {}",
+            self.line, self.col, self.severity, self.code, self.message
+        )
+    }
+
+    /// JSON object for `--json` output.
+    pub fn to_json(&self, origin: &str) -> Json {
+        Json::obj()
+            .with("file", origin)
+            .with("line", self.line)
+            .with("col", self.col)
+            .with("severity", self.severity.to_string())
+            .with("code", self.code)
+            .with("message", self.message.as_str())
+    }
+}
+
+/// Does the list contain any error-severity diagnostic?
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Sort diagnostics into source order (line, col, code) for stable output.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.line, a.col, a.code, &a.message).cmp(&(b.line, b.col, b.code, &b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compiler_style() {
+        let d = Diagnostic::error("safety", (3, 1), "head variable X is not bound in the body");
+        assert_eq!(
+            d.render_at("tests/lint/bad.dl"),
+            "tests/lint/bad.dl:3:1: error[safety]: head variable X is not bound in the body"
+        );
+        let w = Diagnostic::warning("singleton-var", (7, 2), "variable Y occurs only once");
+        assert!(w
+            .render_at("x.dl")
+            .starts_with("x.dl:7:2: warning[singleton-var]:"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let d = Diagnostic::warning("unused-predicate", (2, 5), "predicate r is never used");
+        let s = d.to_json("p.dl").to_string();
+        assert!(s.contains("\"file\":\"p.dl\""), "{s}");
+        assert!(s.contains("\"line\":2"), "{s}");
+        assert!(s.contains("\"severity\":\"warning\""), "{s}");
+        assert!(s.contains("\"code\":\"unused-predicate\""), "{s}");
+    }
+
+    #[test]
+    fn error_detection_and_order() {
+        let mut v = vec![
+            Diagnostic::warning("b", (2, 1), "w"),
+            Diagnostic::error("a", (1, 1), "e"),
+        ];
+        assert!(has_errors(&v));
+        sort_diagnostics(&mut v);
+        assert_eq!(v[0].code, "a");
+        assert!(!has_errors(&v[..0]));
+    }
+}

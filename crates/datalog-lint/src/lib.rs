@@ -1,0 +1,43 @@
+//! # datalog-lint
+//!
+//! Static analysis and translation validation for the existential-Datalog
+//! optimizer of *Optimizing Existential Datalog Queries* (Ramakrishnan,
+//! Beeri, Krishnamurthy; PODS 1988).
+//!
+//! Two halves:
+//!
+//! * **Program lints** ([`lints`]): compiler-style diagnostics over a
+//!   parsed program — safety (range-restriction) violations, singleton
+//!   ("typo") variables, unused and underivable predicates, rules
+//!   unreachable from the query, duplicate/subsumed rules via a CQ
+//!   containment checker ([`contain`]), and an adornment audit that
+//!   recomputes the paper's Lemma 2.2 propagation ([`audit`]).
+//! * **Translation validation** ([`verify`]): independent re-checks of
+//!   every optimizer phase — the §3.1 boolean extraction must preserve
+//!   connectivity components, the §3.2 projection must drop `d` positions
+//!   consistently (Lemma 3.2), and every §5 rule deletion must be
+//!   re-justified by a containment witness, a freeze test, or the bounded
+//!   fixed-seed differential oracle. Deletions the checker cannot justify
+//!   are refused.
+//!
+//! `datalog-opt` consumes the [`verify`] half behind its `verify`
+//! configuration flag; the `xdl lint` and `xdl verify-opt` commands expose
+//! both halves on the command line.
+
+pub mod audit;
+pub mod contain;
+pub mod diag;
+pub mod lints;
+pub mod verify;
+
+pub use audit::{audit_adorned_rules, recompute_adornment};
+pub use contain::{
+    conjunction_homomorphism, match_atom_onto, subsumed_indices, subsumes, subsumption_pairs,
+    subsumption_witness, Homomorphism,
+};
+pub use diag::{has_errors, sort_diagnostics, Diagnostic, Severity};
+pub use lints::{lint_program, lint_source};
+pub use verify::{
+    differential_config, justify_addition, justify_deletion, verify_adornment, verify_components,
+    verify_differential, verify_projection, PhaseCheck,
+};

@@ -1,0 +1,904 @@
+//! Translation validation: independent re-checks of each optimizer phase.
+//!
+//! Every check here re-derives the phase's soundness condition from the
+//! paper with machinery *separate* from `datalog-opt`'s implementation:
+//!
+//! * [`verify_adornment`] — diffs the adorned program against the
+//!   from-scratch Lemma 2.2 recomputation of [`crate::audit`], then audits
+//!   every `d` mark.
+//! * [`verify_components`] — Lemma 3.1: each boolean's inlined definition
+//!   must be variable-disjoint from the head component, and each rewritten
+//!   rule must be CQ-equivalent (modulo head `d` positions) to an original
+//!   rule.
+//! * [`verify_projection`] — Lemma 3.2: recompute the projection of every
+//!   adorned occurrence independently and require the exact same program,
+//!   with no dropped variable still in use.
+//! * [`justify_deletion`] / [`justify_addition`] — re-derive a containment
+//!   witness for a single deletion (or cover-rule addition): θ-subsumption,
+//!   Sagiv's frozen-rule test, structural cleanup conditions, then the
+//!   uniform-query freeze test backed by a differential check. A deletion
+//!   that fits none of these is *refused*.
+//! * [`verify_differential`] — the end-to-end bounded oracle: fixed-seed
+//!   random small EDBs, optimized vs. unoptimized answers compared.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use datalog_ast::{freeze_rule, Ad, Atom, PredRef, Program, Rule, Term, Var};
+use datalog_engine::oracle::{bounded_equiv_check, uniform_query_test, EquivCheckConfig};
+use datalog_engine::{evaluate, EvalOptions, FactSet};
+use datalog_trace::Json;
+
+use crate::audit::{audit_adorned_rules, recompute_adornment};
+use crate::contain::{conjunction_homomorphism, subsumption_witness, Homomorphism};
+
+/// Outcome of one phase check.
+#[derive(Debug, Clone)]
+pub struct PhaseCheck {
+    /// Which phase was checked (`"adorn"`, `"components"`, ...).
+    pub phase: &'static str,
+    /// Did the check pass?
+    pub ok: bool,
+    /// Witness summary on success, failure description otherwise.
+    pub detail: String,
+}
+
+impl PhaseCheck {
+    /// A passing check.
+    pub fn pass(phase: &'static str, detail: impl Into<String>) -> PhaseCheck {
+        PhaseCheck {
+            phase,
+            ok: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A failing check.
+    pub fn fail(phase: &'static str, detail: impl Into<String>) -> PhaseCheck {
+        PhaseCheck {
+            phase,
+            ok: false,
+            detail: detail.into(),
+        }
+    }
+
+    /// JSON object for `--json` output.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("phase", self.phase)
+            .with("ok", self.ok)
+            .with("detail", self.detail.as_str())
+    }
+}
+
+/// The fixed-seed differential configuration used by the validator. Kept
+/// deliberately smaller than the default so per-deletion checks stay cheap
+/// at preparation time; the seed is pinned for reproducibility.
+pub fn differential_config() -> EquivCheckConfig {
+    EquivCheckConfig {
+        instances: 20,
+        domain: 4,
+        facts_per_pred: 8,
+        seed_idb: false,
+        rng_seed: 0x11a7,
+    }
+}
+
+fn rendered_rules(p: &Program) -> BTreeSet<String> {
+    p.rules.iter().map(|r| r.to_string()).collect()
+}
+
+/// Diff `adorned` against the independent Lemma 2.2 recomputation of
+/// `original`, then audit every `d` mark of the result.
+pub fn verify_adornment(original: &Program, adorned: &Program) -> PhaseCheck {
+    let expected = match recompute_adornment(original) {
+        Ok(p) => p,
+        Err(e) => return PhaseCheck::fail("adorn", format!("recomputation failed: {e}")),
+    };
+    let ours = rendered_rules(&expected);
+    let theirs = rendered_rules(adorned);
+    if ours != theirs {
+        let missing: Vec<&String> = ours.difference(&theirs).collect();
+        let extra: Vec<&String> = theirs.difference(&ours).collect();
+        return PhaseCheck::fail(
+            "adorn",
+            format!(
+                "adorned program disagrees with the Lemma 2.2 recomputation; \
+                 missing: {missing:?}, unexpected: {extra:?}"
+            ),
+        );
+    }
+    let q1 = expected.query.as_ref().map(|q| q.atom.to_string());
+    let q2 = adorned.query.as_ref().map(|q| q.atom.to_string());
+    if q1 != q2 {
+        return PhaseCheck::fail(
+            "adorn",
+            format!("query mismatch: expected {q1:?}, got {q2:?}"),
+        );
+    }
+    let violations = audit_adorned_rules(adorned);
+    if let Some((ri, msg)) = violations.first() {
+        return PhaseCheck::fail("adorn", format!("unsound d mark in rule {ri}: {msg}"));
+    }
+    PhaseCheck::pass(
+        "adorn",
+        format!(
+            "{} rule(s) match the independent Lemma 2.2 recomputation; every d mark audited",
+            adorned.rules.len()
+        ),
+    )
+}
+
+/// Variables anchoring a rule's head component: the `n`-position variables
+/// of a full-length adorned head, every variable otherwise.
+fn head_anchor_vars(rule: &Rule) -> BTreeSet<Var> {
+    match &rule.head.pred.adornment {
+        Some(ad) if ad.len() == rule.head.arity() => rule
+            .head
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ad[*i] == Ad::N)
+            .filter_map(|(_, t)| t.as_var())
+            .collect(),
+        _ => rule.head.var_occurrences().collect(),
+    }
+}
+
+fn atom_vars(atoms: &[Atom]) -> BTreeSet<Var> {
+    atoms.iter().flat_map(|a| a.var_occurrences()).collect()
+}
+
+/// Pin the needed head positions of `pattern_head` onto `target_head`.
+/// Head `d` positions are exempt from the correspondence (their values are
+/// exactly what Lemma 3.1 licenses the rewrite to forget), but a dropped
+/// constant or renamed `d` variable that is *not* a fresh wildcard is
+/// still rejected.
+fn pin_heads(pattern_head: &Atom, target_head: &Atom) -> Option<Homomorphism> {
+    if pattern_head.pred != target_head.pred || pattern_head.arity() != target_head.arity() {
+        return None;
+    }
+    let anchored: BTreeSet<usize> = match &pattern_head.pred.adornment {
+        Some(ad) if ad.len() == pattern_head.arity() => (0..pattern_head.arity())
+            .filter(|&i| ad[i] == Ad::N)
+            .collect(),
+        _ => (0..pattern_head.arity()).collect(),
+    };
+    let mut map = Homomorphism::new();
+    for (i, (pt, tt)) in pattern_head
+        .terms
+        .iter()
+        .zip(target_head.terms.iter())
+        .enumerate()
+    {
+        if anchored.contains(&i) {
+            match pt {
+                Term::Const(c) => {
+                    if *tt != Term::Const(*c) {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match map.get(v) {
+                    Some(bound) if bound != tt => return None,
+                    _ => {
+                        map.insert(*v, *tt);
+                    }
+                },
+            }
+        } else {
+            // d position: identical term, or a fresh wildcard on either
+            // side (the rewrite replaces dangling d variables by wildcards).
+            let wild = matches!(tt, Term::Var(w) if w.is_wildcard())
+                || matches!(pt, Term::Var(w) if w.is_wildcard());
+            if pt != tt && !wild {
+                return None;
+            }
+        }
+    }
+    Some(map)
+}
+
+/// Lemma 3.1 check for one rewritten rule: inline its boolean literals and
+/// require (a) each inlined component to be variable-disjoint from the
+/// head anchors, the remaining body, and every other component, and (b)
+/// CQ-equivalence with `original` modulo the head `d` positions.
+fn components_rule_ok(
+    original: &Rule,
+    rewritten: &Rule,
+    booleans: &BTreeMap<PredRef, &Rule>,
+) -> Result<(), String> {
+    let mut main_body: Vec<Atom> = Vec::new();
+    let mut inlined_body: Vec<Atom> = Vec::new();
+    let mut inlined_neg: Vec<Atom> = rewritten.negative.clone();
+    let mut component_vars: Vec<BTreeSet<Var>> = Vec::new();
+    for lit in &rewritten.body {
+        match booleans.get(&lit.pred) {
+            Some(def) => {
+                let mut vars = atom_vars(&def.body);
+                vars.extend(atom_vars(&def.negative));
+                component_vars.push(vars);
+                inlined_body.extend(def.body.iter().cloned());
+                inlined_neg.extend(def.negative.iter().cloned());
+            }
+            None => main_body.push(lit.clone()),
+        }
+    }
+    // (a) connectivity: components share no variable with anything else.
+    let mut outside = atom_vars(&main_body);
+    outside.extend(atom_vars(&rewritten.negative));
+    outside.extend(head_anchor_vars(rewritten));
+    for (i, vars) in component_vars.iter().enumerate() {
+        if let Some(v) = vars.intersection(&outside).next() {
+            return Err(format!(
+                "extracted component shares variable {v} with the head component"
+            ));
+        }
+        for other in component_vars.iter().skip(i + 1) {
+            if let Some(v) = vars.intersection(other).next() {
+                return Err(format!(
+                    "two extracted components share variable {v} (they are one component)"
+                ));
+            }
+        }
+    }
+    // (b) CQ-equivalence modulo head d positions, in both directions.
+    inlined_body.extend(main_body);
+    let fwd_pins = pin_heads(&original.head, &rewritten.head)
+        .ok_or_else(|| "heads do not correspond".to_string())?;
+    if conjunction_homomorphism(
+        &original.body,
+        &original.negative,
+        &inlined_body,
+        &inlined_neg,
+        &fwd_pins,
+    )
+    .is_none()
+    {
+        return Err("no homomorphism from the original body onto the inlined rewrite".into());
+    }
+    let bwd_pins = pin_heads(&rewritten.head, &original.head)
+        .ok_or_else(|| "heads do not correspond".to_string())?;
+    if conjunction_homomorphism(
+        &inlined_body,
+        &inlined_neg,
+        &original.body,
+        &original.negative,
+        &bwd_pins,
+    )
+    .is_none()
+    {
+        return Err("no homomorphism from the inlined rewrite back onto the original".into());
+    }
+    Ok(())
+}
+
+/// Verify the §3.1 boolean-extraction phase: `after` must consist of
+/// zero-arity boolean definitions plus rewritten rules in one-to-one
+/// correspondence with `before`'s rules, each passing
+/// [`components_rule_ok`].
+pub fn verify_components(before: &Program, after: &Program) -> PhaseCheck {
+    if before.query != after.query {
+        return PhaseCheck::fail("components", "query changed during boolean extraction");
+    }
+    let new_preds: BTreeSet<PredRef> = after
+        .idb_preds()
+        .difference(&before.idb_preds())
+        .cloned()
+        .collect();
+    let mut booleans: BTreeMap<PredRef, &Rule> = BTreeMap::new();
+    let mut rewritten: Vec<&Rule> = Vec::new();
+    for rule in &after.rules {
+        if new_preds.contains(&rule.head.pred) {
+            if rule.head.arity() != 0 {
+                return PhaseCheck::fail(
+                    "components",
+                    format!(
+                        "new predicate `{}` is not a zero-arity boolean",
+                        rule.head.pred
+                    ),
+                );
+            }
+            if booleans.insert(rule.head.pred.clone(), rule).is_some() {
+                return PhaseCheck::fail(
+                    "components",
+                    format!("boolean `{}` has more than one definition", rule.head.pred),
+                );
+            }
+        } else {
+            rewritten.push(rule);
+        }
+    }
+    if rewritten.len() != before.rules.len() {
+        return PhaseCheck::fail(
+            "components",
+            format!(
+                "rule count mismatch: {} original rule(s), {} rewritten",
+                before.rules.len(),
+                rewritten.len()
+            ),
+        );
+    }
+    // Match rewritten rules to originals one-to-one (backtracking; the
+    // programs are small).
+    fn assign(
+        rewritten: &[&Rule],
+        originals: &[Rule],
+        used: &mut Vec<bool>,
+        booleans: &BTreeMap<PredRef, &Rule>,
+        k: usize,
+    ) -> Result<(), String> {
+        if k == rewritten.len() {
+            return Ok(());
+        }
+        let mut last_err = format!("no original rule matches `{}`", rewritten[k]);
+        for (i, orig) in originals.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            match components_rule_ok(orig, rewritten[k], booleans) {
+                Ok(()) => {
+                    used[i] = true;
+                    if assign(rewritten, originals, used, booleans, k + 1).is_ok() {
+                        return Ok(());
+                    }
+                    used[i] = false;
+                }
+                Err(e) => last_err = format!("`{}`: {e}", rewritten[k]),
+            }
+        }
+        Err(last_err)
+    }
+    let mut used = vec![false; before.rules.len()];
+    match assign(&rewritten, &before.rules, &mut used, &booleans, 0) {
+        Ok(()) => PhaseCheck::pass(
+            "components",
+            format!(
+                "{} boolean(s) extracted; every rewritten rule is CQ-equivalent to its \
+                 original and every component is disconnected from the head",
+                booleans.len()
+            ),
+        ),
+        Err(e) => PhaseCheck::fail("components", e),
+    }
+}
+
+/// Independently recompute the §3.2 projection of one atom.
+fn project_atom(atom: &Atom) -> Atom {
+    let Some(ad) = &atom.pred.adornment else {
+        return atom.clone();
+    };
+    if atom.arity() != ad.len() || ad.is_all_needed() {
+        return atom.clone();
+    }
+    Atom::new(
+        atom.pred.clone(),
+        ad.needed_positions()
+            .into_iter()
+            .map(|i| atom.terms[i])
+            .collect(),
+    )
+}
+
+/// Verify the §3.2 projection phase: recompute the projection of every
+/// occurrence (heads, bodies, negations, the query) and require exactly
+/// `after`; additionally re-derive Lemma 3.2's side condition that no
+/// dropped body variable is still used elsewhere in its rule.
+pub fn verify_projection(before: &Program, after: &Program) -> PhaseCheck {
+    let mut dropped_positions = 0usize;
+    let mut expected = Program {
+        rules: Vec::new(),
+        query: before.query.clone(),
+    };
+    for rule in &before.rules {
+        let head = project_atom(&rule.head);
+        let body: Vec<Atom> = rule.body.iter().map(project_atom).collect();
+        let negative: Vec<Atom> = rule.negative.iter().map(project_atom).collect();
+        // Lemma 3.2 side condition, re-derived: a variable dropped from a
+        // body literal must not occur in any other literal nor in a kept
+        // (needed) head position.
+        for (li, (orig, proj)) in rule.body.iter().zip(body.iter()).enumerate() {
+            if orig.arity() == proj.arity() {
+                continue;
+            }
+            dropped_positions += orig.arity() - proj.arity();
+            let kept: BTreeSet<Var> = proj.var_occurrences().collect();
+            for v in orig.var_occurrences() {
+                if kept.contains(&v) {
+                    continue;
+                }
+                let elsewhere = rule
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != li)
+                    .any(|(_, a)| a.var_occurrences().any(|w| w == v))
+                    || rule
+                        .negative
+                        .iter()
+                        .any(|a| a.var_occurrences().any(|w| w == v))
+                    || head.var_occurrences().any(|w| w == v);
+                if elsewhere {
+                    return PhaseCheck::fail(
+                        "projection",
+                        format!(
+                            "variable {v} was dropped from `{orig}` but is still used \
+                             elsewhere in `{rule}` (Lemma 3.2 side condition)"
+                        ),
+                    );
+                }
+            }
+        }
+        dropped_positions += rule.head.arity() - head.arity();
+        expected
+            .rules
+            .push(Rule::with_negation(head, body, negative));
+    }
+    if let Some(q) = expected.query.as_mut() {
+        q.atom = project_atom(&q.atom);
+    }
+    let expected_text = expected.to_text();
+    let after_text = after.to_text();
+    if expected_text != after_text {
+        return PhaseCheck::fail(
+            "projection",
+            format!(
+                "projected program disagrees with the independent recomputation:\n\
+                 expected:\n{expected_text}\ngot:\n{after_text}"
+            ),
+        );
+    }
+    PhaseCheck::pass(
+        "projection",
+        format!("{dropped_positions} d position(s) dropped consistently across all occurrences"),
+    )
+}
+
+/// Productivity fixpoint: derived predicates that can derive at least one
+/// fact starting from empty IDB.
+fn productive_preds(program: &Program, derived: &BTreeSet<PredRef>) -> BTreeSet<PredRef> {
+    let mut productive: BTreeSet<PredRef> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if productive.contains(&rule.head.pred) {
+                continue;
+            }
+            let ok = rule
+                .body
+                .iter()
+                .all(|lit| !derived.contains(&lit.pred) || productive.contains(&lit.pred));
+            if ok {
+                changed |= productive.insert(rule.head.pred.clone());
+            }
+        }
+        if !changed {
+            return productive;
+        }
+    }
+}
+
+/// Re-derive a justification for deleting rule `idx` of `candidate`.
+///
+/// The ladder runs strongest-first: a θ-subsumption containment witness
+/// (uniform equivalence), Sagiv's frozen-rule test (uniform), the
+/// structural query-level cleanup conditions, and finally the
+/// uniform-query freeze test backed by a fixed-seed differential check.
+/// `derived` is the set of predicates that were IDB when the deletion
+/// phase started (a deletion can strand a predicate so it *looks* EDB
+/// afterwards).
+///
+/// `Err` means the checker cannot justify the deletion — the caller must
+/// refuse it.
+pub fn justify_deletion(
+    candidate: &Program,
+    idx: usize,
+    derived: &BTreeSet<PredRef>,
+) -> Result<String, String> {
+    let rule = &candidate.rules[idx];
+    // 1. Containment witness from a surviving rule.
+    for (j, other) in candidate.rules.iter().enumerate() {
+        if j == idx {
+            continue;
+        }
+        if let Some(w) = subsumption_witness(other, rule) {
+            let sigma: Vec<String> = w.iter().map(|(v, t)| format!("{v}->{t}")).collect();
+            return Ok(format!(
+                "θ-subsumed by `{other}` under {{{}}} (uniform)",
+                sigma.join(", ")
+            ));
+        }
+    }
+    // 2. Sagiv's frozen-rule test, evaluated here rather than delegated:
+    // the remaining rules must re-derive the frozen head from the frozen
+    // body.
+    let frozen = freeze_rule(rule);
+    let reduced = candidate.without_rule(idx);
+    let mut input = FactSet::new();
+    for f in &frozen.body_facts {
+        input.insert_atom(f);
+    }
+    if rule.negative.is_empty() && reduced.rules.iter().all(|r| r.negative.is_empty()) {
+        match evaluate(&reduced, &input, &EvalOptions::default()) {
+            Ok(out) => {
+                if out.database.dump().contains_atom(&frozen.head_fact) {
+                    return Ok(format!(
+                        "frozen head {} re-derived from the frozen body (Sagiv, uniform)",
+                        frozen.head_fact
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("frozen-rule evaluation failed: {e}")),
+        }
+    }
+    // 3. Structural query-level conditions (the cleanup passes).
+    if candidate.query.is_some() {
+        let reachable = candidate.reachable_from_query();
+        if !reachable.contains(&rule.head.pred) {
+            return Ok(format!(
+                "head `{}` unreachable from the query (query-level)",
+                rule.head.pred
+            ));
+        }
+        let productive = productive_preds(candidate, derived);
+        for lit in &rule.body {
+            if derived.contains(&lit.pred) && candidate.rules_for(&lit.pred).is_empty() {
+                return Ok(format!(
+                    "body uses `{}`, a derived predicate with no remaining rules \
+                     (query-level)",
+                    lit.pred
+                ));
+            }
+            if derived.contains(&lit.pred) && !productive.contains(&lit.pred) {
+                return Ok(format!(
+                    "body uses `{}`, a derived predicate that can never produce a fact \
+                     (query-level)",
+                    lit.pred
+                ));
+            }
+        }
+        // 4. Uniform-query freeze test. Sound deletions at the uniform-query
+        // level MUST pass it (UQE implies agreement on the frozen-body
+        // instance); the paired differential check guards against the known
+        // unsoundness of the bare test.
+        if candidate.has_negation() {
+            return Err(
+                "cannot justify: program uses negation and no syntactic witness found".into(),
+            );
+        }
+        let uqe = uniform_query_test(candidate, idx)
+            .map_err(|e| format!("uniform-query test failed to run: {e}"))?;
+        if uqe {
+            match bounded_equiv_check(candidate, &reduced, &differential_config()) {
+                Ok(None) => {
+                    return Ok(
+                        "uniform-query freeze test passed and the fixed-seed differential \
+                         found no counterexample (uniform-query)"
+                            .into(),
+                    )
+                }
+                Ok(Some(w)) => {
+                    return Err(format!(
+                        "REFUSED: freeze test passed but the differential oracle found a \
+                         counterexample instance: {}",
+                        w.instance.to_text()
+                    ))
+                }
+                Err(e) => return Err(format!("differential check failed to run: {e}")),
+            }
+        }
+    }
+    Err(format!(
+        "cannot justify deleting `{rule}`: no witness found"
+    ))
+}
+
+/// Justify a rule the optimizer *added*: either an implied rule (its
+/// frozen head is already derivable — uniform) or a §5 cover unit rule for
+/// the query predicate (query-level).
+pub fn justify_addition(context: &Program, rule: &Rule) -> Result<String, String> {
+    // Implied rule: adding it changes nothing on any input.
+    if rule.negative.is_empty() && !context.has_negation() {
+        let frozen = freeze_rule(rule);
+        let mut input = FactSet::new();
+        for f in &frozen.body_facts {
+            input.insert_atom(f);
+        }
+        if let Ok(out) = evaluate(context, &input, &EvalOptions::default()) {
+            if out.database.dump().contains_atom(&frozen.head_fact) {
+                return Ok("implied rule: frozen head already derivable (uniform)".into());
+            }
+        }
+    }
+    // Cover unit rule q^a(t̄) :- q^a1(t̄1) where a1 covers a (§5).
+    let Some(q) = &context.query else {
+        return Err("cannot justify addition: no query for a cover rule".into());
+    };
+    if rule.head.pred != q.atom.pred || rule.body.len() != 1 || !rule.negative.is_empty() {
+        return Err(format!("cannot justify added rule `{rule}`"));
+    }
+    let body = &rule.body[0];
+    let (Some(a), Some(a1)) = (&rule.head.pred.adornment, &body.pred.adornment) else {
+        return Err(format!("cannot justify added rule `{rule}`"));
+    };
+    if body.pred.name != rule.head.pred.name
+        || !a.is_covered_by(a1)
+        || rule.head.arity() != a.needed_count()
+        || body.arity() != a1.needed_count()
+    {
+        return Err(format!("cannot justify added rule `{rule}`"));
+    }
+    // Positional correspondence: positions needed in both adornments must
+    // carry the same term; positions needed only in a1 must be one-off
+    // variables.
+    let head_pos: BTreeMap<usize, &Term> = a
+        .needed_positions()
+        .into_iter()
+        .zip(rule.head.terms.iter())
+        .collect();
+    for (p, t) in a1.needed_positions().into_iter().zip(body.terms.iter()) {
+        match head_pos.get(&p) {
+            Some(ht) => {
+                if *ht != t {
+                    return Err(format!(
+                        "cover rule `{rule}` maps position {p} to different terms"
+                    ));
+                }
+            }
+            None => {
+                let ok = matches!(t, Term::Var(v)
+                    if rule.head.terms.iter().all(|ht| *ht != Term::Var(*v)));
+                if !ok {
+                    return Err(format!(
+                        "cover rule `{rule}`: position {p} must hold a fresh variable"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(format!(
+        "cover unit rule (§5): {a1} covers {a} for the query predicate (query-level)"
+    ))
+}
+
+/// The end-to-end bounded differential oracle: fixed-seed random small
+/// EDBs, original vs. optimized answers compared row by row.
+pub fn verify_differential(
+    original: &Program,
+    optimized: &Program,
+    cfg: &EquivCheckConfig,
+) -> PhaseCheck {
+    match bounded_equiv_check(original, optimized, cfg) {
+        Ok(None) => PhaseCheck::pass(
+            "differential",
+            format!(
+                "{} fixed-seed instance(s) (seed {:#x}): answers agree",
+                cfg.instances, cfg.rng_seed
+            ),
+        ),
+        Ok(Some(w)) => PhaseCheck::fail(
+            "differential",
+            format!(
+                "answers diverge on instance:\n{}\noriginal: {:?}\noptimized: {:?}",
+                w.instance.to_text(),
+                w.answers1,
+                w.answers2
+            ),
+        ),
+        Err(e) => PhaseCheck::fail("differential", format!("evaluation failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    #[test]
+    fn adornment_phase_verifies_and_catches_tampering() {
+        let original = program(
+            "query(X) :- a(X, Y).\n\
+             a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- query(X).",
+        );
+        let adorned = datalog_adorn::adorn(&original).unwrap().program;
+        let check = verify_adornment(&original, &adorned);
+        assert!(check.ok, "{}", check.detail);
+        // Tamper: flip the recursive occurrence to all-needed.
+        let tampered = program(
+            "query[n](X) :- a[nd](X, Y).\n\
+             a[nd](X, Y) :- p(X, Z), a[nn](Z, Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- query[n](X).",
+        );
+        let check = verify_adornment(&original, &tampered);
+        assert!(!check.ok);
+    }
+
+    #[test]
+    fn components_phase_verifies_example_2() {
+        let before = program(
+            "p[nd](X, U) :- q1(X, Y), q2(Y, Z), q3(U, V), q4[n](V), q5(W).\n\
+             q4[n](V) :- q6(V).\n\
+             ?- p[nd](X, _).",
+        );
+        let mut report = datalog_opt::Report::default();
+        let r = datalog_opt::extract_components(&before, true, &mut report);
+        let check = verify_components(&before, &r.program);
+        assert!(check.ok, "{}", check.detail);
+    }
+
+    #[test]
+    fn components_rejects_connected_extraction() {
+        let before = program("q(X) :- a(X, Y), c(Y).\n?- q(X).");
+        // Bogus rewrite: c(Y) extracted although Y joins with a(X, Y).
+        let after = program(
+            "b1 :- c(Y).\n\
+             q(X) :- a(X, Y), b1.\n\
+             ?- q(X).",
+        );
+        let check = verify_components(&before, &after);
+        assert!(!check.ok);
+        assert!(
+            check.detail.contains("homomorphism") || check.detail.contains("shares"),
+            "{}",
+            check.detail
+        );
+    }
+
+    #[test]
+    fn components_rejects_dropped_literal() {
+        let before = program("q(X) :- a(X), c(W), d(W).\n?- q(X).");
+        let after = program(
+            "b1 :- c(_).\n\
+             q(X) :- a(X), b1.\n\
+             ?- q(X).",
+        );
+        // d(W) vanished: the backward homomorphism cannot place it.
+        let check = verify_components(&before, &after);
+        assert!(!check.ok, "{}", check.detail);
+    }
+
+    #[test]
+    fn projection_phase_verifies_example_3() {
+        let before = program(
+            "query[n](X) :- a[nd](X, Y).\n\
+             a[nd](X, Y) :- p(X, Z), a[nd](Z, Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- query[n](X).",
+        );
+        let after = program(
+            "query[n](X) :- a[nd](X).\n\
+             a[nd](X) :- p(X, Z), a[nd](Z).\n\
+             a[nd](X) :- p(X, Y).\n\
+             ?- query[n](X).",
+        );
+        let check = verify_projection(&before, &after);
+        assert!(check.ok, "{}", check.detail);
+        // A projection that forgot the recursive occurrence is rejected.
+        let bad = program(
+            "query[n](X) :- a[nd](X).\n\
+             a[nd](X) :- p(X, Z), a[nd](Z, Y).\n\
+             a[nd](X) :- p(X, Y).\n\
+             ?- query[n](X).",
+        );
+        assert!(!verify_projection(&before, &bad).ok);
+    }
+
+    #[test]
+    fn projection_rejects_dropping_a_used_variable() {
+        let before = program(
+            "q[n](X) :- a[nd](X, Y), s(Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             ?- q[n](X).",
+        );
+        let after = program(
+            "q[n](X) :- a[nd](X), s(Y).\n\
+             a[nd](X) :- p(X, Y).\n\
+             ?- q[n](X).",
+        );
+        let check = verify_projection(&before, &after);
+        assert!(!check.ok);
+        assert!(check.detail.contains("Lemma 3.2"), "{}", check.detail);
+    }
+
+    #[test]
+    fn deletion_justified_by_subsumption_witness() {
+        let p = program(
+            "a[nd](X) :- p(X, Y).\n\
+             a[nd](X) :- p(X, Z), a[nd](Z).\n\
+             ?- a[nd](X).",
+        );
+        let derived = p.idb_preds();
+        let j = justify_deletion(&p, 1, &derived).unwrap();
+        assert!(j.contains("θ-subsumed"), "{j}");
+    }
+
+    #[test]
+    fn deletion_justified_by_frozen_rule_rederivation() {
+        // The composite rule is implied by chaining the two others; no
+        // single rule θ-subsumes it.
+        let p = program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, Z), t(Z, Y).\n\
+             t2(X, Y) :- e(X, Z), e(Z, Y).\n\
+             q(X) :- t(X, Y).\n\
+             ?- q(X).",
+        );
+        let derived = p.idb_preds();
+        // Deleting t2's rule: its head is t2, underivable elsewhere — but
+        // t2 is unreachable from the query.
+        let j = justify_deletion(&p, 2, &derived).unwrap();
+        assert!(j.contains("unreachable"), "{j}");
+        // A genuinely implied rule: a second recursive unfolding of t.
+        let p2 = program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, Z), t(Z, Y).\n\
+             t(X, Y) :- e(X, Z), e(Z, W), t(W, Y).\n\
+             q(X) :- t(X, Y).\n\
+             ?- q(X).",
+        );
+        let j = justify_deletion(&p2, 2, &p2.idb_preds()).unwrap();
+        assert!(j.contains("frozen head"), "{j}");
+    }
+
+    #[test]
+    fn unsound_deletion_is_refused() {
+        // Deleting the exit rule of a TC is flatly wrong; nothing in the
+        // ladder may justify it.
+        let p = program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, Z), t(Z, Y).\n\
+             ?- t(X, Y).",
+        );
+        let derived = p.idb_preds();
+        let err = justify_deletion(&p, 0, &derived).unwrap_err();
+        assert!(
+            err.contains("cannot justify") || err.contains("REFUSED"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cover_rule_addition_is_justified() {
+        let p = program(
+            "a[nd](X) :- a[nn](X, Z), p(Z, Y).\n\
+             a[nd](X) :- p(X, Y).\n\
+             a[nn](X, Y) :- a[nn](X, Z), p(Z, Y).\n\
+             a[nn](X, Y) :- p(X, Y).\n\
+             ?- a[nd](X).",
+        );
+        let cover = datalog_ast::parse_rule("a[nd](V0) :- a[nn](V0, _)").unwrap();
+        let j = justify_addition(&p, &cover).unwrap();
+        assert!(j.contains("cover"), "{j}");
+        // A non-cover, non-implied addition is rejected.
+        let bogus = datalog_ast::parse_rule("a[nd](X) :- q7(X)").unwrap();
+        assert!(justify_addition(&p, &bogus).is_err());
+    }
+
+    #[test]
+    fn differential_oracle_detects_a_real_divergence() {
+        let p1 = program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, Z), t(Z, Y).\n\
+             ?- t(X, Y).",
+        );
+        let p2 = program("t(X, Y) :- e(X, Y).\n?- t(X, Y).");
+        let check = verify_differential(&p1, &p2, &differential_config());
+        assert!(!check.ok);
+        assert!(check.detail.contains("diverge"), "{}", check.detail);
+        let same = verify_differential(&p1, &p1, &differential_config());
+        assert!(same.ok);
+    }
+
+    #[test]
+    fn phase_check_json_shape() {
+        let c = PhaseCheck::pass("projection", "ok");
+        let s = c.to_json().to_string();
+        assert!(s.contains("\"phase\":\"projection\""));
+        assert!(s.contains("\"ok\":true"));
+    }
+}

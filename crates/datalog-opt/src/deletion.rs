@@ -512,4 +512,76 @@ mod tests {
         assert_eq!(out.rules.len(), 2);
         assert_eq!(report.deletions(), 0);
     }
+
+    /// Example 6's heart: a *self-recursive* rule is deleted on the
+    /// strength of a cover unit rule, and the translation validator can
+    /// re-justify the deletion sequentially (the cover is still present at
+    /// the deletion's replay point even though it is deleted later).
+    #[test]
+    fn self_recursive_rule_deleted_via_cover() {
+        let (out, report) = run(
+            "a[nd](X) :- a[nn](X, Z), p(Z, Y).\n\
+             a[nd](X) :- p(X, Y).\n\
+             a[nn](X, Y) :- a[nn](X, Z), p(Z, Y).\n\
+             a[nn](X, Y) :- p(X, Y).\n\
+             ?- a[nd](X).",
+            &SummaryConfig::default(),
+        );
+        // Both recursive rules are gone; the exit rules and the cover
+        // remain (the pipeline's freeze pass does the final collapse).
+        let text = out.to_text();
+        assert_eq!(out.rules.len(), 3, "{text}");
+        assert!(!text.contains("a[nn](X, Z)"), "{text}");
+        assert!(text.contains("a[nd](X) :- p(X, Y)."));
+        // The self-recursive a[nn] rule went through a recorded deletion.
+        assert!(
+            report.actions.iter().any(|a| matches!(
+                &a.event,
+                PhaseEvent::RuleDeleted { rule, .. }
+                    if rule == "a[nn](X, Y) :- a[nn](X, Z), p(Z, Y)."
+            )),
+            "{:#?}",
+            report.actions
+        );
+        assert!(report.actions.iter().any(|a| a.phase == Phase::UnitRules));
+    }
+
+    /// The same program *before* projection: the query predicate still has
+    /// its full arity, so no cover rule applies and the recursive rules
+    /// must all be retained — the deletion is only valid post-projection.
+    #[test]
+    fn cover_deletion_requires_projected_form() {
+        let (out, report) = run(
+            "a[nd](X, Y) :- a[nn](X, Z), p(Z, Y).\n\
+             a[nd](X, Y) :- p(X, Y).\n\
+             a[nn](X, Y) :- a[nn](X, Z), p(Z, Y).\n\
+             a[nn](X, Y) :- p(X, Y).\n\
+             ?- a[nd](X, _).",
+            &SummaryConfig::default(),
+        );
+        // `a[nd]` has arity 2 but needed count 1: cover_unit_rules refuses
+        // the unprojected form outright.
+        assert!(cover_unit_rules(&out, &PredRef::adorned("a", "nd")).is_empty());
+        assert_eq!(out.rules.len(), 4, "{}", out.to_text());
+        assert_eq!(report.deletions(), 0);
+    }
+
+    /// A deletion the checker cannot justify must be refused and the rule
+    /// retained: the TC exit rule is load-bearing, and both the summary
+    /// machinery here and `datalog-lint`'s independent justification
+    /// ladder agree that nothing licenses deleting it.
+    #[test]
+    fn unjustifiable_deletion_is_refused_and_rule_retained() {
+        let src = "t[nn](X, Y) :- e(X, Y).\n\
+                   t[nn](X, Y) :- e(X, Z), t[nn](Z, Y).\n\
+                   ?- t[nn](X, Y).";
+        let (out, report) = run(src, &SummaryConfig::default());
+        assert_eq!(out.rules.len(), 2, "exit rule must survive");
+        assert_eq!(report.deletions(), 0);
+        // Cross-check: the translation validator refuses the same deletion.
+        let derived = out.idb_preds();
+        let exit_idx = out.rules.iter().position(|r| r.body.len() == 1).unwrap();
+        let refusal = datalog_lint::justify_deletion(&out, exit_idx, &derived).unwrap_err();
+        assert!(refusal.contains("cannot justify"), "{refusal}");
+    }
 }

@@ -43,6 +43,7 @@ pub mod projection;
 pub mod report;
 pub mod subsume;
 pub mod uniform;
+pub mod validate;
 
 pub use analyze::{analyze, Finding, FindingKind};
 pub use argproj::{close_summaries, rule_projection, ArgProj};
@@ -54,9 +55,10 @@ pub use prepare::{
     canonical_query_atom, edb_support, fingerprint_rules, prepare, PreparedProgram, QueryShape,
 };
 pub use projection::push_projections;
-pub use report::{Action, EquivalenceLevel, Phase, Report};
-pub use subsume::{delete_subsumed, subsumes};
+pub use report::{Action, EquivalenceLevel, Phase, Report, Snapshot};
+pub use subsume::{delete_subsumed, subsumed_indices, subsumes, subsumption_witness};
 pub use uniform::{freeze_deletion, UniformConfig};
+pub use validate::{validate, Validation};
 
 use datalog_adorn::AdornError;
 use datalog_ast::AstError;
@@ -80,6 +82,9 @@ pub enum OptError {
     PredicateExists(String),
     /// Folding requires the auxiliary predicate to have exactly one rule.
     FoldNeedsSingleDefinition(String),
+    /// Translation validation refused the run; the string lists the
+    /// failing checks.
+    ValidationFailed(String),
 }
 
 impl std::fmt::Display for OptError {
@@ -99,6 +104,9 @@ impl std::fmt::Display for OptError {
                     f,
                     "folding through {p} requires it to have exactly one rule"
                 )
+            }
+            OptError::ValidationFailed(detail) => {
+                write!(f, "translation validation failed:\n{detail}")
             }
         }
     }

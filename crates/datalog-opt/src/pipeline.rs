@@ -50,6 +50,13 @@ pub struct OptimizerConfig {
     /// apply the best one before deletions. Off by default: folding adds a
     /// predicate, which only pays off when it unlocks deletions.
     pub auto_fold: bool,
+    /// Translation-validate the run before returning: re-check every
+    /// rewrite phase and re-justify every deletion with `datalog-lint`'s
+    /// independent checkers, failing with
+    /// [`OptError::ValidationFailed`](crate::OptError) if any check fails.
+    /// Off by default (it re-evaluates the program many times); `xdl
+    /// verify-opt` and `xdl serve --verify` switch it on.
+    pub verify: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -64,6 +71,7 @@ impl Default for OptimizerConfig {
             freeze_enabled: true,
             subsumption: true,
             auto_fold: false,
+            verify: false,
         }
     }
 }
@@ -105,6 +113,7 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
         ..Report::default()
     };
     let mut current = program.clone();
+    report.snapshot("input", &current);
 
     // Skip adornment for programs that are already adorned (e.g. the
     // paper's worked examples are given in adorned form).
@@ -130,6 +139,7 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
                 },
             );
             current = adorned.program;
+            report.snapshot("adorned", &current);
         }
     }
 
@@ -141,10 +151,12 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
             unreachable!("components dangled a head without projection enabled");
         }
         current = r.program;
+        report.snapshot("components", &current);
     }
 
     if cfg.projection {
         current = push_projections(&current, &mut report)?;
+        report.snapshot("projected", &current);
     }
 
     // The set of semantically-derived predicates — every IDB predicate of
@@ -178,6 +190,7 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
             "program uses negation: summary/freeze deletions disabled (Horn-only theory)",
         );
     }
+    report.snapshot("deletions", &current);
     loop {
         let before = current.rules.len();
         if cfg.subsumption {
@@ -195,6 +208,34 @@ pub fn optimize(program: &Program, cfg: &OptimizerConfig) -> Result<OptimizeOutc
     }
 
     report.rules_after = current.rules.len();
+    report.snapshot("final", &current);
+
+    if cfg.verify {
+        let validation = crate::validate::validate(&report);
+        if !validation.ok() {
+            return Err(OptError::ValidationFailed(
+                validation
+                    .failures()
+                    .iter()
+                    .map(|c| format!("[{}] {}", c.phase, c.detail))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            ));
+        }
+        report.record_event(
+            Phase::Validation,
+            EquivalenceLevel::Uniform,
+            format!(
+                "translation validation passed: {} check(s)",
+                validation.checks.len()
+            ),
+            PhaseEvent::TranslationValidated {
+                checks: validation.checks.len(),
+                failures: 0,
+            },
+        );
+    }
+
     Ok(OptimizeOutcome {
         program: current,
         report,

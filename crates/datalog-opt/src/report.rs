@@ -10,6 +10,7 @@
 //! optimizer needs, but worth recording. The weakest level used bounds the
 //! guarantee of the whole pipeline.
 
+use datalog_ast::Program;
 use datalog_trace::{Json, PhaseEvent};
 
 /// Which equivalence notion an action preserves (strongest first).
@@ -52,6 +53,8 @@ pub enum Phase {
     Cleanup,
     /// Unit-rule introduction via the `covers` relation (§5).
     UnitRules,
+    /// Translation validation (`datalog-lint`'s independent re-checks).
+    Validation,
 }
 
 impl std::fmt::Display for Phase {
@@ -65,6 +68,7 @@ impl std::fmt::Display for Phase {
             Phase::UqeDeletion => "uqe-deletion",
             Phase::Cleanup => "cleanup",
             Phase::UnitRules => "unit-rules",
+            Phase::Validation => "validation",
         };
         f.write_str(s)
     }
@@ -84,6 +88,22 @@ pub struct Action {
     pub event: PhaseEvent,
 }
 
+/// The program as it stood at one phase boundary, for translation
+/// validation: the validator re-checks each phase against the snapshot
+/// pair around it and replays the deletion events from the last rewrite
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Boundary name: `"input"`, `"adorned"`, `"components"`,
+    /// `"projected"`, `"deletions"` (pre-deletion-loop), `"final"`.
+    pub stage: &'static str,
+    /// The program at that boundary.
+    pub program: Program,
+    /// `actions.len()` at snapshot time — actions recorded after this
+    /// index happened after the boundary.
+    pub at_action: usize,
+}
+
 /// The full report of one optimization run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -93,9 +113,25 @@ pub struct Report {
     pub rules_before: usize,
     /// Rule count after optimization.
     pub rules_after: usize,
+    /// Phase-boundary program snapshots, in pipeline order.
+    pub snapshots: Vec<Snapshot>,
 }
 
 impl Report {
+    /// Record a phase-boundary snapshot of the program.
+    pub fn snapshot(&mut self, stage: &'static str, program: &Program) {
+        self.snapshots.push(Snapshot {
+            stage,
+            program: program.clone(),
+            at_action: self.actions.len(),
+        });
+    }
+
+    /// The snapshot recorded at the named boundary, if the phase ran.
+    pub fn snapshot_at(&self, stage: &str) -> Option<&Snapshot> {
+        self.snapshots.iter().find(|s| s.stage == stage)
+    }
+
     /// Record an action with only a prose description; the structured event
     /// becomes a [`PhaseEvent::Note`]. Prefer [`Report::record_event`] when
     /// the change has structure worth keeping.

@@ -2,6 +2,14 @@
 //! "the problem is to devise techniques to detect subsumption of a rule by
 //! other rules".
 //!
+//! The containment machinery itself (one-way atom matching, CQ
+//! homomorphisms, θ-subsumption witnesses) lives in [`datalog_lint::contain`]
+//! so the optimizer and the translation validator share one
+//! implementation: the validator re-derives a witness for every deletion
+//! this pass records, and a drifted second copy of the matcher would make
+//! that check vacuous. This module re-exports the checker and keeps the
+//! report-producing deletion pass.
+//!
 //! Rule `r1` **θ-subsumes** `r2` when some substitution `σ` maps `r1`'s
 //! head onto `r2`'s head and every literal of `σ(body(r1))` occurs in
 //! `body(r2)`. Then every fact `r2` derives (on any database) is derived by
@@ -16,100 +24,23 @@
 //! projected transitive closure, the exit rule `a[nd](X) :- p(X, Z)`
 //! θ-subsumes the recursive rule `a[nd](X) :- p(X, Z), a[nd](Z)`.
 
-use std::collections::BTreeSet;
+pub use datalog_lint::contain::{subsumed_indices, subsumes, subsumption_witness};
 
 use datalog_ast::{Program, Rule};
 
 use crate::report::{EquivalenceLevel, Phase, Report};
 use datalog_trace::PhaseEvent;
 
-/// Does `general` θ-subsume `specific`?
-///
-/// θ-subsumption is a strictly one-way match: a substitution over
-/// `general`'s variables only, with `specific`'s terms treated as ground.
-pub fn subsumes(general: &Rule, specific: &Rule) -> bool {
-    // No body-length guard: several pattern literals may map onto one
-    // target literal (e.g. q(X) :- e(X,Y), e(X,Z) subsumes q(X) :- e(X,Y)).
-    let mut map = std::collections::BTreeMap::new();
-    if !match_onto(&general.head, &specific.head, &mut map) {
-        return false;
-    }
-    // Negated literals are constraints: every negation the general rule
-    // imposes must appear (instantiated) in the specific rule too, or the
-    // general rule might fail to fire where the specific one does.
-    match_body_and_negatives(general, specific, &map)
-}
-
-fn match_body_and_negatives(
-    general: &Rule,
-    specific: &Rule,
-    map: &std::collections::BTreeMap<datalog_ast::Var, datalog_ast::Term>,
-) -> bool {
-    // Positives bind variables; negatives are then matched like extra
-    // pattern literals against the specific rule's negatives (they may
-    // introduce further bindings, which is fine: any consistent embedding
-    // witnesses subsumption).
-    let mut pattern: Vec<&datalog_ast::Atom> = general.body.iter().collect();
-    pattern.extend(general.negative.iter());
-    let split = general.body.len();
-    match_mixed(&pattern, split, &specific.body, &specific.negative, 0, map)
-}
-
-fn match_mixed(
-    pattern: &[&datalog_ast::Atom],
-    split: usize,
-    pos: &[datalog_ast::Atom],
-    neg: &[datalog_ast::Atom],
-    idx: usize,
-    map: &std::collections::BTreeMap<datalog_ast::Var, datalog_ast::Term>,
-) -> bool {
-    if idx == pattern.len() {
-        return true;
-    }
-    let candidates: &[datalog_ast::Atom] = if idx < split { pos } else { neg };
-    for candidate in candidates {
-        let mut m2 = map.clone();
-        if match_onto(pattern[idx], candidate, &mut m2)
-            && match_mixed(pattern, split, pos, neg, idx + 1, &m2)
-        {
-            return true;
-        }
-    }
-    false
-}
-
 /// Match `pattern` onto `target`, binding only pattern variables. Target
 /// terms (variables included) are treated as ground. Shared with the fold
-/// machinery, which needs the same one-way discipline.
+/// machinery, which needs the same one-way discipline; delegates to the
+/// lint crate's matcher.
 pub(crate) fn match_onto(
     pattern: &datalog_ast::Atom,
     target: &datalog_ast::Atom,
     map: &mut std::collections::BTreeMap<datalog_ast::Var, datalog_ast::Term>,
 ) -> bool {
-    use datalog_ast::Term;
-    if pattern.pred != target.pred || pattern.arity() != target.arity() {
-        return false;
-    }
-    for (pt, tt) in pattern.terms.iter().zip(target.terms.iter()) {
-        match pt {
-            Term::Const(c) => {
-                if *tt != Term::Const(*c) {
-                    return false;
-                }
-            }
-            Term::Var(v) => match map.get(v) {
-                Some(bound) => {
-                    if bound != tt {
-                        return false;
-                    }
-                }
-                None => {
-                    map.insert(*v, *tt);
-                }
-            },
-        }
-    }
-    true
+    datalog_lint::contain::match_atom_onto(pattern, target, map)
 }
 
 /// Delete every rule that is θ-subsumed by another rule of the program.
@@ -161,22 +92,6 @@ pub fn delete_subsumed(program: &Program, report: &mut Report) -> Program {
         rules,
         query: program.query.clone(),
     }
-}
-
-/// Indices of rules subsumed by some other rule (without deleting).
-pub fn subsumed_indices(program: &Program) -> BTreeSet<usize> {
-    let mut out = BTreeSet::new();
-    for i in 0..program.rules.len() {
-        for j in 0..program.rules.len() {
-            if i != j
-                && subsumes(&program.rules[i], &program.rules[j])
-                && !(subsumes(&program.rules[j], &program.rules[i]) && j < i)
-            {
-                out.insert(j);
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -249,6 +164,15 @@ mod tests {
         assert!(subsumes(&g, &s), "both e-literals map onto the single one");
         // Reverse holds too (subset of body).
         assert!(subsumes(&s, &g));
+    }
+
+    #[test]
+    fn delegated_witness_is_exposed() {
+        // The lint crate's witness comes through the re-export.
+        let g = rule("q(X) :- e(X, Y)");
+        let s = rule("q(A) :- e(A, 3)");
+        let w = subsumption_witness(&g, &s).unwrap();
+        assert_eq!(w[&datalog_ast::Var::new("Y")], datalog_ast::Term::int(3));
     }
 
     #[test]

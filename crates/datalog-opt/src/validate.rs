@@ -1,0 +1,305 @@
+//! Translation validation of a pipeline run.
+//!
+//! [`validate`] re-checks an optimization [`Report`] with the independent
+//! machinery of `datalog-lint`:
+//!
+//! * the rewrite phases are verified pairwise between the report's
+//!   phase-boundary [`Snapshot`]s (adornment against the Lemma 2.2
+//!   recomputation, boolean extraction against the Lemma 3.1 connectivity
+//!   argument, projection against a from-scratch Lemma 3.2 recomputation);
+//! * the deletion phases are **replayed**: starting from the pre-deletion
+//!   snapshot, every recorded `RuleDeleted` event is re-justified against
+//!   the program state *at that point* (θ-subsumption witness, Sagiv
+//!   frozen-rule test, structural cleanup conditions, or the uniform-query
+//!   freeze test backed by a fixed-seed differential), and every
+//!   `UnitRuleAdded` event is re-justified as an implied or §5 cover rule.
+//!   Replaying sequentially matters: Example 6 deletes its recursive rule
+//!   on the strength of a cover rule that is itself deleted later, so no
+//!   single final-state check could justify the chain;
+//! * the replayed program must coincide with the final snapshot, and the
+//!   end-to-end pair (input, final) must survive the bounded differential
+//!   oracle.
+//!
+//! A deletion the checker cannot justify fails validation — and with
+//! [`OptimizerConfig::verify`](crate::OptimizerConfig) set, fails the whole
+//! [`optimize`](crate::optimize) call with
+//! [`OptError::ValidationFailed`](crate::OptError). The fold rewrite
+//! (`auto_fold`) sits between the projected and pre-deletion snapshots and
+//! is covered by the end-to-end differential only.
+
+use datalog_ast::parse_rule;
+use datalog_lint::verify::{
+    differential_config, justify_addition, justify_deletion, verify_adornment, verify_components,
+    verify_differential, verify_projection, PhaseCheck,
+};
+use datalog_trace::{Json, PhaseEvent};
+
+use crate::report::Report;
+
+/// The outcome of validating one optimization run.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// Every check performed, in pipeline order: one per rewrite phase,
+    /// one per replayed deletion/addition, the replay-consistency check,
+    /// and the end-to-end differential.
+    pub checks: Vec<PhaseCheck>,
+}
+
+impl Validation {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> Vec<&PhaseCheck> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+
+    /// One line per check.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "[{}] {}: {}",
+                if c.ok { "ok" } else { "FAIL" },
+                c.phase,
+                c.detail
+            );
+        }
+        out
+    }
+
+    /// JSON object for `xdl verify-opt --json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj().with("ok", self.ok()).with(
+            "checks",
+            Json::Arr(self.checks.iter().map(|c| c.to_json()).collect()),
+        )
+    }
+}
+
+/// Validate a pipeline run from its report. Requires the report to carry
+/// snapshots (every [`optimize`](crate::optimize) run records them).
+pub fn validate(report: &Report) -> Validation {
+    let mut checks = Vec::new();
+    let Some(input) = report.snapshot_at("input") else {
+        return Validation {
+            checks: vec![PhaseCheck::fail(
+                "replay",
+                "report carries no input snapshot: nothing to validate against",
+            )],
+        };
+    };
+
+    // Rewrite phases, pairwise between boundaries.
+    let mut prev = input;
+    if let Some(s) = report.snapshot_at("adorned") {
+        checks.push(verify_adornment(&prev.program, &s.program));
+        prev = s;
+    }
+    if let Some(s) = report.snapshot_at("components") {
+        checks.push(verify_components(&prev.program, &s.program));
+        prev = s;
+    }
+    if let Some(s) = report.snapshot_at("projected") {
+        checks.push(verify_projection(&prev.program, &s.program));
+    }
+
+    // Deletion replay from the pre-deletion snapshot.
+    if let Some(start) = report.snapshot_at("deletions") {
+        let derived = start.program.idb_preds();
+        let mut current = start.program.clone();
+        for action in &report.actions[start.at_action..] {
+            match &action.event {
+                PhaseEvent::RuleDeleted { rule, condition } => {
+                    let Some(idx) = current.rules.iter().position(|r| r.to_string() == *rule)
+                    else {
+                        checks.push(PhaseCheck::fail(
+                            "deletion",
+                            format!("deleted rule `{rule}` is not present at its replay point"),
+                        ));
+                        continue;
+                    };
+                    match justify_deletion(&current, idx, &derived) {
+                        Ok(witness) => checks.push(PhaseCheck::pass(
+                            "deletion",
+                            format!("`{rule}` — {witness}"),
+                        )),
+                        Err(e) => checks.push(PhaseCheck::fail(
+                            "deletion",
+                            format!("`{rule}` (optimizer claimed: {condition}) — {e}"),
+                        )),
+                    }
+                    // Remove even on failure so the rest of the replay stays
+                    // aligned with what the optimizer actually did.
+                    current = current.without_rule(idx);
+                }
+                PhaseEvent::UnitRuleAdded { rule } => match parse_rule(rule) {
+                    Ok(r) => {
+                        match justify_addition(&current, &r) {
+                            Ok(witness) => checks.push(PhaseCheck::pass(
+                                "unit-rule",
+                                format!("`{rule}` — {witness}"),
+                            )),
+                            Err(e) => checks.push(PhaseCheck::fail("unit-rule", e)),
+                        }
+                        current.rules.push(r);
+                    }
+                    Err(e) => checks.push(PhaseCheck::fail(
+                        "unit-rule",
+                        format!("added rule `{rule}` does not parse: {}", e.message),
+                    )),
+                },
+                _ => {}
+            }
+        }
+        if let Some(fin) = report.snapshot_at("final") {
+            let mut replayed: Vec<String> = current.rules.iter().map(|r| r.to_string()).collect();
+            let mut actual: Vec<String> = fin.program.rules.iter().map(|r| r.to_string()).collect();
+            replayed.sort();
+            actual.sort();
+            if replayed == actual {
+                checks.push(PhaseCheck::pass(
+                    "replay",
+                    format!(
+                        "replaying {} event(s) reproduces the final {}-rule program",
+                        report.actions.len() - start.at_action,
+                        actual.len()
+                    ),
+                ));
+            } else {
+                checks.push(PhaseCheck::fail(
+                    "replay",
+                    format!(
+                        "replayed program disagrees with the final snapshot:\n\
+                         replayed: {replayed:?}\nfinal: {actual:?}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // End-to-end bounded differential oracle.
+    if let Some(fin) = report.snapshot_at("final") {
+        if input.program.query.is_some() && !input.program.has_negation() {
+            checks.push(verify_differential(
+                &input.program,
+                &fin.program,
+                &differential_config(),
+            ));
+        }
+    }
+
+    Validation { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{optimize, OptimizerConfig};
+    use crate::report::{EquivalenceLevel, Phase};
+    use datalog_ast::parse_program;
+    use datalog_ast::Program;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).unwrap().program
+    }
+
+    #[test]
+    fn flagship_run_validates_end_to_end() {
+        let p = program(
+            "query(X) :- a(X, Y).\n\
+             a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- query(X).",
+        );
+        let out = optimize(&p, &OptimizerConfig::default()).unwrap();
+        let v = validate(&out.report);
+        assert!(v.ok(), "{}", v.to_text());
+        // The run had rewrite phases, deletions, a replay check and the
+        // differential.
+        assert!(v.checks.iter().any(|c| c.phase == "projection"));
+        assert!(v.checks.iter().any(|c| c.phase == "deletion"));
+        assert!(v.checks.iter().any(|c| c.phase == "replay"));
+        assert!(v.checks.iter().any(|c| c.phase == "differential"));
+    }
+
+    #[test]
+    fn example_6_cover_chain_replays() {
+        // Left-recursive TC: the recursive rule's deletion is justified by
+        // a cover rule that is itself deleted afterwards — only the
+        // sequential replay can validate this chain.
+        let p = program(
+            "a(X, Y) :- a(X, Z), p(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, _).",
+        );
+        let out = optimize(&p, &OptimizerConfig::default()).unwrap();
+        assert_eq!(out.program.rules.len(), 1);
+        let v = validate(&out.report);
+        assert!(v.ok(), "{}", v.to_text());
+        assert!(
+            v.checks.iter().any(|c| c.phase == "unit-rule"),
+            "{}",
+            v.to_text()
+        );
+    }
+
+    #[test]
+    fn tampered_deletion_event_fails_validation() {
+        let p = program(
+            "t(X, Y) :- e(X, Y).\n\
+             t(X, Y) :- e(X, Z), t(Z, Y).\n\
+             ?- t(X, Y).",
+        );
+        let out = optimize(&p, &OptimizerConfig::default()).unwrap();
+        let mut report = out.report.clone();
+        // Forge an unjustifiable deletion of the exit rule.
+        let victim = report
+            .snapshot_at("final")
+            .unwrap()
+            .program
+            .rules
+            .iter()
+            .find(|r| r.body.len() == 1)
+            .unwrap()
+            .to_string();
+        report.record_event(
+            Phase::UqeDeletion,
+            EquivalenceLevel::UniformQuery,
+            "forged",
+            datalog_trace::PhaseEvent::RuleDeleted {
+                rule: victim,
+                condition: "forged event".into(),
+            },
+        );
+        let v = validate(&report);
+        assert!(!v.ok());
+        assert!(
+            v.failures().iter().any(|c| c.phase == "deletion"),
+            "{}",
+            v.to_text()
+        );
+    }
+
+    #[test]
+    fn snapshotless_report_is_rejected() {
+        let v = validate(&Report::default());
+        assert!(!v.ok());
+        assert!(v.to_text().contains("no input snapshot"));
+    }
+
+    #[test]
+    fn json_export_carries_checks() {
+        let p = program("q(X) :- e(X, Y).\n?- q(X).");
+        let out = optimize(&p, &OptimizerConfig::default()).unwrap();
+        let v = validate(&out.report);
+        assert!(v.ok(), "{}", v.to_text());
+        let s = v.to_json().to_string();
+        assert!(s.contains("\"ok\":true"), "{s}");
+        assert!(s.contains("\"checks\":["), "{s}");
+    }
+}

@@ -47,6 +47,10 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Prepared-form cache capacity.
     pub cache_capacity: usize,
+    /// Run translation validation on every optimizer invocation
+    /// (`OptimizerConfig::verify`): a query whose optimization cannot be
+    /// re-justified is answered with an error instead of a wrong table.
+    pub verify: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +59,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 4,
             cache_capacity: 256,
+            verify: false,
         }
     }
 }
@@ -71,6 +76,7 @@ pub struct ServerState {
     last_trace: Mutex<Option<Json>>,
     shutdown: AtomicBool,
     threads: usize,
+    verify: bool,
     queries: AtomicU64,
     cache_misses: AtomicU64,
     answer_hits: AtomicU64,
@@ -86,10 +92,18 @@ impl ServerState {
             last_trace: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             threads,
+            verify: false,
             queries: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             answer_hits: AtomicU64::new(0),
         }
+    }
+
+    /// Enable translation validation for every prepared form
+    /// (`xdl serve --verify`).
+    pub fn with_verify(mut self, verify: bool) -> ServerState {
+        self.verify = verify;
+        self
     }
 
     /// Whether shutdown was requested.
@@ -319,7 +333,10 @@ impl ServerState {
                     &program.rules,
                     &query.atom.pred,
                     &adornment,
-                    &OptimizerConfig::default(),
+                    &OptimizerConfig {
+                        verify: self.verify,
+                        ..OptimizerConfig::default()
+                    },
                 ) {
                     Ok(p) => p,
                     Err(e) => return Response::err(format!("optimizer: {e}")),
@@ -461,7 +478,7 @@ impl Server {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
         let threads = cfg.threads.max(1);
-        let state = Arc::new(ServerState::new(cfg.cache_capacity, threads));
+        let state = Arc::new(ServerState::new(cfg.cache_capacity, threads).with_verify(cfg.verify));
         let listener = Arc::new(listener);
         let workers = (0..threads)
             .map(|_| {

@@ -62,6 +62,14 @@ pub enum PhaseEvent {
         /// The added rule, rendered as text.
         rule: String,
     },
+    /// The translation validator independently re-checked the run.
+    TranslationValidated {
+        /// Number of phase checks performed (rewrite phases, per-deletion
+        /// justifications, replay consistency, differential oracle).
+        checks: usize,
+        /// Number of checks that failed (0 on a validated run).
+        failures: usize,
+    },
     /// Free-form note (phases with nothing structural to say).
     Note {
         /// The note.
@@ -80,6 +88,7 @@ impl PhaseEvent {
             PhaseEvent::RuleRewritten { .. } => "rule-rewritten",
             PhaseEvent::Folded { .. } => "folded",
             PhaseEvent::UnitRuleAdded { .. } => "unit-rule-added",
+            PhaseEvent::TranslationValidated { .. } => "translation-validated",
             PhaseEvent::Note { .. } => "note",
         }
     }
@@ -118,6 +127,9 @@ impl PhaseEvent {
                 .with("pred", pred.as_str())
                 .with("definition", definition.as_str()),
             PhaseEvent::UnitRuleAdded { rule } => j.with("rule", rule.as_str()),
+            PhaseEvent::TranslationValidated { checks, failures } => {
+                j.with("checks", *checks).with("failures", *failures)
+            }
             PhaseEvent::Note { text } => j.with("text", text.as_str()),
         }
     }

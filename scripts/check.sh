@@ -7,8 +7,24 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Static analysis gate: every example program must lint without errors
+# (warnings are fine — singleton variables are idiomatic in existential
+# queries), and every optimization run on them must survive translation
+# validation with zero unjustified deletions.
+./target/release/xdl lint examples/data/*.dl
+./target/release/xdl verify-opt examples/data/*.dl > /dev/null
+echo "check.sh: lint + verify-opt ok"
+
+# The intentionally-broken fixtures must keep failing loudly (exit 1).
+if ./target/release/xdl lint tests/lint/unsafe_rule.dl tests/lint/dead_code.dl \
+    > /dev/null 2>&1; then
+    echo "check.sh: broken lint fixtures did not fail" >&2
+    exit 1
+fi
+echo "check.sh: broken fixtures still caught"
 
 # Server smoke: serve on an ephemeral port, answer one query byte-identically
 # to `xdl run`, shut down cleanly.

@@ -1,0 +1,131 @@
+//! The lint fixtures under `tests/lint/` are intentionally broken and must
+//! keep producing byte-identical diagnostics — `scripts/check.sh` and
+//! editor integrations both consume the `path:line:col: severity[code]:
+//! message` shape. A second suite re-validates the optimizer pipeline over
+//! every example program, the in-process form of `xdl verify-opt`.
+
+use datalog_lint::{has_errors, lint_source};
+use datalog_opt::{optimize, validate, OptimizerConfig};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/lint/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn rendered(name: &str) -> Vec<String> {
+    lint_source(&fixture(name))
+        .iter()
+        .map(|d| d.render_at(&format!("tests/lint/{name}")))
+        .collect()
+}
+
+#[test]
+fn unsafe_rule_fixture_diagnostics_are_stable() {
+    let src = fixture("unsafe_rule.dl");
+    assert!(has_errors(&lint_source(&src)));
+    assert_eq!(
+        rendered("unsafe_rule.dl"),
+        vec![
+            "tests/lint/unsafe_rule.dl:4:1: error[safety]: head variable Y of \
+             `reach(X, Y) :- edge(X, Z).` is not bound by a positive body literal",
+            "tests/lint/unsafe_rule.dl:4:1: warning[singleton-var]: variable Z occurs \
+             only once in `reach(X, Y) :- edge(X, Z).` — use `_` if the existential \
+             reading is intended",
+        ]
+    );
+}
+
+#[test]
+fn dead_code_fixture_diagnostics_are_stable() {
+    let src = fixture("dead_code.dl");
+    assert!(has_errors(&lint_source(&src)));
+    assert_eq!(
+        rendered("dead_code.dl"),
+        vec![
+            "tests/lint/dead_code.dl:5:1: warning[subsumed-rule]: rule \
+             `path(U, V) :- edge(U, V).` is a duplicate of the rule at line 4 \
+             (`path(X, Y) :- edge(X, Y).`) and can be deleted",
+            "tests/lint/dead_code.dl:6:1: warning[unused-predicate]: derived \
+             predicate `helper` is never used",
+            "tests/lint/dead_code.dl:7:1: warning[fact-for-derived]: fact for \
+             derived predicate `path`: by the paper's convention the IDB holds no \
+             facts (EDB facts arrive with the database)",
+            "tests/lint/dead_code.dl:8:1: error[arity]: fact for `edge` has \
+             3 value(s) but the predicate has arity 2",
+        ]
+    );
+}
+
+#[test]
+fn example_programs_lint_clean() {
+    let dir = format!("{}/../examples/data", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "dl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let diags = lint_source(&src);
+        assert!(
+            !has_errors(&diags),
+            "{}: {:?}",
+            path.display(),
+            diags.iter().map(|d| d.render_at("-")).collect::<Vec<_>>()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the shipped example programs in {dir}"
+    );
+}
+
+#[test]
+fn example_programs_survive_translation_validation() {
+    // The in-process `xdl verify-opt examples/data/*.dl`: every phase of
+    // every optimization run must be re-justifiable, with zero unjustified
+    // deletions.
+    let dir = format!("{}/../examples/data", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "dl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program = datalog_ast::parse_program(&src).unwrap().program;
+        let out = optimize(&program, &OptimizerConfig::default()).unwrap();
+        let v = validate(&out.report);
+        assert!(v.ok(), "{}:\n{}", path.display(), v.to_text());
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the shipped example programs in {dir}"
+    );
+}
+
+#[test]
+fn verify_flag_gates_the_pipeline() {
+    // `OptimizerConfig::verify` makes a validation failure abort the
+    // optimize call itself; on sound runs it is invisible apart from the
+    // trailing validation event.
+    let program = datalog_ast::parse_program(
+        "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+         a(X, Y) :- p(X, Y).\n\
+         ?- a(X, _).",
+    )
+    .unwrap()
+    .program;
+    let verified = optimize(
+        &program,
+        &OptimizerConfig {
+            verify: true,
+            ..OptimizerConfig::default()
+        },
+    )
+    .unwrap();
+    let plain = optimize(&program, &OptimizerConfig::default()).unwrap();
+    assert_eq!(verified.program.to_text(), plain.program.to_text());
+}
