@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] [--json]
+//!         [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>]
 //! xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]
 //! xdl optimize <file.dl> [--rewrite-only] [--aggressive]
 //! xdl lint <file.dl>... [--json]
@@ -10,7 +11,10 @@
 //! xdl explain <file.dl> <fact>
 //! xdl grammar <file.dl> [--words <len>] [--monadic first|second]
 //! xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]
-//! xdl serve [--port <p>] [--threads <n>] [--verify]
+//! xdl serve [--port <p>] [--threads <n>] [--verify] [--wal <dir>]
+//!           [--fsync always|batch|never] [--compact-every <n>]
+//!           [--max-conns <n>] [--max-inflight <n>] [--deadline-ms <ms>]
+//!           [--budget <n>] [--grace-ms <ms>]
 //! xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]...
 //!           [--stats] [--trace] [--shutdown] ['?- atom.']
 //! ```
@@ -34,7 +38,7 @@ use existential_datalog::engine::oracle::{bounded_equiv_check, EquivCheckConfig}
 use existential_datalog::grammar::regular::{monadic_equivalent, KeptArg};
 use existential_datalog::grammar::{bounded_language, program_to_grammar};
 use existential_datalog::prelude::*;
-use existential_datalog::server::{Client, Server, ServerConfig};
+use existential_datalog::server::{Client, FsyncPolicy, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +54,7 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:\n  \
      xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] \
-     [--json]\n  \
+     [--json] [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>]\n  \
      xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]\n  \
      xdl optimize <file.dl> [--rewrite-only] [--aggressive]\n  \
      xdl lint <file.dl>... [--json]\n  \
@@ -59,7 +63,9 @@ fn usage() -> String {
      xdl explain <file.dl> <fact>\n  \
      xdl grammar <file.dl> [--words <len>] [--monadic first|second]\n  \
      xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]\n  \
-     xdl serve [--port <p>] [--threads <n>] [--verify]\n  \
+     xdl serve [--port <p>] [--threads <n>] [--verify] [--wal <dir>] \
+     [--fsync always|batch|never] [--compact-every <n>] [--max-conns <n>] \
+     [--max-inflight <n>] [--deadline-ms <ms>] [--budget <n>] [--grace-ms <ms>]\n  \
      xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]... \
      [--stats] [--trace] [--shutdown] ['?- atom.']"
         .to_owned()
@@ -156,13 +162,32 @@ fn prepare_and_eval(
             .map_err(|e| format!("optimizer: {e}"))?;
         (out.program, Some(out.report))
     };
-    let opts = EvalOptions {
+    let mut opts = EvalOptions {
         boolean_cut: !flag(rest, "--no-cut"),
         profile,
         ..EvalOptions::default()
     };
-    let (answers, out) =
-        query_answers_full(&program, &facts, &opts).map_err(|e| format!("evaluation: {e}"))?;
+    if let Some(n) = option_value(rest, "--max-iterations") {
+        opts.max_iterations = n.parse().map_err(|_| "--max-iterations takes a number")?;
+    }
+    if let Some(ms) = option_value(rest, "--deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--deadline-ms takes milliseconds")?;
+        opts.deadline = Some(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = option_value(rest, "--budget") {
+        opts.fact_budget = Some(n.parse().map_err(|_| "--budget takes a number")?);
+    }
+    let (answers, out) = query_answers_full(&program, &facts, &opts).map_err(|e| {
+        // Resource-limit trips report how far the evaluation got; other
+        // errors pass through unchanged.
+        match e.partial_stats() {
+            Some(s) => format!(
+                "evaluation: {e} (partial: iterations={} facts_derived={} tuples_scanned={})",
+                s.iterations, s.facts_derived, s.tuples_scanned
+            ),
+            None => format!("evaluation: {e}"),
+        }
+    })?;
     Ok((answers, out, report))
 }
 
@@ -461,13 +486,42 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
         Some(n) => n.parse().map_err(|_| "--threads takes a number")?,
         None => 4,
     };
-    let cfg = ServerConfig {
+    let mut cfg = ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         threads,
         verify: flag(rest, "--verify"),
         ..ServerConfig::default()
     };
-    let server = Server::spawn(&cfg).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    if let Some(dir) = option_value(rest, "--wal") {
+        cfg.wal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(word) = option_value(rest, "--fsync") {
+        cfg.fsync = FsyncPolicy::parse(word).ok_or("--fsync takes always, batch or never")?;
+    }
+    if let Some(n) = option_value(rest, "--compact-every") {
+        cfg.compact_every = n.parse().map_err(|_| "--compact-every takes a number")?;
+    }
+    if let Some(n) = option_value(rest, "--max-conns") {
+        cfg.max_conns = n.parse().map_err(|_| "--max-conns takes a number")?;
+    }
+    if let Some(n) = option_value(rest, "--max-inflight") {
+        cfg.max_inflight = n.parse().map_err(|_| "--max-inflight takes a number")?;
+    }
+    if let Some(ms) = option_value(rest, "--deadline-ms") {
+        cfg.deadline_ms = Some(ms.parse().map_err(|_| "--deadline-ms takes milliseconds")?);
+    }
+    if let Some(n) = option_value(rest, "--budget") {
+        cfg.fact_budget = Some(n.parse().map_err(|_| "--budget takes a number")?);
+    }
+    if let Some(ms) = option_value(rest, "--grace-ms") {
+        cfg.grace_ms = ms.parse().map_err(|_| "--grace-ms takes milliseconds")?;
+    }
+    let server = Server::spawn(&cfg).map_err(|e| format!("cannot start on {}: {e}", cfg.addr))?;
+    if let Some(rec) = server.state().recovery() {
+        // One machine-readable line before "listening": what the WAL replay
+        // restored (scripts and the crash-recovery smoke read this).
+        println!("recovered {rec}");
+    }
     // Scripts poll for this line to learn the resolved (ephemeral) port.
     println!("listening on {}", server.addr());
     use std::io::Write as _;

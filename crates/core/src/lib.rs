@@ -72,8 +72,8 @@ pub mod prelude {
         parse_atom, parse_program, Adornment, Atom, PredRef, Program, Query, Rule, Term, Value, Var,
     };
     pub use datalog_engine::{
-        evaluate, query_answers, query_answers_full, AnswerSet, Database, EvalOptions, EvalStats,
-        FactSet, Strategy,
+        evaluate, query_answers, query_answers_full, AnswerSet, CancelToken, Database, EngineError,
+        EvalOptions, EvalStats, FactSet, Strategy,
     };
     pub use datalog_grammar::{is_chain_program, monadic_equivalent, program_to_grammar, Cfg};
     pub use datalog_lint::{lint_program, lint_source, Diagnostic, Severity};

@@ -25,11 +25,19 @@ use std::time::Instant;
 use datalog_ast::{subst, Program, Term, Value};
 use datalog_trace::{EvalProfile, IterationProfile, PredDelta, RuleProfile};
 
+use crate::cancel::CancelToken;
 use crate::database::{Database, PredId};
 use crate::facts::{AnswerSet, FactSet};
 use crate::provenance::Provenance;
 use crate::stats::EvalStats;
 use crate::EngineError;
+
+/// How many joined rows a rule application may enumerate between
+/// cooperative limit checks (deadline / cancellation). Small enough that a
+/// single pathological cross product observes its deadline well within the
+/// 2× envelope the server promises; large enough that the check (one
+/// `Instant::now()` + two atomic loads) is amortized to noise.
+const LIMIT_CHECK_INTERVAL: u32 = 4096;
 
 /// Fixpoint strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +73,17 @@ pub struct EvalOptions {
     pub profile: bool,
     /// Safety bound on fixpoint iterations.
     pub max_iterations: usize,
+    /// Wall-clock deadline. Checked cooperatively at every iteration
+    /// boundary and every [`LIMIT_CHECK_INTERVAL`] joined rows inside a
+    /// rule application; exceeding it returns
+    /// [`EngineError::DeadlineExceeded`] with the partial [`EvalStats`].
+    pub deadline: Option<Instant>,
+    /// Bound on *new* derived facts. Checked exactly, at every successful
+    /// derivation; exceeding it returns [`EngineError::BudgetExceeded`].
+    pub fact_budget: Option<u64>,
+    /// Cooperative cancellation flag, polled on the same cadence as the
+    /// deadline. Triggering it returns [`EngineError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EvalOptions {
@@ -76,6 +95,9 @@ impl Default for EvalOptions {
             reorder_joins: false,
             profile: false,
             max_iterations: 1_000_000,
+            deadline: None,
+            fact_budget: None,
+            cancel: None,
         }
     }
 }
@@ -129,6 +151,16 @@ enum Range {
     Old,
 }
 
+/// Which resource limit tripped mid-evaluation. Converted to an
+/// [`EngineError`] (with the freshest stats and elapsed time) once the
+/// join recursion has unwound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trip {
+    Deadline,
+    Budget(u64),
+    Cancelled,
+}
+
 struct Machine<'a> {
     db: &'a mut Database,
     plans: Vec<RulePlan>,
@@ -148,9 +180,57 @@ struct Machine<'a> {
     /// "we are only interested in the existence of some solution", section 3.1).
     stop_current: bool,
     boolean_cut: bool,
+    /// Wall-clock start of the evaluation (for deadline checks and the
+    /// `elapsed_ms` a deadline trip reports).
+    started: Instant,
+    deadline: Option<Instant>,
+    fact_budget: Option<u64>,
+    cancel: Option<CancelToken>,
+    /// Countdown to the next cooperative limit check inside a join.
+    until_check: u32,
+    /// A tripped limit; once set, every join unwinds and the fixpoint
+    /// loop converts it into the corresponding [`EngineError`].
+    trip: Option<Trip>,
 }
 
 impl<'a> Machine<'a> {
+    /// Poll deadline and cancellation. Returns `true` (and records the
+    /// trip) if the evaluation must unwind. The derived-fact budget is
+    /// checked exactly in [`Machine::emit_head`] instead.
+    fn check_limits(&mut self) -> bool {
+        if self.trip.is_some() {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.trip = Some(Trip::Deadline);
+                return true;
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                self.trip = Some(Trip::Cancelled);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Convert a recorded trip into its error, with up-to-date stats.
+    fn take_trip(&mut self) -> Option<EngineError> {
+        self.trip.take().map(|t| match t {
+            Trip::Deadline => EngineError::DeadlineExceeded {
+                elapsed_ms: self.started.elapsed().as_millis() as u64,
+                stats: self.stats,
+            },
+            Trip::Budget(budget) => EngineError::BudgetExceeded {
+                budget,
+                stats: self.stats,
+            },
+            Trip::Cancelled => EngineError::Cancelled { stats: self.stats },
+        })
+    }
+
     fn bounds(&self, pred: PredId, range: Range) -> (usize, usize) {
         let p = pred.0 as usize;
         match range {
@@ -238,6 +318,9 @@ impl<'a> Machine<'a> {
     /// Evaluate one join variant of one rule. `delta_idx = None` means all
     /// literals read `Full` (used by the naive strategy and the seed round).
     fn run_variant(&mut self, plan_idx: usize, delta_idx: Option<usize>) {
+        if self.trip.is_some() {
+            return;
+        }
         let plan = self.plans[plan_idx].clone();
         // Under the boolean cut, a proven zero-arity head needs no further
         // derivations at all.
@@ -301,6 +384,16 @@ impl<'a> Machine<'a> {
         let pred = lp.pred;
         for row_id in candidates {
             self.stats.tuples_scanned += 1;
+            // Cooperative limit check: a rule application enumerating a
+            // pathological cross product must still observe its deadline
+            // (or cancellation) promptly, not only between iterations.
+            self.until_check -= 1;
+            if self.until_check == 0 {
+                self.until_check = LIMIT_CHECK_INTERVAL;
+                if self.check_limits() {
+                    return;
+                }
+            }
             // Match the row against the slots, recording new bindings so we
             // can undo them on backtrack.
             let mut bound_here: Vec<u16> = Vec::new();
@@ -324,7 +417,7 @@ impl<'a> Machine<'a> {
             for v in bound_here {
                 bindings[v as usize] = None;
             }
-            if self.stop_current {
+            if self.stop_current || self.trip.is_some() {
                 return;
             }
         }
@@ -353,6 +446,13 @@ impl<'a> Machine<'a> {
             self.stats.facts_derived += 1;
             if let Some(p) = &mut self.provenance {
                 p.record(plan.head, row_id, plan.rule_idx, premises.to_vec());
+            }
+            // Exact budget enforcement: the (budget+1)-th new fact trips.
+            if let Some(budget) = self.fact_budget {
+                if self.stats.facts_derived > budget && self.trip.is_none() {
+                    self.trip = Some(Trip::Budget(budget));
+                    self.stop_current = true;
+                }
             }
         } else {
             self.stats.duplicates += 1;
@@ -618,6 +718,12 @@ pub fn evaluate(
         query_pred,
         stop_current: false,
         boolean_cut: opts.boolean_cut,
+        started: Instant::now(),
+        deadline: opts.deadline,
+        fact_budget: opts.fact_budget,
+        cancel: opts.cancel.clone(),
+        until_check: LIMIT_CHECK_INTERVAL,
+        trip: None,
     };
 
     // Stratified evaluation: each stratum runs its own fixpoint; relations
@@ -636,7 +742,16 @@ pub fn evaluate(
         let mut local_iter = 0usize;
         loop {
             if m.stats.iterations >= opts.max_iterations {
-                return Err(EngineError::IterationLimit(opts.max_iterations));
+                return Err(EngineError::IterationLimit {
+                    limit: opts.max_iterations,
+                    stats: m.stats,
+                });
+            }
+            // Iteration-boundary limit check: covers programs whose
+            // per-iteration work never reaches the in-join check cadence.
+            m.check_limits();
+            if let Some(e) = m.take_trip() {
+                return Err(e);
             }
             m.stats.iterations += 1;
             local_iter += 1;
@@ -671,6 +786,12 @@ pub fn evaluate(
                         }
                     }
                 }
+            }
+            // A limit tripped inside a rule application: surface it now,
+            // before the convergence test could mistake the partially
+            // evaluated iteration for a fixpoint.
+            if let Some(e) = m.take_trip() {
+                return Err(e);
             }
             if opts.boolean_cut {
                 m.apply_boolean_cut();
@@ -981,7 +1102,7 @@ mod tests {
     }
 
     #[test]
-    fn iteration_limit_triggers() {
+    fn iteration_limit_triggers_with_partial_stats() {
         let p = parse_program(TC).unwrap().program;
         let err = evaluate(
             &p,
@@ -992,7 +1113,136 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, EngineError::IterationLimit(3)));
+        assert!(matches!(err, EngineError::IterationLimit { limit: 3, .. }));
+        let stats = err.partial_stats().expect("limit trips carry stats");
+        assert_eq!(stats.iterations, 3);
+        assert!(stats.facts_derived > 0, "partial work is reported");
+        assert!(err.is_limit());
+    }
+
+    /// A program whose fixpoint is far too large to finish: the full
+    /// transitive closure of a dense cycle, plus a cross product.
+    fn pathological() -> (Program, FactSet) {
+        let p = parse_program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             big(X, Y, Z, W) :- a(X, Y), a(Z, W).\n\
+             ?- big(X, _, _, _).",
+        )
+        .unwrap()
+        .program;
+        let mut edb = FactSet::new();
+        for i in 0..60i64 {
+            for j in 0..60i64 {
+                edb.insert(PredRef::new("p"), vec![Value::int(i), Value::int(j)]);
+            }
+        }
+        (p, edb)
+    }
+
+    #[test]
+    fn deadline_trips_within_twice_the_deadline() {
+        let (p, edb) = pathological();
+        let deadline = std::time::Duration::from_millis(30);
+        let t0 = Instant::now();
+        let err = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                deadline: Some(t0 + deadline),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(
+            matches!(err, EngineError::DeadlineExceeded { .. }),
+            "{err:?}"
+        );
+        let stats = err.partial_stats().unwrap();
+        assert!(stats.tuples_scanned > 0, "partial stats are reported");
+        // The single pathological cross-product rule must not stall past
+        // the cooperative check cadence: well within 2x the deadline.
+        assert!(
+            elapsed < deadline * 2,
+            "trip observed after {elapsed:?}, deadline {deadline:?}"
+        );
+    }
+
+    #[test]
+    fn budget_trips_exactly_and_carries_stats() {
+        let p = parse_program(TC).unwrap().program;
+        let err = evaluate(
+            &p,
+            &chain_edb(50),
+            &EvalOptions {
+                fact_budget: Some(100),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            EngineError::BudgetExceeded { budget, stats } => {
+                assert_eq!(budget, 100);
+                // Enforcement is exact: the trip fires on fact 101.
+                assert_eq!(stats.facts_derived, 101);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // A budget the fixpoint never reaches changes nothing.
+        let ok = evaluate(
+            &p,
+            &chain_edb(10),
+            &EvalOptions {
+                fact_budget: Some(10_000),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.stats.facts_derived, 55);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_unwinds_cleanly() {
+        let (p, edb) = pathological();
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let err = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                cancel: Some(token),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, EngineError::Cancelled { .. }), "{err:?}");
+        assert!(err.partial_stats().unwrap().tuples_scanned > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_trips_before_any_iteration() {
+        let p = parse_program(TC).unwrap().program;
+        let token = CancelToken::new();
+        token.cancel();
+        let err = evaluate(
+            &p,
+            &chain_edb(5),
+            &EvalOptions {
+                cancel: Some(token),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap_err();
+        let stats = err.partial_stats().unwrap();
+        assert_eq!(stats.iterations, 0, "tripped at the first boundary check");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   and the paper's uniform *query* equivalence variant, plus bounded
 //!   random-instance equivalence checking used heavily by the test suites.
 
+pub mod cancel;
 pub mod database;
 pub mod eval;
 pub mod facts;
@@ -35,6 +36,7 @@ pub mod relation;
 pub mod shared;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use database::{Database, PredId};
 pub use eval::{evaluate, query_answers, query_answers_full, EvalOptions, EvalOutput, Strategy};
 pub use facts::{AnswerSet, FactSet};
@@ -42,12 +44,19 @@ pub use optimistic::optimistic_fixpoint;
 pub use oracle::{uniform_query_test, uniform_test};
 pub use provenance::{DerivationTree, Provenance};
 pub use relation::Relation;
-pub use shared::{DbSnapshot, SharedDatabase, SharedDbError, SharedRelation};
+pub use shared::{lock_or_recover, DbSnapshot, SharedDatabase, SharedDbError, SharedRelation};
 pub use stats::EvalStats;
 
 use datalog_ast::AstError;
 
 /// Engine-level errors.
+///
+/// The resource-limit variants ([`IterationLimit`](EngineError::IterationLimit),
+/// [`DeadlineExceeded`](EngineError::DeadlineExceeded),
+/// [`BudgetExceeded`](EngineError::BudgetExceeded),
+/// [`Cancelled`](EngineError::Cancelled)) carry the [`EvalStats`]
+/// accumulated up to the trip point, so callers can report how much work a
+/// refused query had already done ([`EngineError::partial_stats`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// Structural problem in the program (unsafe rule, arity clash, ...).
@@ -59,9 +68,55 @@ pub enum EngineError {
         found: usize,
     },
     /// The fixpoint exceeded the configured iteration bound.
-    IterationLimit(usize),
+    IterationLimit {
+        /// The configured [`EvalOptions::max_iterations`](eval::EvalOptions::max_iterations).
+        limit: usize,
+        /// Counters accumulated up to the trip.
+        stats: EvalStats,
+    },
+    /// The fixpoint ran past [`EvalOptions::deadline`](eval::EvalOptions::deadline).
+    /// Observed cooperatively (every iteration and every few thousand
+    /// joined rows), so the overshoot is bounded.
+    DeadlineExceeded {
+        /// Wall-clock milliseconds elapsed when the trip was observed.
+        elapsed_ms: u64,
+        /// Counters accumulated up to the trip.
+        stats: EvalStats,
+    },
+    /// The fixpoint derived more new facts than
+    /// [`EvalOptions::fact_budget`](eval::EvalOptions::fact_budget) allows.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+        /// Counters accumulated up to the trip.
+        stats: EvalStats,
+    },
+    /// The evaluation's [`CancelToken`] was triggered.
+    Cancelled {
+        /// Counters accumulated up to the trip.
+        stats: EvalStats,
+    },
     /// The program negates through recursion: no stratification exists.
     NotStratified { pred: String },
+}
+
+impl EngineError {
+    /// The partial [`EvalStats`] a resource-limit trip carried, if any.
+    pub fn partial_stats(&self) -> Option<&EvalStats> {
+        match self {
+            EngineError::IterationLimit { stats, .. }
+            | EngineError::DeadlineExceeded { stats, .. }
+            | EngineError::BudgetExceeded { stats, .. }
+            | EngineError::Cancelled { stats } => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// Whether this error is a resource-limit trip (as opposed to a
+    /// structural problem with the program or input).
+    pub fn is_limit(&self) -> bool {
+        self.partial_stats().is_some()
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -76,9 +131,19 @@ impl std::fmt::Display for EngineError {
                 f,
                 "fact for {pred} has arity {found}, program uses {expected}"
             ),
-            EngineError::IterationLimit(n) => {
-                write!(f, "fixpoint did not converge within {n} iterations")
+            EngineError::IterationLimit { limit, .. } => {
+                write!(f, "fixpoint did not converge within {limit} iterations")
             }
+            EngineError::DeadlineExceeded { elapsed_ms, .. } => {
+                write!(f, "evaluation exceeded its deadline after {elapsed_ms}ms")
+            }
+            EngineError::BudgetExceeded { budget, .. } => {
+                write!(
+                    f,
+                    "evaluation exceeded its budget of {budget} derived facts"
+                )
+            }
+            EngineError::Cancelled { .. } => write!(f, "evaluation was cancelled"),
             EngineError::NotStratified { pred } => {
                 write!(
                     f,

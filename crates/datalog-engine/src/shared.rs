@@ -25,11 +25,24 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use datalog_ast::{PredRef, Value};
 
 use crate::facts::FactSet;
+
+/// Recover the guard from a possibly poisoned lock acquisition.
+///
+/// Every invariant the shared store protects is *append-only*: a row is
+/// fully constructed before the committed watermark publishes it, and a
+/// panic between push and publish leaves at worst an uncommitted row that
+/// no reader can address. Poisoning therefore carries no information here —
+/// a long-lived server must shrug it off and keep serving rather than
+/// cascade one worker's panic into every connection. Works for both
+/// `RwLock` and `Mutex` guards.
+pub fn lock_or_recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Errors from the shared store. These are deliberately separate from
 /// [`crate::EngineError`]: a long-running server must report them
@@ -120,7 +133,7 @@ impl SharedRelation {
                 found: tuple.len(),
             });
         }
-        let mut g = self.store.write().expect("shared relation lock poisoned");
+        let mut g = lock_or_recover(self.store.write());
         if g.seen.contains(tuple) {
             return Ok(false);
         }
@@ -137,7 +150,7 @@ impl SharedRelation {
     /// Copy of the immutable prefix `[0, watermark)`, in insertion order.
     /// The read lock is held only for the duration of the copy.
     pub fn prefix(&self, watermark: usize) -> Vec<Vec<Value>> {
-        let g = self.store.read().expect("shared relation lock poisoned");
+        let g = lock_or_recover(self.store.read());
         let end = watermark.min(g.rows.len());
         g.rows[..end].iter().map(|r| r.to_vec()).collect()
     }
@@ -172,7 +185,7 @@ impl SharedDatabase {
         arity: usize,
     ) -> Result<Arc<SharedRelation>, SharedDbError> {
         {
-            let g = self.rels.read().expect("shared db lock poisoned");
+            let g = lock_or_recover(self.rels.read());
             if let Some(rel) = g.get(pred) {
                 if rel.arity() != arity {
                     return Err(SharedDbError::Arity {
@@ -184,7 +197,7 @@ impl SharedDatabase {
                 return Ok(Arc::clone(rel));
             }
         }
-        let mut g = self.rels.write().expect("shared db lock poisoned");
+        let mut g = lock_or_recover(self.rels.write());
         let rel = g
             .entry(pred.clone())
             .or_insert_with(|| Arc::new(SharedRelation::new(arity)));
@@ -230,13 +243,13 @@ impl SharedDatabase {
 
     /// Total committed facts.
     pub fn total_facts(&self) -> usize {
-        let g = self.rels.read().expect("shared db lock poisoned");
+        let g = lock_or_recover(self.rels.read());
         g.values().map(|r| r.len()).sum()
     }
 
     /// Number of registered predicates.
     pub fn pred_count(&self) -> usize {
-        self.rels.read().expect("shared db lock poisoned").len()
+        lock_or_recover(self.rels.read()).len()
     }
 
     /// Capture a consistent snapshot: an `Arc` handle and the committed
@@ -247,7 +260,7 @@ impl SharedDatabase {
     /// so version-tagged caches recompute rather than serve stale answers.
     pub fn snapshot(&self) -> DbSnapshot {
         let version = self.version();
-        let g = self.rels.read().expect("shared db lock poisoned");
+        let g = lock_or_recover(self.rels.read());
         let rels = g
             .iter()
             .map(|(p, r)| (p.clone(), Arc::clone(r), r.len()))
@@ -293,6 +306,15 @@ impl DbSnapshot {
         support
             .into_iter()
             .map(|p| (p.clone(), self.count(p)))
+            .collect()
+    }
+
+    /// The predicates with at least one visible row in this snapshot.
+    pub fn preds(&self) -> Vec<PredRef> {
+        self.rels
+            .iter()
+            .filter(|(_, _, w)| *w > 0)
+            .map(|(p, _, _)| p.clone())
             .collect()
     }
 
@@ -395,6 +417,43 @@ mod tests {
             wm,
             vec![(p.clone(), 1), (q.clone(), 1), (PredRef::new("absent"), 0)]
         );
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_usable() {
+        let db = Arc::new(SharedDatabase::new());
+        let p = PredRef::new("p");
+        db.insert(&p, &t(&[1])).unwrap();
+        // Poison the relation lock: panic while holding the write guard.
+        {
+            let db = Arc::clone(&db);
+            let p = p.clone();
+            std::thread::spawn(move || {
+                let rel = db.register(&p, 1).unwrap();
+                let _g = rel.store.write().unwrap();
+                panic!("poison the relation lock on purpose");
+            })
+            .join()
+            .unwrap_err();
+        }
+        // Also poison the database-level relation-map lock.
+        {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let _g = db.rels.write().unwrap();
+                panic!("poison the db lock on purpose");
+            })
+            .join()
+            .unwrap_err();
+        }
+        // Every operation still works: reads, writes, snapshots.
+        assert!(db.insert(&p, &t(&[2])).unwrap());
+        assert!(!db.insert(&p, &t(&[1])).unwrap(), "dedup state survived");
+        let snap = db.snapshot();
+        assert_eq!(snap.count(&p), 2);
+        assert_eq!(snap.rows(&p), vec![t(&[1]), t(&[2])]);
+        assert_eq!(db.total_facts(), 2);
+        assert_eq!(db.pred_count(), 1);
     }
 
     #[test]

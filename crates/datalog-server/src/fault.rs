@@ -1,0 +1,117 @@
+//! Fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] is a set of switches the integration tests flip to make
+//! the server misbehave *deterministically*: fsync failures in the WAL,
+//! a panic in the middle of a query evaluation. The plan is threaded
+//! through [`ServerConfig`](crate::ServerConfig) as a cheap `Arc`; the
+//! default plan injects nothing and costs one atomic load per consult, so
+//! it stays compiled into release builds (a deliberate choice — the fault
+//! suite exercises the exact binary that ships, not a test-only variant).
+//!
+//! The remaining faults of the harness need no server cooperation and are
+//! driven purely from the tests: a *torn WAL tail* is real bytes appended
+//! to the log file, a *slow client* is a socket written one byte at a
+//! time, a *deadline storm* is plain concurrent load against a server
+//! configured with tiny limits, and a SIGKILL crash is exactly that (see
+//! `scripts/check.sh`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic fault switches shared by the server and the tests.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// While set, every WAL fsync reports an I/O error (the write is not
+    /// acknowledged; the record may or may not survive a crash — exactly
+    /// the contract of a failed fsync).
+    fsync_fail: AtomicBool,
+    /// One-shot: panic inside query handling when the query predicate's
+    /// base name matches. Cleared by firing, so recovery is observable.
+    panic_on_query: Mutex<Option<String>>,
+    /// How many injected faults have fired (for test assertions).
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arm or disarm fsync failure.
+    pub fn fail_fsync(&self, on: bool) {
+        self.fsync_fail.store(on, Ordering::Release);
+    }
+
+    /// Consulted by the WAL before each fsync.
+    pub fn fsync_should_fail(&self) -> bool {
+        let fail = self.fsync_fail.load(Ordering::Acquire);
+        if fail {
+            self.fired.fetch_add(1, Ordering::AcqRel);
+        }
+        fail
+    }
+
+    /// Arm a one-shot panic for the next query over `pred`.
+    pub fn panic_on_query(&self, pred: &str) {
+        *self
+            .panic_on_query
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(pred.to_string());
+    }
+
+    /// Consulted by the query handler; fires (and clears) when armed for
+    /// this predicate. The panic itself happens at the call site so the
+    /// backtrace points into real handler code.
+    pub fn should_panic_on_query(&self, pred: &str) -> bool {
+        let mut g = self
+            .panic_on_query
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if g.as_deref() == Some(pred) {
+            *g = None;
+            self.fired.fetch_add(1, Ordering::AcqRel);
+            return true;
+        }
+        false
+    }
+
+    /// Total injected faults that have fired.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(!plan.fsync_should_fail());
+        assert!(!plan.should_panic_on_query("a"));
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[test]
+    fn panic_switch_is_one_shot_and_predicate_scoped() {
+        let plan = FaultPlan::new();
+        plan.panic_on_query("a");
+        assert!(!plan.should_panic_on_query("b"), "other predicates pass");
+        assert!(plan.should_panic_on_query("a"));
+        assert!(!plan.should_panic_on_query("a"), "fired once, then cleared");
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn fsync_switch_counts_fires_until_disarmed() {
+        let plan = FaultPlan::new();
+        plan.fail_fsync(true);
+        assert!(plan.fsync_should_fail());
+        assert!(plan.fsync_should_fail());
+        plan.fail_fsync(false);
+        assert!(!plan.fsync_should_fail());
+        assert_eq!(plan.fired(), 2);
+    }
+}

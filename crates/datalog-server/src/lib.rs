@@ -28,10 +28,14 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
 pub use cache::{CachedAnswers, FormKey, PreparedCache};
 pub use client::Client;
-pub use protocol::{Request, Response};
+pub use fault::FaultPlan;
+pub use protocol::{ErrCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{render_answers, Server, ServerConfig, ServerState};
+pub use wal::{FsyncPolicy, Recovery, Wal, WalOp};

@@ -21,13 +21,78 @@
 //! <payload line nlines>
 //! ```
 //!
-//! or, on failure, a single line `ERR <message>` (parse errors arrive as
-//! `ERR <origin>:<line>:<col>: <message>`). The connection stays usable
-//! after an `ERR`. `QUERY` payload lines are byte-identical to what
-//! `xdl run` prints for the same program and facts.
+//! or, on failure, a single line
+//!
+//! ```text
+//! ERR [<code>] <message>
+//! ```
+//!
+//! Since **protocol version 2**, resource-governance failures carry a
+//! machine-readable code word right after `ERR`: `busy` (admission control
+//! shed the request), `deadline` (the query ran past its wall-clock
+//! deadline), `budget` (the query derived more facts than allowed),
+//! `shutdown` (the server is draining), and `internal` (a handler panic
+//! was contained). Parsing stays backward compatible in both directions: a
+//! v1 client sees the code as the first word of the message, and a v2
+//! client reading a v1 server simply finds no known code word and treats
+//! the whole line as the message. Plain errors (parse errors arrive as
+//! `ERR <origin>:<line>:<col>: <message>`) remain uncoded. The connection
+//! stays usable after any `ERR`. `QUERY` payload lines are byte-identical
+//! to what `xdl run` prints for the same program and facts.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+
+/// Protocol version implemented by this build. Version 2 added coded
+/// `ERR` responses (`busy`/`deadline`/`budget`/`shutdown`/`internal`);
+/// `STATS` reports the version as `"proto"`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Machine-readable error class carried by a coded `ERR` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Admission control shed the request (connection or query capacity).
+    Busy,
+    /// The query ran past its wall-clock deadline.
+    Deadline,
+    /// The query exceeded its derived-fact budget (or iteration cap).
+    Budget,
+    /// The server is draining for shutdown.
+    Shutdown,
+    /// A handler panic was contained; the request failed, the server lives.
+    Internal,
+}
+
+impl ErrCode {
+    /// The code word on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Busy => "busy",
+            ErrCode::Deadline => "deadline",
+            ErrCode::Budget => "budget",
+            ErrCode::Shutdown => "shutdown",
+            ErrCode::Internal => "internal",
+        }
+    }
+
+    /// Parse a code word (used when reading responses).
+    pub fn parse(word: &str) -> Option<ErrCode> {
+        match word {
+            "busy" => Some(ErrCode::Busy),
+            "deadline" => Some(ErrCode::Deadline),
+            "budget" => Some(ErrCode::Budget),
+            "shutdown" => Some(ErrCode::Shutdown),
+            "internal" => Some(ErrCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +145,9 @@ pub struct Response {
     pub ok: bool,
     /// The `ERR` message (empty for `OK` responses).
     pub error: String,
+    /// The machine-readable error class, when the `ERR` line carried a
+    /// protocol-v2 code word. `None` for `OK` responses and uncoded errors.
+    pub code: Option<ErrCode>,
     /// `key=value` pairs from the `OK` header, in order.
     pub info: Vec<(String, String)>,
     /// Payload lines (without trailing newlines).
@@ -92,18 +160,28 @@ impl Response {
         Response {
             ok: true,
             error: String::new(),
+            code: None,
             info: Vec::new(),
             payload: Vec::new(),
         }
     }
 
-    /// An `ERR` response.
+    /// An uncoded `ERR` response.
     pub fn err(message: impl Into<String>) -> Response {
         Response {
             ok: false,
             error: message.into(),
+            code: None,
             info: Vec::new(),
             payload: Vec::new(),
+        }
+    }
+
+    /// A coded `ERR` response (`ERR <code> <message>` on the wire).
+    pub fn err_code(code: ErrCode, message: impl Into<String>) -> Response {
+        Response {
+            code: Some(code),
+            ..Response::err(message)
         }
     }
 
@@ -156,7 +234,10 @@ impl Response {
         } else {
             // ERR is always a single line; flatten any embedded newlines.
             let msg = self.error.replace('\n', " / ");
-            writeln!(w, "ERR {msg}")?;
+            match self.code {
+                Some(code) => writeln!(w, "ERR {code} {msg}")?,
+                None => writeln!(w, "ERR {msg}")?,
+            }
         }
         w.flush()
     }
@@ -170,6 +251,13 @@ impl Response {
         }
         let header = header.trim_end_matches(['\r', '\n']);
         if let Some(msg) = header.strip_prefix("ERR ") {
+            // v2: a known code word right after ERR classifies the error.
+            // Anything else (including v1 servers) is an uncoded message.
+            if let Some((word, rest)) = msg.split_once(' ') {
+                if let Some(code) = ErrCode::parse(word) {
+                    return Ok(Some(Response::err_code(code, rest)));
+                }
+            }
             return Ok(Some(Response::err(msg)));
         }
         let Some(rest) = header.strip_prefix("OK ") else {
@@ -267,5 +355,41 @@ mod tests {
     fn read_from_eof_is_none() {
         let empty: &[u8] = b"";
         assert_eq!(Response::read_from(&mut &*empty).unwrap(), None);
+    }
+
+    #[test]
+    fn coded_err_roundtrip() {
+        for (code, word) in [
+            (ErrCode::Busy, "busy"),
+            (ErrCode::Deadline, "deadline"),
+            (ErrCode::Budget, "budget"),
+            (ErrCode::Shutdown, "shutdown"),
+            (ErrCode::Internal, "internal"),
+        ] {
+            let resp = Response::err_code(code, "details here");
+            let mut buf = Vec::new();
+            resp.write_to(&mut buf).unwrap();
+            assert_eq!(
+                String::from_utf8_lossy(&buf),
+                format!("ERR {word} details here\n")
+            );
+            let back = Response::read_from(&mut buf.as_slice()).unwrap().unwrap();
+            assert!(!back.ok);
+            assert_eq!(back.code, Some(code));
+            assert_eq!(back.error, "details here");
+        }
+    }
+
+    #[test]
+    fn uncoded_err_stays_backward_compatible() {
+        // A v1-style error whose first word is not a code word: the whole
+        // line is the message and no code is attached.
+        let wire = b"ERR query:1:9: expected ')'\n";
+        let back = Response::read_from(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(back.code, None);
+        assert_eq!(back.error, "query:1:9: expected ')'");
+        // A coded error read by a v1 client is still a readable message —
+        // the code word leads the text (nothing to assert mechanically
+        // beyond the wire shape, covered above).
     }
 }

@@ -8,8 +8,8 @@
 //! * the rule set (plus its fingerprint), guarded by an `RwLock` — queries
 //!   read it, `LOAD` extends it;
 //! * the EDB in a [`SharedDatabase`]: writers ingest while readers evaluate
-//!   against [`DbSnapshot`]s, never blocking each other beyond per-access
-//!   row locks;
+//!   against [`DbSnapshot`](datalog_engine::DbSnapshot)s, never blocking
+//!   each other beyond per-access row locks;
 //! * the [`PreparedCache`] behind a `Mutex` — held across a cold `prepare`
 //!   (optimization is the expensive, memoized step; serializing it
 //!   deduplicates concurrent cold misses of the same form);
@@ -21,22 +21,55 @@
 //! This keeps every optimization the cache reuses valid — query
 //! equivalence of the optimized program is only guaranteed on IDB-empty
 //! inputs.
+//!
+//! ## Fault tolerance
+//!
+//! The serving stack is built to refuse work it cannot finish rather than
+//! wedge or lie:
+//!
+//! * **Durability** — with a WAL directory configured, every accepted
+//!   `FACT`/`LOAD` is logged (and fsynced per policy) *before* it is
+//!   applied and acknowledged; startup replays snapshot + log ([`crate::wal`]).
+//! * **Deadlines & budgets** — each query evaluates under the configured
+//!   wall-clock deadline, derived-fact budget, and the server's global
+//!   [`CancelToken`]; a trip returns a coded `ERR` carrying the partial
+//!   [`EvalStats`](datalog_engine::EvalStats), and the tripped result is
+//!   **not** memoized.
+//! * **Overload control** — a connection limit sheds excess accepts with
+//!   `ERR busy`, and a global in-flight query budget sheds excess `QUERY`s
+//!   before they touch the evaluator.
+//! * **Panic isolation** — each request runs under `catch_unwind`; a panic
+//!   poisons no state (all lock accessors recover) and answers
+//!   `ERR internal` while the server lives on.
+//! * **Draining shutdown** — `SHUTDOWN` stops accepting new work, lets
+//!   in-flight queries run for a bounded grace period, then cancels the
+//!   stragglers, which surface as clean `ERR shutdown` responses.
+//!
+//! Every limit trip is recorded as a
+//! [`PhaseEvent::LimitTripped`](datalog_trace::PhaseEvent) and counted in
+//! `STATS`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use datalog_adorn::query_adornment;
-use datalog_ast::{parse_atom, parse_program, PredRef, Program, Query, Rule};
-use datalog_engine::{query_answers_full, AnswerSet, EvalOptions, SharedDatabase};
+use datalog_ast::{parse_atom, parse_program, parse_rule, Atom, PredRef, Program, Query, Rule};
+use datalog_engine::{
+    query_answers_full, AnswerSet, CancelToken, EngineError, EvalOptions, SharedDatabase,
+};
 use datalog_opt::{fingerprint_rules, prepare, OptimizerConfig, PreparedProgram};
-use datalog_trace::Json;
+use datalog_trace::{Json, PhaseEvent};
 
 use crate::cache::{CachedAnswers, FormKey, PreparedCache};
-use crate::protocol::{Request, Response};
+use crate::fault::FaultPlan;
+use crate::protocol::{ErrCode, Request, Response, PROTOCOL_VERSION};
+use crate::wal::{FsyncPolicy, Wal, WalOp};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +84,29 @@ pub struct ServerConfig {
     /// (`OptimizerConfig::verify`): a query whose optimization cannot be
     /// re-justified is answered with an error instead of a wrong table.
     pub verify: bool,
+    /// WAL directory; `None` runs without durability (the seed behavior).
+    pub wal_dir: Option<PathBuf>,
+    /// When to fsync the WAL.
+    pub fsync: FsyncPolicy,
+    /// Snapshot + truncate the log after this many appended records
+    /// (0 disables compaction).
+    pub compact_every: u64,
+    /// Connections served concurrently before new accepts are shed with
+    /// `ERR busy` (0 = no limit). Shedding needs an idle worker to issue
+    /// the refusal, so a cap below `threads` is what makes it observable.
+    pub max_conns: usize,
+    /// Queries evaluating at once across all connections before `QUERY`
+    /// is shed with `ERR busy` (0 = no limit).
+    pub max_inflight: usize,
+    /// Per-query wall-clock deadline.
+    pub deadline_ms: Option<u64>,
+    /// Per-query derived-fact budget.
+    pub fact_budget: Option<u64>,
+    /// Shutdown drain: how long in-flight queries may keep running before
+    /// the global cancel token fires.
+    pub grace_ms: u64,
+    /// Fault-injection switches (the default plan injects nothing).
+    pub fault: Arc<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -60,12 +116,51 @@ impl Default for ServerConfig {
             threads: 4,
             cache_capacity: 256,
             verify: false,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
+            compact_every: 4096,
+            max_conns: 0,
+            max_inflight: 0,
+            deadline_ms: None,
+            fact_budget: None,
+            grace_ms: 2000,
+            fault: Arc::new(FaultPlan::new()),
         }
     }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shed/trip/recovery counters surfaced by `STATS`.
+#[derive(Debug, Default)]
+struct TripCounters {
+    shed_conns: AtomicU64,
+    shed_queries: AtomicU64,
+    deadline_trips: AtomicU64,
+    budget_trips: AtomicU64,
+    iteration_trips: AtomicU64,
+    cancelled_queries: AtomicU64,
+    panics_recovered: AtomicU64,
+    wal_errors: AtomicU64,
+}
+
+/// Decrement an [`AtomicUsize`] on scope exit (in-flight query guard).
+struct Decrement<'a>(&'a AtomicUsize);
+
+impl Drop for Decrement<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Everything the worker threads share.
@@ -80,10 +175,36 @@ pub struct ServerState {
     queries: AtomicU64,
     cache_misses: AtomicU64,
     answer_hits: AtomicU64,
+    /// The write-ahead log, when durability is configured.
+    wal: Mutex<Option<Wal>>,
+    /// Ingest/compaction coordination: ingests hold a read guard across
+    /// (WAL append + DB apply), compaction holds the write guard across
+    /// (state snapshot + log truncate), so the snapshot can never miss a
+    /// record the truncation discards.
+    ingest_gate: RwLock<()>,
+    fault: Arc<FaultPlan>,
+    /// Cancelled when the shutdown grace period expires; every evaluation
+    /// carries a clone.
+    cancel: CancelToken,
+    deadline_ms: Option<u64>,
+    fact_budget: Option<u64>,
+    grace_ms: u64,
+    max_conns: usize,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    active_conns: AtomicUsize,
+    counters: TripCounters,
+    /// Startup recovery summary (present when a WAL was replayed).
+    recovery: Option<Json>,
+    /// Ring of recent `LimitTripped` events (as JSON), newest last.
+    limit_events: Mutex<Vec<Json>>,
 }
 
+/// Cap on the `limit_events` ring.
+const LIMIT_EVENT_RING: usize = 64;
+
 impl ServerState {
-    /// Fresh state with an empty rule set and EDB.
+    /// Fresh state with an empty rule set and EDB, no WAL, and no limits.
     pub fn new(cache_capacity: usize, threads: usize) -> ServerState {
         ServerState {
             rules: RwLock::new((Vec::new(), fingerprint_rules(&[]))),
@@ -96,6 +217,20 @@ impl ServerState {
             queries: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             answer_hits: AtomicU64::new(0),
+            wal: Mutex::new(None),
+            ingest_gate: RwLock::new(()),
+            fault: Arc::new(FaultPlan::new()),
+            cancel: CancelToken::new(),
+            deadline_ms: None,
+            fact_budget: None,
+            grace_ms: 2000,
+            max_conns: usize::MAX,
+            max_inflight: 0,
+            inflight: AtomicUsize::new(0),
+            active_conns: AtomicUsize::new(0),
+            counters: TripCounters::default(),
+            recovery: None,
+            limit_events: Mutex::new(Vec::new()),
         }
     }
 
@@ -106,14 +241,135 @@ impl ServerState {
         self
     }
 
+    /// Attach per-query limits (deadline and derived-fact budget).
+    pub fn with_limits(
+        mut self,
+        deadline_ms: Option<u64>,
+        fact_budget: Option<u64>,
+    ) -> ServerState {
+        self.deadline_ms = deadline_ms;
+        self.fact_budget = fact_budget;
+        self
+    }
+
+    /// Attach a fault-injection plan.
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> ServerState {
+        self.fault = fault;
+        self
+    }
+
+    /// Build state from a full config: applies limits, opens the WAL, and
+    /// replays snapshot + log into the fresh state.
+    pub fn from_config(cfg: &ServerConfig) -> std::io::Result<ServerState> {
+        let mut state = ServerState::new(cfg.cache_capacity, cfg.threads.max(1));
+        state.verify = cfg.verify;
+        state.fault = Arc::clone(&cfg.fault);
+        state.deadline_ms = cfg.deadline_ms;
+        state.fact_budget = cfg.fact_budget;
+        state.grace_ms = cfg.grace_ms;
+        state.max_inflight = cfg.max_inflight;
+        state.max_conns = if cfg.max_conns == 0 {
+            usize::MAX
+        } else {
+            cfg.max_conns
+        };
+        if let Some(dir) = &cfg.wal_dir {
+            let (wal, recovery) =
+                Wal::open(dir, cfg.fsync, cfg.compact_every, Arc::clone(&cfg.fault))?;
+            let mut applied = 0u64;
+            let mut skipped = 0u64;
+            for op in &recovery.ops {
+                match state.apply_op(op) {
+                    Ok(()) => applied += 1,
+                    Err(_) => skipped += 1,
+                }
+            }
+            state.recovery = Some(
+                Json::obj()
+                    .with("from_snapshot", recovery.from_snapshot)
+                    .with("from_log", recovery.from_log)
+                    .with("applied", applied)
+                    .with("skipped", skipped)
+                    .with("truncated_bytes", recovery.truncated_bytes),
+            );
+            *state.wal.get_mut().unwrap_or_else(|e| e.into_inner()) = Some(wal);
+        }
+        Ok(state)
+    }
+
     /// Whether shutdown was requested.
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 
+    /// Startup recovery summary, when a WAL was replayed.
+    pub fn recovery(&self) -> Option<&Json> {
+        self.recovery.as_ref()
+    }
+
+    /// Begin draining: refuse new work, give in-flight queries `grace_ms`,
+    /// then cancel whatever is still running.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.note_limit(
+            "shutdown",
+            &format!("draining; in-flight queries get {}ms grace", self.grace_ms),
+        );
+        let cancel = self.cancel.clone();
+        let grace = Duration::from_millis(self.grace_ms);
+        std::thread::spawn(move || {
+            std::thread::sleep(grace);
+            cancel.cancel();
+        });
+    }
+
+    /// Record one limit trip in the event ring.
+    fn note_limit(&self, kind: &str, detail: &str) {
+        let ev = PhaseEvent::LimitTripped {
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        };
+        let mut ring = lock(&self.limit_events);
+        if ring.len() >= LIMIT_EVENT_RING {
+            ring.remove(0);
+        }
+        ring.push(ev.to_json());
+    }
+
+    /// Handle one request with panic isolation: a panicking handler
+    /// answers `ERR internal` and leaves the state serviceable (all lock
+    /// accessors recover from poisoning). This is what the TCP loop calls.
+    pub fn handle_safely(&self, req: &Request) -> Response {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.handle(req))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                self.counters
+                    .panics_recovered
+                    .fetch_add(1, Ordering::AcqRel);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                self.note_limit("panic", &msg);
+                Response::err_code(
+                    ErrCode::Internal,
+                    format!("request handler panicked ({msg}); server continues"),
+                )
+            }
+        }
+    }
+
     /// Handle one request. Pure state-in/response-out — shared by the TCP
     /// loop, the tests, and the bench harness.
     pub fn handle(&self, req: &Request) -> Response {
+        if self.is_shutdown()
+            && matches!(req, Request::Fact(_) | Request::Load(_) | Request::Query(_))
+        {
+            return Response::err_code(ErrCode::Shutdown, "server is draining");
+        }
         match req {
             Request::Fact(text) => self.handle_fact(text),
             Request::Load(path) => self.handle_load(path),
@@ -121,10 +377,98 @@ impl ServerState {
             Request::Stats => self.handle_stats(),
             Request::Trace => self.handle_trace(),
             Request::Shutdown => {
-                self.shutdown.store(true, Ordering::Release);
+                self.begin_shutdown();
                 Response::ok().with_info("bye", true)
             }
         }
+    }
+
+    /// Apply one recovered WAL operation to the in-memory state (no
+    /// logging — the record is already durable). Failures are skipped, not
+    /// fatal: a record that was valid when logged can only become invalid
+    /// through manual log surgery.
+    fn apply_op(&self, op: &WalOp) -> Result<(), String> {
+        match op {
+            WalOp::Fact(text) => {
+                let atom = parse_atom(text).map_err(|e| e.render_at("wal"))?;
+                let values = atom
+                    .ground_values()
+                    .ok_or_else(|| format!("wal fact '{atom}' is not ground"))?;
+                self.db
+                    .insert(&atom.pred, &values)
+                    .map_err(|e| e.to_string())?;
+                Ok(())
+            }
+            WalOp::Rule(text) => {
+                let rule = parse_rule(text).map_err(|e| e.render_at("wal"))?;
+                let mut rules = write_lock(&self.rules);
+                if !rules.0.contains(&rule) {
+                    rules.0.push(rule);
+                    rules.1 = fingerprint_rules(&rules.0);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Append accepted operations to the WAL (no-op without one). On
+    /// failure the caller must not apply or acknowledge them. The caller
+    /// holds the ingest gate (read).
+    fn wal_append(&self, ops: &[WalOp]) -> Result<(), Response> {
+        let mut guard = lock(&self.wal);
+        let Some(wal) = guard.as_mut() else {
+            return Ok(());
+        };
+        for op in ops {
+            if let Err(e) = wal.append(op) {
+                self.counters.wal_errors.fetch_add(1, Ordering::AcqRel);
+                return Err(Response::err_code(
+                    ErrCode::Internal,
+                    format!("wal append failed ({e}); write not applied"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot + truncate the log if enough records accumulated. Takes
+    /// the ingest gate exclusively, so no in-flight ingest can sit between
+    /// its WAL record and its DB apply while the state is snapshotted.
+    fn maybe_compact(&self) {
+        {
+            let guard = lock(&self.wal);
+            match guard.as_ref() {
+                Some(wal) if wal.wants_compaction() => {}
+                _ => return,
+            }
+        }
+        let _gate = write_lock(&self.ingest_gate);
+        let ops = self.state_ops();
+        let mut guard = lock(&self.wal);
+        if let Some(wal) = guard.as_mut() {
+            if wal.wants_compaction() && wal.compact(ops).is_err() {
+                // The log stays; durability is unaffected, only restart
+                // cost. Count it and move on.
+                self.counters.wal_errors.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// The full current state rendered as WAL operations (rules first, so
+    /// replayed facts meet the same IDB checks they passed at ingest).
+    fn state_ops(&self) -> Vec<WalOp> {
+        let mut ops: Vec<WalOp> = read_lock(&self.rules)
+            .0
+            .iter()
+            .map(|r| WalOp::Rule(r.to_string()))
+            .collect();
+        let snapshot = self.db.snapshot();
+        for pred in snapshot.preds() {
+            for row in snapshot.rows(&pred) {
+                ops.push(WalOp::Fact(Atom::fact(pred.clone(), row).to_string()));
+            }
+        }
+        ops
     }
 
     fn handle_fact(&self, text: &str) -> Response {
@@ -139,10 +483,7 @@ impl ServerState {
             return Response::err(format!("fact '{atom}' is not ground"));
         };
         {
-            let rules = self
-                .rules
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let rules = read_lock(&self.rules);
             if rules.0.iter().any(|r| r.head.pred.base() == atom.pred) {
                 return Response::err(format!(
                     "{} is derived by rules; facts may only be asserted for EDB predicates",
@@ -150,13 +491,21 @@ impl ServerState {
                 ));
             }
         }
-        let new = match self.db.insert(&atom.pred, &values) {
-            Ok(n) => n,
-            Err(e) => return Response::err(e.to_string()),
+        let new = {
+            let _gate = read_lock(&self.ingest_gate);
+            // Log before apply: an acknowledged fact is a durable fact.
+            if let Err(resp) = self.wal_append(&[WalOp::Fact(atom.to_string())]) {
+                return resp;
+            }
+            match self.db.insert(&atom.pred, &values) {
+                Ok(n) => n,
+                Err(e) => return Response::err(e.to_string()),
+            }
         };
         if new {
             lock(&self.cache).invalidate_edb(&atom.pred);
         }
+        self.maybe_compact();
         Response::ok()
             .with_info("new", new)
             .with_info("pred", &atom.pred)
@@ -175,10 +524,7 @@ impl ServerState {
         if let Err(e) = parsed.program.validate() {
             return Response::err(format!("{path}: {e}"));
         }
-        let mut rules = self
-            .rules
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let rules = write_lock(&self.rules);
         let fresh: Vec<Rule> = parsed
             .program
             .rules
@@ -213,38 +559,62 @@ impl ServerState {
                 ));
             }
         }
-        let new_rules = fresh.len();
-        if new_rules > 0 {
-            rules.0.extend(fresh);
-            rules.1 = fingerprint_rules(&rules.0);
-        }
-        let total_rules = rules.0.len();
+        // Validation passed. Log everything this LOAD will apply, then
+        // apply. The rules lock is released first: the WAL/ingest-gate
+        // order must stay `gate → wal` with no rule lock held (compaction
+        // takes them in that order too).
         drop(rules);
-
-        let mut new_facts = 0usize;
-        let mut touched: Vec<PredRef> = Vec::new();
+        let mut ops: Vec<WalOp> = fresh.iter().map(|r| WalOp::Rule(r.to_string())).collect();
         for (pred, tuples) in &parsed.facts {
-            let mut any = false;
             for t in tuples {
-                match self.db.insert(pred, t) {
-                    Ok(true) => {
-                        new_facts += 1;
-                        any = true;
+                ops.push(WalOp::Fact(Atom::fact(pred.clone(), t.clone()).to_string()));
+            }
+        }
+
+        let (new_rules, total_rules, new_facts, touched) = {
+            let _gate = read_lock(&self.ingest_gate);
+            if let Err(resp) = self.wal_append(&ops) {
+                return resp;
+            }
+            let mut rules = write_lock(&self.rules);
+            // Another LOAD may have raced in while the lock was released;
+            // re-filter so duplicates stay out (the WAL tolerates them).
+            let fresh: Vec<Rule> = fresh.into_iter().filter(|r| !rules.0.contains(r)).collect();
+            let new_rules = fresh.len();
+            if new_rules > 0 {
+                rules.0.extend(fresh);
+                rules.1 = fingerprint_rules(&rules.0);
+            }
+            let total_rules = rules.0.len();
+            drop(rules);
+
+            let mut new_facts = 0usize;
+            let mut touched: Vec<PredRef> = Vec::new();
+            for (pred, tuples) in &parsed.facts {
+                let mut any = false;
+                for t in tuples {
+                    match self.db.insert(pred, t) {
+                        Ok(true) => {
+                            new_facts += 1;
+                            any = true;
+                        }
+                        Ok(false) => {}
+                        Err(e) => return Response::err(format!("{path}: {e}")),
                     }
-                    Ok(false) => {}
-                    Err(e) => return Response::err(format!("{path}: {e}")),
+                }
+                if any {
+                    touched.push(pred.clone());
                 }
             }
-            if any {
-                touched.push(pred.clone());
-            }
-        }
+            (new_rules, total_rules, new_facts, touched)
+        };
         if !touched.is_empty() {
             let mut cache = lock(&self.cache);
             for p in &touched {
                 cache.invalidate_edb(p);
             }
         }
+        self.maybe_compact();
         let mut resp = Response::ok()
             .with_info("rules", total_rules)
             .with_info("new_rules", new_rules)
@@ -256,8 +626,58 @@ impl ServerState {
         resp
     }
 
+    /// Convert a resource-limit trip into its coded `ERR` response, with
+    /// the partial stats embedded, and record counters + trace event.
+    fn limit_response(&self, e: &EngineError) -> Response {
+        let (code, kind, counter) = match e {
+            EngineError::DeadlineExceeded { .. } => {
+                (ErrCode::Deadline, "deadline", &self.counters.deadline_trips)
+            }
+            EngineError::BudgetExceeded { .. } => {
+                (ErrCode::Budget, "budget", &self.counters.budget_trips)
+            }
+            EngineError::IterationLimit { .. } => (
+                ErrCode::Budget,
+                "iterations",
+                &self.counters.iteration_trips,
+            ),
+            // Cancellation only comes from the shutdown drain.
+            _ => (
+                ErrCode::Shutdown,
+                "shutdown",
+                &self.counters.cancelled_queries,
+            ),
+        };
+        counter.fetch_add(1, Ordering::AcqRel);
+        let stats = e.partial_stats().copied().unwrap_or_default();
+        let detail = format!(
+            "{e} (partial: iterations={} facts_derived={} tuples_scanned={})",
+            stats.iterations, stats.facts_derived, stats.tuples_scanned
+        );
+        self.note_limit(kind, &detail);
+        Response::err_code(code, detail)
+    }
+
     fn handle_query(&self, text: &str) -> Response {
         let started = Instant::now();
+        // Admission control runs before any parsing or optimizer work:
+        // under overload the cheapest thing to do with a query is refuse it.
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        let _inflight = Decrement(&self.inflight);
+        if self.max_inflight > 0 && self.inflight.load(Ordering::Acquire) > self.max_inflight {
+            self.counters.shed_queries.fetch_add(1, Ordering::AcqRel);
+            self.note_limit(
+                "busy",
+                &format!("query shed at in-flight budget {}", self.max_inflight),
+            );
+            return Response::err_code(
+                ErrCode::Busy,
+                format!(
+                    "server at query capacity ({} in flight), retry",
+                    self.max_inflight
+                ),
+            );
+        }
         let parsed = match parse_program(text) {
             Ok(p) => p,
             Err(e) => return Response::err(e.render_at("query")),
@@ -268,16 +688,22 @@ impl ServerState {
         let Some(query) = parsed.program.query else {
             return Response::err("QUERY takes a single '?- atom.'");
         };
+        if self
+            .fault
+            .should_panic_on_query(&query.atom.pred.name.as_str())
+        {
+            panic!(
+                "injected fault: panic during query over {}",
+                query.atom.pred
+            );
+        }
         let adornment = match query_adornment(&query) {
             Ok(a) => a,
             Err(e) => return Response::err(e.to_string()),
         };
 
         let (rules, fingerprint) = {
-            let g = self
-                .rules
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let g = read_lock(&self.rules);
             (g.0.clone(), g.1)
         };
         let program = Program::with_query(rules, query.clone());
@@ -356,10 +782,18 @@ impl ServerState {
         let facts = snapshot.to_factset();
         let opts = EvalOptions {
             boolean_cut: true,
+            deadline: self
+                .deadline_ms
+                .map(|ms| started + Duration::from_millis(ms)),
+            fact_budget: self.fact_budget,
+            cancel: Some(self.cancel.clone()),
             ..EvalOptions::default()
         };
         let (answers, _out) = match query_answers_full(&eval_program, &facts, &opts) {
             Ok(r) => r,
+            // A tripped query is answered with its partial stats and NOT
+            // memoized: the cache must never serve a truncated table.
+            Err(e) if e.is_limit() => return self.limit_response(&e),
             Err(e) => return Response::err(format!("evaluation: {e}")),
         };
         let payload = render_answers(&answers);
@@ -422,14 +856,23 @@ impl ServerState {
 
     fn handle_stats(&self) -> Response {
         let (rule_count, fingerprint) = {
-            let g = self
-                .rules
-                .read()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let g = read_lock(&self.rules);
             (g.0.len(), g.1)
         };
         let cache = lock(&self.cache);
+        let wal_doc = {
+            let guard = lock(&self.wal);
+            match guard.as_ref() {
+                Some(wal) => Json::obj()
+                    .with("appended", wal.appended)
+                    .with("since_snapshot", wal.since_snapshot())
+                    .with("snapshots", wal.snapshots),
+                None => Json::Null,
+            }
+        };
+        let c = &self.counters;
         let doc = Json::obj()
+            .with("proto", PROTOCOL_VERSION)
             .with("rules", rule_count)
             .with("fingerprint", format!("{fingerprint:016x}"))
             .with("preds", self.db.pred_count())
@@ -441,7 +884,26 @@ impl ServerState {
             .with("cache_misses", self.cache_misses.load(Ordering::Acquire))
             .with("answer_hits", self.answer_hits.load(Ordering::Acquire))
             .with("invalidations", cache.invalidations)
-            .with("threads", self.threads);
+            .with("threads", self.threads)
+            .with("inflight", self.inflight.load(Ordering::Acquire) as u64)
+            .with("shed_connections", c.shed_conns.load(Ordering::Acquire))
+            .with("shed_queries", c.shed_queries.load(Ordering::Acquire))
+            .with("deadline_trips", c.deadline_trips.load(Ordering::Acquire))
+            .with("budget_trips", c.budget_trips.load(Ordering::Acquire))
+            .with("iteration_trips", c.iteration_trips.load(Ordering::Acquire))
+            .with(
+                "cancelled_queries",
+                c.cancelled_queries.load(Ordering::Acquire),
+            )
+            .with(
+                "panics_recovered",
+                c.panics_recovered.load(Ordering::Acquire),
+            )
+            .with("wal_errors", c.wal_errors.load(Ordering::Acquire))
+            .with("faults_injected", self.fault.fired())
+            .with("wal", wal_doc)
+            .with("recovery", self.recovery.clone().unwrap_or(Json::Null))
+            .with("limit_events", Json::Arr(lock(&self.limit_events).clone()));
         Response::ok().with_payload_text(&doc.to_string())
     }
 
@@ -471,14 +933,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind and start the worker threads. Returns once the listener is
-    /// accepting (the bound address is available immediately, which is what
-    /// tests and the smoke script poll for).
+    /// Bind and start the worker threads, recovering from the WAL first
+    /// when one is configured. Returns once the listener is accepting (the
+    /// bound address is available immediately, which is what tests and the
+    /// smoke script poll for).
     pub fn spawn(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
         let threads = cfg.threads.max(1);
-        let state = Arc::new(ServerState::new(cfg.cache_capacity, threads).with_verify(cfg.verify));
+        let state = Arc::new(ServerState::from_config(cfg)?);
         let listener = Arc::new(listener);
         let workers = (0..threads)
             .map(|_| {
@@ -504,9 +967,9 @@ impl Server {
         &self.state
     }
 
-    /// Request shutdown and wake any accept-blocked workers.
+    /// Request a draining shutdown and wake any accept-blocked workers.
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::Release);
+        self.state.begin_shutdown();
         for _ in 0..self.workers.len() {
             // One nudge per worker: a throwaway connection unblocks accept().
             let _ = TcpStream::connect(self.addr);
@@ -532,7 +995,19 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 if state.is_shutdown() {
                     return;
                 }
+                let active = state.active_conns.fetch_add(1, Ordering::AcqRel) + 1;
+                if active > state.max_conns {
+                    state.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    state.counters.shed_conns.fetch_add(1, Ordering::AcqRel);
+                    state.note_limit(
+                        "busy",
+                        &format!("connection shed at limit {}", state.max_conns),
+                    );
+                    shed_connection(stream);
+                    continue;
+                }
                 serve_connection(stream, state);
+                state.active_conns.fetch_sub(1, Ordering::AcqRel);
             }
             Err(_) => {
                 if state.is_shutdown() {
@@ -541,6 +1016,17 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             }
         }
     }
+}
+
+/// Refuse a connection over the limit: one coded line, then close. The
+/// client sees `ERR busy ...` instead of an unexplained hang in the
+/// accept queue.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let resp = Response::err_code(ErrCode::Busy, "connection limit reached, retry later");
+    let mut buf = Vec::with_capacity(64);
+    let _ = resp.write_to(&mut buf);
+    let _ = stream.write_all(&buf);
 }
 
 /// Serve one client until it disconnects, errors, or the server shuts
@@ -580,7 +1066,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
         }
         let resp = match Request::parse(trimmed) {
             Ok(req) => {
-                let resp = state.handle(&req);
+                let resp = state.handle_safely(&req);
                 if req == Request::Shutdown {
                     let _ = write_buffered(&resp, &mut writer);
                     // Wake every accept()-blocked worker so join() returns.
@@ -600,6 +1086,11 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) {
         if write_buffered(&resp, &mut writer).is_err() {
             return;
         }
+        // Draining: this request got its complete response; the connection
+        // closes so the worker can exit.
+        if state.is_shutdown() {
+            return;
+        }
     }
 }
 
@@ -615,6 +1106,28 @@ fn write_buffered(resp: &Response, writer: &mut TcpStream) -> std::io::Result<()
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Unique-per-test temp dir, removed on drop (even on panic).
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> TempDir {
+            let p = std::env::temp_dir().join(format!(
+                "xdl-server-{}-{name}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
 
     #[test]
     fn render_matches_xdl_run_shapes() {
@@ -634,9 +1147,8 @@ mod tests {
     #[test]
     fn state_rejects_idb_facts_and_bad_queries() {
         let state = ServerState::new(8, 1);
-        let dir = std::env::temp_dir().join(format!("xdl-server-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let file = dir.join("tc.dl");
+        let dir = TempDir::new("idb");
+        let file = dir.0.join("tc.dl");
         std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\n").unwrap();
         let resp = state.handle(&Request::Load(file.display().to_string()));
         assert!(resp.ok, "{}", resp.error);
@@ -657,6 +1169,118 @@ mod tests {
         assert!(resp.ok, "{}", resp.error);
         assert_eq!(resp.get("cache"), Some("miss"));
         assert_eq!(resp.payload, vec!["X", "1"]);
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_state_recovers_facts_and_rules() {
+        let dir = TempDir::new("walrec");
+        let cfg = ServerConfig {
+            wal_dir: Some(dir.0.clone()),
+            ..ServerConfig::default()
+        };
+        let rules = dir.0.join("tc.dl");
+        std::fs::write(
+            &rules,
+            "a(X, Y) :- p(X, Y).\na(X, Y) :- p(X, Z), a(Z, Y).\n",
+        )
+        .unwrap();
+        {
+            let state = ServerState::from_config(&cfg).unwrap();
+            assert!(state.handle(&Request::Load(rules.display().to_string())).ok);
+            assert!(state.handle(&Request::Fact("p(1, 2).".into())).ok);
+            assert!(state.handle(&Request::Fact("p(2, 3).".into())).ok);
+            // No shutdown, no flush call: durability must not depend on a
+            // clean exit.
+        }
+        let state = ServerState::from_config(&cfg).unwrap();
+        let rec = state.recovery().expect("recovery info present");
+        let rec = rec.to_string();
+        assert!(rec.contains("\"applied\":4"), "{rec}");
+        let resp = state.handle(&Request::Query("?- a(1, X).".into()));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.payload, vec!["X", "2", "3"]);
+    }
+
+    #[test]
+    fn query_deadline_returns_coded_error_and_is_not_memoized() {
+        let dir = TempDir::new("deadline");
+        let file = dir.0.join("path.dl");
+        let mut text = String::from(
+            "a(X, Y) :- p(X, Y).\na(X, Y) :- p(X, Z), a(Z, Y).\n\
+             big(X, Y, Z, W) :- a(X, Y), a(Z, W).\n",
+        );
+        for i in 0..40 {
+            for j in 0..40 {
+                text.push_str(&format!("p({i}, {j}).\n"));
+            }
+        }
+        std::fs::write(&file, &text).unwrap();
+        let state = ServerState::new(8, 1).with_limits(Some(5), None);
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        let resp = state.handle(&Request::Query("?- big(1, X, Y, Z).".into()));
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(ErrCode::Deadline), "{}", resp.error);
+        assert!(resp.error.contains("partial:"), "{}", resp.error);
+        // The trip is counted and the STATS doc shows it.
+        let stats = state.handle(&Request::Stats);
+        assert!(
+            stats.payload_text().contains("\"deadline_trips\":1"),
+            "{}",
+            stats.payload_text()
+        );
+        assert!(
+            stats.payload_text().contains("\"kind\":\"deadline\""),
+            "limit event ring should hold the trip: {}",
+            stats.payload_text()
+        );
+    }
+
+    #[test]
+    fn shed_query_at_inflight_budget_zero_means_unlimited() {
+        let state = ServerState::new(8, 1);
+        // max_inflight == 0: a query is admitted (and fails on substance,
+        // not on admission).
+        let resp = state.handle(&Request::Query("?- nosuch(X).".into()));
+        assert!(resp.code.is_none(), "{}", resp.error);
+    }
+
+    #[test]
+    fn panic_in_handler_is_contained() {
+        let fault = Arc::new(FaultPlan::new());
+        let state = ServerState::new(8, 1).with_fault(Arc::clone(&fault));
+        let dir = TempDir::new("panic");
+        let file = dir.0.join("tc.dl");
+        std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\n").unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+
+        fault.panic_on_query("a");
+        let resp = state.handle_safely(&Request::Query("?- a(X, _).".into()));
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(ErrCode::Internal), "{}", resp.error);
+        assert!(resp.error.contains("injected fault"), "{}", resp.error);
+
+        // The fault is one-shot: the same query now succeeds, proving the
+        // state survived the unwinding.
+        let resp = state.handle_safely(&Request::Query("?- a(X, _).".into()));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.payload, vec!["X", "1"]);
+        let stats = state.handle(&Request::Stats);
+        assert!(
+            stats.payload_text().contains("\"panics_recovered\":1"),
+            "{}",
+            stats.payload_text()
+        );
+    }
+
+    #[test]
+    fn draining_state_refuses_new_work_with_shutdown_code() {
+        let state = ServerState::new(8, 1);
+        assert!(state.handle(&Request::Shutdown).ok);
+        let resp = state.handle(&Request::Query("?- a(X).".into()));
+        assert_eq!(resp.code, Some(ErrCode::Shutdown), "{}", resp.error);
+        let resp = state.handle(&Request::Fact("p(1).".into()));
+        assert_eq!(resp.code, Some(ErrCode::Shutdown), "{}", resp.error);
+        // STATS still answers during the drain.
+        assert!(state.handle(&Request::Stats).ok);
     }
 }

@@ -1,0 +1,516 @@
+//! Write-ahead log: crash durability for ingested rules and facts.
+//!
+//! Every accepted `FACT` and every fresh rule/fact from a `LOAD` is
+//! appended here — and, per the configured [`FsyncPolicy`], fsynced —
+//! *before* it is applied to the shared database and acknowledged to the
+//! client. On startup the server replays the log, so a crash (including
+//! SIGKILL) loses no acknowledged write.
+//!
+//! ## Record format
+//!
+//! The log is a flat sequence of length-prefixed, checksummed records:
+//!
+//! ```text
+//! [u32 payload length, LE] [u32 CRC-32 (IEEE) of payload, LE] [payload]
+//! ```
+//!
+//! The payload is one tag byte followed by UTF-8 text:
+//!
+//! * `F` + the fact atom, e.g. `F p(1, 2)`;
+//! * `R` + the rule source, e.g. `R a(X, Y) :- p(X, Y).`
+//!
+//! Text is the storage format on purpose: records are parsed on replay by
+//! the same parser that validated them at ingestion, the log is
+//! greppable with standard tools, and the checksum makes the redundancy
+//! safe. A *torn tail* — a record whose header, body, or checksum is
+//! incomplete or corrupt, the signature of a crash mid-append — is
+//! **truncated, not fatal**: replay keeps every record up to the last
+//! intact one and cuts the file there, exactly the prefix that could have
+//! been acknowledged.
+//!
+//! ## Snapshot + compaction
+//!
+//! An unbounded log makes restart cost proportional to history. After
+//! [`Wal::compact_every`] appended records, the server writes the full
+//! current state (rules, then facts) as `snapshot.dat` in the same record
+//! format — via a temp file, fsync, atomic rename — and truncates
+//! `wal.log`. Startup loads the snapshot first, then replays the log tail
+//! on top.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::fault::FaultPlan;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Upper bound on a single record's payload; a length prefix beyond this
+/// is treated as corruption (torn tail), not an allocation request.
+const MAX_RECORD: u32 = 16 * 1024 * 1024;
+
+/// When to fsync the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record — no acknowledged write is ever lost.
+    Always,
+    /// fsync every N records (and on snapshot). A crash may lose up to
+    /// N-1 acknowledged writes; throughput-friendly middle ground.
+    EveryN(u32),
+    /// Never fsync explicitly; durability is whatever the OS page cache
+    /// provides. Survives process crashes (the kernel has the bytes) but
+    /// not power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI word: `always`, `batch` (= every 64), or `never`.
+    pub fn parse(word: &str) -> Option<FsyncPolicy> {
+        match word {
+            "always" => Some(FsyncPolicy::Always),
+            "batch" => Some(FsyncPolicy::EveryN(64)),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+}
+
+/// One logical logged operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A ground fact, stored as its atom text (no trailing dot).
+    Fact(String),
+    /// A rule, stored as its source text.
+    Rule(String),
+}
+
+impl WalOp {
+    fn encode(&self) -> Vec<u8> {
+        let (tag, text) = match self {
+            WalOp::Fact(t) => (b'F', t),
+            WalOp::Rule(t) => (b'R', t),
+        };
+        let mut payload = Vec::with_capacity(text.len() + 2);
+        payload.push(tag);
+        payload.push(b' ');
+        payload.extend_from_slice(text.as_bytes());
+        payload
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalOp> {
+        let (&tag, rest) = payload.split_first()?;
+        let rest = rest.strip_prefix(b" ")?;
+        let text = std::str::from_utf8(rest).ok()?.to_string();
+        match tag {
+            b'F' => Some(WalOp::Fact(text)),
+            b'R' => Some(WalOp::Rule(text)),
+            _ => None,
+        }
+    }
+}
+
+/// What [`Wal::open`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Operations to apply, snapshot first, then the log tail, in order.
+    pub ops: Vec<WalOp>,
+    /// Records recovered from `snapshot.dat`.
+    pub from_snapshot: u64,
+    /// Records recovered from `wal.log`.
+    pub from_log: u64,
+    /// Bytes cut off the log's torn tail (0 on a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log (plus its snapshot sibling).
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    fault: Arc<FaultPlan>,
+    unsynced: u32,
+    /// Records appended since the last compaction (persisted implicitly as
+    /// the log length; rebuilt on open).
+    since_snapshot: u64,
+    /// Compaction threshold: snapshot + truncate after this many appended
+    /// records. `0` disables automatic compaction.
+    pub compact_every: u64,
+    /// Total records appended over this process's lifetime.
+    pub appended: u64,
+    /// Snapshots written over this process's lifetime.
+    pub snapshots: u64,
+}
+
+fn log_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.dat")
+}
+
+/// Scan one record stream. Returns the decoded ops and the byte offset
+/// one past the last intact record (everything after is a torn tail).
+fn scan_records(bytes: &[u8]) -> (Vec<WalOp>, usize) {
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            break; // Garbage length: treat as torn.
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            break; // Body shorter than announced: torn mid-append.
+        };
+        if crc32(payload) != crc {
+            break; // Checksum mismatch: corrupt, cut here.
+        }
+        let Some(op) = WalOp::decode(payload) else {
+            break; // Unknown tag: written by a future version? Cut.
+        };
+        ops.push(op);
+        pos += 8 + len as usize;
+    }
+    (ops, pos)
+}
+
+fn encode_record(op: &WalOp) -> Vec<u8> {
+    let payload = op.encode();
+    let mut rec = Vec::with_capacity(payload.len() + 8);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+impl Wal {
+    /// Open (creating if needed) the WAL in `dir`, replaying snapshot and
+    /// log. A torn log tail is truncated on the spot so the next append
+    /// lands on a clean boundary.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        compact_every: u64,
+        fault: Arc<FaultPlan>,
+    ) -> std::io::Result<(Wal, Recovery)> {
+        std::fs::create_dir_all(dir)?;
+        let mut recovery = Recovery::default();
+
+        if let Ok(bytes) = std::fs::read(snapshot_path(dir)) {
+            let (ops, good) = scan_records(&bytes);
+            // A snapshot is written atomically (temp + rename); a torn one
+            // means rename never happened on this filesystem's watch —
+            // still, salvage the intact prefix rather than refuse to start.
+            recovery.from_snapshot = ops.len() as u64;
+            recovery.ops.extend(ops);
+            let _ = good;
+        }
+
+        let path = log_path(dir);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (ops, good) = scan_records(&bytes);
+        recovery.from_log = ops.len() as u64;
+        recovery.truncated_bytes = (bytes.len() - good) as u64;
+        recovery.ops.extend(ops);
+
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false) // the intact prefix survives; set_len cuts the tail
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        // Cut the torn tail (no-op on a clean log), then append from there.
+        file.set_len(good as u64)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                file,
+                policy,
+                fault,
+                unsynced: 0,
+                since_snapshot: recovery.from_log,
+                compact_every,
+                appended: 0,
+                snapshots: 0,
+            },
+            recovery,
+        ))
+    }
+
+    /// fsync honoring the fault plan (a failed fsync means the record must
+    /// not be acknowledged; whether it survives a crash is undefined —
+    /// precisely the semantics of real fsync failure).
+    fn sync(&mut self) -> std::io::Result<()> {
+        if self.fault.fsync_should_fail() {
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Append one record and apply the fsync policy. On error the caller
+    /// must not acknowledge the write.
+    pub fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
+        self.file.write_all(&encode_record(op))?;
+        self.appended += 1;
+        self.since_snapshot += 1;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync(),
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Never => Ok(()),
+        }
+    }
+
+    /// Whether enough records accumulated to warrant a snapshot.
+    pub fn wants_compaction(&self) -> bool {
+        self.compact_every > 0 && self.since_snapshot >= self.compact_every
+    }
+
+    /// Records appended since the last snapshot (log tail length).
+    pub fn since_snapshot(&self) -> u64 {
+        self.since_snapshot
+    }
+
+    /// Write the full state as a fresh snapshot (temp file, fsync, atomic
+    /// rename), then truncate the log. `ops` must render the complete
+    /// current state: rules first, then facts.
+    pub fn compact(&mut self, ops: impl IntoIterator<Item = WalOp>) -> std::io::Result<()> {
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            let mut buf = Vec::new();
+            for op in ops {
+                buf.extend_from_slice(&encode_record(&op));
+            }
+            f.write_all(&buf)?;
+            if self.fault.fsync_should_fail() {
+                return Err(std::io::Error::other("injected fsync failure"));
+            }
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, snapshot_path(&self.dir))?;
+        // Only after the snapshot is durably in place may the log shrink.
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.sync()?;
+        self.since_snapshot = 0;
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    /// The log file path (tests corrupt it to simulate torn tails).
+    pub fn log_file(&self) -> PathBuf {
+        log_path(&self.dir)
+    }
+}
+
+/// Read the raw bytes of a WAL directory's log (test helper).
+pub fn read_log_bytes(dir: &Path) -> std::io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(log_path(dir))?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(name: &str) -> TempDir {
+            let p = std::env::temp_dir().join(format!(
+                "xdl-wal-{}-{name}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn plan() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::new())
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = TempDir::new("roundtrip");
+        let ops = vec![
+            WalOp::Rule("a(X, Y) :- p(X, Y).".into()),
+            WalOp::Fact("p(1, 2)".into()),
+            WalOp::Fact("p(2, 3)".into()),
+        ];
+        {
+            let (mut wal, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+            assert!(rec.ops.is_empty());
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.ops, ops);
+        assert_eq!(rec.from_log, 3);
+        assert_eq!(rec.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = TempDir::new("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+            wal.append(&WalOp::Fact("p(1, 2)".into())).unwrap();
+            wal.append(&WalOp::Fact("p(2, 3)".into())).unwrap();
+        }
+        // Simulate a crash mid-append: a record header announcing more
+        // bytes than were written.
+        let path = log_path(&dir.0);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&100u32.to_le_bytes()).unwrap();
+        f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap();
+        f.write_all(b"F p(9, 9").unwrap(); // short body
+        drop(f);
+
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.from_log, 2, "intact prefix survives");
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "file physically truncated back to the last intact record"
+        );
+        // And the log accepts appends again.
+        let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        wal.append(&WalOp::Fact("p(9, 9)".into())).unwrap();
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.from_log, 3);
+    }
+
+    #[test]
+    fn corrupt_checksum_cuts_from_the_bad_record() {
+        let dir = TempDir::new("crc");
+        {
+            let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+            for i in 0..5 {
+                wal.append(&WalOp::Fact(format!("p({i})"))).unwrap();
+            }
+        }
+        // Flip one payload byte of the third record.
+        let path = log_path(&dir.0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rec_len = bytes.len() / 5;
+        bytes[2 * rec_len + 9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.from_log, 2, "records before the corruption survive");
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_as_error() {
+        let dir = TempDir::new("fsync");
+        let fault = plan();
+        let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 0, Arc::clone(&fault)).unwrap();
+        wal.append(&WalOp::Fact("p(1)".into())).unwrap();
+        fault.fail_fsync(true);
+        assert!(wal.append(&WalOp::Fact("p(2)".into())).is_err());
+        fault.fail_fsync(false);
+        wal.append(&WalOp::Fact("p(3)".into())).unwrap();
+    }
+
+    #[test]
+    fn compaction_moves_state_to_snapshot_and_truncates_log() {
+        let dir = TempDir::new("compact");
+        {
+            let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 3, plan()).unwrap();
+            wal.append(&WalOp::Rule("a(X) :- p(X).".into())).unwrap();
+            wal.append(&WalOp::Fact("p(1)".into())).unwrap();
+            wal.append(&WalOp::Fact("p(2)".into())).unwrap();
+            assert!(wal.wants_compaction());
+            wal.compact(vec![
+                WalOp::Rule("a(X) :- p(X).".into()),
+                WalOp::Fact("p(1)".into()),
+                WalOp::Fact("p(2)".into()),
+            ])
+            .unwrap();
+            assert!(!wal.wants_compaction());
+            assert_eq!(std::fs::metadata(log_path(&dir.0)).unwrap().len(), 0);
+            // Post-compaction appends land in the (empty) log.
+            wal.append(&WalOp::Fact("p(3)".into())).unwrap();
+        }
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 3, plan()).unwrap();
+        assert_eq!(rec.from_snapshot, 3);
+        assert_eq!(rec.from_log, 1);
+        assert_eq!(
+            rec.ops.last(),
+            Some(&WalOp::Fact("p(3)".into())),
+            "log tail replays after the snapshot"
+        );
+    }
+
+    #[test]
+    fn fsync_policy_parse_words() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("batch"), Some(FsyncPolicy::EveryN(64)));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

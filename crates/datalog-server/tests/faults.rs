@@ -1,0 +1,459 @@
+//! Fault-injection suite: the server under deliberate misbehavior.
+//!
+//! Each test drives one fault from the harness against a real server on
+//! an ephemeral port and asserts the two robustness invariants: the
+//! failing request gets a *structured* answer (a coded `ERR`, never a
+//! hang or a torn response), and the server keeps serving afterwards.
+//! Faults covered: injected fsync failure, a torn WAL tail, a handler
+//! panic mid-query, a deadline storm, a byte-at-a-time slow client,
+//! budget exhaustion, connection/admission shedding, and a draining
+//! shutdown racing an in-flight query. All of it runs under plain
+//! `cargo test` — no root, no containers, no signals.
+
+mod util;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datalog_server::{Client, ErrCode, FaultPlan, Server, ServerConfig};
+use util::TempDir;
+
+const TC_RULES: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n";
+const TC_FACTS: &str = "p(1, 2).\np(2, 3).\np(3, 4).\n";
+
+/// A dense graph plus a cross-product rule: enough work to outlive any
+/// small deadline and to blow small budgets, in debug and release alike.
+fn pathological(n: usize) -> String {
+    let mut text = String::from(
+        "a(X, Y) :- p(X, Y).\na(X, Y) :- p(X, Z), a(Z, Y).\n\
+         big(X, Y, Z, W) :- a(X, Y), a(Z, W).\n",
+    );
+    for i in 0..n {
+        for j in 0..n {
+            text.push_str(&format!("p({i}, {j}).\n"));
+        }
+    }
+    text
+}
+
+#[test]
+fn fsync_failure_refuses_the_write_and_recovers_when_disarmed() {
+    let dir = TempDir::new("fsync");
+    let fault = Arc::new(FaultPlan::new());
+    let server = Server::spawn(&ServerConfig {
+        threads: 1,
+        wal_dir: Some(dir.path().join("wal")),
+        fault: Arc::clone(&fault),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert!(c.fact("p(1, 2).").unwrap().ok);
+
+    fault.fail_fsync(true);
+    let resp = c.fact("p(2, 3).").unwrap();
+    assert!(!resp.ok);
+    assert_eq!(resp.code, Some(ErrCode::Internal), "{}", resp.error);
+    assert!(resp.error.contains("wal"), "{}", resp.error);
+
+    // The refused fact was not applied: only the durable one answers.
+    let resp = c.query("?- p(X, _).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert_eq!(resp.payload, vec!["X", "1"]);
+
+    // Disarmed, the same write goes through on the same connection.
+    fault.fail_fsync(false);
+    assert!(c.fact("p(2, 3).").unwrap().ok);
+    let resp = c.query("?- p(X, _).").unwrap();
+    assert_eq!(resp.payload, vec!["X", "1", "2"]);
+    assert!(fault.fired() >= 1);
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn torn_wal_tail_recovers_byte_identical_acknowledged_state() {
+    let dir = TempDir::new("torn");
+    let wal_dir = dir.path().join("wal");
+    let rules = dir.file("tc.dl", TC_RULES);
+
+    // Phase 1: ingest, remember the answer, stop without compaction.
+    let reference = {
+        let server = Server::spawn(&ServerConfig {
+            threads: 1,
+            wal_dir: Some(wal_dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.load(rules.to_str().unwrap()).unwrap().ok);
+        for f in ["p(1, 2).", "p(2, 3).", "p(3, 4)."] {
+            assert!(c.fact(f).unwrap().ok);
+        }
+        let resp = c.query("?- a(1, X).").unwrap();
+        assert!(resp.ok, "{}", resp.error);
+        c.shutdown().unwrap();
+        server.join();
+        resp.payload_text()
+    };
+
+    // Crash simulation: a half-written record at the tail of the log.
+    let log = wal_dir.join("wal.log");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&log).unwrap();
+    f.write_all(&64u32.to_le_bytes()).unwrap();
+    f.write_all(b"\xde\xad\xbe\xefF p(9,").unwrap();
+    drop(f);
+
+    // Phase 2: restart truncates the torn tail and serves the exact same
+    // answer bytes.
+    let server = Server::spawn(&ServerConfig {
+        threads: 1,
+        wal_dir: Some(wal_dir),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let resp = c.query("?- a(1, X).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert_eq!(resp.payload_text(), reference, "recovered answers differ");
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"truncated_bytes\":"), "{stats}");
+    assert!(!stats.contains("\"truncated_bytes\":0,"), "{stats}");
+
+    // And the recovered server still accepts writes.
+    assert!(c.fact("p(4, 5).").unwrap().ok);
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn mid_query_panic_answers_internal_and_service_continues() {
+    let dir = TempDir::new("panic");
+    let fault = Arc::new(FaultPlan::new());
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        fault: Arc::clone(&fault),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+
+    fault.panic_on_query("a");
+    let resp = c.query("?- a(X, _).").unwrap();
+    assert!(!resp.ok);
+    assert_eq!(resp.code, Some(ErrCode::Internal), "{}", resp.error);
+
+    // Same connection, same query: the one-shot fault fired, state is
+    // intact, the answer is correct.
+    let resp = c.query("?- a(X, _).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert_eq!(resp.payload, vec!["X", "1", "2", "3"]);
+
+    // A different connection is equally unaffected.
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    assert!(c2.query("?- a(2, _).").unwrap().ok);
+
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"panics_recovered\":1"), "{stats}");
+    assert!(stats.contains("\"kind\":\"panic\""), "{stats}");
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn deadline_storm_sheds_each_query_while_cheap_queries_complete() {
+    let dir = TempDir::new("storm");
+    let server = Server::spawn(&ServerConfig {
+        threads: 4,
+        deadline_ms: Some(40),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    let file = dir.file("heavy.dl", &pathological(40));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+
+    // Three stormers hammer the expensive query; every attempt must come
+    // back as a structured deadline error (with partial stats), never a
+    // hang, and never a wrong table.
+    let stormers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let resp = c.query("?- big(1, X, Y, Z).").unwrap();
+                    assert!(!resp.ok);
+                    assert_eq!(resp.code, Some(ErrCode::Deadline), "{}", resp.error);
+                    assert!(resp.error.contains("partial:"), "{}", resp.error);
+                }
+            })
+        })
+        .collect();
+
+    // Meanwhile a cheap query on its own connection completes normally.
+    for _ in 0..5 {
+        let resp = c.query("?- p(1, X).").unwrap();
+        assert!(resp.ok, "cheap query starved: {}", resp.error);
+    }
+    for s in stormers {
+        s.join().unwrap();
+    }
+
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"deadline_trips\":9"), "{stats}");
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn slow_client_dribbling_bytes_gets_a_full_answer() {
+    let dir = TempDir::new("slow");
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+
+    // One byte at a time, with pauses that trip the server's 200ms read
+    // timeout several times mid-line: the request must still parse whole.
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    for (i, b) in b"QUERY ?- a(1, X).\n".iter().enumerate() {
+        writer.write_all(std::slice::from_ref(b)).unwrap();
+        writer.flush().unwrap();
+        if i % 4 == 0 {
+            std::thread::sleep(Duration::from_millis(60));
+        }
+    }
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    reader.read_line(&mut header).unwrap();
+    assert!(header.starts_with("OK "), "{header}");
+
+    // The dribbler did not wedge the other worker.
+    assert!(c.query("?- a(X, _).").unwrap().ok);
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn budget_trip_is_coded_counted_and_never_memoized() {
+    let dir = TempDir::new("budget");
+    let server = Server::spawn(&ServerConfig {
+        threads: 1,
+        fact_budget: Some(3),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+
+    // The full closure derives 6 facts; budget 3 trips. (The existential
+    // form `a(X, _)` would not: arity reduction shrinks it to 3 facts —
+    // the paper's optimization visibly changes what the budget measures.)
+    // Twice: if the first trip were memoized, the second would come back
+    // OK with a truncated table — the one unacceptable outcome.
+    for _ in 0..2 {
+        let resp = c.query("?- a(X, Y).").unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(ErrCode::Budget), "{}", resp.error);
+        assert!(resp.error.contains("facts_derived="), "{}", resp.error);
+    }
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"budget_trips\":2"), "{stats}");
+    assert!(stats.contains("\"answer_hits\":0"), "{stats}");
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn connection_limit_sheds_with_busy_and_admitted_clients_are_unaffected() {
+    let dir = TempDir::new("shed");
+    let server = Server::spawn(&ServerConfig {
+        threads: 3,
+        max_conns: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut admitted = Client::connect(server.addr()).unwrap();
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    assert!(admitted.load(file.to_str().unwrap()).unwrap().ok);
+
+    // The admitted connection holds the single slot; the next connection
+    // is refused with one coded line instead of waiting in the backlog.
+    let shed = TcpStream::connect(server.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut line = String::new();
+    BufReader::new(shed).read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR busy"), "{line}");
+
+    // The admitted client never noticed.
+    assert!(admitted.query("?- a(X, _).").unwrap().ok);
+    let stats = admitted.stats().unwrap().payload_text();
+    assert!(stats.contains("\"shed_connections\":1"), "{stats}");
+
+    admitted.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_query_to_completion_or_clean_error() {
+    let dir = TempDir::new("drain");
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        grace_ms: 150,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    let file = dir.file("heavy.dl", &pathological(45));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+
+    // A long query starts, then SHUTDOWN arrives from another client. The
+    // in-flight query must end in one of exactly two ways: a complete OK
+    // response, or a clean coded shutdown error — never a dropped
+    // connection mid-payload.
+    let worker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let started = Instant::now();
+        let resp = c.query("?- big(1, X, Y, Z).").unwrap();
+        (resp, started.elapsed())
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(c.shutdown().unwrap().ok);
+    server.join();
+
+    let (resp, elapsed) = worker.join().unwrap();
+    if resp.ok {
+        assert!(!resp.payload.is_empty(), "complete response has rows");
+    } else {
+        assert_eq!(resp.code, Some(ErrCode::Shutdown), "{}", resp.error);
+        assert!(resp.error.contains("partial:"), "{}", resp.error);
+    }
+    // Bounded drain: well under eval-to-completion time for this input.
+    assert!(elapsed < Duration::from_secs(30), "drain took {elapsed:?}");
+}
+
+#[test]
+fn crash_without_shutdown_loses_nothing_fsync_always() {
+    // Process-internal stand-in for the SIGKILL smoke in check.sh: the
+    // first server is dropped without SHUTDOWN (workers and WAL file just
+    // cease), then a second server recovers from the same directory.
+    let dir = TempDir::new("crash");
+    let wal_dir = dir.path().join("wal");
+    let rules = dir.file("tc.dl", TC_RULES);
+
+    let reference = {
+        let server = Server::spawn(&ServerConfig {
+            threads: 1,
+            wal_dir: Some(wal_dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.load(rules.to_str().unwrap()).unwrap().ok);
+        for f in ["p(1, 2).", "p(2, 3).", "p(3, 4).", "p(4, 5)."] {
+            assert!(c.fact(f).unwrap().ok);
+        }
+        let resp = c.query("?- a(1, X).").unwrap();
+        assert!(resp.ok, "{}", resp.error);
+        // No SHUTDOWN: the Server is leaked (threads park in accept) and
+        // the WAL's durability must carry the state alone.
+        std::mem::forget(server);
+        resp.payload_text()
+    };
+
+    let server = Server::spawn(&ServerConfig {
+        threads: 1,
+        wal_dir: Some(wal_dir),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let resp = c.query("?- a(1, X).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert_eq!(resp.payload_text(), reference);
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn compaction_under_load_preserves_every_acknowledged_fact() {
+    let dir = TempDir::new("compact");
+    let wal_dir = dir.path().join("wal");
+    let rules = dir.file("tc.dl", TC_RULES);
+    {
+        let server = Server::spawn(&ServerConfig {
+            threads: 2,
+            wal_dir: Some(wal_dir.clone()),
+            compact_every: 8,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.load(rules.to_str().unwrap()).unwrap().ok);
+        for i in 0..30 {
+            assert!(c.fact(&format!("p({i}, {}).", i + 1)).unwrap().ok);
+        }
+        let stats = c.stats().unwrap().payload_text();
+        assert!(
+            !stats.contains("\"snapshots\":0"),
+            "no compaction ran: {stats}"
+        );
+        c.shutdown().unwrap();
+        server.join();
+    }
+    let server = Server::spawn(&ServerConfig {
+        threads: 1,
+        wal_dir: Some(wal_dir),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let resp = c.query("?- p(X, _).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    // Header + the 30 distinct sources.
+    assert_eq!(resp.payload.len(), 31, "{:?}", resp.payload);
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn shed_reader_never_blocks_forever() {
+    // Defensive companion to the shed test: even a client that only reads
+    // (never writes) gets the busy line promptly, because shedding happens
+    // at accept time, not at request time.
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        max_conns: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut hold = Client::connect(server.addr()).unwrap();
+    assert!(hold.stats().unwrap().ok);
+
+    let shed = TcpStream::connect(server.addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = Vec::new();
+    let mut r = BufReader::new(shed);
+    r.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("ERR busy"), "{text}");
+
+    hold.shutdown().unwrap();
+    server.join();
+}

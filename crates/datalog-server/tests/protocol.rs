@@ -5,13 +5,15 @@
 //! the boolean cut → render (`true`/`false` for boolean queries, else the
 //! column header plus sorted rows).
 
+mod util;
+
 use std::collections::BTreeSet;
-use std::path::PathBuf;
 
 use datalog_ast::parse_program;
 use datalog_engine::{query_answers_full, EvalOptions, FactSet};
 use datalog_opt::{optimize, OptimizerConfig};
 use datalog_server::{render_answers, Client, Server, ServerConfig};
+use util::TempDir;
 
 /// What `xdl run <src>` prints on stdout, computed via the same library
 /// calls the binary makes.
@@ -36,24 +38,16 @@ fn spawn(threads: usize) -> Server {
     .expect("bind ephemeral port")
 }
 
-fn temp_file(name: &str, content: &str) -> PathBuf {
-    let dir =
-        std::env::temp_dir().join(format!("datalog-server-test-{}-{name}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(name);
-    std::fs::write(&path, content).unwrap();
-    path
-}
-
 const TC_RULES: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n";
 const TC_FACTS: &str = "p(1, 2).\np(2, 3).\np(3, 4).\n";
 
 #[test]
 fn roundtrip_matches_xdl_run_byte_for_byte() {
+    let dir = TempDir::new("roundtrip");
     let server = spawn(2);
     let mut c = Client::connect(server.addr()).unwrap();
 
-    let file = temp_file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
     let resp = c.load(file.to_str().unwrap()).unwrap();
     assert!(resp.ok, "{}", resp.error);
     assert_eq!(resp.get("rules"), Some("2"));
@@ -76,9 +70,10 @@ fn roundtrip_matches_xdl_run_byte_for_byte() {
 
 #[test]
 fn repeat_query_form_hits_cache_with_zero_new_events() {
+    let dir = TempDir::new("repeat");
     let server = spawn(2);
     let mut c = Client::connect(server.addr()).unwrap();
-    let file = temp_file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
     assert!(c.load(file.to_str().unwrap()).unwrap().ok);
 
     // Cold: full optimizer run, phase events present.
@@ -127,9 +122,10 @@ fn repeat_query_form_hits_cache_with_zero_new_events() {
 
 #[test]
 fn ingestion_invalidates_only_dependent_forms() {
+    let dir = TempDir::new("invalidate");
     let server = spawn(2);
     let mut c = Client::connect(server.addr()).unwrap();
-    let file = temp_file(
+    let file = dir.file(
         "two.dl",
         "a(X, Y) :- p(X, Y).\nb(X, Y) :- q(X, Y).\np(1, 2).\nq(7, 8).\n",
     );
@@ -210,11 +206,12 @@ fn errors_keep_the_connection_usable() {
 #[test]
 fn concurrent_clients_with_interleaved_ingestion_see_consistent_prefixes() {
     const CHAIN: i64 = 12;
+    let dir = TempDir::new("concurrent");
     let server = spawn(6);
     let addr = server.addr();
 
     let mut setup = Client::connect(addr).unwrap();
-    let file = temp_file("rules-only.dl", TC_RULES);
+    let file = dir.file("rules-only.dl", TC_RULES);
     assert!(setup.load(file.to_str().unwrap()).unwrap().ok);
     assert!(setup.fact("p(0, 1).").unwrap().ok);
 
@@ -276,13 +273,14 @@ fn concurrent_clients_with_interleaved_ingestion_see_consistent_prefixes() {
 
 #[test]
 fn load_rejects_rules_over_stored_facts_and_idb_facts() {
+    let dir = TempDir::new("reject");
     let server = spawn(1);
     let mut c = Client::connect(server.addr()).unwrap();
 
     assert!(c.fact("a(1, 2).").unwrap().ok);
     // A rule whose head already has stored facts violates the IDB-empty
     // convention the optimizer relies on.
-    let file = temp_file("clash.dl", "a(X, Y) :- p(X, Y).\n");
+    let file = dir.file("clash.dl", "a(X, Y) :- p(X, Y).\n");
     let resp = c.load(file.to_str().unwrap()).unwrap();
     assert!(!resp.ok);
     assert!(
@@ -292,7 +290,7 @@ fn load_rejects_rules_over_stored_facts_and_idb_facts() {
     );
 
     // Facts for an IDB predicate inside a loaded file are rejected whole.
-    let file = temp_file("idbfact.dl", "b(X, Y) :- q(X, Y).\nb(1, 2).\n");
+    let file = dir.file("idbfact.dl", "b(X, Y) :- q(X, Y).\nb(1, 2).\n");
     let resp = c.load(file.to_str().unwrap()).unwrap();
     assert!(!resp.ok);
     assert!(resp.error.contains("derived by rules"), "{}", resp.error);

@@ -1,0 +1,46 @@
+//! Shared integration-test fixtures.
+//!
+//! Every test gets its own temp directory — keyed by pid, thread, and a
+//! label — removed on drop even when the test panics. This replaces the
+//! old `temp_file` helper, which shared one directory per process and
+//! leaked it on exit.
+
+use std::path::{Path, PathBuf};
+
+/// A unique-per-test temp directory with drop-guard cleanup.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create (or wipe and recreate) the directory for this test.
+    pub fn new(label: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "datalog-server-it-{}-{label}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create test temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    #[allow(dead_code)] // used by faults.rs; this module is shared per test binary
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Write `content` to `name` inside the directory, returning its path.
+    pub fn file(&self, name: &str, content: &str) -> PathBuf {
+        let p = self.path.join(name);
+        std::fs::write(&p, content).expect("write fixture file");
+        p
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -70,6 +70,17 @@ pub enum PhaseEvent {
         /// Number of checks that failed (0 on a validated run).
         failures: usize,
     },
+    /// A runtime resource limit tripped while serving a query: a deadline,
+    /// a derived-fact budget, an iteration cap, admission-control shedding,
+    /// or a cancellation. Emitted by the server so `STATS`/`TRACE` expose
+    /// shed/timeout/recovery counts as structured data.
+    LimitTripped {
+        /// Stable limit kind: `deadline`, `budget`, `iterations`, `busy`,
+        /// `shutdown`, or `panic`.
+        kind: String,
+        /// Human-readable context (partial stats, configured bound, ...).
+        detail: String,
+    },
     /// Free-form note (phases with nothing structural to say).
     Note {
         /// The note.
@@ -89,6 +100,7 @@ impl PhaseEvent {
             PhaseEvent::Folded { .. } => "folded",
             PhaseEvent::UnitRuleAdded { .. } => "unit-rule-added",
             PhaseEvent::TranslationValidated { .. } => "translation-validated",
+            PhaseEvent::LimitTripped { .. } => "limit-tripped",
             PhaseEvent::Note { .. } => "note",
         }
     }
@@ -130,6 +142,9 @@ impl PhaseEvent {
             PhaseEvent::TranslationValidated { checks, failures } => {
                 j.with("checks", *checks).with("failures", *failures)
             }
+            PhaseEvent::LimitTripped { kind, detail } => j
+                .with("kind", kind.as_str())
+                .with("detail", detail.as_str()),
             PhaseEvent::Note { text } => j.with("text", text.as_str()),
         }
     }
@@ -151,6 +166,26 @@ mod tests {
             "arity-reduced"
         );
         assert_eq!(PhaseEvent::Note { text: "x".into() }.kind(), "note");
+        assert_eq!(
+            PhaseEvent::LimitTripped {
+                kind: "deadline".into(),
+                detail: "50ms".into()
+            }
+            .kind(),
+            "limit-tripped"
+        );
+    }
+
+    #[test]
+    fn limit_tripped_json_carries_kind_and_detail() {
+        let e = PhaseEvent::LimitTripped {
+            kind: "budget".into(),
+            detail: "100 derived facts".into(),
+        };
+        let s = e.to_json().to_string();
+        assert!(s.contains("\"type\":\"limit-tripped\""), "{s}");
+        assert!(s.contains("\"kind\":\"budget\""), "{s}");
+        assert!(s.contains("\"detail\":\"100 derived facts\""), "{s}");
     }
 
     #[test]

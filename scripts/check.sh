@@ -64,4 +64,74 @@ wait "$serve_pid"
 serve_pid=""
 echo "check.sh: server smoke ok"
 
+# Fault suite: the injection harness (fsync failure, torn WAL tail, panic
+# isolation, deadline storm, slow client, budget, shedding, drain) must
+# pass against the release-profile server crate.
+cargo test -q -p datalog-server --test faults > /dev/null
+echo "check.sh: fault suite ok"
+
+# Resource-limit smoke: a budget-limited run fails with a structured
+# message carrying partial stats, instead of succeeding or hanging.
+if ./target/release/xdl run "$smoke_dir/run.dl" --budget 1 > /dev/null 2> "$smoke_dir/limit.err"; then
+    echo "check.sh: budget-limited run did not fail" >&2
+    exit 1
+fi
+if ! grep -q 'budget' "$smoke_dir/limit.err" || ! grep -q 'partial:' "$smoke_dir/limit.err"; then
+    echo "check.sh: limit error lacks structure:" >&2
+    cat "$smoke_dir/limit.err" >&2
+    exit 1
+fi
+echo "check.sh: resource-limit smoke ok"
+
+# Crash-recovery smoke: ingest through a WAL-backed server, SIGKILL it
+# (no shutdown, no flush), restart on the same WAL directory, and demand
+# byte-identical query output.
+./target/release/xdl serve --port 0 --threads 2 --wal "$smoke_dir/wal" \
+    > "$smoke_dir/serve2.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve2.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: WAL server did not announce its address" >&2
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --load "$smoke_dir/tc.dl" \
+    --fact 'p(3, 4).' '?- a(X, _).' > "$smoke_dir/before-crash.out"
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+./target/release/xdl serve --port 0 --threads 2 --wal "$smoke_dir/wal" \
+    > "$smoke_dir/serve3.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve3.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: restarted WAL server did not announce its address" >&2
+    exit 1
+fi
+if ! grep -q '^recovered ' "$smoke_dir/serve3.out"; then
+    echo "check.sh: restarted server reported no recovery" >&2
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" '?- a(X, _).' \
+    > "$smoke_dir/after-crash.out"
+if ! cmp -s "$smoke_dir/before-crash.out" "$smoke_dir/after-crash.out"; then
+    echo "check.sh: answers differ across SIGKILL + recovery:" >&2
+    diff "$smoke_dir/before-crash.out" "$smoke_dir/after-crash.out" >&2 || true
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --shutdown
+wait "$serve_pid"
+serve_pid=""
+echo "check.sh: crash-recovery smoke ok"
+
 echo "check.sh: all green"
