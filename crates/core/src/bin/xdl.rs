@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] [--json]
-//!         [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>]
-//! xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]
+//!         [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>] [--threads <n>]
+//! xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>] [--threads <n>]
 //! xdl optimize <file.dl> [--rewrite-only] [--aggressive]
 //! xdl lint <file.dl>... [--json]
 //! xdl verify-opt <file.dl>... [--json]
@@ -11,13 +11,20 @@
 //! xdl explain <file.dl> <fact>
 //! xdl grammar <file.dl> [--words <len>] [--monadic first|second]
 //! xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]
-//! xdl serve [--port <p>] [--threads <n>] [--verify] [--wal <dir>]
+//! xdl serve [--port <p>] [--threads <n>] [--no-reorder] [--verify] [--wal <dir>]
 //!           [--fsync always|batch|never] [--compact-every <n>]
 //!           [--max-conns <n>] [--max-inflight <n>] [--deadline-ms <ms>]
 //!           [--budget <n>] [--grace-ms <ms>]
 //! xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]...
 //!           [--stats] [--trace] [--shutdown] ['?- atom.']
 //! ```
+//!
+//! `--threads <n>` fans each fixpoint iteration's rule applications out
+//! over `n` worker threads; answers, stats, provenance, and profile
+//! counters are byte-identical to `--threads 1` at any `n`. For `serve`,
+//! `--threads` sets both the connection workers and the per-query
+//! evaluation threads, and joins are greedily reordered by default
+//! (`--no-reorder` restores source order).
 //!
 //! Exit codes: 0 on success; 1 when `lint` reports an error-severity
 //! diagnostic or `verify-opt` fails a check; 2 on usage or I/O errors.
@@ -54,8 +61,8 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:\n  \
      xdl run <file.dl> [--no-optimize] [--no-cut] [--stats] [--report] [--profile[=json]] \
-     [--json] [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>]\n  \
-     xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>]\n  \
+     [--json] [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>] [--threads <n>]\n  \
+     xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>] [--threads <n>]\n  \
      xdl optimize <file.dl> [--rewrite-only] [--aggressive]\n  \
      xdl lint <file.dl>... [--json]\n  \
      xdl verify-opt <file.dl>... [--json]\n  \
@@ -63,7 +70,7 @@ fn usage() -> String {
      xdl explain <file.dl> <fact>\n  \
      xdl grammar <file.dl> [--words <len>] [--monadic first|second]\n  \
      xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]\n  \
-     xdl serve [--port <p>] [--threads <n>] [--verify] [--wal <dir>] \
+     xdl serve [--port <p>] [--threads <n>] [--no-reorder] [--verify] [--wal <dir>] \
      [--fsync always|batch|never] [--compact-every <n>] [--max-conns <n>] \
      [--max-inflight <n>] [--deadline-ms <ms>] [--budget <n>] [--grace-ms <ms>]\n  \
      xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]... \
@@ -176,6 +183,9 @@ fn prepare_and_eval(
     }
     if let Some(n) = option_value(rest, "--budget") {
         opts.fact_budget = Some(n.parse().map_err(|_| "--budget takes a number")?);
+    }
+    if let Some(n) = option_value(rest, "--threads") {
+        opts.threads = n.parse().map_err(|_| "--threads takes a number")?;
     }
     let (answers, out) = query_answers_full(&program, &facts, &opts).map_err(|e| {
         // Resource-limit trips report how far the evaluation got; other
@@ -489,6 +499,10 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
     let mut cfg = ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         threads,
+        // `--threads` governs both halves of the server's parallelism: the
+        // connection workers and each query's evaluation fan-out.
+        eval_threads: threads,
+        reorder_joins: !flag(rest, "--no-reorder"),
         verify: flag(rest, "--verify"),
         ..ServerConfig::default()
     };

@@ -5,10 +5,73 @@
 //! a small fixed-seed smoke round on every `cargo test`, keeping the
 //! differential oracle exercised without a separate manual step.
 
-use datalog_engine::{query_answers, EvalOptions, Strategy};
+use datalog_engine::{evaluate, query_answers, EvalOptions, Strategy};
 use datalog_opt::{optimize, OptimizerConfig};
 
 use crate::workloads::{edb_for, random_program};
+
+/// Parallel determinism arm: evaluate one program at 1, 2 and 8 threads —
+/// profiled and unprofiled — and require *byte* identity: every relation's
+/// rows in insertion order (not just the answer set), the full stats
+/// partition, provenance, and (walls aside, which legitimately vary) the
+/// profile counters. Returns the number of disagreements found.
+fn thread_differential(
+    program: &datalog_ast::Program,
+    instance: &datalog_engine::FactSet,
+    mut complain: impl FnMut(&str),
+) -> u64 {
+    let mut failures = 0u64;
+    for profile in [false, true] {
+        let opts = |threads: usize| EvalOptions {
+            threads,
+            profile,
+            record_provenance: true,
+            ..EvalOptions::default()
+        };
+        let serial = evaluate(program, instance, &opts(1)).expect("serial evaluates");
+        for threads in [2usize, 8] {
+            let label = format!("threads={threads} profile={profile}");
+            let par = match evaluate(program, instance, &opts(threads)) {
+                Ok(out) => out,
+                Err(e) => {
+                    complain(&format!("{label}: evaluation failed: {e}"));
+                    failures += 1;
+                    continue;
+                }
+            };
+            if par.stats != serial.stats {
+                complain(&format!(
+                    "{label}: stats diverge\n serial: {:?}\n parallel: {:?}",
+                    serial.stats, par.stats
+                ));
+                failures += 1;
+            }
+            if par.provenance != serial.provenance {
+                complain(&format!("{label}: provenance diverges"));
+                failures += 1;
+            }
+            let rows_match = (0..serial.database.pred_count()).all(|p| {
+                let id = datalog_engine::PredId(p as u32);
+                serial
+                    .database
+                    .relation(id)
+                    .iter()
+                    .eq(par.database.relation(id).iter())
+            });
+            if serial.database.pred_count() != par.database.pred_count() || !rows_match {
+                complain(&format!("{label}: databases diverge (row-id order)"));
+                failures += 1;
+            }
+            let sp = serial.profile.as_ref().map(|p| p.counters_only());
+            let pp = par.profile.as_ref().map(|p| p.counters_only());
+            if sp != pp {
+                complain(&format!("{label}: profile counters diverge"));
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
 
 /// Rounds and base seed of the fixed `--smoke` configuration. Small enough
 /// for a debug-profile test run, deterministic so failures reproduce.
@@ -91,6 +154,11 @@ pub fn run_rounds(rounds: u64, base: u64, verbose: bool) -> u64 {
         )
         .expect("profiled evaluates");
         failures += check("profiled", &a.rows);
+        // Parallel determinism: byte-identical databases, stats partitions,
+        // provenance, and profile counters at 1 vs 2 vs 8 threads.
+        failures += thread_differential(&program, &instance, |msg| {
+            complain!("seed {seed}: {msg}");
+        });
         // Full optimizer (+ cut).
         match optimize(&program, &OptimizerConfig::default()) {
             Ok(out) => {

@@ -77,6 +77,15 @@ impl Database {
         &mut self.relations[id.0 as usize]
     }
 
+    /// Build the index over `cols` on a predicate's relation (see
+    /// [`Relation::ensure_index`]). The evaluator calls this for every
+    /// probe column set its compiled join plans need, *before* the first
+    /// iteration — after that the whole database can be probed through
+    /// `&Database` and therefore shared across worker threads.
+    pub fn ensure_index(&mut self, id: PredId, cols: &[usize]) {
+        self.relations[id.0 as usize].ensure_index(cols);
+    }
+
     /// Insert a fact; predicate must be registered. Returns `true` if new.
     pub fn insert(&mut self, id: PredId, tuple: &[Value]) -> bool {
         self.relations[id.0 as usize].insert(tuple)

@@ -18,8 +18,28 @@
 //! rules whose head predicate no longer has any consumer (the paper's
 //! "if `q4` does not appear anywhere else in the program, the rule defining
 //! it can also be discarded after `B2` is shown true").
+//!
+//! # Execution model: freeze, fan out, merge
+//!
+//! Each fixpoint iteration runs in two halves. First the database is
+//! *frozen*: the iteration's work is decomposed into [`Task`]s — one per
+//! (rule, delta-variant, chunk) — whose enumeration reads only state fixed
+//! at the iteration barrier (rows below the iteration-start marks, plus the
+//! up-front composite indexes). Enumeration writes candidate tuples and
+//! their premises into per-task buffers. Then the buffers are *merged*:
+//! applied to the database in the fixed task order, which is where
+//! deduplication, provenance, the fact budget, and the per-rule profile
+//! attribution happen.
+//!
+//! Because the task list is planned from frozen state and the merge replays
+//! buffers in task order, the executor is irrelevant to the result: running
+//! tasks serially or fanning them out over [`EvalOptions::threads`] workers
+//! (a `std::thread::scope` pool — enumeration needs only `&Database`)
+//! produces byte-identical databases, stats, provenance, and profile
+//! counters at any thread count.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use datalog_ast::{subst, Program, Term, Value};
@@ -38,6 +58,22 @@ use crate::EngineError;
 /// 2× envelope the server promises; large enough that the check (one
 /// `Instant::now()` + two atomic loads) is amortized to noise.
 const LIMIT_CHECK_INTERVAL: u32 = 4096;
+
+/// Minimum outer-literal rows per chunk when splitting a large range across
+/// tasks. Chunk boundaries are a pure function of the frozen range length
+/// (never of the thread count), so the task list — and with it every stat —
+/// is identical no matter how many workers execute it.
+const CHUNK_MIN_ROWS: usize = 1024;
+
+/// Upper bound on chunks per join variant, so tiny per-chunk buffers don't
+/// drown the merge in overhead on huge deltas.
+const MAX_CHUNKS_PER_VARIANT: usize = 8;
+
+/// Minimum estimated work (sum of every task's body-literal range lengths)
+/// before an iteration engages the worker pool. Below this, thread spawn
+/// overhead exceeds the enumeration itself; since the executor cannot
+/// change the result, falling back to the serial path is free.
+const PARALLEL_MIN_WORK: usize = 2048;
 
 /// Fixpoint strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +120,12 @@ pub struct EvalOptions {
     /// Cooperative cancellation flag, polled on the same cadence as the
     /// deadline. Triggering it returns [`EngineError::Cancelled`].
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the enumeration half of each fixpoint iteration
+    /// (`0` and `1` both mean serial). Any value yields byte-identical
+    /// results: tasks are planned from frozen iteration-start state, workers
+    /// only enumerate into buffers, and the merge replays the buffers in
+    /// fixed (rule, variant, chunk) order.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -98,6 +140,7 @@ impl Default for EvalOptions {
             deadline: None,
             fact_budget: None,
             cancel: None,
+            threads: 1,
         }
     }
 }
@@ -128,6 +171,12 @@ enum Slot {
 struct LitPlan {
     pred: PredId,
     slots: Vec<Slot>,
+    /// Columns bound when the join reaches this literal (constants plus
+    /// variables bound by earlier body literals), sorted ascending. Planned
+    /// at compile time; non-empty sets name the composite index the literal
+    /// probes, and the union over all plans is built up front so probing
+    /// never mutates the database. Empty means the literal scans its range.
+    probe: Box<[usize]>,
 }
 
 #[derive(Debug, Clone)]
@@ -161,6 +210,273 @@ enum Trip {
     Cancelled,
 }
 
+/// One schedulable unit of an iteration: a (rule, delta-variant, chunk)
+/// triple. `outer` is the row-id range the *first* body literal enumerates
+/// (its delta or full range, possibly one chunk of it); every other literal
+/// derives its range from the variant and the frozen marks. Planned from
+/// frozen state, so the task list is identical at any thread count.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    plan_idx: usize,
+    /// `None` = all literals read `Full` (naive strategy / seed round).
+    delta_idx: Option<usize>,
+    outer: (usize, usize),
+    /// First chunk of its variant: carries the variant's `evals` count in
+    /// the profile so chunking doesn't inflate it.
+    lead: bool,
+}
+
+/// The frozen, shareable view of one iteration: everything enumeration
+/// needs, none of it mutable. `&IterView` is `Send + Sync`, which is what
+/// lets `std::thread::scope` workers run [`enumerate_task`] concurrently.
+struct IterView<'a> {
+    db: &'a Database,
+    plans: &'a [RulePlan],
+    mark_prev: &'a [usize],
+    mark_cur: &'a [usize],
+    boolean_cut: bool,
+    deadline: Option<Instant>,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl IterView<'_> {
+    fn bounds(&self, pred: PredId, range: Range) -> (usize, usize) {
+        let p = pred.0 as usize;
+        match range {
+            Range::Full => (0, self.mark_cur[p]),
+            Range::Delta => (self.mark_prev[p], self.mark_cur[p]),
+            Range::Old => (0, self.mark_prev[p]),
+        }
+    }
+}
+
+/// One buffered candidate: the head tuple and its premise rows.
+type Emission = (Box<[Value]>, Box<[(PredId, u32)]>);
+
+/// Everything one task's enumeration produced: the candidate tuples (with
+/// premises, for provenance) in discovery order, plus the counters the
+/// merge folds into the global [`EvalStats`].
+#[derive(Debug, Default)]
+struct TaskOut {
+    emissions: Vec<Emission>,
+    derivations: u64,
+    tuples_scanned: u64,
+    index_probes: u64,
+    wall_ns: u64,
+    /// Deadline or cancellation observed mid-enumeration. The merge adopts
+    /// it (in task order) after applying this task's buffer.
+    trip: Option<Trip>,
+}
+
+/// Enumerate one task against the frozen view. Pure with respect to the
+/// database: all effects land in the returned [`TaskOut`].
+fn enumerate_task(view: &IterView<'_>, task: Task) -> TaskOut {
+    let t0 = Instant::now();
+    let mut en = Enumerator {
+        view,
+        plan: &view.plans[task.plan_idx],
+        delta_idx: task.delta_idx,
+        until_check: LIMIT_CHECK_INTERVAL,
+        stop: false,
+        out: TaskOut::default(),
+    };
+    let mut bindings: Vec<Option<Value>> = vec![None; en.plan.nvars];
+    let mut premises: Vec<(PredId, u32)> = Vec::with_capacity(en.plan.body.len());
+    en.join_from(task.outer, 0, &mut bindings, &mut premises);
+    en.out.wall_ns = t0.elapsed().as_nanos() as u64;
+    en.out
+}
+
+/// The per-task join state. Reads only the frozen [`IterView`]; writes only
+/// its own [`TaskOut`].
+struct Enumerator<'v> {
+    view: &'v IterView<'v>,
+    plan: &'v RulePlan,
+    delta_idx: Option<usize>,
+    /// Countdown to the next cooperative limit check.
+    until_check: u32,
+    /// Set once a boolean head found its witness (§3.1): unwind, one
+    /// emission is all the merge will keep anyway.
+    stop: bool,
+    out: TaskOut,
+}
+
+impl Enumerator<'_> {
+    /// Poll deadline and cancellation. Returns `true` (recording the trip)
+    /// if enumeration must unwind. The fact budget is *not* checked here:
+    /// it counts distinct new facts, which only the merge can know.
+    fn check_limits(&mut self) -> bool {
+        if self.out.trip.is_some() {
+            return true;
+        }
+        if let Some(d) = self.view.deadline {
+            if Instant::now() >= d {
+                self.out.trip = Some(Trip::Deadline);
+                return true;
+            }
+        }
+        if let Some(c) = self.view.cancel {
+            if c.is_cancelled() {
+                self.out.trip = Some(Trip::Cancelled);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn join_from(
+        &mut self,
+        outer: (usize, usize),
+        lit: usize,
+        bindings: &mut Vec<Option<Value>>,
+        premises: &mut Vec<(PredId, u32)>,
+    ) {
+        let plan = self.plan;
+        if lit == plan.body.len() {
+            if self.negatives_hold(bindings) {
+                self.emit(bindings, premises);
+            }
+            return;
+        }
+        let lp = &plan.body[lit];
+        let (start, end) = if lit == 0 {
+            outer
+        } else {
+            let range = match self.delta_idx {
+                None => Range::Full,
+                Some(d) if lit < d => Range::Full,
+                Some(d) if lit == d => Range::Delta,
+                Some(_) => Range::Old,
+            };
+            self.view.bounds(lp.pred, range)
+        };
+        if start >= end {
+            return;
+        }
+        if lp.probe.is_empty() {
+            // No bound column: scan the range.
+            for row_id in start as u32..end as u32 {
+                if !self.try_row(outer, lit, row_id, bindings, premises) {
+                    return;
+                }
+            }
+        } else {
+            // Probe the composite index over every bound column; the
+            // binary-searched subslice holds exactly this range's hits.
+            self.out.index_probes += 1;
+            let key: Vec<Value> = lp
+                .probe
+                .iter()
+                .map(|&col| match &lp.slots[col] {
+                    Slot::Const(c) => *c,
+                    Slot::Var(v) => bindings[*v as usize]
+                        .expect("compile plans only bound columns as probe columns"),
+                })
+                .collect();
+            let hits = self
+                .view
+                .db
+                .relation(lp.pred)
+                .probe_range(&lp.probe, &key, start, end);
+            for &row_id in hits {
+                if !self.try_row(outer, lit, row_id, bindings, premises) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Match one candidate row at `lit` and recurse. Returns `false` when
+    /// the enumeration must unwind (limit trip or boolean stop).
+    fn try_row(
+        &mut self,
+        outer: (usize, usize),
+        lit: usize,
+        row_id: u32,
+        bindings: &mut Vec<Option<Value>>,
+        premises: &mut Vec<(PredId, u32)>,
+    ) -> bool {
+        self.out.tuples_scanned += 1;
+        // Cooperative limit check: a task enumerating a pathological cross
+        // product must still observe its deadline (or cancellation)
+        // promptly, not only at the iteration barrier.
+        self.until_check -= 1;
+        if self.until_check == 0 {
+            self.until_check = LIMIT_CHECK_INTERVAL;
+            if self.check_limits() {
+                return false;
+            }
+        }
+        let lp = &self.plan.body[lit];
+        let row = self.view.db.relation(lp.pred).row(row_id as usize);
+        // Match the row against the slots, recording new bindings so we can
+        // undo them on backtrack.
+        let mut bound_here: Vec<u16> = Vec::new();
+        let ok = lp.slots.iter().enumerate().all(|(col, s)| match s {
+            Slot::Const(c) => row[col] == *c,
+            Slot::Var(v) => match bindings[*v as usize] {
+                Some(val) => val == row[col],
+                None => {
+                    bindings[*v as usize] = Some(row[col]);
+                    bound_here.push(*v);
+                    true
+                }
+            },
+        });
+        if ok {
+            premises.push((lp.pred, row_id));
+            self.join_from(outer, lit + 1, bindings, premises);
+            premises.pop();
+        }
+        for v in bound_here {
+            bindings[v as usize] = None;
+        }
+        !(self.stop || self.out.trip.is_some())
+    }
+
+    /// Check the negated literals under fully-bound `bindings`.
+    /// Stratification guarantees the negated relations are complete, so a
+    /// plain membership test implements negation-as-failure.
+    fn negatives_hold(&mut self, bindings: &[Option<Value>]) -> bool {
+        for neg in &self.plan.negatives {
+            let tuple: Vec<Value> = neg
+                .slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Const(c) => *c,
+                    Slot::Var(v) => bindings[*v as usize]
+                        .expect("safety guarantees negated variables are bound"),
+                })
+                .collect();
+            self.out.index_probes += 1;
+            if self.view.db.relation(neg.pred).contains(&tuple) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn emit(&mut self, bindings: &[Option<Value>], premises: &[(PredId, u32)]) {
+        self.out.derivations += 1;
+        let tuple: Box<[Value]> = self
+            .plan
+            .head_slots
+            .iter()
+            .map(|s| match s {
+                Slot::Const(c) => *c,
+                Slot::Var(v) => {
+                    bindings[*v as usize].expect("safety guarantees head variables are bound")
+                }
+            })
+            .collect();
+        self.out.emissions.push((tuple, premises.into()));
+        // One witness suffices for a boolean head (section 3.1's cut).
+        if self.view.boolean_cut && self.plan.head_slots.is_empty() {
+            self.stop = true;
+        }
+    }
+}
+
 struct Machine<'a> {
     db: &'a mut Database,
     plans: Vec<RulePlan>,
@@ -175,21 +491,17 @@ struct Machine<'a> {
     /// Per-rule counters + timeline, accumulated when profiling is on.
     profile: Option<EvalProfile>,
     query_pred: Option<PredId>,
-    /// Set while evaluating a zero-arity head under the boolean cut: once
-    /// one witness is found the join unwinds immediately (the paper's
-    /// "we are only interested in the existence of some solution", section 3.1).
-    stop_current: bool,
     boolean_cut: bool,
+    /// Worker threads for the enumeration half (1 = serial).
+    threads: usize,
     /// Wall-clock start of the evaluation (for deadline checks and the
     /// `elapsed_ms` a deadline trip reports).
     started: Instant,
     deadline: Option<Instant>,
     fact_budget: Option<u64>,
     cancel: Option<CancelToken>,
-    /// Countdown to the next cooperative limit check inside a join.
-    until_check: u32,
-    /// A tripped limit; once set, every join unwinds and the fixpoint
-    /// loop converts it into the corresponding [`EngineError`].
+    /// A tripped limit; once set, the merge stops applying buffers and the
+    /// fixpoint loop converts it into the corresponding [`EngineError`].
     trip: Option<Trip>,
 }
 
@@ -240,56 +552,235 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Check the negated literals of a plan under fully-bound `bindings`.
-    /// Stratification guarantees the negated relations are complete, so a
-    /// plain membership test implements negation-as-failure.
-    fn negatives_hold(&mut self, plan: &RulePlan, bindings: &[Option<Value>]) -> bool {
-        for neg in &plan.negatives {
-            let tuple: Vec<Value> = neg
-                .slots
-                .iter()
-                .map(|s| match s {
-                    Slot::Const(c) => *c,
-                    Slot::Var(v) => bindings[*v as usize]
-                        .expect("safety guarantees negated variables are bound"),
-                })
-                .collect();
-            self.stats.index_probes += 1;
-            if self.db.relation(neg.pred).contains(&tuple) {
-                return false;
-            }
+    /// The frozen, shareable view of the current iteration.
+    fn view(&self) -> IterView<'_> {
+        IterView {
+            db: self.db,
+            plans: &self.plans,
+            mark_prev: &self.mark_prev,
+            mark_cur: &self.mark_cur,
+            boolean_cut: self.boolean_cut,
+            deadline: self.deadline,
+            cancel: self.cancel.as_ref(),
         }
-        true
     }
 
-    /// [`Machine::run_variant`], attributing the counter and wall-time
-    /// deltas to the rule's profile when profiling is on. Attribution by
-    /// differencing the global counters keeps the join inner loops free of
-    /// profiling branches.
-    fn run_variant_profiled(&mut self, plan_idx: usize, delta_idx: Option<usize>) {
-        if self.profile.is_none() {
-            self.run_variant(plan_idx, delta_idx);
-            return;
+    /// Decompose one iteration into its tasks, in the fixed (rule, variant,
+    /// chunk) merge order, plus an estimate of the total enumeration work
+    /// (sum of body-literal range lengths) used to decide whether the
+    /// worker pool is worth engaging. Reads only frozen iteration-start
+    /// state — never the thread count — so every executor applies the
+    /// identical task sequence.
+    fn plan_tasks(&self, mine: &[usize], seed_round: bool) -> (Vec<Task>, usize) {
+        let mut tasks = Vec::new();
+        let mut work = 0usize;
+        for &i in mine {
+            if !self.active[i] {
+                continue;
+            }
+            let plan = &self.plans[i];
+            // Under the boolean cut, a proven zero-arity head needs no
+            // further derivations at all.
+            if self.boolean_cut
+                && plan.head_slots.is_empty()
+                && !self.db.relation(plan.head).is_empty()
+            {
+                continue;
+            }
+            if seed_round {
+                work += self.push_variant(&mut tasks, i, None);
+            } else {
+                for lit in 0..plan.body.len() {
+                    let (s, e) = self.bounds(plan.body[lit].pred, Range::Delta);
+                    if s < e {
+                        work += self.push_variant(&mut tasks, i, Some(lit));
+                    }
+                }
+            }
         }
-        let before = self.stats;
+        (tasks, work)
+    }
+
+    /// Push one join variant's tasks, splitting a large outer range into
+    /// chunks, and return the variant's estimated work. Chunk count and
+    /// boundaries depend only on the frozen range length.
+    fn push_variant(
+        &self,
+        tasks: &mut Vec<Task>,
+        plan_idx: usize,
+        delta_idx: Option<usize>,
+    ) -> usize {
+        let plan = &self.plans[plan_idx];
+        let outer = match plan.body.first() {
+            None => (0, 0),
+            Some(l0) => {
+                let range = match delta_idx {
+                    Some(0) => Range::Delta,
+                    _ => Range::Full,
+                };
+                self.bounds(l0.pred, range)
+            }
+        };
+        let len = outer.1 - outer.0;
+        let work: usize = len
+            + plan
+                .body
+                .iter()
+                .skip(1)
+                .map(|l| {
+                    let (s, e) = self.bounds(l.pred, Range::Full);
+                    e - s
+                })
+                .sum::<usize>();
+        // A boolean head stops at its first witness; chunking it would only
+        // enumerate witnesses the merge discards.
+        let chunks = if plan.body.is_empty() || (self.boolean_cut && plan.head_slots.is_empty()) {
+            1
+        } else {
+            (len / CHUNK_MIN_ROWS).clamp(1, MAX_CHUNKS_PER_VARIANT)
+        };
+        for c in 0..chunks {
+            tasks.push(Task {
+                plan_idx,
+                delta_idx,
+                outer: (outer.0 + len * c / chunks, outer.0 + len * (c + 1) / chunks),
+                lead: c == 0,
+            });
+        }
+        work
+    }
+
+    /// Serial executor: enumerate and merge each task in order. Returns
+    /// (enumeration ns, merge ns) for the profiler's iteration split.
+    fn run_serial(&mut self, tasks: &[Task]) -> (u64, u64) {
+        let mut enum_ns = 0u64;
+        let mut merge_ns = 0u64;
+        for &task in tasks {
+            if self.trip.is_some() {
+                break;
+            }
+            let out = enumerate_task(&self.view(), task);
+            enum_ns += out.wall_ns;
+            let t0 = Instant::now();
+            self.apply_task(task, out);
+            merge_ns += t0.elapsed().as_nanos() as u64;
+        }
+        (enum_ns, merge_ns)
+    }
+
+    /// Parallel executor: fan enumeration out over `workers` scoped threads
+    /// (work-stealing off a shared atomic cursor), then merge the buffers
+    /// in task order — the same order [`Machine::run_serial`] applies them.
+    fn run_parallel(&mut self, tasks: &[Task], workers: usize) -> (u64, u64) {
         let t0 = Instant::now();
-        self.run_variant(plan_idx, delta_idx);
-        let wall = t0.elapsed();
-        let after = self.stats;
-        let rule = &mut self.profile.as_mut().expect("checked above").rules[plan_idx];
-        rule.evals += 1;
-        rule.derivations += after.derivations - before.derivations;
-        rule.facts_derived += after.facts_derived - before.facts_derived;
-        rule.duplicates += after.duplicates - before.duplicates;
-        rule.tuples_scanned += after.tuples_scanned - before.tuples_scanned;
-        rule.index_probes += after.index_probes - before.index_probes;
-        rule.wall_ns += wall.as_nanos() as u64;
+        let mut slots: Vec<Option<TaskOut>> = Vec::new();
+        slots.resize_with(tasks.len(), || None);
+        {
+            let view = self.view();
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, TaskOut)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let view = &view;
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&task) = tasks.get(i) else { break };
+                                done.push((i, enumerate_task(view, task)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("enumeration worker panicked"))
+                    .collect()
+            });
+            for (i, out) in per_worker.into_iter().flatten() {
+                slots[i] = Some(out);
+            }
+        }
+        let enum_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        for (&task, out) in tasks.iter().zip(slots) {
+            if self.trip.is_some() {
+                break;
+            }
+            self.apply_task(task, out.expect("every task enumerated exactly once"));
+        }
+        (enum_ns, t1.elapsed().as_nanos() as u64)
+    }
+
+    /// Merge one task's buffer into the database, in emission order. This
+    /// is the single mutation point of the fixpoint: dedup, provenance, the
+    /// exact fact budget, and profile attribution all live here, so they
+    /// behave identically under any executor.
+    fn apply_task(&mut self, task: Task, out: TaskOut) {
+        let profiling = self.profile.is_some();
+        let before = profiling.then_some(self.stats);
+        let t0 = profiling.then(Instant::now);
+        self.stats.derivations += out.derivations;
+        self.stats.tuples_scanned += out.tuples_scanned;
+        self.stats.index_probes += out.index_probes;
+        let head = self.plans[task.plan_idx].head;
+        let rule_idx = self.plans[task.plan_idx].rule_idx;
+        for (tuple, premises) in &out.emissions {
+            if self.trip.is_some() {
+                break;
+            }
+            let rel = self.db.relation_mut(head);
+            let row_id = rel.len() as u32;
+            if rel.insert(tuple) {
+                self.stats.facts_derived += 1;
+                if let Some(p) = &mut self.provenance {
+                    p.record(head, row_id, rule_idx, premises.to_vec());
+                }
+                // Exact budget enforcement: the (budget+1)-th new fact
+                // trips. Checked here, not during enumeration, because only
+                // the merge knows which candidates are new.
+                if let Some(budget) = self.fact_budget {
+                    if self.stats.facts_derived > budget {
+                        self.trip = Some(Trip::Budget(budget));
+                    }
+                }
+            } else {
+                self.stats.duplicates += 1;
+            }
+        }
+        if self.trip.is_none() {
+            self.trip = out.trip;
+        }
+        if let (Some(before), Some(t0)) = (before, t0) {
+            let after = self.stats;
+            let rule = &mut self.profile.as_mut().expect("profiling is on").rules[task.plan_idx];
+            if task.lead {
+                rule.evals += 1;
+            }
+            rule.derivations += after.derivations - before.derivations;
+            rule.facts_derived += after.facts_derived - before.facts_derived;
+            rule.duplicates += after.duplicates - before.duplicates;
+            rule.tuples_scanned += after.tuples_scanned - before.tuples_scanned;
+            rule.index_probes += after.index_probes - before.index_probes;
+            rule.wall_ns += out.wall_ns + t0.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Append one iteration to the profile timeline: every predicate's
-    /// growth relative to the iteration-start marks, plus rules retired by
-    /// the boolean cut during this iteration.
-    fn record_iteration(&mut self, stratum: usize, wall_ns: u64, retired: u64) {
+    /// growth relative to the iteration-start marks, the enumeration/merge
+    /// wall split, plus rules retired by the boolean cut this iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn record_iteration(
+        &mut self,
+        stratum: usize,
+        wall_ns: u64,
+        parallel_ns: u64,
+        merge_ns: u64,
+        tasks: u64,
+        retired: u64,
+    ) {
         let iteration = self.stats.iterations;
         let mut deltas = Vec::new();
         for p in 0..self.db.pred_count() {
@@ -309,157 +800,12 @@ impl<'a> Machine<'a> {
                 iteration,
                 stratum,
                 wall_ns,
+                parallel_ns,
+                merge_ns,
+                tasks,
                 deltas,
                 rules_retired: retired,
             });
-        }
-    }
-
-    /// Evaluate one join variant of one rule. `delta_idx = None` means all
-    /// literals read `Full` (used by the naive strategy and the seed round).
-    fn run_variant(&mut self, plan_idx: usize, delta_idx: Option<usize>) {
-        if self.trip.is_some() {
-            return;
-        }
-        let plan = self.plans[plan_idx].clone();
-        // Under the boolean cut, a proven zero-arity head needs no further
-        // derivations at all.
-        if self.boolean_cut && plan.head_slots.is_empty() && !self.db.relation(plan.head).is_empty()
-        {
-            return;
-        }
-        self.stop_current = false;
-        let mut bindings: Vec<Option<Value>> = vec![None; plan.nvars];
-        let mut premises: Vec<(PredId, u32)> = Vec::with_capacity(plan.body.len());
-        self.join_from(&plan, delta_idx, 0, &mut bindings, &mut premises);
-        self.stop_current = false;
-    }
-
-    fn join_from(
-        &mut self,
-        plan: &RulePlan,
-        delta_idx: Option<usize>,
-        lit: usize,
-        bindings: &mut Vec<Option<Value>>,
-        premises: &mut Vec<(PredId, u32)>,
-    ) {
-        if lit == plan.body.len() {
-            if self.negatives_hold(plan, bindings) {
-                self.emit_head(plan, bindings, premises);
-            }
-            return;
-        }
-        let lp = &plan.body[lit];
-        let range = match delta_idx {
-            None => Range::Full,
-            Some(d) if lit < d => Range::Full,
-            Some(d) if lit == d => Range::Delta,
-            Some(_) => Range::Old,
-        };
-        let (start, end) = self.bounds(lp.pred, range);
-        if start >= end {
-            return;
-        }
-        // Pick a probe column: the first slot that is a constant or an
-        // already-bound variable.
-        let probe = lp.slots.iter().enumerate().find_map(|(col, s)| match s {
-            Slot::Const(c) => Some((col, *c)),
-            Slot::Var(v) => bindings[*v as usize].map(|val| (col, val)),
-        });
-        // Collect candidate row ids (borrowck: materialize before recursing).
-        let candidates: Vec<u32> = match probe {
-            Some((col, val)) => {
-                self.stats.index_probes += 1;
-                self.db
-                    .relation_mut(lp.pred)
-                    .probe(col, val)
-                    .iter()
-                    .copied()
-                    .filter(|&id| (id as usize) >= start && (id as usize) < end)
-                    .collect()
-            }
-            None => (start as u32..end as u32).collect(),
-        };
-        let slots = lp.slots.clone();
-        let pred = lp.pred;
-        for row_id in candidates {
-            self.stats.tuples_scanned += 1;
-            // Cooperative limit check: a rule application enumerating a
-            // pathological cross product must still observe its deadline
-            // (or cancellation) promptly, not only between iterations.
-            self.until_check -= 1;
-            if self.until_check == 0 {
-                self.until_check = LIMIT_CHECK_INTERVAL;
-                if self.check_limits() {
-                    return;
-                }
-            }
-            // Match the row against the slots, recording new bindings so we
-            // can undo them on backtrack.
-            let mut bound_here: Vec<u16> = Vec::new();
-            let row = self.db.relation(pred).row(row_id as usize);
-            let ok = slots.iter().enumerate().all(|(col, s)| match s {
-                Slot::Const(c) => row[col] == *c,
-                Slot::Var(v) => match bindings[*v as usize] {
-                    Some(val) => val == row[col],
-                    None => {
-                        bindings[*v as usize] = Some(row[col]);
-                        bound_here.push(*v);
-                        true
-                    }
-                },
-            });
-            if ok {
-                premises.push((pred, row_id));
-                self.join_from(plan, delta_idx, lit + 1, bindings, premises);
-                premises.pop();
-            }
-            for v in bound_here {
-                bindings[v as usize] = None;
-            }
-            if self.stop_current || self.trip.is_some() {
-                return;
-            }
-        }
-    }
-
-    fn emit_head(
-        &mut self,
-        plan: &RulePlan,
-        bindings: &[Option<Value>],
-        premises: &[(PredId, u32)],
-    ) {
-        self.stats.derivations += 1;
-        let tuple: Vec<Value> = plan
-            .head_slots
-            .iter()
-            .map(|s| match s {
-                Slot::Const(c) => *c,
-                Slot::Var(v) => {
-                    bindings[*v as usize].expect("safety guarantees head variables are bound")
-                }
-            })
-            .collect();
-        let rel = self.db.relation_mut(plan.head);
-        let row_id = rel.len() as u32;
-        if rel.insert(&tuple) {
-            self.stats.facts_derived += 1;
-            if let Some(p) = &mut self.provenance {
-                p.record(plan.head, row_id, plan.rule_idx, premises.to_vec());
-            }
-            // Exact budget enforcement: the (budget+1)-th new fact trips.
-            if let Some(budget) = self.fact_budget {
-                if self.stats.facts_derived > budget && self.trip.is_none() {
-                    self.trip = Some(Trip::Budget(budget));
-                    self.stop_current = true;
-                }
-            }
-        } else {
-            self.stats.duplicates += 1;
-        }
-        // One witness suffices for a boolean head (section 3.1's cut).
-        if self.boolean_cut && plan.head_slots.is_empty() {
-            self.stop_current = true;
         }
     }
 
@@ -631,19 +977,46 @@ fn compile(
         } else {
             rule.body.iter().collect()
         };
-        let body: Vec<LitPlan> = ordered_body
+        let mut body: Vec<LitPlan> = ordered_body
             .iter()
             .map(|a| LitPlan {
                 pred: db.pred_id(&a.pred).expect("registered above"),
                 slots: a.terms.iter().map(|t| slot_of(t, &mut var_ids)).collect(),
+                probe: Box::default(),
             })
             .collect();
+        // Statically plan each literal's probe columns: a column is bound
+        // when the join reaches the literal iff it holds a constant or a
+        // variable some *earlier* literal binds. (A variable repeated
+        // within one literal is first bound by the row match itself, so it
+        // does not count.) The enumeration order of `slots` is ascending,
+        // hence `probe` comes out sorted as the index requires.
+        let mut bound_vars: HashSet<u16> = HashSet::new();
+        for lp in body.iter_mut() {
+            lp.probe = lp
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| match s {
+                    Slot::Const(_) => true,
+                    Slot::Var(v) => bound_vars.contains(v),
+                })
+                .map(|(col, _)| col)
+                .collect();
+            for s in &lp.slots {
+                if let Slot::Var(v) = s {
+                    bound_vars.insert(*v);
+                }
+            }
+        }
         let negatives: Vec<LitPlan> = rule
             .negative
             .iter()
             .map(|a| LitPlan {
                 pred: db.pred_id(&a.pred).expect("registered above"),
                 slots: a.terms.iter().map(|t| slot_of(t, &mut var_ids)).collect(),
+                // Negation is a fully-bound membership test, not a probe.
+                probe: Box::default(),
             })
             .collect();
         let head_slots: Vec<Slot> = rule
@@ -692,6 +1065,21 @@ pub fn evaluate(
         let id = db.register(pred, tuple.len());
         db.insert(id, tuple);
     }
+    // Build every composite index the compiled probes need, up front: the
+    // join plans fix which columns arrive bound at each literal, so the
+    // column sets are known statically. From here on the inner loop probes
+    // through `&Relation` only ([`Relation::probe_range`]), which is what
+    // lets each iteration freeze the database and share it across workers.
+    // `insert` keeps the indexes fresh as the fixpoint grows.
+    let wanted: BTreeSet<(PredId, &[usize])> = plans
+        .iter()
+        .flat_map(|p| &p.body)
+        .filter(|lp| !lp.probe.is_empty())
+        .map(|lp| (lp.pred, &*lp.probe))
+        .collect();
+    for (pred, cols) in wanted {
+        db.ensure_index(pred, cols);
+    }
     let n_preds = db.pred_count();
     let query_pred = program
         .query
@@ -716,13 +1104,12 @@ pub fn evaluate(
             timeline: Vec::new(),
         }),
         query_pred,
-        stop_current: false,
         boolean_cut: opts.boolean_cut,
+        threads: opts.threads.max(1),
         started: Instant::now(),
         deadline: opts.deadline,
         fact_budget: opts.fact_budget,
         cancel: opts.cancel.clone(),
-        until_check: LIMIT_CHECK_INTERVAL,
         trip: None,
     };
 
@@ -763,33 +1150,20 @@ pub fn evaluate(
                 m.mark_cur[p] = m.db.relation(PredId(p as u32)).len();
             }
             let before = m.db.total_facts();
-            match (opts.strategy, first) {
-                (Strategy::Naive, _) | (_, true) => {
-                    // Naive round: every active rule against full relations.
-                    for &i in &mine {
-                        if m.active[i] {
-                            m.run_variant_profiled(i, None);
-                        }
-                    }
-                }
-                (Strategy::SemiNaive, false) => {
-                    for &i in &mine {
-                        if !m.active[i] {
-                            continue;
-                        }
-                        for lit in 0..m.plans[i].body.len() {
-                            let pred = m.plans[i].body[lit].pred;
-                            let (s, e) = m.bounds(pred, Range::Delta);
-                            if s < e {
-                                m.run_variant_profiled(i, Some(lit));
-                            }
-                        }
-                    }
-                }
-            }
-            // A limit tripped inside a rule application: surface it now,
-            // before the convergence test could mistake the partially
-            // evaluated iteration for a fixpoint.
+            // Freeze → plan → fan out → merge. The seed round (and the
+            // naive strategy, every round) reads all literals Full;
+            // semi-naive rounds get one variant per non-empty delta.
+            let seed_round = first || matches!(opts.strategy, Strategy::Naive);
+            let (tasks, work) = m.plan_tasks(&mine, seed_round);
+            let workers = m.threads.min(tasks.len());
+            let (parallel_ns, merge_ns) = if workers > 1 && work >= PARALLEL_MIN_WORK {
+                m.run_parallel(&tasks, workers)
+            } else {
+                m.run_serial(&tasks)
+            };
+            // A limit tripped inside a task: surface it now, before the
+            // convergence test could mistake the partially merged
+            // iteration for a fixpoint.
             if let Some(e) = m.take_trip() {
                 return Err(e);
             }
@@ -798,7 +1172,14 @@ pub fn evaluate(
             }
             if let Some(t0) = iter_start {
                 let retired = m.stats.rules_retired - retired_before;
-                m.record_iteration(stratum, t0.elapsed().as_nanos() as u64, retired);
+                m.record_iteration(
+                    stratum,
+                    t0.elapsed().as_nanos() as u64,
+                    parallel_ns,
+                    merge_ns,
+                    tasks.len() as u64,
+                    retired,
+                );
             }
             // Advance marks: what was current becomes previous.
             for p in 0..n_preds {
@@ -1243,6 +1624,177 @@ mod tests {
         .unwrap_err();
         let stats = err.partial_stats().unwrap();
         assert_eq!(stats.iterations, 0, "tripped at the first boundary check");
+    }
+
+    /// A dense random-ish digraph: big enough that transitive-closure
+    /// iterations cross the [`CHUNK_MIN_ROWS`] and [`PARALLEL_MIN_WORK`]
+    /// thresholds, so the parallel tests exercise chunked fan-out for real.
+    fn dense_edb(n: i64, m: i64) -> FactSet {
+        let mut fs = FactSet::new();
+        let mut x: i64 = 42;
+        for _ in 0..m {
+            // Deterministic xorshift-style scramble; no RNG dependency.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = x.rem_euclid(n);
+            let b = (x >> 16).rem_euclid(n);
+            fs.insert(PredRef::new("p"), vec![Value::int(a), Value::int(b)]);
+        }
+        fs
+    }
+
+    /// Byte-level identity: same row ids per predicate (not just the same
+    /// set of facts), same stats partition, same provenance.
+    fn assert_identical(a: &EvalOutput, b: &EvalOutput) {
+        assert_eq!(a.stats, b.stats, "stats partition differs");
+        assert_eq!(a.database.pred_count(), b.database.pred_count());
+        for p in 0..a.database.pred_count() {
+            let id = PredId(p as u32);
+            assert_eq!(a.database.pred_ref(id), b.database.pred_ref(id));
+            let ra: Vec<&[Value]> = a.database.relation(id).iter().collect();
+            let rb: Vec<&[Value]> = b.database.relation(id).iter().collect();
+            assert_eq!(ra, rb, "row order differs for {}", a.database.pred_ref(id));
+        }
+        assert_eq!(a.provenance, b.provenance, "provenance differs");
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical_to_serial() {
+        // Programs covering recursion, negation, and the boolean cut.
+        let cases: Vec<(&str, bool)> = vec![
+            (TC, false),
+            (
+                "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                 a(X, Y) :- p(X, Y).\n\
+                 base(X) :- p(X, _).\n\
+                 island(X) :- base(X), not a(X, X).\n\
+                 ?- island(X).",
+                false,
+            ),
+            (
+                "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                 a(X, Y) :- p(X, Y).\n\
+                 b :- a(X, X).\n\
+                 q(X) :- p(X, _), b.\n\
+                 ?- q(X).",
+                true,
+            ),
+        ];
+        let edb = dense_edb(48, 1400);
+        for (src, cut) in cases {
+            let p = parse_program(src).unwrap().program;
+            let opts = |threads: usize| EvalOptions {
+                threads,
+                boolean_cut: cut,
+                record_provenance: true,
+                ..EvalOptions::default()
+            };
+            let serial = evaluate(&p, &edb, &opts(1)).unwrap();
+            for threads in [2, 3, 8] {
+                let par = evaluate(&p, &edb, &opts(threads)).unwrap();
+                assert_identical(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_profile_counters_match_serial() {
+        let p = parse_program(TC).unwrap().program;
+        let edb = dense_edb(40, 1000);
+        let opts = |threads: usize| EvalOptions {
+            threads,
+            profile: true,
+            ..EvalOptions::default()
+        };
+        let serial = evaluate(&p, &edb, &opts(1)).unwrap();
+        let par = evaluate(&p, &edb, &opts(4)).unwrap();
+        assert_identical(&serial, &par);
+        // Profiles agree on everything but wall time (which legitimately
+        // varies run to run): per-rule counters, retirement, the timeline's
+        // per-iteration deltas and task counts.
+        assert_eq!(
+            serial.profile.unwrap().counters_only(),
+            par.profile.unwrap().counters_only()
+        );
+    }
+
+    #[test]
+    fn parallel_budget_trips_exactly_like_serial() {
+        let p = parse_program(TC).unwrap().program;
+        let opts = |threads: usize| EvalOptions {
+            threads,
+            fact_budget: Some(100),
+            ..EvalOptions::default()
+        };
+        for threads in [1usize, 4] {
+            let err = evaluate(&p, &chain_edb(50), &opts(threads)).unwrap_err();
+            match err {
+                EngineError::BudgetExceeded { budget, stats } => {
+                    assert_eq!(budget, 100);
+                    // The merge applies buffers in task order and stops at
+                    // the trip, so enforcement stays exact at any width.
+                    assert_eq!(stats.facts_derived, 101, "threads={threads}");
+                }
+                other => panic!("expected BudgetExceeded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cancellation_unwinds_cleanly() {
+        let (p, edb) = pathological();
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let err = evaluate(
+            &p,
+            &edb,
+            &EvalOptions {
+                threads: 4,
+                cancel: Some(token),
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, EngineError::Cancelled { .. }), "{err:?}");
+        assert!(err.partial_stats().unwrap().tuples_scanned > 0);
+    }
+
+    #[test]
+    fn compile_time_probe_planning_builds_composite_indexes() {
+        // t(X, Y, Z) joined with itself on two columns: the second literal
+        // probes on both bound positions, so a composite [0, 2] index (in
+        // that literal's column space: s(Y, W, X) has Y at 0 and X at 2)
+        // must exist after evaluation.
+        let p = parse_program(
+            "j(X, W) :- t(X, Y, Z), s(Y, W, X).\n\
+             ?- j(X, _).",
+        )
+        .unwrap()
+        .program;
+        let mut edb = FactSet::new();
+        edb.insert(
+            PredRef::new("t"),
+            vec![Value::int(1), Value::int(2), Value::int(3)],
+        );
+        edb.insert(
+            PredRef::new("s"),
+            vec![Value::int(2), Value::int(9), Value::int(1)],
+        );
+        let out = evaluate(&p, &edb, &EvalOptions::default()).unwrap();
+        let s = out.database.pred_id(&PredRef::new("s")).unwrap();
+        assert!(out.database.relation(s).has_index(&[0, 2]));
+        let j = out.database.pred_id(&PredRef::new("j")).unwrap();
+        assert_eq!(out.database.relation(j).len(), 1);
+        // Exactly one probe row matched both columns: no residual filtering.
+        assert_eq!(out.stats.derivations, 1);
     }
 
     #[test]

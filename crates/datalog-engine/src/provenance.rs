@@ -23,7 +23,11 @@ pub struct Justification {
 }
 
 /// First-derivation provenance for one evaluation.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares the full fact → justification map; the parallel
+/// evaluator's determinism tests use it to assert that any thread count
+/// records byte-identical provenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Provenance {
     just: HashMap<(PredId, u32), Justification>,
 }

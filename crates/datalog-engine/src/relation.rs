@@ -1,10 +1,19 @@
 //! Tuple storage for one predicate: append-only rows, duplicate
-//! elimination, and lazily built per-column hash indices.
+//! elimination, and composite hash indices over column sets.
+//!
+//! Indices are *planned up front* (from the compiled join plans) via
+//! [`Relation::ensure_index`] and maintained incrementally by
+//! [`Relation::insert`] from then on. Probing is a `&self` operation
+//! ([`Relation::probe_range`]), which is what lets one frozen relation be
+//! shared across worker threads during a parallel fixpoint iteration.
 
 use std::collections::HashMap;
 use std::collections::HashSet;
 
 use datalog_ast::Value;
+
+/// One composite index: projection key → ascending ids of matching rows.
+type Postings = HashMap<Box<[Value]>, Vec<u32>>;
 
 /// A stored relation. Rows are append-only and keep insertion order, which
 /// is what lets semi-naive evaluation address "the delta" as a contiguous
@@ -14,10 +23,11 @@ pub struct Relation {
     arity: usize,
     rows: Vec<Box<[Value]>>,
     seen: HashSet<Box<[Value]>>,
-    /// Lazily built single-column indices: `indices[col][value]` lists the
-    /// row ids whose column `col` equals `value`. Once built, an index is
-    /// maintained incrementally by `insert`.
-    indices: HashMap<usize, HashMap<Value, Vec<u32>>>,
+    /// Composite indices keyed by (sorted) column sets:
+    /// `indices[cols][key]` lists, in ascending order, the ids of rows
+    /// whose projection onto `cols` equals `key`. Built explicitly by
+    /// `ensure_index`, kept fresh by `insert`.
+    indices: HashMap<Box<[usize]>, Postings>,
 }
 
 impl Relation {
@@ -55,8 +65,9 @@ impl Relation {
         }
         let boxed: Box<[Value]> = tuple.into();
         let row_id = self.rows.len() as u32;
-        for (&col, index) in self.indices.iter_mut() {
-            index.entry(boxed[col]).or_default().push(row_id);
+        for (cols, index) in self.indices.iter_mut() {
+            let key: Box<[Value]> = cols.iter().map(|&c| boxed[c]).collect();
+            index.entry(key).or_default().push(row_id);
         }
         self.seen.insert(boxed.clone());
         self.rows.push(boxed);
@@ -81,23 +92,52 @@ impl Relation {
             .map(move |(i, r)| (start + i, &**r))
     }
 
-    /// Ensure a hash index exists on `col` and return row ids matching
-    /// `value` (unsliced — caller filters by range). Returns an empty slice
-    /// when no row matches.
-    pub fn probe(&mut self, col: usize, value: Value) -> &[u32] {
-        debug_assert!(col < self.arity);
-        let index = self.indices.entry(col).or_default();
-        if index.is_empty() && !self.rows.is_empty() {
-            for (i, row) in self.rows.iter().enumerate() {
-                index.entry(row[col]).or_default().push(i as u32);
-            }
+    /// Build the index over the column set `cols` if it does not exist yet.
+    /// `cols` must be non-empty, strictly ascending, and within the arity.
+    /// Once built, the index is maintained incrementally by `insert`.
+    pub fn ensure_index(&mut self, cols: &[usize]) {
+        debug_assert!(!cols.is_empty(), "index over the empty column set");
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "columns not sorted");
+        debug_assert!(cols.iter().all(|&c| c < self.arity), "column out of range");
+        if self.indices.contains_key(cols) {
+            return;
         }
-        index.get(&value).map_or(&[], |v| v.as_slice())
+        let mut index = Postings::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Box<[Value]> = cols.iter().map(|&c| row[c]).collect();
+            index.entry(key).or_default().push(i as u32);
+        }
+        self.indices.insert(cols.into(), index);
     }
 
-    /// Whether an index on `col` has been materialized.
-    pub fn has_index(&self, col: usize) -> bool {
-        self.indices.contains_key(&col)
+    /// Ids of rows in `[start, end)` whose projection onto `cols` equals
+    /// `key`, as a subslice of the index postings. Row ids are appended in
+    /// order, so the `[start, end)` bounds are found by binary search
+    /// instead of a linear filter — the caller gets exactly the delta
+    /// range's hits with no copying.
+    ///
+    /// The index over `cols` must have been built with
+    /// [`Relation::ensure_index`]; probing is read-only so a frozen
+    /// relation can be shared across threads.
+    ///
+    /// # Panics
+    /// Panics if no index over `cols` exists.
+    pub fn probe_range(&self, cols: &[usize], key: &[Value], start: usize, end: usize) -> &[u32] {
+        let index = self
+            .indices
+            .get(cols)
+            .unwrap_or_else(|| panic!("probe_range over unplanned index {cols:?}"));
+        let Some(postings) = index.get(key) else {
+            return &[];
+        };
+        let lo = postings.partition_point(|&id| (id as usize) < start);
+        let hi = postings.partition_point(|&id| (id as usize) < end);
+        &postings[lo..hi]
+    }
+
+    /// Whether an index over the column set `cols` has been materialized.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indices.contains_key(cols)
     }
 
     /// Iterate all rows.
@@ -137,21 +177,62 @@ mod tests {
     }
 
     #[test]
-    fn probe_builds_index_lazily_then_maintains() {
+    fn ensure_index_builds_then_insert_maintains() {
         let mut r = Relation::new(2);
         r.insert(&t(&[1, 10]));
         r.insert(&t(&[2, 20]));
         r.insert(&t(&[1, 30]));
-        assert!(!r.has_index(0));
-        let hits: Vec<u32> = r.probe(0, Value::int(1)).to_vec();
-        assert_eq!(hits, vec![0, 2]);
-        assert!(r.has_index(0));
+        assert!(!r.has_index(&[0]));
+        r.ensure_index(&[0]);
+        assert!(r.has_index(&[0]));
+        let hits = r.probe_range(&[0], &t(&[1]), 0, 3);
+        assert_eq!(hits, &[0, 2]);
         // Insert after index creation: index must stay in sync.
         r.insert(&t(&[1, 40]));
-        let hits: Vec<u32> = r.probe(0, Value::int(1)).to_vec();
-        assert_eq!(hits, vec![0, 2, 3]);
+        let hits = r.probe_range(&[0], &t(&[1]), 0, 4);
+        assert_eq!(hits, &[0, 2, 3]);
         // Probing a missing value yields nothing.
-        assert!(r.probe(0, Value::int(9)).is_empty());
+        assert!(r.probe_range(&[0], &t(&[9]), 0, 4).is_empty());
+    }
+
+    #[test]
+    fn probe_range_binary_searches_the_bounds() {
+        let mut r = Relation::new(2);
+        // Rows 0..8; even row ids carry key 7.
+        for i in 0..8 {
+            r.insert(&t(&[if i % 2 == 0 { 7 } else { 1 }, i]));
+        }
+        r.ensure_index(&[0]);
+        let key = t(&[7]);
+        // Full range: all even ids.
+        assert_eq!(r.probe_range(&[0], &key, 0, 8), &[0, 2, 4, 6]);
+        // A delta range strictly inside: only the hits within it.
+        assert_eq!(r.probe_range(&[0], &key, 2, 6), &[2, 4]);
+        // Boundaries are half-open: start is inclusive, end exclusive.
+        assert_eq!(r.probe_range(&[0], &key, 2, 7), &[2, 4, 6]);
+        assert_eq!(r.probe_range(&[0], &key, 3, 6), &[4]);
+        // Ranges touching the ends and empty ranges.
+        assert_eq!(r.probe_range(&[0], &key, 6, 8), &[6]);
+        assert_eq!(r.probe_range(&[0], &key, 7, 8), &[] as &[u32]);
+        assert_eq!(r.probe_range(&[0], &key, 4, 4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn composite_index_probes_all_bound_columns() {
+        let mut r = Relation::new(3);
+        r.insert(&t(&[1, 5, 9]));
+        r.insert(&t(&[1, 6, 9]));
+        r.insert(&t(&[1, 5, 8]));
+        r.insert(&t(&[2, 5, 9]));
+        r.ensure_index(&[0, 2]);
+        assert!(r.has_index(&[0, 2]));
+        assert!(!r.has_index(&[0]));
+        assert_eq!(r.probe_range(&[0, 2], &t(&[1, 9]), 0, 4), &[0, 1]);
+        assert_eq!(r.probe_range(&[0, 2], &t(&[2, 9]), 0, 4), &[3]);
+        assert_eq!(r.probe_range(&[0, 2], &t(&[2, 8]), 0, 4), &[] as &[u32]);
+        // The composite index stays fresh across inserts too.
+        r.insert(&t(&[1, 7, 9]));
+        assert_eq!(r.probe_range(&[0, 2], &t(&[1, 9]), 0, 5), &[0, 1, 4]);
     }
 
     #[test]

@@ -78,6 +78,14 @@ pub struct ServerConfig {
     pub addr: String,
     /// Number of worker threads (= max concurrent clients).
     pub threads: usize,
+    /// Evaluation threads per query (the engine's fixpoint fan-out).
+    /// Results are byte-identical at any value; the default honors the
+    /// `XDL_EVAL_THREADS` environment variable and falls back to 1.
+    pub eval_threads: usize,
+    /// Greedily reorder join bodies in the prepared (serving) path. On by
+    /// default — the server always wants the cheapest join order; `xdl
+    /// run` keeps it off so experiment counters reflect source order.
+    pub reorder_joins: bool,
     /// Prepared-form cache capacity.
     pub cache_capacity: usize,
     /// Run translation validation on every optimizer invocation
@@ -114,6 +122,11 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 4,
+            eval_threads: std::env::var("XDL_EVAL_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+            reorder_joins: true,
             cache_capacity: 256,
             verify: false,
             wal_dir: None,
@@ -171,6 +184,8 @@ pub struct ServerState {
     last_trace: Mutex<Option<Json>>,
     shutdown: AtomicBool,
     threads: usize,
+    eval_threads: usize,
+    reorder_joins: bool,
     verify: bool,
     queries: AtomicU64,
     cache_misses: AtomicU64,
@@ -213,6 +228,8 @@ impl ServerState {
             last_trace: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             threads,
+            eval_threads: 1,
+            reorder_joins: true,
             verify: false,
             queries: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -262,6 +279,8 @@ impl ServerState {
     /// replays snapshot + log into the fresh state.
     pub fn from_config(cfg: &ServerConfig) -> std::io::Result<ServerState> {
         let mut state = ServerState::new(cfg.cache_capacity, cfg.threads.max(1));
+        state.eval_threads = cfg.eval_threads.max(1);
+        state.reorder_joins = cfg.reorder_joins;
         state.verify = cfg.verify;
         state.fault = Arc::clone(&cfg.fault);
         state.deadline_ms = cfg.deadline_ms;
@@ -782,6 +801,12 @@ impl ServerState {
         let facts = snapshot.to_factset();
         let opts = EvalOptions {
             boolean_cut: true,
+            // The serving path defaults both on: reordered joins (cheapest
+            // order, not source order) and the iteration fan-out. Workers
+            // poll the same deadline/cancel the serial path does, so the
+            // limit envelope is unchanged.
+            reorder_joins: self.reorder_joins,
+            threads: self.eval_threads,
             deadline: self
                 .deadline_ms
                 .map(|ms| started + Duration::from_millis(ms)),
@@ -1269,6 +1294,50 @@ mod tests {
             stats.payload_text().contains("\"panics_recovered\":1"),
             "{}",
             stats.payload_text()
+        );
+    }
+
+    #[test]
+    fn serving_path_defaults_to_reordered_joins() {
+        // The prepared/serving path always wants the cheapest join order;
+        // only `xdl run` keeps source order (for experiment counters).
+        // Pin the default so a regression here is loud.
+        assert!(ServerConfig::default().reorder_joins);
+        let state = ServerState::new(8, 1);
+        assert!(state.reorder_joins, "fresh state serves reordered joins");
+        let cfg = ServerConfig {
+            reorder_joins: false,
+            ..ServerConfig::default()
+        };
+        let state = ServerState::from_config(&cfg).unwrap();
+        assert!(!state.reorder_joins, "--no-reorder must reach eval");
+    }
+
+    #[test]
+    fn queries_parallel_and_serial_agree_byte_for_byte() {
+        let answers_at = |threads: usize| {
+            let state = ServerState::from_config(&ServerConfig {
+                eval_threads: threads,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            let dir = TempDir::new(&format!("par{threads}"));
+            let file = dir.0.join("tc.dl");
+            let mut src = String::from("a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n");
+            for i in 0..40 {
+                src.push_str(&format!("p({}, {}).\n", i, (i * 7 + 3) % 40));
+            }
+            std::fs::write(&file, src).unwrap();
+            assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+            let resp = state.handle(&Request::Query("?- a(X, _).".into()));
+            assert!(resp.ok, "{}", resp.error);
+            resp.payload_text()
+        };
+        let serial = answers_at(1);
+        assert_eq!(
+            serial,
+            answers_at(4),
+            "server answers must not depend on eval_threads"
         );
     }
 

@@ -83,6 +83,17 @@ pub struct IterationProfile {
     pub stratum: usize,
     /// Wall time of the iteration, in nanoseconds.
     pub wall_ns: u64,
+    /// Wall time of the enumeration half: serially, the sum over tasks of
+    /// their enumeration time; in parallel, the wall time of the fan-out
+    /// region (workers overlap, so this can be far below the per-task sum).
+    pub parallel_ns: u64,
+    /// Wall time of the merge half: applying the buffered candidate tuples
+    /// to the database in fixed task order.
+    pub merge_ns: u64,
+    /// Schedulable tasks this iteration decomposed into — (rule, variant,
+    /// chunk) units. Planned from frozen iteration-start state, so the
+    /// count is identical at any thread count.
+    pub tasks: u64,
     /// Per-predicate growth (only predicates that gained facts appear).
     pub deltas: Vec<PredDelta>,
     /// Rules the §3.1 cut retired at the end of this iteration.
@@ -96,6 +107,9 @@ impl IterationProfile {
             .with("iteration", self.iteration)
             .with("stratum", self.stratum)
             .with("wall_ns", self.wall_ns)
+            .with("parallel_ns", self.parallel_ns)
+            .with("merge_ns", self.merge_ns)
+            .with("tasks", self.tasks)
             .with("rules_retired", self.rules_retired)
             .with(
                 "deltas",
@@ -141,6 +155,24 @@ impl EvalProfile {
                         .collect(),
                 ),
             )
+    }
+
+    /// A copy with every wall-time field zeroed, leaving only the
+    /// deterministic counters. Wall times legitimately differ between runs
+    /// (and between thread counts); everything else in a profile is a pure
+    /// function of the program and input, so differential tests compare
+    /// `counters_only()` for equality.
+    pub fn counters_only(&self) -> EvalProfile {
+        let mut p = self.clone();
+        for r in &mut p.rules {
+            r.wall_ns = 0;
+        }
+        for it in &mut p.timeline {
+            it.wall_ns = 0;
+            it.parallel_ns = 0;
+            it.merge_ns = 0;
+        }
+        p
     }
 
     /// Rule indices ranked by wall time (hottest first; ties by derivations
@@ -221,10 +253,13 @@ impl EvalProfile {
             };
             let _ = writeln!(
                 out,
-                "  iter {:>3} (stratum {}) {:>9.1} us  {}{}",
+                "  iter {:>3} (stratum {}) {:>9.1} us (enum {:.1} + merge {:.1}, {} task(s))  {}{}",
                 it.iteration,
                 it.stratum,
                 it.wall_ns as f64 / 1e3,
+                it.parallel_ns as f64 / 1e3,
+                it.merge_ns as f64 / 1e3,
+                it.tasks,
                 if deltas.is_empty() {
                     "no growth".to_string()
                 } else {
@@ -275,6 +310,9 @@ mod tests {
                 iteration: 1,
                 stratum: 0,
                 wall_ns: 14_000,
+                parallel_ns: 11_000,
+                merge_ns: 3_000,
+                tasks: 3,
                 deltas: vec![PredDelta {
                     pred: "a".into(),
                     new_facts: 6,
@@ -312,6 +350,7 @@ mod tests {
         assert!(t.contains("iter   1"));
         assert!(t.contains("a+6 (=6)"));
         assert!(t.contains("1 rule(s) retired"));
+        assert!(t.contains("enum 11.0 + merge 3.0, 3 task(s)"), "{t}");
     }
 
     #[test]
@@ -323,5 +362,22 @@ mod tests {
         assert!(s.contains("\"retired_at\":null"));
         assert!(s.contains("\"timeline\""));
         assert!(s.contains("\"new_facts\":6"));
+        assert!(s.contains("\"parallel_ns\":11000"));
+        assert!(s.contains("\"merge_ns\":3000"));
+        assert!(s.contains("\"tasks\":3"));
+    }
+
+    #[test]
+    fn counters_only_zeroes_every_wall_field() {
+        let stripped = sample().counters_only();
+        assert_eq!(stripped.rules[0].wall_ns, 0);
+        assert_eq!(stripped.rules[1].wall_ns, 0);
+        assert_eq!(stripped.timeline[0].wall_ns, 0);
+        assert_eq!(stripped.timeline[0].parallel_ns, 0);
+        assert_eq!(stripped.timeline[0].merge_ns, 0);
+        // The deterministic fields survive untouched.
+        assert_eq!(stripped.timeline[0].tasks, 3);
+        assert_eq!(stripped.rules[0].derivations, 10);
+        assert_eq!(stripped.rules[1].retired_at, Some(2));
     }
 }

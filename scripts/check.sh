@@ -66,9 +66,11 @@ echo "check.sh: server smoke ok"
 
 # Fault suite: the injection harness (fsync failure, torn WAL tail, panic
 # isolation, deadline storm, slow client, budget, shedding, drain) must
-# pass against the release-profile server crate.
-cargo test -q -p datalog-server --test faults > /dev/null
-echo "check.sh: fault suite ok"
+# pass against the release-profile server crate — with parallel evaluation
+# on (XDL_EVAL_THREADS feeds ServerConfig::default), so limits, panics and
+# recovery are exercised under the threaded fixpoint too.
+XDL_EVAL_THREADS=4 cargo test -q -p datalog-server --test faults > /dev/null
+echo "check.sh: fault suite ok (eval_threads=4)"
 
 # Resource-limit smoke: a budget-limited run fails with a structured
 # message carrying partial stats, instead of succeeding or hanging.
@@ -82,6 +84,26 @@ if ! grep -q 'budget' "$smoke_dir/limit.err" || ! grep -q 'partial:' "$smoke_dir
     exit 1
 fi
 echo "check.sh: resource-limit smoke ok"
+
+# Scaling smoke: parallel evaluation must be byte-identical to serial —
+# the answers and the full stats partition, not just the answer set.
+./target/release/xdl run "$smoke_dir/run.dl" --stats --threads 1 \
+    > "$smoke_dir/threads1.out" 2>&1
+./target/release/xdl run "$smoke_dir/run.dl" --stats --threads 4 \
+    > "$smoke_dir/threads4.out" 2>&1
+if ! cmp -s "$smoke_dir/threads1.out" "$smoke_dir/threads4.out"; then
+    echo "check.sh: --threads 4 output differs from serial:" >&2
+    diff "$smoke_dir/threads1.out" "$smoke_dir/threads4.out" >&2 || true
+    exit 1
+fi
+echo "check.sh: scaling smoke ok"
+
+# Scaling experiment: record a quick E12 run so BENCH history accumulates
+# alongside the committed full-mode BENCH_e12.json.
+mkdir -p bench_history
+./target/release/harness e12 --quick --json \
+    > "bench_history/e12-$(date +%s).json"
+echo "check.sh: e12 recorded ($(ls bench_history | wc -l) history entries)"
 
 # Crash-recovery smoke: ingest through a WAL-backed server, SIGKILL it
 # (no shutdown, no flush), restart on the same WAL directory, and demand
