@@ -14,9 +14,11 @@
 //! xdl serve [--port <p>] [--threads <n>] [--no-reorder] [--verify] [--wal <dir>]
 //!           [--fsync always|batch|never] [--compact-every <n>]
 //!           [--max-conns <n>] [--max-inflight <n>] [--deadline-ms <ms>]
-//!           [--budget <n>] [--grace-ms <ms>]
+//!           [--budget <n>] [--grace-ms <ms>] [--slow-query-ms <ms>]
+//!           [--limit-events <n>] [--no-metrics]
 //! xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]...
 //!           [--stats] [--trace] [--shutdown] ['?- atom.']
+//! xdl metrics --connect <addr> [--json | --watch]
 //! ```
 //!
 //! `--threads <n>` fans each fixpoint iteration's rule applications out
@@ -72,9 +74,11 @@ fn usage() -> String {
      xdl check <file1.dl> <file2.dl> [--instances <n>] [--seed-idb]\n  \
      xdl serve [--port <p>] [--threads <n>] [--no-reorder] [--verify] [--wal <dir>] \
      [--fsync always|batch|never] [--compact-every <n>] [--max-conns <n>] \
-     [--max-inflight <n>] [--deadline-ms <ms>] [--budget <n>] [--grace-ms <ms>]\n  \
+     [--max-inflight <n>] [--deadline-ms <ms>] [--budget <n>] [--grace-ms <ms>] \
+     [--slow-query-ms <ms>] [--limit-events <n>] [--no-metrics]\n  \
      xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]... \
-     [--stats] [--trace] [--shutdown] ['?- atom.']"
+     [--stats] [--trace] [--shutdown] ['?- atom.']\n  \
+     xdl metrics --connect <addr> [--json | --watch]"
         .to_owned()
 }
 
@@ -95,6 +99,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "check" => done(cmd_check(&rest)),
         "serve" => done(cmd_serve(&rest)),
         "query" => done(cmd_query(&rest)),
+        "metrics" => done(cmd_metrics(&rest)),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(ExitCode::SUCCESS)
@@ -530,6 +535,16 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
     if let Some(ms) = option_value(rest, "--grace-ms") {
         cfg.grace_ms = ms.parse().map_err(|_| "--grace-ms takes milliseconds")?;
     }
+    if let Some(ms) = option_value(rest, "--slow-query-ms") {
+        cfg.slow_query_ms = Some(
+            ms.parse()
+                .map_err(|_| "--slow-query-ms takes milliseconds")?,
+        );
+    }
+    if let Some(n) = option_value(rest, "--limit-events") {
+        cfg.limit_events = n.parse().map_err(|_| "--limit-events takes a number")?;
+    }
+    cfg.metrics = !flag(rest, "--no-metrics");
     let server = Server::spawn(&cfg).map_err(|e| format!("cannot start on {}: {e}", cfg.addr))?;
     if let Some(rec) = server.state().recovery() {
         // One machine-readable line before "listening": what the WAL replay
@@ -613,6 +628,44 @@ fn cmd_query(rest: &[&String]) -> Result<(), String> {
         send("SHUTDOWN".to_string())?;
     }
     Ok(())
+}
+
+/// `xdl metrics --connect <addr>`: scrape a running server's METRICS
+/// endpoint. Default prints the Prometheus text exposition once; `--json`
+/// prints the JSON readout instead; `--watch` re-scrapes every 2 seconds
+/// until interrupted (each scrape redraws the screen).
+fn cmd_metrics(rest: &[&String]) -> Result<(), String> {
+    let addr = option_value(rest, "--connect").ok_or("metrics needs --connect <addr>")?;
+    let json = flag(rest, "--json");
+    let watch = flag(rest, "--watch");
+    if json && watch {
+        return Err("metrics takes --json or --watch, not both".into());
+    }
+    if let Some(bad) = rest
+        .iter()
+        .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--connect" | "--json" | "--watch"))
+    {
+        return Err(format!("unknown option '{bad}'\n{}", usage()));
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    loop {
+        let resp = client.metrics(json).map_err(|e| format!("{addr}: {e}"))?;
+        if !resp.ok {
+            return Err(resp.error);
+        }
+        if watch {
+            // Clear + home, then the fresh scrape: a cheap top(1)-style view.
+            print!("\x1b[2J\x1b[H");
+            println!("xdl metrics — {addr} (refreshes every 2s, ^C to stop)\n");
+        }
+        print!("{}", resp.payload_text());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if !watch {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(2));
+    }
 }
 
 fn cmd_check(rest: &[&String]) -> Result<(), String> {

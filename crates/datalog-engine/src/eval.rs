@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use datalog_ast::{subst, Program, Term, Value};
+use datalog_trace::metrics::EvalHists;
 use datalog_trace::{EvalProfile, IterationProfile, PredDelta, RuleProfile};
 
 use crate::cancel::CancelToken;
@@ -126,6 +127,11 @@ pub struct EvalOptions {
     /// only enumerate into buffers, and the merge replays the buffers in
     /// fixed (rule, variant, chunk) order.
     pub threads: usize,
+    /// Always-on telemetry histograms (task enumeration wall, per-worker
+    /// queue wait, merge stall), shared with a server's metric registry.
+    /// `None` costs one branch per task; a handle from a disabled registry
+    /// costs one more branch inside [`datalog_trace::Histogram::record`].
+    pub metrics: Option<EvalHists>,
 }
 
 impl Default for EvalOptions {
@@ -141,6 +147,7 @@ impl Default for EvalOptions {
             fact_budget: None,
             cancel: None,
             threads: 1,
+            metrics: None,
         }
     }
 }
@@ -494,6 +501,9 @@ struct Machine<'a> {
     boolean_cut: bool,
     /// Worker threads for the enumeration half (1 = serial).
     threads: usize,
+    /// Telemetry histograms shared with the serving layer (see
+    /// [`EvalOptions::metrics`]).
+    metrics: Option<EvalHists>,
     /// Wall-clock start of the evaluation (for deadline checks and the
     /// `elapsed_ms` a deadline trip reports).
     started: Instant,
@@ -661,9 +671,15 @@ impl<'a> Machine<'a> {
             }
             let out = enumerate_task(&self.view(), task);
             enum_ns += out.wall_ns;
+            if let Some(h) = &self.metrics {
+                h.task_enum.record(out.wall_ns);
+            }
             let t0 = Instant::now();
             self.apply_task(task, out);
             merge_ns += t0.elapsed().as_nanos() as u64;
+        }
+        if let Some(h) = &self.metrics {
+            h.merge.record(merge_ns);
         }
         (enum_ns, merge_ns)
     }
@@ -678,17 +694,33 @@ impl<'a> Machine<'a> {
         {
             let view = self.view();
             let next = AtomicUsize::new(0);
+            let hists = self.metrics.clone();
             let per_worker: Vec<Vec<(usize, TaskOut)>> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let view = &view;
                         let next = &next;
+                        let hists = hists.clone();
                         s.spawn(move || {
                             let mut done = Vec::new();
+                            let mut waited = false;
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&task) = tasks.get(i) else { break };
-                                done.push((i, enumerate_task(view, task)));
+                                if let Some(h) = &hists {
+                                    if !waited {
+                                        // Queue wait: fan-out start to this
+                                        // worker's first claim (spawn +
+                                        // scheduling latency).
+                                        h.task_wait.record_duration(t0.elapsed());
+                                        waited = true;
+                                    }
+                                }
+                                let out = enumerate_task(view, task);
+                                if let Some(h) = &hists {
+                                    h.task_enum.record(out.wall_ns);
+                                }
+                                done.push((i, out));
                             }
                             done
                         })
@@ -711,7 +743,11 @@ impl<'a> Machine<'a> {
             }
             self.apply_task(task, out.expect("every task enumerated exactly once"));
         }
-        (enum_ns, t1.elapsed().as_nanos() as u64)
+        let merge_ns = t1.elapsed().as_nanos() as u64;
+        if let Some(h) = &self.metrics {
+            h.merge.record(merge_ns);
+        }
+        (enum_ns, merge_ns)
     }
 
     /// Merge one task's buffer into the database, in emission order. This
@@ -1106,6 +1142,7 @@ pub fn evaluate(
         query_pred,
         boolean_cut: opts.boolean_cut,
         threads: opts.threads.max(1),
+        metrics: opts.metrics.clone(),
         started: Instant::now(),
         deadline: opts.deadline,
         fact_budget: opts.fact_budget,

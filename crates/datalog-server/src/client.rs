@@ -59,6 +59,11 @@ impl Client {
         self.request("TRACE")
     }
 
+    /// `METRICS` (Prometheus text exposition) or `METRICS JSON`.
+    pub fn metrics(&mut self, json: bool) -> std::io::Result<Response> {
+        self.request(if json { "METRICS JSON" } else { "METRICS" })
+    }
+
     /// `SHUTDOWN`
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.request("SHUTDOWN")

@@ -29,6 +29,7 @@
 pub mod cache;
 pub mod client;
 pub mod fault;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod wal;
@@ -36,6 +37,7 @@ pub mod wal;
 pub use cache::{CachedAnswers, FormKey, PreparedCache};
 pub use client::Client;
 pub use fault::FaultPlan;
+pub use metrics::ServerMetrics;
 pub use protocol::{ErrCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{render_answers, Server, ServerConfig, ServerState};
 pub use wal::{FsyncPolicy, Recovery, Wal, WalOp};

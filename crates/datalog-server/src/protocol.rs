@@ -9,6 +9,7 @@
 //! QUERY ?- a(X, _).      evaluate a query
 //! STATS                  one-line JSON server statistics
 //! TRACE                  one-line JSON trace of the last query
+//! METRICS [JSON]         telemetry scrape (Prometheus text, or JSON)
 //! SHUTDOWN               stop the server
 //! ```
 //!
@@ -45,8 +46,11 @@ use std::io::{BufRead, Write};
 
 /// Protocol version implemented by this build. Version 2 added coded
 /// `ERR` responses (`busy`/`deadline`/`budget`/`shutdown`/`internal`);
-/// `STATS` reports the version as `"proto"`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// version 3 added the `METRICS` verb (Prometheus text exposition, or the
+/// JSON registry readout with `METRICS JSON`). `STATS` reports the
+/// version as `"proto"`. Both additions are backward compatible: old
+/// clients simply never send the new verb.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Machine-readable error class carried by a coded `ERR` response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +111,11 @@ pub enum Request {
     Stats,
     /// `TRACE`
     Trace,
+    /// `METRICS` (Prometheus text) / `METRICS JSON` (registry JSON).
+    Metrics {
+        /// Emit the JSON readout instead of Prometheus text exposition.
+        json: bool,
+    },
     /// `SHUTDOWN`
     Shutdown,
 }
@@ -129,9 +138,13 @@ impl Request {
             "QUERY" => Err("QUERY takes a query, e.g. QUERY ?- a(X, _).".into()),
             "STATS" => Ok(Request::Stats),
             "TRACE" => Ok(Request::Trace),
+            "METRICS" if rest.is_empty() => Ok(Request::Metrics { json: false }),
+            "METRICS" if rest.eq_ignore_ascii_case("json") => Ok(Request::Metrics { json: true }),
+            "METRICS" => Err("METRICS takes no argument, or JSON".into()),
             "SHUTDOWN" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown command '{other}' (expected FACT, LOAD, QUERY, STATS, TRACE or SHUTDOWN)"
+                "unknown command '{other}' (expected FACT, LOAD, QUERY, STATS, TRACE, METRICS \
+                 or SHUTDOWN)"
             )),
         }
     }
@@ -315,6 +328,15 @@ mod tests {
         );
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
         assert_eq!(Request::parse("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(
+            Request::parse("METRICS"),
+            Ok(Request::Metrics { json: false })
+        );
+        assert_eq!(
+            Request::parse("metrics json"),
+            Ok(Request::Metrics { json: true })
+        );
+        assert!(Request::parse("METRICS xml").is_err());
         assert!(Request::parse("FACT").is_err());
         assert!(Request::parse("NOPE x").is_err());
     }

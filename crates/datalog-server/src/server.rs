@@ -53,7 +53,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -61,13 +61,14 @@ use std::time::{Duration, Instant};
 use datalog_adorn::query_adornment;
 use datalog_ast::{parse_atom, parse_program, parse_rule, Atom, PredRef, Program, Query, Rule};
 use datalog_engine::{
-    query_answers_full, AnswerSet, CancelToken, EngineError, EvalOptions, SharedDatabase,
+    query_answers_full, AnswerSet, CancelToken, EngineError, EvalOptions, EvalStats, SharedDatabase,
 };
 use datalog_opt::{fingerprint_rules, prepare, OptimizerConfig, PreparedProgram};
 use datalog_trace::{Json, PhaseEvent};
 
 use crate::cache::{CachedAnswers, FormKey, PreparedCache};
 use crate::fault::FaultPlan;
+use crate::metrics::{verb_index, Phase, ServerMetrics};
 use crate::protocol::{ErrCode, Request, Response, PROTOCOL_VERSION};
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 
@@ -113,6 +114,16 @@ pub struct ServerConfig {
     /// Shutdown drain: how long in-flight queries may keep running before
     /// the global cancel token fires.
     pub grace_ms: u64,
+    /// Telemetry histograms on (`true`, the default) or the no-op baseline
+    /// (`--no-metrics`; counters still record, histograms stop sampling —
+    /// the comparison the e13 overhead experiment makes).
+    pub metrics: bool,
+    /// Log a structured JSON line to stderr for every query at or over
+    /// this wall-clock threshold (request id, form, phase breakdown).
+    pub slow_query_ms: Option<u64>,
+    /// Capacity of the `limit_events` ring surfaced by `STATS`; evictions
+    /// beyond it are counted in `xdl_limit_events_dropped_total`.
+    pub limit_events: usize,
     /// Fault-injection switches (the default plan injects nothing).
     pub fault: Arc<FaultPlan>,
 }
@@ -137,6 +148,9 @@ impl Default for ServerConfig {
             deadline_ms: None,
             fact_budget: None,
             grace_ms: 2000,
+            metrics: true,
+            slow_query_ms: None,
+            limit_events: LIMIT_EVENT_RING,
             fault: Arc::new(FaultPlan::new()),
         }
     }
@@ -152,19 +166,6 @@ fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
 
 fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Shed/trip/recovery counters surfaced by `STATS`.
-#[derive(Debug, Default)]
-struct TripCounters {
-    shed_conns: AtomicU64,
-    shed_queries: AtomicU64,
-    deadline_trips: AtomicU64,
-    budget_trips: AtomicU64,
-    iteration_trips: AtomicU64,
-    cancelled_queries: AtomicU64,
-    panics_recovered: AtomicU64,
-    wal_errors: AtomicU64,
 }
 
 /// Decrement an [`AtomicUsize`] on scope exit (in-flight query guard).
@@ -187,9 +188,6 @@ pub struct ServerState {
     eval_threads: usize,
     reorder_joins: bool,
     verify: bool,
-    queries: AtomicU64,
-    cache_misses: AtomicU64,
-    answer_hits: AtomicU64,
     /// The write-ahead log, when durability is configured.
     wal: Mutex<Option<Wal>>,
     /// Ingest/compaction coordination: ingests hold a read guard across
@@ -208,14 +206,20 @@ pub struct ServerState {
     max_inflight: usize,
     inflight: AtomicUsize,
     active_conns: AtomicUsize,
-    counters: TripCounters,
+    /// The metric surface every counter and span records into (see
+    /// [`crate::metrics`]); `STATS` and `METRICS` read the same atomics.
+    metrics: ServerMetrics,
+    /// `--slow-query-ms`: structured stderr log threshold.
+    slow_query_ms: Option<u64>,
+    /// Capacity of the `limit_events` ring (`--limit-events`).
+    limit_ring: usize,
     /// Startup recovery summary (present when a WAL was replayed).
     recovery: Option<Json>,
     /// Ring of recent `LimitTripped` events (as JSON), newest last.
     limit_events: Mutex<Vec<Json>>,
 }
 
-/// Cap on the `limit_events` ring.
+/// Default cap on the `limit_events` ring (`--limit-events` overrides).
 const LIMIT_EVENT_RING: usize = 64;
 
 impl ServerState {
@@ -231,9 +235,6 @@ impl ServerState {
             eval_threads: 1,
             reorder_joins: true,
             verify: false,
-            queries: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            answer_hits: AtomicU64::new(0),
             wal: Mutex::new(None),
             ingest_gate: RwLock::new(()),
             fault: Arc::new(FaultPlan::new()),
@@ -245,10 +246,17 @@ impl ServerState {
             max_inflight: 0,
             inflight: AtomicUsize::new(0),
             active_conns: AtomicUsize::new(0),
-            counters: TripCounters::default(),
+            metrics: ServerMetrics::new(true),
+            slow_query_ms: None,
+            limit_ring: LIMIT_EVENT_RING,
             recovery: None,
             limit_events: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The metric surface (for `METRICS`, tests, and in-process drivers).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// Enable translation validation for every prepared form
@@ -279,6 +287,9 @@ impl ServerState {
     /// replays snapshot + log into the fresh state.
     pub fn from_config(cfg: &ServerConfig) -> std::io::Result<ServerState> {
         let mut state = ServerState::new(cfg.cache_capacity, cfg.threads.max(1));
+        state.metrics = ServerMetrics::new(cfg.metrics);
+        state.slow_query_ms = cfg.slow_query_ms;
+        state.limit_ring = cfg.limit_events.max(1);
         state.eval_threads = cfg.eval_threads.max(1);
         state.reorder_joins = cfg.reorder_joins;
         state.verify = cfg.verify;
@@ -293,8 +304,12 @@ impl ServerState {
             cfg.max_conns
         };
         if let Some(dir) = &cfg.wal_dir {
-            let (wal, recovery) =
+            let (mut wal, recovery) =
                 Wal::open(dir, cfg.fsync, cfg.compact_every, Arc::clone(&cfg.fault))?;
+            wal.set_metrics(
+                Arc::clone(&state.metrics.wal_append_seconds),
+                Arc::clone(&state.metrics.wal_fsync_seconds),
+            );
             let mut applied = 0u64;
             let mut skipped = 0u64;
             for op in &recovery.ops {
@@ -344,15 +359,17 @@ impl ServerState {
         });
     }
 
-    /// Record one limit trip in the event ring.
+    /// Record one limit trip in the event ring. Evictions are counted
+    /// (`xdl_limit_events_dropped_total`), never silent.
     fn note_limit(&self, kind: &str, detail: &str) {
         let ev = PhaseEvent::LimitTripped {
             kind: kind.to_string(),
             detail: detail.to_string(),
         };
         let mut ring = lock(&self.limit_events);
-        if ring.len() >= LIMIT_EVENT_RING {
+        while ring.len() >= self.limit_ring {
             ring.remove(0);
+            self.metrics.limit_events_dropped.inc();
         }
         ring.push(ev.to_json());
     }
@@ -364,9 +381,7 @@ impl ServerState {
         match std::panic::catch_unwind(AssertUnwindSafe(|| self.handle(req))) {
             Ok(resp) => resp,
             Err(payload) => {
-                self.counters
-                    .panics_recovered
-                    .fetch_add(1, Ordering::AcqRel);
+                self.metrics.panics_recovered.inc();
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -382,8 +397,18 @@ impl ServerState {
     }
 
     /// Handle one request. Pure state-in/response-out — shared by the TCP
-    /// loop, the tests, and the bench harness.
+    /// loop, the tests, and the bench harness. Every request is counted
+    /// and its end-to-end latency recorded under its verb.
     pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let resp = self.handle_inner(req);
+        let verb = verb_index(req);
+        self.metrics.requests_total[verb].inc();
+        self.metrics.request_seconds[verb].record_duration(t0.elapsed());
+        resp
+    }
+
+    fn handle_inner(&self, req: &Request) -> Response {
         if self.is_shutdown()
             && matches!(req, Request::Fact(_) | Request::Load(_) | Request::Query(_))
         {
@@ -395,6 +420,7 @@ impl ServerState {
             Request::Query(text) => self.handle_query(text),
             Request::Stats => self.handle_stats(),
             Request::Trace => self.handle_trace(),
+            Request::Metrics { json } => self.handle_metrics(*json),
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::ok().with_info("bye", true)
@@ -440,7 +466,7 @@ impl ServerState {
         };
         for op in ops {
             if let Err(e) = wal.append(op) {
-                self.counters.wal_errors.fetch_add(1, Ordering::AcqRel);
+                self.metrics.wal_errors.inc();
                 return Err(Response::err_code(
                     ErrCode::Internal,
                     format!("wal append failed ({e}); write not applied"),
@@ -465,10 +491,17 @@ impl ServerState {
         let ops = self.state_ops();
         let mut guard = lock(&self.wal);
         if let Some(wal) = guard.as_mut() {
-            if wal.wants_compaction() && wal.compact(ops).is_err() {
-                // The log stays; durability is unaffected, only restart
-                // cost. Count it and move on.
-                self.counters.wal_errors.fetch_add(1, Ordering::AcqRel);
+            if wal.wants_compaction() {
+                let t0 = Instant::now();
+                if wal.compact(ops).is_err() {
+                    // The log stays; durability is unaffected, only restart
+                    // cost. Count it and move on.
+                    self.metrics.wal_errors.inc();
+                } else {
+                    self.metrics
+                        .compaction_seconds
+                        .record_duration(t0.elapsed());
+                }
             }
         }
     }
@@ -522,7 +555,8 @@ impl ServerState {
             }
         };
         if new {
-            lock(&self.cache).invalidate_edb(&atom.pred);
+            let cleared = lock(&self.cache).invalidate_edb(&atom.pred);
+            self.metrics.invalidations.add(cleared as u64);
         }
         self.maybe_compact();
         Response::ok()
@@ -630,7 +664,8 @@ impl ServerState {
         if !touched.is_empty() {
             let mut cache = lock(&self.cache);
             for p in &touched {
-                cache.invalidate_edb(p);
+                let cleared = cache.invalidate_edb(p);
+                self.metrics.invalidations.add(cleared as u64);
             }
         }
         self.maybe_compact();
@@ -650,24 +685,22 @@ impl ServerState {
     fn limit_response(&self, e: &EngineError) -> Response {
         let (code, kind, counter) = match e {
             EngineError::DeadlineExceeded { .. } => {
-                (ErrCode::Deadline, "deadline", &self.counters.deadline_trips)
+                (ErrCode::Deadline, "deadline", &self.metrics.deadline_trips)
             }
             EngineError::BudgetExceeded { .. } => {
-                (ErrCode::Budget, "budget", &self.counters.budget_trips)
+                (ErrCode::Budget, "budget", &self.metrics.budget_trips)
             }
-            EngineError::IterationLimit { .. } => (
-                ErrCode::Budget,
-                "iterations",
-                &self.counters.iteration_trips,
-            ),
+            EngineError::IterationLimit { .. } => {
+                (ErrCode::Budget, "iterations", &self.metrics.iteration_trips)
+            }
             // Cancellation only comes from the shutdown drain.
             _ => (
                 ErrCode::Shutdown,
                 "shutdown",
-                &self.counters.cancelled_queries,
+                &self.metrics.cancelled_queries,
             ),
         };
-        counter.fetch_add(1, Ordering::AcqRel);
+        counter.inc();
         let stats = e.partial_stats().copied().unwrap_or_default();
         let detail = format!(
             "{e} (partial: iterations={} facts_derived={} tuples_scanned={})",
@@ -684,7 +717,7 @@ impl ServerState {
         self.inflight.fetch_add(1, Ordering::AcqRel);
         let _inflight = Decrement(&self.inflight);
         if self.max_inflight > 0 && self.inflight.load(Ordering::Acquire) > self.max_inflight {
-            self.counters.shed_queries.fetch_add(1, Ordering::AcqRel);
+            self.metrics.shed_queries.inc();
             self.note_limit(
                 "busy",
                 &format!("query shed at in-flight budget {}", self.max_inflight),
@@ -697,6 +730,9 @@ impl ServerState {
                 ),
             );
         }
+        // One id per admitted query; it appears in the slow-query log so a
+        // line on stderr can be correlated with client-side observations.
+        let req_id = self.metrics.next_request_id();
         let parsed = match parse_program(text) {
             Ok(p) => p,
             Err(e) => return Response::err(e.render_at("query")),
@@ -729,6 +765,9 @@ impl ServerState {
         if let Err(e) = program.validate() {
             return Response::err(e.to_string());
         }
+        // Parse span: request text → validated, adorned program.
+        let d_parse = started.elapsed();
+        self.metrics.phase_seconds[Phase::Parse as usize].record_duration(d_parse);
         let key = FormKey {
             fingerprint,
             pred: query.atom.pred.name.as_str(),
@@ -740,20 +779,22 @@ impl ServerState {
         // fact first and invalidates after, so a slot whose watermarks still
         // match this snapshot cannot be stale.
         let snapshot = self.db.snapshot();
-        self.queries.fetch_add(1, Ordering::AcqRel);
+        self.metrics.queries.inc();
 
+        let t_cache = Instant::now();
         let mut cache = lock(&self.cache);
         let mut resolved: Option<(&'static str, Program, std::collections::BTreeSet<PredRef>)> =
             None;
         if let Some(entry) = cache.get_mut(&key) {
             entry.hits += 1;
+            self.metrics.prepared_hits.inc();
             if let Some(slot) = &entry.answers {
                 if slot.query_repr == query_repr
                     && slot.watermarks == snapshot.watermarks_for(&entry.prepared.support)
                 {
                     // Serve the memoized payload: no eval, no optimizer,
                     // zero new phase events.
-                    self.answer_hits.fetch_add(1, Ordering::AcqRel);
+                    self.metrics.answer_hits.inc();
                     let resp = Response::ok()
                         .with_info("cache", "answers")
                         .with_info("answers", slot.answers)
@@ -761,7 +802,17 @@ impl ServerState {
                         .with_payload_text(&slot.payload);
                     let trace = Self::trace_json(&query, &key, "answers", None, &entry.prepared);
                     drop(cache);
+                    let d_cache = t_cache.elapsed();
+                    self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
                     *lock(&self.last_trace) = Some(trace);
+                    self.log_slow_query(
+                        req_id,
+                        &key,
+                        "answers",
+                        started,
+                        &[("parse", d_parse), ("cache", d_cache)],
+                        None,
+                    );
                     return resp;
                 }
             }
@@ -773,7 +824,7 @@ impl ServerState {
         let (status, eval_program, support) = match resolved {
             Some(t) => t,
             None => {
-                self.cache_misses.fetch_add(1, Ordering::AcqRel);
+                self.metrics.cache_misses.inc();
                 let prepared = match prepare(
                     &program.rules,
                     &query.atom.pred,
@@ -797,6 +848,11 @@ impl ServerState {
             }
         };
         drop(cache);
+        // Cache span: lock → memoized answers / prepared form / cold
+        // prepare. On a cold miss this includes the optimizer run — the
+        // cost the prepared-query cache exists to amortize.
+        let d_cache = t_cache.elapsed();
+        self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
 
         let facts = snapshot.to_factset();
         let opts = EvalOptions {
@@ -812,15 +868,21 @@ impl ServerState {
                 .map(|ms| started + Duration::from_millis(ms)),
             fact_budget: self.fact_budget,
             cancel: Some(self.cancel.clone()),
+            metrics: Some(self.metrics.eval.clone()),
             ..EvalOptions::default()
         };
-        let (answers, _out) = match query_answers_full(&eval_program, &facts, &opts) {
+        let t_eval = Instant::now();
+        let (answers, out) = match query_answers_full(&eval_program, &facts, &opts) {
             Ok(r) => r,
             // A tripped query is answered with its partial stats and NOT
             // memoized: the cache must never serve a truncated table.
             Err(e) if e.is_limit() => return self.limit_response(&e),
             Err(e) => return Response::err(format!("evaluation: {e}")),
         };
+        let d_eval = t_eval.elapsed();
+        self.metrics.phase_seconds[Phase::Eval as usize].record_duration(d_eval);
+
+        let t_serialize = Instant::now();
         let payload = render_answers(&answers);
 
         let mut cache = lock(&self.cache);
@@ -841,12 +903,77 @@ impl ServerState {
             drop(cache);
             *lock(&self.last_trace) = Some(trace);
         }
+        let d_serialize = t_serialize.elapsed();
+        self.metrics.phase_seconds[Phase::Serialize as usize].record_duration(d_serialize);
+        self.log_slow_query(
+            req_id,
+            &key,
+            status,
+            started,
+            &[
+                ("parse", d_parse),
+                ("cache", d_cache),
+                ("eval", d_eval),
+                ("serialize", d_serialize),
+            ],
+            Some(&out.stats),
+        );
 
         Response::ok()
             .with_info("cache", status)
             .with_info("answers", answers.len())
             .with_info("wall_us", started.elapsed().as_micros())
             .with_payload_text(&payload)
+    }
+
+    /// Emit one structured JSON line on stderr when a query's wall time
+    /// crosses the `--slow-query-ms` threshold. One line per slow query,
+    /// machine-parseable, with the request id, form identity, cache
+    /// outcome, per-phase breakdown, and (when evaluation ran) the
+    /// engine's [`EvalStats`].
+    fn log_slow_query(
+        &self,
+        req_id: u64,
+        key: &FormKey,
+        cache: &str,
+        started: Instant,
+        phases: &[(&str, Duration)],
+        stats: Option<&EvalStats>,
+    ) {
+        let Some(threshold_ms) = self.slow_query_ms else {
+            return;
+        };
+        let wall = started.elapsed();
+        if wall.as_millis() < u128::from(threshold_ms) {
+            return;
+        }
+        self.metrics.slow_queries.inc();
+        let mut phase_doc = Json::obj();
+        for (name, d) in phases {
+            phase_doc = phase_doc.with(name, d.as_micros());
+        }
+        let mut doc = Json::obj()
+            .with("slow_query", true)
+            .with("req_id", req_id)
+            .with("pred", key.pred.as_str())
+            .with("adornment", key.adornment.as_str())
+            .with("cache", cache)
+            .with("threshold_ms", threshold_ms)
+            .with("wall_us", wall.as_micros())
+            .with("phases_us", phase_doc);
+        if let Some(s) = stats {
+            doc = doc.with(
+                "stats",
+                Json::obj()
+                    .with("iterations", s.iterations)
+                    .with("facts_derived", s.facts_derived)
+                    .with("derivations", s.derivations)
+                    .with("duplicates", s.duplicates)
+                    .with("tuples_scanned", s.tuples_scanned)
+                    .with("index_probes", s.index_probes),
+            );
+        }
+        eprintln!("{doc}");
     }
 
     /// The `TRACE` document for one query. `new_events` holds the phase
@@ -895,7 +1022,9 @@ impl ServerState {
                 None => Json::Null,
             }
         };
-        let c = &self.counters;
+        // STATS reads the same atomics the METRICS registry renders — one
+        // bookkeeping path, two readouts.
+        let m = &self.metrics;
         let doc = Json::obj()
             .with("proto", PROTOCOL_VERSION)
             .with("rules", rule_count)
@@ -903,33 +1032,53 @@ impl ServerState {
             .with("preds", self.db.pred_count())
             .with("facts", self.db.total_facts())
             .with("version", self.db.version())
-            .with("queries", self.queries.load(Ordering::Acquire))
+            .with("queries", m.queries.get())
             .with("prepared_forms", cache.len())
             .with("prepared_hits", cache.total_hits())
-            .with("cache_misses", self.cache_misses.load(Ordering::Acquire))
-            .with("answer_hits", self.answer_hits.load(Ordering::Acquire))
+            .with("cache_misses", m.cache_misses.get())
+            .with("answer_hits", m.answer_hits.get())
             .with("invalidations", cache.invalidations)
             .with("threads", self.threads)
             .with("inflight", self.inflight.load(Ordering::Acquire) as u64)
-            .with("shed_connections", c.shed_conns.load(Ordering::Acquire))
-            .with("shed_queries", c.shed_queries.load(Ordering::Acquire))
-            .with("deadline_trips", c.deadline_trips.load(Ordering::Acquire))
-            .with("budget_trips", c.budget_trips.load(Ordering::Acquire))
-            .with("iteration_trips", c.iteration_trips.load(Ordering::Acquire))
-            .with(
-                "cancelled_queries",
-                c.cancelled_queries.load(Ordering::Acquire),
-            )
-            .with(
-                "panics_recovered",
-                c.panics_recovered.load(Ordering::Acquire),
-            )
-            .with("wal_errors", c.wal_errors.load(Ordering::Acquire))
+            .with("shed_connections", m.shed_conns.get())
+            .with("shed_queries", m.shed_queries.get())
+            .with("deadline_trips", m.deadline_trips.get())
+            .with("budget_trips", m.budget_trips.get())
+            .with("iteration_trips", m.iteration_trips.get())
+            .with("cancelled_queries", m.cancelled_queries.get())
+            .with("panics_recovered", m.panics_recovered.get())
+            .with("wal_errors", m.wal_errors.get())
             .with("faults_injected", self.fault.fired())
             .with("wal", wal_doc)
             .with("recovery", self.recovery.clone().unwrap_or(Json::Null))
             .with("limit_events", Json::Arr(lock(&self.limit_events).clone()));
         Response::ok().with_payload_text(&doc.to_string())
+    }
+
+    /// `METRICS [JSON]`: scrape the registry. The point-in-time gauges
+    /// (in-flight queries, live connections, fact and cache sizes) are
+    /// sampled here rather than maintained on the hot path — a scrape is
+    /// the only reader, so paying at scrape time keeps request handling
+    /// free of gauge traffic.
+    fn handle_metrics(&self, json: bool) -> Response {
+        self.metrics
+            .inflight
+            .set(self.inflight.load(Ordering::Acquire) as i64);
+        self.metrics
+            .active_conns
+            .set(self.active_conns.load(Ordering::Acquire) as i64);
+        self.metrics.facts.set(self.db.total_facts() as i64);
+        self.metrics
+            .prepared_forms
+            .set(lock(&self.cache).len() as i64);
+        let (format, body) = if json {
+            ("json", self.metrics.to_json().to_string())
+        } else {
+            ("prometheus", self.metrics.render_prometheus())
+        };
+        Response::ok()
+            .with_info("format", format)
+            .with_payload_text(&body)
     }
 
     fn handle_trace(&self) -> Response {
@@ -1023,7 +1172,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
                 let active = state.active_conns.fetch_add(1, Ordering::AcqRel) + 1;
                 if active > state.max_conns {
                     state.active_conns.fetch_sub(1, Ordering::AcqRel);
-                    state.counters.shed_conns.fetch_add(1, Ordering::AcqRel);
+                    state.metrics.shed_conns.inc();
                     state.note_limit(
                         "busy",
                         &format!("connection shed at limit {}", state.max_conns),
@@ -1258,6 +1407,67 @@ mod tests {
             "limit event ring should hold the trip: {}",
             stats.payload_text()
         );
+    }
+
+    #[test]
+    fn limit_event_ring_capacity_is_configurable_and_drops_are_counted() {
+        let state = ServerState::from_config(&ServerConfig {
+            limit_events: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        for i in 0..5 {
+            state.note_limit("busy", &format!("event {i}"));
+        }
+        // The ring holds only the newest two events...
+        let ring = lock(&state.limit_events);
+        assert_eq!(ring.len(), 2);
+        let held = Json::Arr(ring.clone()).to_string();
+        drop(ring);
+        assert!(
+            held.contains("event 3") && held.contains("event 4"),
+            "{held}"
+        );
+        // ...and the three evictions are visible as a metric, not silent.
+        assert_eq!(state.metrics.limit_events_dropped.get(), 3);
+        let scrape = state.metrics.render_prometheus();
+        assert!(
+            scrape.contains("xdl_limit_events_dropped_total 3"),
+            "{scrape}"
+        );
+    }
+
+    #[test]
+    fn metrics_verb_renders_both_formats_and_samples_gauges() {
+        let state = ServerState::new(2, 1);
+        let dir = TempDir::new("metrics-verb");
+        let file = dir.0.join("tc.dl");
+        std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\np(3, 4).\n").unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        assert!(state.handle(&Request::Query("?- a(X, _).".into())).ok);
+
+        let prom = state.handle(&Request::Metrics { json: false });
+        assert!(prom.ok);
+        assert_eq!(
+            prom.info_map().get("format").map(String::as_str),
+            Some("prometheus")
+        );
+        let text = prom.payload_text();
+        assert!(
+            text.contains("xdl_requests_total{verb=\"QUERY\"} 1"),
+            "{text}"
+        );
+        // Gauges are sampled at scrape time from the live structures.
+        assert!(text.contains("xdl_facts 2"), "{text}");
+        assert!(text.contains("xdl_prepared_forms 1"), "{text}");
+
+        let json = state.handle(&Request::Metrics { json: true });
+        assert!(json.ok);
+        assert_eq!(
+            json.info_map().get("format").map(String::as_str),
+            Some("json")
+        );
+        assert!(json.payload_text().contains("\"xdl_facts\""));
     }
 
     #[test]

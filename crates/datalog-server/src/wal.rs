@@ -41,6 +41,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
+
+use datalog_trace::Histogram;
 
 use crate::fault::FaultPlan;
 
@@ -169,6 +172,10 @@ pub struct Wal {
     pub appended: u64,
     /// Snapshots written over this process's lifetime.
     pub snapshots: u64,
+    /// Telemetry: append latency (write + policy fsync), when attached.
+    h_append: Option<Arc<Histogram>>,
+    /// Telemetry: fsync latency alone, when attached.
+    h_fsync: Option<Arc<Histogram>>,
 }
 
 fn log_path(dir: &Path) -> PathBuf {
@@ -270,9 +277,18 @@ impl Wal {
                 compact_every,
                 appended: 0,
                 snapshots: 0,
+                h_append: None,
+                h_fsync: None,
             },
             recovery,
         ))
+    }
+
+    /// Attach latency histograms (append wall, fsync wall) from the
+    /// server's metric registry. Without them the log times nothing.
+    pub fn set_metrics(&mut self, append: Arc<Histogram>, fsync: Arc<Histogram>) {
+        self.h_append = Some(append);
+        self.h_fsync = Some(fsync);
     }
 
     /// fsync honoring the fault plan (a failed fsync means the record must
@@ -282,7 +298,11 @@ impl Wal {
         if self.fault.fsync_should_fail() {
             return Err(std::io::Error::other("injected fsync failure"));
         }
+        let t0 = Instant::now();
         self.file.sync_data()?;
+        if let Some(h) = &self.h_fsync {
+            h.record_duration(t0.elapsed());
+        }
         self.unsynced = 0;
         Ok(())
     }
@@ -290,11 +310,12 @@ impl Wal {
     /// Append one record and apply the fsync policy. On error the caller
     /// must not acknowledge the write.
     pub fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
+        let t0 = Instant::now();
         self.file.write_all(&encode_record(op))?;
         self.appended += 1;
         self.since_snapshot += 1;
         self.unsynced += 1;
-        match self.policy {
+        let result = match self.policy {
             FsyncPolicy::Always => self.sync(),
             FsyncPolicy::EveryN(n) => {
                 if self.unsynced >= n {
@@ -304,7 +325,11 @@ impl Wal {
                 }
             }
             FsyncPolicy::Never => Ok(()),
+        };
+        if let Some(h) = &self.h_append {
+            h.record_duration(t0.elapsed());
         }
+        result
     }
 
     /// Whether enough records accumulated to warrant a snapshot.

@@ -32,6 +32,7 @@ impl TempDir {
     }
 
     /// Write `content` to `name` inside the directory, returning its path.
+    #[allow(dead_code)] // used by protocol.rs; this module is shared per test binary
     pub fn file(&self, name: &str, content: &str) -> PathBuf {
         let p = self.path.join(name);
         std::fs::write(&p, content).expect("write fixture file");

@@ -21,15 +21,21 @@
 //!   `datalog-opt`'s pipeline phases;
 //! * [`json::Json`] — a small self-contained JSON serializer every
 //!   machine-readable surface shares (the environment is offline, so no
-//!   serde).
+//!   serde);
+//! * [`metrics`] — the always-on serving telemetry: a process-wide
+//!   [`Registry`] of lock-free counters/gauges and log-linear latency
+//!   [`Histogram`]s with Prometheus text exposition, threaded through the
+//!   server, the WAL and the parallel evaluator (the `METRICS` verb).
 //!
 //! The crate deliberately depends on nothing: the engine and optimizer
 //! depend on it, never the reverse.
 
 pub mod json;
+pub mod metrics;
 pub mod phase;
 pub mod profile;
 
 pub use json::Json;
+pub use metrics::{Counter, EvalHists, Gauge, Histogram, Registry};
 pub use phase::PhaseEvent;
 pub use profile::{EvalProfile, IterationProfile, PredDelta, RuleProfile};

@@ -59,10 +59,32 @@ if ! cmp -s "$smoke_dir/served.out" "$smoke_dir/ran.out"; then
     diff "$smoke_dir/served.out" "$smoke_dir/ran.out" >&2 || true
     exit 1
 fi
+# Telemetry smoke: scrape METRICS off the live server and sanity-check
+# the Prometheus exposition (the full format parser runs in the metrics
+# test suite below; this catches a server that stopped announcing).
+./target/release/xdl metrics --connect "$addr" > "$smoke_dir/metrics.out"
+if ! grep -q '^# TYPE xdl_requests_total counter' "$smoke_dir/metrics.out" \
+    || ! grep -q '^xdl_requests_total{verb="QUERY"} 1$' "$smoke_dir/metrics.out" \
+    || ! grep -q '^# TYPE xdl_request_seconds histogram' "$smoke_dir/metrics.out"; then
+    echo "check.sh: METRICS scrape is not the expected Prometheus exposition:" >&2
+    head -20 "$smoke_dir/metrics.out" >&2
+    exit 1
+fi
+./target/release/xdl metrics --connect "$addr" --json > "$smoke_dir/metrics.json"
+if ! grep -q '"xdl_requests_total"' "$smoke_dir/metrics.json"; then
+    echo "check.sh: METRICS JSON readout missing families" >&2
+    exit 1
+fi
 ./target/release/xdl query --connect "$addr" --shutdown
 wait "$serve_pid"
 serve_pid=""
-echo "check.sh: server smoke ok"
+echo "check.sh: server smoke ok (incl. METRICS scrape)"
+
+# Telemetry suite: the Prometheus text-format parser, histogram
+# invariants, counter monotonicity across scrapes, and the strict JSON
+# checks over METRICS/STATS/TRACE.
+cargo test -q -p datalog-server --test metrics > /dev/null
+echo "check.sh: telemetry suite ok"
 
 # Fault suite: the injection harness (fsync failure, torn WAL tail, panic
 # isolation, deadline storm, slow client, budget, shedding, drain) must
@@ -104,6 +126,12 @@ mkdir -p bench_history
 ./target/release/harness e12 --quick --json \
     > "bench_history/e12-$(date +%s).json"
 echo "check.sh: e12 recorded ($(ls bench_history | wc -l) history entries)"
+
+# Telemetry overhead experiment: record a quick E13 run (metrics on vs
+# no-op registry) alongside the committed full-mode BENCH_e13.json.
+./target/release/harness e13 --quick --json \
+    > "bench_history/e13-$(date +%s).json"
+echo "check.sh: e13 recorded ($(ls bench_history | wc -l) history entries)"
 
 # Crash-recovery smoke: ingest through a WAL-backed server, SIGKILL it
 # (no shutdown, no flush), restart on the same WAL directory, and demand
