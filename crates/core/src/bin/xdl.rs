@@ -15,7 +15,7 @@
 //!           [--fsync always|batch|never] [--compact-every <n>]
 //!           [--max-conns <n>] [--max-inflight <n>] [--deadline-ms <ms>]
 //!           [--budget <n>] [--grace-ms <ms>] [--slow-query-ms <ms>]
-//!           [--limit-events <n>] [--no-metrics]
+//!           [--limit-events <n>] [--no-metrics] [--resident-forms <n>]
 //! xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]...
 //!           [--stats] [--trace] [--shutdown] ['?- atom.']
 //! xdl metrics --connect <addr> [--json | --watch]
@@ -25,8 +25,10 @@
 //! over `n` worker threads; answers, stats, provenance, and profile
 //! counters are byte-identical to `--threads 1` at any `n`. For `serve`,
 //! `--threads` sets both the connection workers and the per-query
-//! evaluation threads, and joins are greedily reordered by default
-//! (`--no-reorder` restores source order).
+//! evaluation threads (when omitted, evaluation defaults to the machine's
+//! available parallelism), joins are greedily reordered by default
+//! (`--no-reorder` restores source order), and `--resident-forms <n>`
+//! bounds the incrementally maintained query forms (0 disables; default 8).
 //!
 //! Exit codes: 0 on success; 1 when `lint` reports an error-severity
 //! diagnostic or `verify-opt` fails a check; 2 on usage or I/O errors.
@@ -75,7 +77,7 @@ fn usage() -> String {
      xdl serve [--port <p>] [--threads <n>] [--no-reorder] [--verify] [--wal <dir>] \
      [--fsync always|batch|never] [--compact-every <n>] [--max-conns <n>] \
      [--max-inflight <n>] [--deadline-ms <ms>] [--budget <n>] [--grace-ms <ms>] \
-     [--slow-query-ms <ms>] [--limit-events <n>] [--no-metrics]\n  \
+     [--slow-query-ms <ms>] [--limit-events <n>] [--no-metrics] [--resident-forms <n>]\n  \
      xdl query --connect <addr> [--load <file.dl>]... [--fact <atom.>]... \
      [--stats] [--trace] [--shutdown] ['?- atom.']\n  \
      xdl metrics --connect <addr> [--json | --watch]"
@@ -497,20 +499,27 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
         Some(p) => p.parse().map_err(|_| "--port takes a port number")?,
         None => 7654,
     };
-    let threads: usize = match option_value(rest, "--threads") {
-        Some(n) => n.parse().map_err(|_| "--threads takes a number")?,
-        None => 4,
+    let threads: Option<usize> = match option_value(rest, "--threads") {
+        Some(n) => Some(n.parse().map_err(|_| "--threads takes a number")?),
+        None => None,
     };
     let mut cfg = ServerConfig {
         addr: format!("127.0.0.1:{port}"),
-        threads,
-        // `--threads` governs both halves of the server's parallelism: the
-        // connection workers and each query's evaluation fan-out.
-        eval_threads: threads,
+        threads: threads.unwrap_or(4),
         reorder_joins: !flag(rest, "--no-reorder"),
         verify: flag(rest, "--verify"),
         ..ServerConfig::default()
     };
+    // An explicit `--threads` governs both halves of the server's
+    // parallelism: the connection workers and each query's evaluation
+    // fan-out. Absent, evaluation defaults to the machine's parallelism
+    // (or `XDL_EVAL_THREADS`) via `ServerConfig::default`.
+    if let Some(n) = threads {
+        cfg.eval_threads = n;
+    }
+    if let Some(n) = option_value(rest, "--resident-forms") {
+        cfg.resident_forms = n.parse().map_err(|_| "--resident-forms takes a number")?;
+    }
     if let Some(dir) = option_value(rest, "--wal") {
         cfg.wal_dir = Some(std::path::PathBuf::from(dir));
     }

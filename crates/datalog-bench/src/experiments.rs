@@ -678,8 +678,11 @@ pub fn e11(quick: bool) -> ExperimentResult {
         row(&mut r, "cold-miss", &p, answers, median_us(walls));
     }
 
+    // Residency off: E11 measures prepared-form reuse and answer
+    // memoization in isolation; the resident frontier is E14's subject.
     let server = Server::spawn(&ServerConfig {
         threads: 8,
+        resident_forms: 0,
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -968,6 +971,149 @@ pub fn e13(quick: bool) -> ExperimentResult {
     r
 }
 
+/// E14 — incremental serving: an ingest-heavy mix (every client alternates
+/// one FACT with one query on the warm form) served from the resident
+/// semi-naive frontier (`resident_forms: 8`, the default) vs the
+/// invalidate-and-recompute baseline (`resident_forms: 0`). Reported per
+/// client count (1/4/8): query qps and the client-observed p99 round trip.
+/// Answers are byte-identical either way — the delta propagation only
+/// changes *when* the fixpoint work happens, never what it produces.
+///
+/// `wall_us` per row is the total wall time of the run; qps and p99 go in
+/// the notes (engine counters do not apply to wire measurements).
+pub fn e14(quick: bool) -> ExperimentResult {
+    use datalog_server::{Client, Server, ServerConfig};
+    use std::time::Instant;
+
+    let mut r = ExperimentResult::new(
+        "e14",
+        "incremental serving: resident delta propagation vs invalidate-recompute \
+         under an ingest-heavy mix; qps + p99 at 1/4/8 clients",
+    );
+    r.note("expect: resident wins grow with the saturated database size — each ingested");
+    r.note("fact costs one small delta propagation instead of a full recomputation per query");
+
+    let n: i64 = if quick { 64 } else { 256 };
+    let per_client: usize = if quick { 25 } else { 100 };
+
+    let mut src = String::from("a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n");
+    for i in 0..n {
+        src.push_str(&format!("p({i}, {}).\n", i + 1));
+    }
+    let dir = std::env::temp_dir().join(format!("datalog-bench-e14-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for e14");
+    let file = dir.join("chain.dl");
+    std::fs::write(&file, &src).expect("write e14 workload");
+    let path = file.to_str().expect("utf-8 temp path").to_string();
+
+    let row = |r: &mut ExperimentResult, label: &str, params: &str, us: u128| {
+        r.rows.push(crate::measure::Measurement {
+            label: label.into(),
+            params: params.into(),
+            answers: 0,
+            facts: 0,
+            duplicates: 0,
+            scanned: 0,
+            iterations: 0,
+            retired: 0,
+            wall_us: us,
+            rules: Vec::new(),
+        });
+    };
+
+    // One run: every client interleaves a fresh FACT (isolated edge, far
+    // from the chain — it invalidates the form without growing the closure
+    // much) with a query on the warm form. Queries rotate constants so the
+    // answer slot never hits; the contested path is resident catch-up vs
+    // full recomputation. Returns (total wall, p99 of query round trips).
+    let run = |resident_forms: usize, clients: usize| -> (std::time::Duration, u128) {
+        let server = Server::spawn(&ServerConfig {
+            threads: 8,
+            resident_forms,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let mut c = Client::connect(addr).expect("connect");
+        assert!(c.load(&path).expect("load").ok);
+        // Warm the form cache (and pin the resident, when enabled).
+        assert!(c.query("?- a(0, _).").expect("warm").ok);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|tid| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut walls = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let x = 1_000_000 + (tid * per_client + i) as i64;
+                        let resp = c.fact(&format!("p({x}, {}).", x + 1)).expect("fact");
+                        assert!(resp.ok, "{}", resp.error);
+                        let q = format!("?- a({}, _).", (tid * per_client + i) as i64 % n);
+                        let t = Instant::now();
+                        let resp = c.query(&q).expect("query");
+                        walls.push(t.elapsed().as_micros());
+                        assert!(resp.ok, "{}", resp.error);
+                    }
+                    walls
+                })
+            })
+            .collect();
+        let mut walls: Vec<u128> = Vec::new();
+        for h in handles {
+            walls.extend(h.join().expect("client thread"));
+        }
+        let total = t0.elapsed();
+        walls.sort();
+        let p99 = walls[(walls.len() * 99) / 100 - 1];
+        c.shutdown().expect("shutdown");
+        server.join();
+        (total, p99)
+    };
+
+    let trials: usize = if quick { 2 } else { 3 };
+    for clients in [1usize, 4, 8] {
+        let queries = (clients * per_client) as f64;
+        // Interleave the two modes and keep each mode's best trial (same
+        // rationale as E13: peak capability isolates the mechanism under
+        // test from scheduler noise on a shared host).
+        let (mut cold_best, mut inc_best) = (
+            None::<(std::time::Duration, u128)>,
+            None::<(std::time::Duration, u128)>,
+        );
+        for _ in 0..trials {
+            let cold = run(0, clients);
+            let inc = run(8, clients);
+            if cold_best.map_or(true, |b| cold.0 < b.0) {
+                cold_best = Some(cold);
+            }
+            if inc_best.map_or(true, |b| inc.0 < b.0) {
+                inc_best = Some(inc);
+            }
+        }
+        let (cold_total, cold_p99) = cold_best.expect("at least one trial");
+        let (inc_total, inc_p99) = inc_best.expect("at least one trial");
+        let qps_cold = queries / cold_total.as_secs_f64();
+        let qps_inc = queries / inc_total.as_secs_f64();
+        let speedup = qps_inc / qps_cold;
+        r.note(format!(
+            "clients={clients}: incremental {qps_inc:.0} qps p99={inc_p99}us; \
+             recompute {qps_cold:.0} qps p99={cold_p99}us; speedup {speedup:.2}x \
+             (best of {trials})"
+        ));
+        let params = format!("clients={clients} q={per_client} each");
+        row(&mut r, "incremental", &params, inc_total.as_micros());
+        row(
+            &mut r,
+            "invalidate-recompute",
+            &params,
+            cold_total.as_micros(),
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    r
+}
+
 /// All experiments in order.
 pub fn all(quick: bool) -> Vec<ExperimentResult> {
     vec![
@@ -984,6 +1130,7 @@ pub fn all(quick: bool) -> Vec<ExperimentResult> {
         e11(quick),
         e12(quick),
         e13(quick),
+        e14(quick),
     ]
 }
 
@@ -1003,6 +1150,7 @@ pub fn by_id(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e11" => Some(e11(quick)),
         "e12" => Some(e12(quick)),
         "e13" => Some(e13(quick)),
+        "e14" => Some(e14(quick)),
         _ => None,
     }
 }

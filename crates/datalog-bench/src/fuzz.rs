@@ -5,7 +5,8 @@
 //! a small fixed-seed smoke round on every `cargo test`, keeping the
 //! differential oracle exercised without a separate manual step.
 
-use datalog_engine::{evaluate, query_answers, EvalOptions, Strategy};
+use datalog_engine::incremental::{DeltaLimits, Fact, ResidentEval};
+use datalog_engine::{evaluate, extract_answers, query_answers, EvalOptions, Strategy};
 use datalog_opt::{optimize, OptimizerConfig};
 
 use crate::workloads::{edb_for, random_program};
@@ -66,6 +67,119 @@ fn thread_differential(
             let pp = par.profile.as_ref().map(|p| p.counters_only());
             if sp != pp {
                 complain(&format!("{label}: profile counters diverge"));
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+/// Incremental maintenance arm: load half the instance cold into resident
+/// semi-naive state at 1 and 4 threads, then ingest the rest in batches.
+/// After every batch the two resident frontiers must be *byte* identical
+/// (rows in insertion order, provenance, per-batch reports modulo wall
+/// time, cumulative stats), and the 1-thread frontier must match a cold
+/// full fixpoint over everything applied so far — set-identical database
+/// dump and byte-identical query answers. Returns disagreements found.
+fn incremental_differential(
+    program: &datalog_ast::Program,
+    instance: &datalog_engine::FactSet,
+    mut complain: impl FnMut(&str),
+) -> u64 {
+    if !ResidentEval::supports(program) {
+        return 0; // non-monotone programs fall outside the resident path
+    }
+    let mut failures = 0u64;
+    let opts = |threads: usize| EvalOptions {
+        threads,
+        record_provenance: true,
+        ..EvalOptions::default()
+    };
+    // FactSet iteration is BTreeMap-ordered, so the split is deterministic.
+    let facts: Vec<Fact> = instance
+        .iter()
+        .map(|(pred, tuple)| Fact::new(pred.clone(), tuple.clone()))
+        .collect();
+    let split = facts.len() / 2;
+    let mut loaded = datalog_engine::FactSet::new();
+    for f in &facts[..split] {
+        loaded.insert(f.pred.clone(), f.tuple.clone());
+    }
+    let mut residents = Vec::new();
+    for threads in [1usize, 4] {
+        match ResidentEval::new(program, &loaded, &opts(threads)) {
+            Ok(r) => residents.push(r),
+            Err(e) => {
+                complain(&format!("incremental: construction@{threads} failed: {e}"));
+                return failures + 1;
+            }
+        }
+    }
+    let [ref mut r1, ref mut r4] = residents[..] else {
+        unreachable!()
+    };
+    for batch in facts[split..].chunks(3) {
+        let limits = DeltaLimits::default();
+        let (rep1, rep4) = match (
+            r1.apply_deltas(batch, &limits),
+            r4.apply_deltas(batch, &limits),
+        ) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                complain(&format!("incremental: propagation failed: {a:?} / {b:?}"));
+                return failures + 1;
+            }
+        };
+        // Thread identity: reports agree field-for-field (walls aside).
+        let strip = |r: &datalog_engine::incremental::DeltaReport| {
+            let mut r = *r;
+            r.wall_ns = 0;
+            r
+        };
+        if strip(&rep1) != strip(&rep4) {
+            complain(&format!(
+                "incremental: batch reports diverge across threads\n 1: {rep1:?}\n 4: {rep4:?}"
+            ));
+            failures += 1;
+        }
+        if r1.cumulative_stats() != r4.cumulative_stats() {
+            complain("incremental: cumulative stats diverge across threads");
+            failures += 1;
+        }
+        if r1.provenance() != r4.provenance() {
+            complain("incremental: provenance diverges across threads");
+            failures += 1;
+        }
+        let rows_match = (0..r1.database().pred_count()).all(|p| {
+            let id = datalog_engine::PredId(p as u32);
+            r1.database()
+                .relation(id)
+                .iter()
+                .eq(r4.database().relation(id).iter())
+        });
+        if r1.database().pred_count() != r4.database().pred_count() || !rows_match {
+            complain("incremental: resident databases diverge (row-id order)");
+            failures += 1;
+        }
+        // Cold identity: a from-scratch fixpoint over everything applied so
+        // far must reach the same model and the same rendered answers.
+        for f in batch {
+            loaded.insert(f.pred.clone(), f.tuple.clone());
+        }
+        let cold = match evaluate(program, &loaded, &opts(1)) {
+            Ok(out) => out,
+            Err(e) => {
+                complain(&format!("incremental: cold reference failed: {e}"));
+                return failures + 1;
+            }
+        };
+        if cold.database.dump() != r1.dump() {
+            complain("incremental: resident frontier diverges from cold fixpoint");
+            failures += 1;
+        }
+        if let Some(q) = &program.query {
+            if extract_answers(&q.atom, &cold.database) != r1.answers(&q.atom) {
+                complain("incremental: resident answers diverge from cold answers");
                 failures += 1;
             }
         }
@@ -157,6 +271,11 @@ pub fn run_rounds(rounds: u64, base: u64, verbose: bool) -> u64 {
         // Parallel determinism: byte-identical databases, stats partitions,
         // provenance, and profile counters at 1 vs 2 vs 8 threads.
         failures += thread_differential(&program, &instance, |msg| {
+            complain!("seed {seed}: {msg}");
+        });
+        // Incremental maintenance: resident frontier vs cold fixpoint, at
+        // 1 and 4 threads, after every ingested batch.
+        failures += incremental_differential(&program, &instance, |msg| {
             complain!("seed {seed}: {msg}");
         });
         // Full optimizer (+ cut).

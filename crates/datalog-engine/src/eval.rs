@@ -187,7 +187,7 @@ struct LitPlan {
 }
 
 #[derive(Debug, Clone)]
-struct RulePlan {
+pub(crate) struct RulePlan {
     rule_idx: usize,
     head: PredId,
     head_slots: Vec<Slot>,
@@ -211,7 +211,7 @@ enum Range {
 /// [`EngineError`] (with the freshest stats and elapsed time) once the
 /// join recursion has unwound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Trip {
+pub(crate) enum Trip {
     Deadline,
     Budget(u64),
     Cancelled,
@@ -484,35 +484,35 @@ impl Enumerator<'_> {
     }
 }
 
-struct Machine<'a> {
-    db: &'a mut Database,
-    plans: Vec<RulePlan>,
+pub(crate) struct Machine<'a> {
+    pub(crate) db: &'a mut Database,
+    pub(crate) plans: Vec<RulePlan>,
     /// Active rule mask (boolean cut retires rules by clearing bits).
-    active: Vec<bool>,
+    pub(crate) active: Vec<bool>,
     /// Per-predicate row-count at the start of the previous iteration.
-    mark_prev: Vec<usize>,
+    pub(crate) mark_prev: Vec<usize>,
     /// Per-predicate row-count at the start of the current iteration.
-    mark_cur: Vec<usize>,
-    stats: EvalStats,
-    provenance: Option<Provenance>,
+    pub(crate) mark_cur: Vec<usize>,
+    pub(crate) stats: EvalStats,
+    pub(crate) provenance: Option<Provenance>,
     /// Per-rule counters + timeline, accumulated when profiling is on.
-    profile: Option<EvalProfile>,
-    query_pred: Option<PredId>,
-    boolean_cut: bool,
+    pub(crate) profile: Option<EvalProfile>,
+    pub(crate) query_pred: Option<PredId>,
+    pub(crate) boolean_cut: bool,
     /// Worker threads for the enumeration half (1 = serial).
-    threads: usize,
+    pub(crate) threads: usize,
     /// Telemetry histograms shared with the serving layer (see
     /// [`EvalOptions::metrics`]).
-    metrics: Option<EvalHists>,
+    pub(crate) metrics: Option<EvalHists>,
     /// Wall-clock start of the evaluation (for deadline checks and the
     /// `elapsed_ms` a deadline trip reports).
-    started: Instant,
-    deadline: Option<Instant>,
-    fact_budget: Option<u64>,
-    cancel: Option<CancelToken>,
+    pub(crate) started: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) fact_budget: Option<u64>,
+    pub(crate) cancel: Option<CancelToken>,
     /// A tripped limit; once set, the merge stops applying buffers and the
     /// fixpoint loop converts it into the corresponding [`EngineError`].
-    trip: Option<Trip>,
+    pub(crate) trip: Option<Trip>,
 }
 
 impl<'a> Machine<'a> {
@@ -856,6 +856,100 @@ impl<'a> Machine<'a> {
         }
     }
 
+    /// Run one stratum's fixpoint to convergence: the freeze → plan →
+    /// fan-out → merge loop shared verbatim by [`evaluate`] (cold runs,
+    /// `seed_first = true`) and the incremental resident state
+    /// ([`crate::incremental::ResidentEval::apply_deltas`], `seed_first =
+    /// false`: iteration 1 already has its deltas — the rows inserted past
+    /// the converged marks — so no all-`Full` seed round is needed, and the
+    /// delta-variant discipline enumerates exactly the new instantiations).
+    ///
+    /// Sharing this loop is what makes incremental propagation
+    /// byte-identical across thread counts: the task list is planned from
+    /// frozen marks, the merge replays buffers in fixed order, and nothing
+    /// here reads the executor width.
+    pub(crate) fn run_stratum(
+        &mut self,
+        mine: &[usize],
+        stratum: usize,
+        strategy: Strategy,
+        max_iterations: usize,
+        seed_first: bool,
+    ) -> Result<(), EngineError> {
+        if mine.is_empty() {
+            return Ok(());
+        }
+        // Relations registered since the last call (incremental batches may
+        // introduce predicates) start with empty history: mark 0 makes all
+        // their rows the delta.
+        let n_preds = self.db.pred_count();
+        self.mark_prev.resize(n_preds, 0);
+        self.mark_cur.resize(n_preds, 0);
+        let mut local_iter = 0usize;
+        loop {
+            if self.stats.iterations >= max_iterations {
+                return Err(EngineError::IterationLimit {
+                    limit: max_iterations,
+                    stats: self.stats,
+                });
+            }
+            // Iteration-boundary limit check: covers programs whose
+            // per-iteration work never reaches the in-join check cadence.
+            self.check_limits();
+            if let Some(e) = self.take_trip() {
+                return Err(e);
+            }
+            self.stats.iterations += 1;
+            local_iter += 1;
+            let first = local_iter == 1 && seed_first;
+            let iter_start = self.profile.is_some().then(Instant::now);
+            let retired_before = self.stats.rules_retired;
+            // Snapshot marks for this iteration.
+            for p in 0..n_preds {
+                self.mark_cur[p] = self.db.relation(PredId(p as u32)).len();
+            }
+            let before = self.db.total_facts();
+            // Freeze → plan → fan out → merge. The seed round (and the
+            // naive strategy, every round) reads all literals Full;
+            // semi-naive rounds get one variant per non-empty delta.
+            let seed_round = first || matches!(strategy, Strategy::Naive);
+            let (tasks, work) = self.plan_tasks(mine, seed_round);
+            let workers = self.threads.min(tasks.len());
+            let (parallel_ns, merge_ns) = if workers > 1 && work >= PARALLEL_MIN_WORK {
+                self.run_parallel(&tasks, workers)
+            } else {
+                self.run_serial(&tasks)
+            };
+            // A limit tripped inside a task: surface it now, before the
+            // convergence test could mistake the partially merged
+            // iteration for a fixpoint.
+            if let Some(e) = self.take_trip() {
+                return Err(e);
+            }
+            if self.boolean_cut {
+                self.apply_boolean_cut();
+            }
+            if let Some(t0) = iter_start {
+                let retired = self.stats.rules_retired - retired_before;
+                self.record_iteration(
+                    stratum,
+                    t0.elapsed().as_nanos() as u64,
+                    parallel_ns,
+                    merge_ns,
+                    tasks.len() as u64,
+                    retired,
+                );
+            }
+            // Advance marks: what was current becomes previous.
+            for p in 0..n_preds {
+                self.mark_prev[p] = self.mark_cur[p];
+            }
+            if self.db.total_facts() == before {
+                return Ok(());
+            }
+        }
+    }
+
     /// §3.1 boolean cut: retire rules defining proven zero-arity predicates,
     /// then transitively retire rules whose head predicate has no remaining
     /// consumer and is not the query predicate.
@@ -905,7 +999,7 @@ impl<'a> Machine<'a> {
 /// positive derived dependencies may be same-stratum, negated derived
 /// dependencies must be strictly lower. Errors if no such assignment exists
 /// (negation through recursion).
-fn stratify(program: &Program) -> Result<Vec<usize>, EngineError> {
+pub(crate) fn stratify(program: &Program) -> Result<Vec<usize>, EngineError> {
     use std::collections::BTreeMap;
     let idb = program.idb_preds();
     let mut stratum: BTreeMap<&datalog_ast::PredRef, usize> = idb.iter().map(|p| (p, 0)).collect();
@@ -986,7 +1080,7 @@ fn greedy_order(body: &[datalog_ast::Atom]) -> Vec<usize> {
     order
 }
 
-fn compile(
+pub(crate) fn compile(
     program: &Program,
     db: &mut Database,
     reorder_joins: bool,
@@ -1073,21 +1167,14 @@ fn compile(
     Ok(plans)
 }
 
-/// Run a fixpoint evaluation of `program` over `input`.
-///
-/// `input` may seed IDB predicates — that is how the uniform-equivalence
-/// oracles use the engine. Facts for predicates the program never mentions
-/// are loaded verbatim and simply carried through.
-pub fn evaluate(
-    program: &Program,
+/// Load `input` facts into `db`, checking arities against the program's.
+/// Facts for predicates the program never mentions are registered and
+/// loaded verbatim.
+pub(crate) fn load_input(
+    db: &mut Database,
+    arities: &std::collections::BTreeMap<datalog_ast::PredRef, usize>,
     input: &FactSet,
-    opts: &EvalOptions,
-) -> Result<EvalOutput, EngineError> {
-    program.validate()?;
-    let mut db = Database::new();
-    let plans = compile(program, &mut db, opts.reorder_joins)?;
-    // Load input facts, checking arities against the program.
-    let arities = program.arities()?;
+) -> Result<(), EngineError> {
     for (pred, tuple) in input.iter() {
         if let Some(&expected) = arities.get(pred) {
             if expected != tuple.len() {
@@ -1101,12 +1188,16 @@ pub fn evaluate(
         let id = db.register(pred, tuple.len());
         db.insert(id, tuple);
     }
-    // Build every composite index the compiled probes need, up front: the
-    // join plans fix which columns arrive bound at each literal, so the
-    // column sets are known statically. From here on the inner loop probes
-    // through `&Relation` only ([`Relation::probe_range`]), which is what
-    // lets each iteration freeze the database and share it across workers.
-    // `insert` keeps the indexes fresh as the fixpoint grows.
+    Ok(())
+}
+
+/// Build every composite index the compiled probes need, up front: the
+/// join plans fix which columns arrive bound at each literal, so the
+/// column sets are known statically. From here on the inner loop probes
+/// through `&Relation` only ([`crate::relation::Relation::probe_range`]),
+/// which is what lets each iteration freeze the database and share it
+/// across workers. `insert` keeps the indexes fresh as the fixpoint grows.
+pub(crate) fn ensure_probe_indexes(db: &mut Database, plans: &[RulePlan]) {
     let wanted: BTreeSet<(PredId, &[usize])> = plans
         .iter()
         .flat_map(|p| &p.body)
@@ -1116,6 +1207,24 @@ pub fn evaluate(
     for (pred, cols) in wanted {
         db.ensure_index(pred, cols);
     }
+}
+
+/// Run a fixpoint evaluation of `program` over `input`.
+///
+/// `input` may seed IDB predicates — that is how the uniform-equivalence
+/// oracles use the engine. Facts for predicates the program never mentions
+/// are loaded verbatim and simply carried through.
+pub fn evaluate(
+    program: &Program,
+    input: &FactSet,
+    opts: &EvalOptions,
+) -> Result<EvalOutput, EngineError> {
+    program.validate()?;
+    let mut db = Database::new();
+    let plans = compile(program, &mut db, opts.reorder_joins)?;
+    let arities = program.arities()?;
+    load_input(&mut db, &arities, input)?;
+    ensure_probe_indexes(&mut db, &plans);
     let n_preds = db.pred_count();
     let query_pred = program
         .query
@@ -1160,72 +1269,7 @@ pub fn evaluate(
         let mine: Vec<usize> = (0..m.plans.len())
             .filter(|&i| rule_strata[m.plans[i].rule_idx] == stratum)
             .collect();
-        if mine.is_empty() {
-            continue;
-        }
-        let mut local_iter = 0usize;
-        loop {
-            if m.stats.iterations >= opts.max_iterations {
-                return Err(EngineError::IterationLimit {
-                    limit: opts.max_iterations,
-                    stats: m.stats,
-                });
-            }
-            // Iteration-boundary limit check: covers programs whose
-            // per-iteration work never reaches the in-join check cadence.
-            m.check_limits();
-            if let Some(e) = m.take_trip() {
-                return Err(e);
-            }
-            m.stats.iterations += 1;
-            local_iter += 1;
-            let first = local_iter == 1;
-            let iter_start = opts.profile.then(Instant::now);
-            let retired_before = m.stats.rules_retired;
-            // Snapshot marks for this iteration.
-            for p in 0..n_preds {
-                m.mark_cur[p] = m.db.relation(PredId(p as u32)).len();
-            }
-            let before = m.db.total_facts();
-            // Freeze → plan → fan out → merge. The seed round (and the
-            // naive strategy, every round) reads all literals Full;
-            // semi-naive rounds get one variant per non-empty delta.
-            let seed_round = first || matches!(opts.strategy, Strategy::Naive);
-            let (tasks, work) = m.plan_tasks(&mine, seed_round);
-            let workers = m.threads.min(tasks.len());
-            let (parallel_ns, merge_ns) = if workers > 1 && work >= PARALLEL_MIN_WORK {
-                m.run_parallel(&tasks, workers)
-            } else {
-                m.run_serial(&tasks)
-            };
-            // A limit tripped inside a task: surface it now, before the
-            // convergence test could mistake the partially merged
-            // iteration for a fixpoint.
-            if let Some(e) = m.take_trip() {
-                return Err(e);
-            }
-            if opts.boolean_cut {
-                m.apply_boolean_cut();
-            }
-            if let Some(t0) = iter_start {
-                let retired = m.stats.rules_retired - retired_before;
-                m.record_iteration(
-                    stratum,
-                    t0.elapsed().as_nanos() as u64,
-                    parallel_ns,
-                    merge_ns,
-                    tasks.len() as u64,
-                    retired,
-                );
-            }
-            // Advance marks: what was current becomes previous.
-            for p in 0..n_preds {
-                m.mark_prev[p] = m.mark_cur[p];
-            }
-            if m.db.total_facts() == before {
-                break;
-            }
-        }
+        m.run_stratum(&mine, stratum, opts.strategy, opts.max_iterations, true)?;
     }
     let stats = m.stats;
     let provenance = m.provenance.take();
@@ -1271,20 +1315,30 @@ pub fn query_answers_full(
         .clone()
         .ok_or(EngineError::Ast(datalog_ast::AstError::NoQuery))?;
     let out = evaluate(program, input, opts)?;
+    let answers = extract_answers(&q.atom, &out.database);
+    Ok((answers, out))
+}
+
+/// Extract the answers of `q_atom` from a saturated `database`: the
+/// distinct bindings of the atom's named variables (wildcards are projected
+/// out), matched against the atom's relation. Constants in the atom act as
+/// selections; a repeated variable forces equality. Pure read — usable
+/// against any frontier, including a resident incremental one.
+pub fn extract_answers(q_atom: &datalog_ast::Atom, database: &Database) -> AnswerSet {
     let mut answers = AnswerSet::default();
     // Output columns: named variables in first-occurrence order.
     let mut out_vars = Vec::new();
-    for v in q.atom.var_occurrences() {
+    for v in q_atom.var_occurrences() {
         if !v.is_wildcard() && !out_vars.contains(&v) {
             out_vars.push(v);
         }
     }
     answers.columns = out_vars.iter().map(|v| v.name()).collect();
-    if let Some(id) = out.database.pred_id(&q.atom.pred) {
-        for row in out.database.relation(id).iter() {
-            let fact = datalog_ast::Atom::fact(q.atom.pred.clone(), row.to_vec());
+    if let Some(id) = database.pred_id(&q_atom.pred) {
+        for row in database.relation(id).iter() {
+            let fact = datalog_ast::Atom::fact(q_atom.pred.clone(), row.to_vec());
             let mut s = subst::Subst::new();
-            if subst::match_atom(&q.atom, &fact, &mut s) {
+            if subst::match_atom(q_atom, &fact, &mut s) {
                 let tuple: Vec<Value> = out_vars
                     .iter()
                     .map(|v| match s.resolve(Term::Var(*v)) {
@@ -1296,7 +1350,7 @@ pub fn query_answers_full(
             }
         }
     }
-    Ok((answers, out))
+    answers
 }
 
 #[cfg(test)]

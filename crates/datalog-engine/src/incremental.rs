@@ -1,0 +1,593 @@
+//! Incremental view maintenance: resident semi-naive state with delta
+//! propagation.
+//!
+//! A [`ResidentEval`] retains everything a cold [`crate::evaluate`] run
+//! builds and then throws away — the saturated [`Database`] (derived
+//! relations *and* their composite probe indexes), the compiled rule
+//! plans, and the per-predicate semi-naive marks at convergence. From that
+//! frontier, [`ResidentEval::apply_deltas`] pushes a batch of newly
+//! ingested EDB facts through the **same** freeze → plan → fan-out → merge
+//! iteration barrier the cold evaluator uses ([`Machine::run_stratum`]),
+//! so propagation is parallel and byte-identical across thread counts for
+//! free: tasks are planned from frozen marks, workers only enumerate into
+//! buffers, and the merge replays them in fixed (rule, variant, chunk)
+//! order.
+//!
+//! ## Why semi-naive state restarts cleanly
+//!
+//! At a converged fixpoint every predicate's `mark_prev == mark_cur ==
+//! len`: all deltas are empty. Inserting a batch of new rows and re-running
+//! the loop **without** a seed round makes iteration 1's deltas exactly
+//! the inserted rows — the delta-variant discipline (each variant reads
+//! one literal's delta, earlier literals full, later literals old) then
+//! enumerates exactly the rule instantiations that touch at least one new
+//! fact, which is the textbook correctness argument for incremental
+//! semi-naive maintenance of monotone programs. The seed round is only
+//! needed on construction (it is also what fires empty-body unit rules,
+//! which have no delta variants at all).
+//!
+//! ## What "identical to a cold run" means here
+//!
+//! For a monotone program, the resident database after any sequence of
+//! batches is **set-identical** to a cold fixpoint over the union of the
+//! inputs ([`Database::dump`] compares equal), and query answers extracted
+//! from it are **byte-identical** (an [`AnswerSet`] is canonically
+//! sorted). Physical row *order* inside derived relations legitimately
+//! differs from the cold run's — rows arrive in delta order, not seed
+//! order — which is why the identity the server and the differential
+//! fuzzer enforce is: answers byte-identical vs cold, database
+//! set-identical vs cold, and the *incremental path itself* byte-identical
+//! (rows, order, provenance, stats) across thread counts.
+//!
+//! ## Scope
+//!
+//! Only **monotone** programs (no negated literals anywhere) are
+//! maintainable this way: a new EDB fact can never invalidate a fact
+//! derived through negation-free rules, so the retained frontier stays a
+//! subset of the new fixpoint. [`ResidentEval::supports`] is the gate;
+//! [`ResidentEval::new`] refuses non-monotone programs with
+//! [`EngineError::NonMonotone`]. The §3.1 boolean cut is likewise disabled
+//! for resident state: retirement *timing* is data-dependent, so a cut
+//! taken against a partial database could suppress derivations a cold run
+//! over the full database would have made, breaking set-identity.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use datalog_ast::{Atom, PredRef, Program, Value};
+use datalog_trace::metrics::EvalHists;
+
+use crate::cancel::CancelToken;
+use crate::database::Database;
+use crate::eval::{
+    compile, ensure_probe_indexes, extract_answers, load_input, EvalOptions, Machine, RulePlan,
+    Strategy,
+};
+use crate::facts::{AnswerSet, FactSet};
+use crate::provenance::Provenance;
+use crate::stats::EvalStats;
+use crate::EngineError;
+
+/// One ingested EDB fact, addressed by predicate name (the resident state
+/// interns predicates itself; new predicates are registered on first use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    pub pred: PredRef,
+    pub tuple: Vec<Value>,
+}
+
+impl Fact {
+    pub fn new(pred: PredRef, tuple: Vec<Value>) -> Fact {
+        Fact { pred, tuple }
+    }
+}
+
+/// Per-call limits for one delta propagation. Unlike a cold evaluation
+/// there is no fact budget: a propagation either completes or the resident
+/// state is poisoned, so the only useful limits are the cooperative ones.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaLimits {
+    /// Wall-clock deadline, polled on the evaluator's usual cadence.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation, same cadence.
+    pub cancel: Option<CancelToken>,
+}
+
+/// What one [`ResidentEval::apply_deltas`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Facts in the submitted batch.
+    pub batch_facts: usize,
+    /// Batch facts that were actually new (not already present).
+    pub new_facts: usize,
+    /// Facts derived by propagating the batch through the rules.
+    pub derived_facts: u64,
+    /// Fixpoint iterations the propagation ran.
+    pub iterations: usize,
+    /// The full counter set for this batch alone. Field-wise (including
+    /// `iterations`), `initial_stats + Σ batch stats == cumulative_stats`
+    /// — an exact partition of the work done since construction.
+    pub stats: EvalStats,
+    /// Wall time of the propagation (insert + fixpoint).
+    pub wall_ns: u64,
+    /// Whether anything changed (new EDB rows or new derived facts).
+    pub changed: bool,
+}
+
+/// Retained semi-naive evaluation state for one program: the saturated
+/// database, compiled plans, probe indexes, and converged delta marks.
+/// See the module docs for the maintenance argument.
+#[derive(Debug)]
+pub struct ResidentEval {
+    /// Program arities, for batch validation (same check cold loading does).
+    arities: BTreeMap<PredRef, usize>,
+    db: Database,
+    plans: Vec<RulePlan>,
+    /// Rule activity mask (all true — the boolean cut is disabled for
+    /// resident state; see module docs).
+    active: Vec<bool>,
+    /// Per-predicate row counts at the converged frontier. Invariant
+    /// between calls: `mark_prev[p] == mark_cur[p] == len(p)`, so a batch
+    /// insert makes the new rows exactly iteration 1's deltas.
+    mark_prev: Vec<usize>,
+    mark_cur: Vec<usize>,
+    provenance: Option<Provenance>,
+    strategy: Strategy,
+    threads: usize,
+    metrics: Option<EvalHists>,
+    /// Per-propagation iteration budget (from [`EvalOptions::max_iterations`]).
+    max_iterations: usize,
+    /// Counters of the construction-time full fixpoint.
+    initial_stats: EvalStats,
+    /// Field-wise running total: construction + every batch.
+    cumulative: EvalStats,
+    batches: usize,
+    applied_facts: u64,
+    /// Set when a propagation erred mid-flight (deadline, cancellation):
+    /// the frontier may be between iterations and MUST NOT be served or
+    /// propagated further. Callers drop poisoned state and fall back to a
+    /// cold evaluation.
+    poisoned: bool,
+}
+
+/// Field-wise accumulation (every counter adds, *including* `iterations`)
+/// — deliberately not [`EvalStats::merge`], whose max-of-iterations
+/// semantics models side-by-side runs, not sequential batches.
+fn add_stats(acc: &mut EvalStats, s: &EvalStats) {
+    acc.iterations += s.iterations;
+    acc.facts_derived += s.facts_derived;
+    acc.derivations += s.derivations;
+    acc.duplicates += s.duplicates;
+    acc.tuples_scanned += s.tuples_scanned;
+    acc.index_probes += s.index_probes;
+    acc.rules_retired += s.rules_retired;
+}
+
+impl ResidentEval {
+    /// Whether `program` is maintainable incrementally: monotone, i.e. no
+    /// rule has a negated literal. (Even negation over pure-EDB predicates
+    /// is non-monotone under ingestion — a new EDB fact can falsify it.)
+    pub fn supports(program: &Program) -> bool {
+        program.rules.iter().all(|r| r.negative.is_empty())
+    }
+
+    /// Build resident state by running the full fixpoint over `input` —
+    /// this *is* the cold evaluation, it just keeps its working state.
+    /// `opts.boolean_cut` and `opts.profile` are ignored (see module docs);
+    /// everything else (threads, strategy, limits, provenance, metrics)
+    /// applies to construction and to every later propagation.
+    pub fn new(
+        program: &Program,
+        input: &FactSet,
+        opts: &EvalOptions,
+    ) -> Result<ResidentEval, EngineError> {
+        program.validate()?;
+        if !ResidentEval::supports(program) {
+            let pred = program
+                .rules
+                .iter()
+                .find_map(|r| r.negative.first().map(|a| a.pred.to_string()))
+                .unwrap_or_default();
+            return Err(EngineError::NonMonotone { pred });
+        }
+        let mut db = Database::new();
+        let plans = compile(program, &mut db, opts.reorder_joins)?;
+        let arities = program.arities()?;
+        load_input(&mut db, &arities, input)?;
+        ensure_probe_indexes(&mut db, &plans);
+        let n_preds = db.pred_count();
+        let n_plans = plans.len();
+        let mut m = Machine {
+            db: &mut db,
+            plans,
+            active: vec![true; n_plans],
+            mark_prev: vec![0; n_preds],
+            mark_cur: vec![0; n_preds],
+            stats: EvalStats::default(),
+            provenance: opts.record_provenance.then(Provenance::new),
+            profile: None,
+            query_pred: None,
+            boolean_cut: false,
+            threads: opts.threads.max(1),
+            metrics: opts.metrics.clone(),
+            started: Instant::now(),
+            deadline: opts.deadline,
+            fact_budget: opts.fact_budget,
+            cancel: opts.cancel.clone(),
+            trip: None,
+        };
+        // Monotone programs form a single stratum, so one stratum run with
+        // a genuine seed round (`seed_first = true` — required: unit rules
+        // only fire in seed rounds) is exactly what `evaluate` would do.
+        let mine: Vec<usize> = (0..n_plans).collect();
+        m.run_stratum(&mine, 0, opts.strategy, opts.max_iterations, true)?;
+        let initial_stats = m.stats;
+        let plans = std::mem::take(&mut m.plans);
+        let active = std::mem::take(&mut m.active);
+        let mark_prev = std::mem::take(&mut m.mark_prev);
+        let mark_cur = std::mem::take(&mut m.mark_cur);
+        let provenance = m.provenance.take();
+        drop(m);
+        Ok(ResidentEval {
+            arities,
+            db,
+            plans,
+            active,
+            mark_prev,
+            mark_cur,
+            provenance,
+            strategy: opts.strategy,
+            threads: opts.threads.max(1),
+            metrics: opts.metrics.clone(),
+            max_iterations: opts.max_iterations,
+            initial_stats,
+            cumulative: initial_stats,
+            batches: 0,
+            applied_facts: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Propagate one batch of ingested facts to a new consistent frontier.
+    ///
+    /// The whole batch is arity-validated *before* anything is inserted,
+    /// so a bad fact leaves the frontier untouched. If the propagation
+    /// itself errs (deadline or cancellation mid-fixpoint) the frontier is
+    /// left between iterations: the state is **poisoned** and every later
+    /// call panics — drop it and rebuild from cold.
+    ///
+    /// # Panics
+    /// Panics if called on poisoned state (see [`ResidentEval::poisoned`]).
+    pub fn apply_deltas(
+        &mut self,
+        batch: &[Fact],
+        limits: &DeltaLimits,
+    ) -> Result<DeltaReport, EngineError> {
+        assert!(
+            !self.poisoned,
+            "ResidentEval is poisoned; drop it and re-evaluate from cold"
+        );
+        let started = Instant::now();
+        // Validate the batch in full first: program arities, arities of
+        // predicates registered by earlier batches, and consistency within
+        // the batch itself for predicates seen here for the first time.
+        let mut pending: BTreeMap<&PredRef, usize> = BTreeMap::new();
+        for f in batch {
+            let expected = self
+                .arities
+                .get(&f.pred)
+                .copied()
+                .or_else(|| {
+                    self.db
+                        .pred_id(&f.pred)
+                        .map(|id| self.db.relation(id).arity())
+                })
+                .or_else(|| pending.get(&f.pred).copied());
+            if let Some(expected) = expected {
+                if expected != f.tuple.len() {
+                    return Err(EngineError::FactArity {
+                        pred: f.pred.to_string(),
+                        expected,
+                        found: f.tuple.len(),
+                    });
+                }
+            } else {
+                pending.insert(&f.pred, f.tuple.len());
+            }
+        }
+        // Insert past the converged marks: the new rows become iteration
+        // 1's deltas.
+        let mut new_facts = 0usize;
+        for f in batch {
+            let id = self.db.register(&f.pred, f.tuple.len());
+            if self.db.insert(id, &f.tuple) {
+                new_facts += 1;
+            }
+        }
+        let mine: Vec<usize> = (0..self.plans.len()).collect();
+        let mut m = Machine {
+            db: &mut self.db,
+            plans: std::mem::take(&mut self.plans),
+            active: std::mem::take(&mut self.active),
+            mark_prev: std::mem::take(&mut self.mark_prev),
+            mark_cur: std::mem::take(&mut self.mark_cur),
+            stats: EvalStats::default(),
+            provenance: self.provenance.take(),
+            profile: None,
+            query_pred: None,
+            boolean_cut: false,
+            threads: self.threads,
+            metrics: self.metrics.clone(),
+            started,
+            deadline: limits.deadline,
+            fact_budget: None,
+            cancel: limits.cancel.clone(),
+            trip: None,
+        };
+        // No seed round: the frontier is converged, so iteration 1's
+        // delta variants see exactly the batch rows.
+        let result = m.run_stratum(&mine, 0, self.strategy, self.max_iterations, false);
+        let stats = m.stats;
+        self.plans = std::mem::take(&mut m.plans);
+        self.active = std::mem::take(&mut m.active);
+        self.mark_prev = std::mem::take(&mut m.mark_prev);
+        self.mark_cur = std::mem::take(&mut m.mark_cur);
+        self.provenance = m.provenance.take();
+        drop(m);
+        if let Err(e) = result {
+            self.poisoned = true;
+            return Err(e);
+        }
+        add_stats(&mut self.cumulative, &stats);
+        self.batches += 1;
+        self.applied_facts += new_facts as u64;
+        Ok(DeltaReport {
+            batch_facts: batch.len(),
+            new_facts,
+            derived_facts: stats.facts_derived,
+            iterations: stats.iterations,
+            stats,
+            wall_ns: started.elapsed().as_nanos() as u64,
+            changed: new_facts > 0 || stats.facts_derived > 0,
+        })
+    }
+
+    /// Extract `q_atom`'s answers from the resident frontier (canonically
+    /// sorted, hence byte-identical to a cold run's at the same facts).
+    pub fn answers(&self, q_atom: &Atom) -> AnswerSet {
+        extract_answers(q_atom, &self.db)
+    }
+
+    /// The resident database (EDB + all derived facts at the frontier).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Canonical fact export of the frontier (set-identical to a cold
+    /// fixpoint over the union of all inputs).
+    pub fn dump(&self) -> FactSet {
+        self.db.dump()
+    }
+
+    /// Counters of the construction-time full fixpoint.
+    pub fn initial_stats(&self) -> EvalStats {
+        self.initial_stats
+    }
+
+    /// Field-wise total of construction plus every batch (see
+    /// [`DeltaReport::stats`] for the partition law).
+    pub fn cumulative_stats(&self) -> EvalStats {
+        self.cumulative
+    }
+
+    /// Batches successfully propagated.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Batch facts that were new when applied (duplicates excluded).
+    pub fn applied_facts(&self) -> u64 {
+        self.applied_facts
+    }
+
+    /// Derivation provenance across construction and all batches, if
+    /// requested at construction.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.provenance.as_ref()
+    }
+
+    /// Whether a failed propagation left the frontier inconsistent.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use datalog_ast::parse_program;
+
+    const TC: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+                      a(X, Y) :- p(X, Y).\n\
+                      ?- a(X, Y).";
+
+    fn edge(i: i64, j: i64) -> Fact {
+        Fact::new(PredRef::new("p"), vec![Value::int(i), Value::int(j)])
+    }
+
+    fn chain(n: i64) -> FactSet {
+        let mut fs = FactSet::new();
+        for i in 0..n {
+            fs.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+        }
+        fs
+    }
+
+    fn q_atom(src: &str) -> Atom {
+        parse_program(src).unwrap().program.query.unwrap().atom
+    }
+
+    #[test]
+    fn batches_converge_to_the_cold_fixpoint() {
+        let p = parse_program(TC).unwrap().program;
+        let opts = EvalOptions::default();
+        let mut r = ResidentEval::new(&p, &chain(4), &opts).unwrap();
+        let mut all = chain(4);
+        // Extend the chain one edge at a time; after each batch the
+        // frontier must be set-identical to a cold run over the union.
+        for i in 4..8 {
+            let rep = r
+                .apply_deltas(&[edge(i, i + 1)], &DeltaLimits::default())
+                .unwrap();
+            assert!(rep.changed);
+            assert_eq!(rep.new_facts, 1);
+            all.insert(PredRef::new("p"), vec![Value::int(i), Value::int(i + 1)]);
+            let cold = evaluate(&p, &all, &opts).unwrap();
+            assert_eq!(r.dump(), cold.database.dump());
+            assert_eq!(r.answers(&q_atom(TC)), {
+                let (ans, _) = crate::eval::query_answers(&p, &all, &opts).unwrap();
+                ans
+            });
+        }
+        assert_eq!(r.batches(), 4);
+        assert_eq!(r.applied_facts(), 4);
+    }
+
+    #[test]
+    fn duplicate_and_empty_batches_are_noops() {
+        let p = parse_program(TC).unwrap().program;
+        let mut r = ResidentEval::new(&p, &chain(4), &EvalOptions::default()).unwrap();
+        let before = r.dump();
+        let rep = r
+            .apply_deltas(&[edge(0, 1)], &DeltaLimits::default())
+            .unwrap();
+        assert!(!rep.changed);
+        assert_eq!(rep.new_facts, 0);
+        let rep = r.apply_deltas(&[], &DeltaLimits::default()).unwrap();
+        assert!(!rep.changed);
+        assert_eq!(r.dump(), before);
+    }
+
+    #[test]
+    fn stats_partition_exactly() {
+        let p = parse_program(TC).unwrap().program;
+        let mut r = ResidentEval::new(&p, &chain(3), &EvalOptions::default()).unwrap();
+        let mut expected = r.initial_stats();
+        for i in 3..6 {
+            let rep = r
+                .apply_deltas(&[edge(i, i + 1)], &DeltaLimits::default())
+                .unwrap();
+            add_stats(&mut expected, &rep.stats);
+        }
+        assert_eq!(expected, r.cumulative_stats());
+    }
+
+    #[test]
+    fn unit_rules_fire_on_construction() {
+        // Unit rules (empty bodies — the optimizer pipeline introduces
+        // them) have no delta variants; only the seed round fires them.
+        // Regression guard for the seed_first flag.
+        let mut p = parse_program(TC).unwrap().program;
+        p.rules.push(datalog_ast::Rule::new(
+            Atom::fact(PredRef::new("a"), vec![Value::int(100), Value::int(200)]),
+            vec![],
+        ));
+        let mut r = ResidentEval::new(&p, &FactSet::new(), &EvalOptions::default()).unwrap();
+        assert_eq!(r.answers(&q_atom(TC)).len(), 1);
+        // And the unit fact joins with later deltas: p(0,100) must derive
+        // a(0,200) through the resident a(100,200).
+        r.apply_deltas(&[edge(0, 100)], &DeltaLimits::default())
+            .unwrap();
+        let mut all = FactSet::new();
+        all.insert(PredRef::new("p"), vec![Value::int(0), Value::int(100)]);
+        let cold = evaluate(&p, &all, &EvalOptions::default()).unwrap();
+        assert_eq!(r.dump(), cold.database.dump());
+        assert_eq!(r.answers(&q_atom(TC)).len(), 3);
+    }
+
+    #[test]
+    fn batch_introducing_a_new_predicate_is_carried() {
+        let p = parse_program(TC).unwrap().program;
+        let mut r = ResidentEval::new(&p, &chain(2), &EvalOptions::default()).unwrap();
+        let f = Fact::new(PredRef::new("unrelated"), vec![Value::sym("x")]);
+        let rep = r.apply_deltas(&[f], &DeltaLimits::default()).unwrap();
+        assert!(rep.changed);
+        assert_eq!(rep.derived_facts, 0);
+        assert!(r
+            .dump()
+            .iter()
+            .any(|(pred, _)| pred == &PredRef::new("unrelated")));
+        // And later batches still work over the grown predicate table.
+        r.apply_deltas(&[edge(2, 3)], &DeltaLimits::default())
+            .unwrap();
+        assert_eq!(r.answers(&q_atom(TC)).len(), 6);
+    }
+
+    #[test]
+    fn bad_arity_rejects_without_applying_anything() {
+        let p = parse_program(TC).unwrap().program;
+        let mut r = ResidentEval::new(&p, &chain(2), &EvalOptions::default()).unwrap();
+        let before = r.dump();
+        let bad = vec![
+            edge(2, 3),
+            Fact::new(PredRef::new("p"), vec![Value::int(9)]),
+        ];
+        let err = r.apply_deltas(&bad, &DeltaLimits::default()).unwrap_err();
+        assert!(matches!(err, EngineError::FactArity { .. }));
+        assert!(!r.poisoned());
+        assert_eq!(r.dump(), before, "batch must be all-or-nothing");
+    }
+
+    #[test]
+    fn negation_is_refused() {
+        let src = "a(X) :- p(X, _), not q(X).\n?- a(X).";
+        let p = parse_program(src).unwrap().program;
+        assert!(!ResidentEval::supports(&p));
+        let err = ResidentEval::new(&p, &FactSet::new(), &EvalOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::NonMonotone { .. }));
+    }
+
+    #[test]
+    fn propagation_is_byte_identical_across_thread_counts() {
+        let p = parse_program(TC).unwrap().program;
+        let serial = EvalOptions {
+            record_provenance: true,
+            ..EvalOptions::default()
+        };
+        let wide = EvalOptions {
+            threads: 4,
+            ..serial.clone()
+        };
+        let mut r1 = ResidentEval::new(&p, &chain(40), &serial).unwrap();
+        let mut r4 = ResidentEval::new(&p, &chain(40), &wide).unwrap();
+        for batch in [vec![edge(40, 41), edge(41, 42)], vec![edge(-1, 0)]] {
+            let a = r1.apply_deltas(&batch, &DeltaLimits::default()).unwrap();
+            let b = r4.apply_deltas(&batch, &DeltaLimits::default()).unwrap();
+            // Everything but wall time must agree exactly.
+            assert_eq!(
+                DeltaReport { wall_ns: 0, ..a },
+                DeltaReport { wall_ns: 0, ..b },
+            );
+        }
+        // Full physical identity: same rows in the same order.
+        for id in 0..r1.database().pred_count() {
+            let id = crate::database::PredId(id as u32);
+            assert_eq!(r1.database().dump_pred(id), r4.database().dump_pred(id));
+        }
+        assert_eq!(r1.provenance(), r4.provenance());
+    }
+
+    #[test]
+    fn deadline_trip_poisons_the_state() {
+        let p = parse_program(TC).unwrap().program;
+        let mut r = ResidentEval::new(&p, &chain(50), &EvalOptions::default()).unwrap();
+        let limits = DeltaLimits {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            cancel: None,
+        };
+        let err = r.apply_deltas(&[edge(50, 51)], &limits).unwrap_err();
+        assert!(err.is_limit());
+        assert!(r.poisoned());
+    }
+}

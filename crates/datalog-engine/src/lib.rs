@@ -29,6 +29,7 @@ pub mod cancel;
 pub mod database;
 pub mod eval;
 pub mod facts;
+pub mod incremental;
 pub mod optimistic;
 pub mod oracle;
 pub mod provenance;
@@ -38,8 +39,11 @@ pub mod stats;
 
 pub use cancel::CancelToken;
 pub use database::{Database, PredId};
-pub use eval::{evaluate, query_answers, query_answers_full, EvalOptions, EvalOutput, Strategy};
+pub use eval::{
+    evaluate, extract_answers, query_answers, query_answers_full, EvalOptions, EvalOutput, Strategy,
+};
 pub use facts::{AnswerSet, FactSet};
+pub use incremental::{DeltaLimits, DeltaReport, Fact, ResidentEval};
 pub use optimistic::optimistic_fixpoint;
 pub use oracle::{uniform_query_test, uniform_test};
 pub use provenance::{DerivationTree, Provenance};
@@ -98,6 +102,9 @@ pub enum EngineError {
     },
     /// The program negates through recursion: no stratification exists.
     NotStratified { pred: String },
+    /// The program is not monotone (it negates `pred`), so it cannot be
+    /// maintained incrementally by [`incremental::ResidentEval`].
+    NonMonotone { pred: String },
 }
 
 impl EngineError {
@@ -148,6 +155,12 @@ impl std::fmt::Display for EngineError {
                 write!(
                     f,
                     "program is not stratified: {pred} is negated through recursion"
+                )
+            }
+            EngineError::NonMonotone { pred } => {
+                write!(
+                    f,
+                    "program is not monotone ({pred} is negated): incremental maintenance unavailable"
                 )
             }
         }

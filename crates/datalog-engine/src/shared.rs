@@ -150,9 +150,18 @@ impl SharedRelation {
     /// Copy of the immutable prefix `[0, watermark)`, in insertion order.
     /// The read lock is held only for the duration of the copy.
     pub fn prefix(&self, watermark: usize) -> Vec<Vec<Value>> {
+        self.range(0, watermark)
+    }
+
+    /// Copy of the immutable row range `[start, end)` (both clamped to the
+    /// committed rows), in insertion order. Incremental consumers use this
+    /// to read exactly the rows ingested between two watermarks they
+    /// observed — the append-only contract makes any such range immutable.
+    pub fn range(&self, start: usize, end: usize) -> Vec<Vec<Value>> {
         let g = lock_or_recover(self.store.read());
-        let end = watermark.min(g.rows.len());
-        g.rows[..end].iter().map(|r| r.to_vec()).collect()
+        let end = end.min(g.rows.len());
+        let start = start.min(end);
+        g.rows[start..end].iter().map(|r| r.to_vec()).collect()
     }
 }
 
@@ -326,6 +335,17 @@ impl DbSnapshot {
             .map_or_else(Vec::new, |(_, rel, w)| rel.prefix(*w))
     }
 
+    /// Rows of one predicate from `start` up to this snapshot's watermark,
+    /// in ingestion order — the delta a consumer that already applied
+    /// `[0, start)` needs to catch up to the snapshot. Empty when `start`
+    /// is at or past the watermark (including for absent predicates).
+    pub fn rows_from(&self, pred: &PredRef, start: usize) -> Vec<Vec<Value>> {
+        self.rels
+            .iter()
+            .find(|(p, _, _)| p == pred)
+            .map_or_else(Vec::new, |(_, rel, w)| rel.range(start, *w))
+    }
+
     /// Materialize the snapshot as a [`FactSet`] — the engine's input
     /// currency — copying only up to each relation's watermark.
     pub fn to_factset(&self) -> FactSet {
@@ -454,6 +474,31 @@ mod tests {
         assert_eq!(snap.rows(&p), vec![t(&[1]), t(&[2])]);
         assert_eq!(db.total_facts(), 2);
         assert_eq!(db.pred_count(), 1);
+    }
+
+    #[test]
+    fn rows_from_reads_the_delta_between_watermarks() {
+        let db = SharedDatabase::new();
+        let p = PredRef::new("p");
+        for i in 0..3 {
+            db.insert(&p, &t(&[i])).unwrap();
+        }
+        let early = db.snapshot();
+        for i in 3..7 {
+            db.insert(&p, &t(&[i])).unwrap();
+        }
+        let late = db.snapshot();
+        // The delta a consumer at the early watermark must apply.
+        assert_eq!(
+            late.rows_from(&p, early.count(&p)),
+            (3..7).map(|i| t(&[i])).collect::<Vec<_>>()
+        );
+        // Caught-up, past-the-end, and absent-pred reads are all empty.
+        assert!(late.rows_from(&p, late.count(&p)).is_empty());
+        assert!(late.rows_from(&p, 99).is_empty());
+        assert!(late.rows_from(&PredRef::new("absent"), 0).is_empty());
+        // The early snapshot never exposes the later rows.
+        assert!(early.rows_from(&p, 3).is_empty());
     }
 
     #[test]

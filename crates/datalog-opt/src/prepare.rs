@@ -158,6 +158,23 @@ impl PreparedProgram {
     /// and repeated variables in `atom` become selections at answer
     /// extraction, exactly as in a cold run.
     pub fn instantiate(&self, atom: &Atom) -> Option<Program> {
+        let spliced = self.instantiate_atom(atom)?;
+        let mut program = self.program.clone();
+        program.query = Some(Query::new(spliced));
+        Some(program)
+    }
+
+    /// Reshape a concrete query atom of this form into the optimized
+    /// query's predicate and shape — the atom [`instantiate`] would put in
+    /// the program, without cloning the program. Serving paths that keep
+    /// the form's evaluation resident (the optimized program is
+    /// query-atom-independent) extract answers by matching this atom
+    /// against the resident query-predicate relation.
+    ///
+    /// Returns `None` when the atom's arity does not match the form.
+    ///
+    /// [`instantiate`]: PreparedProgram::instantiate
+    pub fn instantiate_atom(&self, atom: &Atom) -> Option<Atom> {
         if atom.arity() != self.adornment.len() {
             return None;
         }
@@ -180,9 +197,7 @@ impl PreparedProgram {
                 kept
             }
         };
-        let mut program = self.program.clone();
-        program.query = Some(Query::new(Atom::new(opt_query.atom.pred.clone(), terms)));
-        Some(program)
+        Some(Atom::new(opt_query.atom.pred.clone(), terms))
     }
 
     /// Whether an update to (base) predicate `pred` can change this form's
@@ -315,6 +330,36 @@ mod tests {
         .unwrap();
         let bad = Atom::new(PredRef::new("a"), vec![Term::var("X")]);
         assert!(prep.instantiate(&bad).is_none());
+    }
+
+    #[test]
+    fn instantiate_atom_matches_the_spliced_program_query() {
+        let src = "a(X, Y) :- a(X, Z), p(Z, Y).\na(X, Y) :- p(X, Y).\n?- a(X, _).";
+        let p = parse_program(src).unwrap().program;
+        let ad = Adornment::parse("nd").unwrap();
+        let prep = prepare(
+            &p.rules,
+            &PredRef::new("a"),
+            &ad,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        // Constants survive the reshape, so answer extraction against a
+        // resident database sees the same selection the spliced program
+        // would apply.
+        let atom = Atom::new(
+            PredRef::new("a"),
+            vec![Term::int(2), Term::Var(Var::fresh_wildcard())],
+        );
+        let spliced = prep.instantiate_atom(&atom).unwrap();
+        let program = prep.instantiate(&atom).unwrap();
+        let in_program = &program.query.as_ref().unwrap().atom;
+        assert_eq!(spliced.pred, in_program.pred);
+        assert_eq!(spliced.arity(), in_program.arity());
+        assert_eq!(spliced.terms[0], Term::int(2));
+        assert!(prep
+            .instantiate_atom(&Atom::new(PredRef::new("a"), vec![Term::var("X")]))
+            .is_none());
     }
 
     #[test]

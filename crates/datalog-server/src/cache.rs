@@ -18,9 +18,22 @@
 //! themselves are never invalidated by facts — the optimization depends
 //! only on the rules, which the fingerprint tracks.
 
+//! Since PR 7 an entry may additionally *pin a resident evaluation*
+//! ([`ResidentForm`]): the retained semi-naive state of
+//! [`datalog_engine::incremental::ResidentEval`] plus, per support
+//! predicate, how many rows of the shared EDB store have been applied to
+//! it. Ingestion then becomes *propagation* instead of invalidation for
+//! these forms: the server pushes exactly the rows between the applied
+//! counts and the current watermarks through the resident deltas. Resident
+//! state is memory-heavy (a full saturated database per form), so it has
+//! its own, separately bounded LRU inside the prepared cache
+//! (`--resident-forms=N`; 0 disables pinning entirely and restores the
+//! invalidate-and-recompute behavior).
+
 use std::collections::BTreeMap;
 
 use datalog_ast::PredRef;
+use datalog_engine::incremental::ResidentEval;
 use datalog_opt::PreparedProgram;
 
 /// Cache key: the query form.
@@ -49,6 +62,19 @@ pub struct CachedAnswers {
     pub answers: usize,
 }
 
+/// Retained incremental evaluation for one form: the resident frontier
+/// plus how far into each shared relation it has been advanced.
+#[derive(Debug)]
+pub struct ResidentForm {
+    /// The resident semi-naive state (owns the saturated database).
+    pub eval: ResidentEval,
+    /// Per support predicate: count of shared-store rows already applied.
+    /// Catch-up reads `rows_from(pred, applied[pred])` up to the current
+    /// watermark — idempotent (the resident dedups) and gap-free (the
+    /// shared store is append-only).
+    pub applied: BTreeMap<PredRef, usize>,
+}
+
 /// One cache entry: the prepared program plus reuse bookkeeping.
 #[derive(Debug)]
 pub struct Entry {
@@ -56,6 +82,9 @@ pub struct Entry {
     pub prepared: PreparedProgram,
     /// One-slot answer cache.
     pub answers: Option<CachedAnswers>,
+    /// Pinned resident evaluation, if this form is being maintained
+    /// incrementally (bounded separately — see [`PreparedCache::pin_resident`]).
+    pub resident: Option<ResidentForm>,
     /// How often this form was served without re-optimizing.
     pub hits: u64,
     /// LRU clock value of the last use.
@@ -67,9 +96,15 @@ pub struct Entry {
 pub struct PreparedCache {
     entries: BTreeMap<FormKey, Entry>,
     capacity: usize,
+    /// Resident-form bound (0 = pinning disabled). Independent of
+    /// `capacity`: prepared programs are cheap, resident databases are not.
+    resident_capacity: usize,
     clock: u64,
     /// Total answer-slot invalidations caused by ingestion.
     pub invalidations: u64,
+    /// Times an eligible query found its resident evicted (or poisoned)
+    /// and had to recompute from cold.
+    pub fallback_recomputes: u64,
 }
 
 impl PreparedCache {
@@ -78,9 +113,71 @@ impl PreparedCache {
         PreparedCache {
             entries: BTreeMap::new(),
             capacity: capacity.max(1),
+            resident_capacity: 0,
             clock: 0,
             invalidations: 0,
+            fallback_recomputes: 0,
         }
+    }
+
+    /// Bound the number of entries allowed to hold a [`ResidentForm`]
+    /// (0 disables pinning). Shrinking below the current resident count
+    /// drops the least recently used residents immediately.
+    pub fn set_resident_capacity(&mut self, n: usize) {
+        self.resident_capacity = n;
+        while self.resident_count() > self.resident_capacity {
+            self.evict_one_resident(None);
+        }
+    }
+
+    /// Entries currently holding resident state.
+    pub fn resident_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.resident.is_some())
+            .count()
+    }
+
+    /// Drop the least recently used resident (excluding `keep`, if given).
+    fn evict_one_resident(&mut self, keep: Option<&FormKey>) {
+        if let Some(victim) = self
+            .entries
+            .iter()
+            .filter(|(k, e)| e.resident.is_some() && Some(*k) != keep)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            if let Some(e) = self.entries.get_mut(&victim) {
+                e.resident = None;
+            }
+        }
+    }
+
+    /// Pin resident state onto an existing entry, evicting the least
+    /// recently used other resident if the bound is reached. Returns
+    /// `false` (dropping `form`) when pinning is disabled or the entry is
+    /// gone — both fine: the form simply falls back to recompute.
+    pub fn pin_resident(&mut self, key: &FormKey, form: ResidentForm) -> bool {
+        if self.resident_capacity == 0 || !self.entries.contains_key(key) {
+            return false;
+        }
+        while self.resident_count() >= self.resident_capacity
+            && self.entries.get(key).is_some_and(|e| e.resident.is_none())
+        {
+            self.evict_one_resident(Some(key));
+        }
+        if let Some(e) = self.entries.get_mut(key) {
+            e.resident = Some(form);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate every entry (key + mutable entry), without touching LRU
+    /// clocks — ingestion-side catch-up walks residents through this.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&FormKey, &mut Entry)> {
+        self.entries.iter_mut()
     }
 
     /// Number of prepared forms currently cached.
@@ -123,6 +220,7 @@ impl PreparedCache {
         self.entries.entry(key).or_insert(Entry {
             prepared,
             answers: None,
+            resident: None,
             hits: 0,
             last_used: clock,
         })
@@ -187,6 +285,55 @@ mod tests {
         assert!(cache.get_mut(&k2).is_none(), "LRU entry evicted");
         assert!(cache.get_mut(&k1).is_some());
         assert!(cache.get_mut(&k3).is_some());
+    }
+
+    fn resident(src: &str) -> ResidentForm {
+        use datalog_engine::{EvalOptions, FactSet};
+        let p = parse_program(src).unwrap().program;
+        ResidentForm {
+            eval: ResidentEval::new(&p, &FactSet::new(), &EvalOptions::default()).unwrap(),
+            applied: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn resident_pinning_is_bounded_by_its_own_lru() {
+        let mut cache = PreparedCache::new(8);
+        let (k1, p1) = prep("a(X, Y) :- p(X, Y).\n?- a(X, _).", "a", "nd");
+        let (k2, p2) = prep("b(X, Y) :- q(X, Y).\n?- b(X, _).", "b", "nd");
+        cache.insert(k1.clone(), p1);
+        cache.insert(k2.clone(), p2);
+        // Disabled: pinning refuses.
+        assert!(!cache.pin_resident(&k1, resident("a(X, Y) :- p(X, Y).")));
+        assert_eq!(cache.resident_count(), 0);
+        cache.set_resident_capacity(1);
+        assert!(cache.pin_resident(&k1, resident("a(X, Y) :- p(X, Y).")));
+        assert_eq!(cache.resident_count(), 1);
+        // Touch k2 then pin it: k1's resident is the LRU victim, but both
+        // prepared entries survive.
+        assert!(cache.get_mut(&k2).is_some());
+        assert!(cache.pin_resident(&k2, resident("b(X, Y) :- q(X, Y).")));
+        assert_eq!(cache.resident_count(), 1);
+        assert!(cache.get_mut(&k1).unwrap().resident.is_none());
+        assert!(cache.get_mut(&k2).unwrap().resident.is_some());
+        assert_eq!(cache.len(), 2);
+        // Shrinking to zero drops the survivor too.
+        cache.set_resident_capacity(0);
+        assert_eq!(cache.resident_count(), 0);
+    }
+
+    #[test]
+    fn prepared_eviction_takes_the_resident_with_it() {
+        let mut cache = PreparedCache::new(1);
+        cache.set_resident_capacity(4);
+        let (k1, p1) = prep("a(X, Y) :- p(X, Y).\n?- a(X, _).", "a", "nd");
+        let (k2, p2) = prep("b(X, Y) :- q(X, Y).\n?- b(X, _).", "b", "nd");
+        cache.insert(k1.clone(), p1);
+        assert!(cache.pin_resident(&k1, resident("a(X, Y) :- p(X, Y).")));
+        cache.insert(k2, p2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_count(), 0, "evicted entry drops its state");
+        assert!(cache.get_mut(&k1).is_none());
     }
 
     #[test]

@@ -84,6 +84,14 @@ pub struct ServerMetrics {
     pub cache_misses: Arc<Counter>,
     /// Answer slots cleared by ingestion.
     pub invalidations: Arc<Counter>,
+    /// New facts applied to resident forms by delta propagation.
+    pub incremental_applied_facts: Arc<Counter>,
+    /// Delta-propagation latency (one resident form's catch-up: pending
+    /// shared-store rows pushed through the retained semi-naive state).
+    pub incremental_seconds: Arc<Histogram>,
+    /// Eligible queries that found their resident state evicted or
+    /// poisoned and recomputed from cold (then re-pinned).
+    pub fallback_recomputes: Arc<Counter>,
 
     /// WAL append latency (write + policy fsync).
     pub wal_append_seconds: Arc<Histogram>,
@@ -121,6 +129,8 @@ pub struct ServerMetrics {
     pub facts: Arc<Gauge>,
     /// Prepared forms cached (sampled at scrape time).
     pub prepared_forms: Arc<Gauge>,
+    /// Forms holding resident incremental state (sampled at scrape time).
+    pub resident_forms: Arc<Gauge>,
 
     /// The engine-side histograms (task enumeration / queue wait / merge),
     /// threaded into every evaluation via `EvalOptions::metrics`.
@@ -194,6 +204,22 @@ impl ServerMetrics {
             answer_hits: cache_event("answer_hit"),
             cache_misses: cache_event("miss"),
             invalidations: cache_event("invalidation"),
+            incremental_applied_facts: registry.counter(
+                "xdl_incremental_applied_facts_total",
+                "New facts applied to resident forms by delta propagation.",
+                &[],
+            ),
+            incremental_seconds: registry.histogram(
+                "xdl_incremental_propagation_seconds",
+                "Latency of one resident form's delta catch-up.",
+                &[],
+            ),
+            fallback_recomputes: registry.counter(
+                "xdl_fallback_recomputes_total",
+                "Eligible queries whose resident state was gone (evicted or \
+                 poisoned) and recomputed from cold.",
+                &[],
+            ),
             wal_append_seconds: registry.histogram(
                 "xdl_wal_append_seconds",
                 "WAL append latency (record write plus policy fsync).",
@@ -245,6 +271,11 @@ impl ServerMetrics {
             prepared_forms: registry.gauge(
                 "xdl_prepared_forms",
                 "Prepared query forms currently cached.",
+                &[],
+            ),
+            resident_forms: registry.gauge(
+                "xdl_resident_forms",
+                "Forms currently holding resident incremental state.",
                 &[],
             ),
             eval,

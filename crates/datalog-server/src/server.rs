@@ -48,6 +48,23 @@
 //! Every limit trip is recorded as a
 //! [`PhaseEvent::LimitTripped`](datalog_trace::PhaseEvent) and counted in
 //! `STATS`.
+//!
+//! ## Incremental serving (PR 7)
+//!
+//! With `--resident-forms=N` (default 8), up to N cached forms pin a
+//! [`ResidentEval`]: the retained semi-naive state of their canonical
+//! program, advanced by *delta propagation* instead of being recomputed.
+//! Ingestion still inserts first and invalidates answer slots after (the
+//! memo-correctness invariant), then *drains* pending shared-store rows
+//! into every resident whose support set the fact touches. A query over a
+//! resident form defensively catches the resident up to its own snapshot
+//! (the drain and the query race benignly: catch-up is idempotent and the
+//! shared store append-only) and serves answers straight off the resident
+//! frontier — byte-identical to a cold evaluation at the same watermarks,
+//! at any thread count. Only monotone forms are eligible
+//! ([`ResidentEval::supports`]); a resident lost to LRU eviction or
+//! poisoned by a mid-propagation trip falls back to cold recompute (and
+//! re-pins), counted in `xdl_fallback_recomputes_total`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,13 +77,15 @@ use std::time::{Duration, Instant};
 
 use datalog_adorn::query_adornment;
 use datalog_ast::{parse_atom, parse_program, parse_rule, Atom, PredRef, Program, Query, Rule};
+use datalog_engine::incremental::{DeltaLimits, Fact as DeltaFact, ResidentEval};
 use datalog_engine::{
-    query_answers_full, AnswerSet, CancelToken, EngineError, EvalOptions, EvalStats, SharedDatabase,
+    query_answers_full, AnswerSet, CancelToken, DbSnapshot, EngineError, EvalOptions, EvalStats,
+    FactSet, SharedDatabase,
 };
 use datalog_opt::{fingerprint_rules, prepare, OptimizerConfig, PreparedProgram};
 use datalog_trace::{Json, PhaseEvent};
 
-use crate::cache::{CachedAnswers, FormKey, PreparedCache};
+use crate::cache::{CachedAnswers, Entry, FormKey, PreparedCache, ResidentForm};
 use crate::fault::FaultPlan;
 use crate::metrics::{verb_index, Phase, ServerMetrics};
 use crate::protocol::{ErrCode, Request, Response, PROTOCOL_VERSION};
@@ -81,8 +100,13 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Evaluation threads per query (the engine's fixpoint fan-out).
     /// Results are byte-identical at any value; the default honors the
-    /// `XDL_EVAL_THREADS` environment variable and falls back to 1.
+    /// `XDL_EVAL_THREADS` environment variable and falls back to the
+    /// machine's available parallelism.
     pub eval_threads: usize,
+    /// Forms allowed to pin resident incremental state
+    /// (`--resident-forms`; 0 disables pinning entirely and restores the
+    /// invalidate-and-recompute serving behavior).
+    pub resident_forms: usize,
     /// Greedily reorder join bodies in the prepared (serving) path. On by
     /// default — the server always wants the cheapest join order; `xdl
     /// run` keeps it off so experiment counters reflect source order.
@@ -136,7 +160,8 @@ impl Default for ServerConfig {
             eval_threads: std::env::var("XDL_EVAL_THREADS")
                 .ok()
                 .and_then(|v| v.parse().ok())
-                .unwrap_or(1),
+                .unwrap_or_else(default_parallelism),
+            resident_forms: 8,
             reorder_joins: true,
             cache_capacity: 256,
             verify: false,
@@ -154,6 +179,11 @@ impl Default for ServerConfig {
             fault: Arc::new(FaultPlan::new()),
         }
     }
+}
+
+/// The machine's available parallelism (1 when it cannot be determined).
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -186,6 +216,10 @@ pub struct ServerState {
     shutdown: AtomicBool,
     threads: usize,
     eval_threads: usize,
+    /// Resident-form bound (`--resident-forms`; 0 disables incremental
+    /// serving). Mirrors the cache's own capacity; kept here so handlers
+    /// can gate eligibility without locking the cache.
+    resident_forms: usize,
     reorder_joins: bool,
     verify: bool,
     /// The write-ahead log, when durability is configured.
@@ -233,6 +267,7 @@ impl ServerState {
             shutdown: AtomicBool::new(false),
             threads,
             eval_threads: 1,
+            resident_forms: 0,
             reorder_joins: true,
             verify: false,
             wal: Mutex::new(None),
@@ -291,6 +326,8 @@ impl ServerState {
         state.slow_query_ms = cfg.slow_query_ms;
         state.limit_ring = cfg.limit_events.max(1);
         state.eval_threads = cfg.eval_threads.max(1);
+        state.resident_forms = cfg.resident_forms;
+        lock(&state.cache).set_resident_capacity(cfg.resident_forms);
         state.reorder_joins = cfg.reorder_joins;
         state.verify = cfg.verify;
         state.fault = Arc::clone(&cfg.fault);
@@ -523,6 +560,81 @@ impl ServerState {
         ops
     }
 
+    /// Advance one entry's resident state to `snapshot`'s watermarks by
+    /// propagating every pending shared-store row (per support predicate,
+    /// rows `[applied[p], watermark(p))`) through the retained semi-naive
+    /// state. Idempotent (the resident dedups) and gap-free (the shared
+    /// store is append-only), so the ingestion-side drain and a query's
+    /// defensive catch-up can race benignly. Returns `false` when the
+    /// propagation failed — the resident is dropped and the caller falls
+    /// back to cold recompute.
+    ///
+    /// The caller holds the cache lock (the entry borrow proves it).
+    fn catch_up_resident(&self, entry: &mut Entry, snapshot: &DbSnapshot) -> bool {
+        let Some(resident) = entry.resident.as_mut() else {
+            return false;
+        };
+        if resident.eval.poisoned() {
+            entry.resident = None;
+            return false;
+        }
+        let mut batch: Vec<DeltaFact> = Vec::new();
+        for pred in &entry.prepared.support {
+            let start = resident.applied.get(pred).copied().unwrap_or(0);
+            for row in snapshot.rows_from(pred, start) {
+                batch.push(DeltaFact::new(pred.clone(), row));
+            }
+        }
+        if batch.is_empty() {
+            return true;
+        }
+        let t0 = Instant::now();
+        // No deadline: a propagation either completes or poisons the
+        // frontier, so the only limit worth carrying is the shutdown drain.
+        let limits = DeltaLimits {
+            deadline: None,
+            cancel: Some(self.cancel.clone()),
+        };
+        match resident.eval.apply_deltas(&batch, &limits) {
+            Ok(report) => {
+                for pred in &entry.prepared.support {
+                    resident.applied.insert(pred.clone(), snapshot.count(pred));
+                }
+                self.metrics
+                    .incremental_applied_facts
+                    .add(report.new_facts as u64);
+                self.metrics
+                    .incremental_seconds
+                    .record_duration(t0.elapsed());
+                true
+            }
+            Err(_) => {
+                // Poisoned (trip mid-fixpoint) or structurally refused:
+                // either way this state must not serve answers again.
+                entry.resident = None;
+                false
+            }
+        }
+    }
+
+    /// Ingestion-side propagation: push the new rows into every resident
+    /// whose support set one of `touched` belongs to. Runs after the
+    /// answer-slot invalidation, off the ingest gate — the snapshot taken
+    /// here necessarily includes the rows just inserted.
+    fn drain_residents(&self, touched: &[PredRef]) {
+        if self.resident_forms == 0 || touched.is_empty() {
+            return;
+        }
+        let snapshot = self.db.snapshot();
+        let mut cache = lock(&self.cache);
+        for (_, entry) in cache.iter_mut() {
+            if entry.resident.is_none() || !touched.iter().any(|p| entry.prepared.depends_on(p)) {
+                continue;
+            }
+            self.catch_up_resident(entry, &snapshot);
+        }
+    }
+
     fn handle_fact(&self, text: &str) -> Response {
         let atom = match parse_atom(text) {
             Ok(a) => a,
@@ -557,6 +669,9 @@ impl ServerState {
         if new {
             let cleared = lock(&self.cache).invalidate_edb(&atom.pred);
             self.metrics.invalidations.add(cleared as u64);
+            // Then propagation: residents absorb the row as a delta batch
+            // instead of losing their state.
+            self.drain_residents(std::slice::from_ref(&atom.pred));
         }
         self.maybe_compact();
         Response::ok()
@@ -667,6 +782,8 @@ impl ServerState {
                 let cleared = cache.invalidate_edb(p);
                 self.metrics.invalidations.add(cleared as u64);
             }
+            drop(cache);
+            self.drain_residents(&touched);
         }
         self.maybe_compact();
         let mut resp = Response::ok()
@@ -783,8 +900,17 @@ impl ServerState {
 
         let t_cache = Instant::now();
         let mut cache = lock(&self.cache);
-        let mut resolved: Option<(&'static str, Program, std::collections::BTreeSet<PredRef>)> =
-            None;
+        // `pin` (canonical program + spliced query atom) marks an eligible
+        // form that lost (or never had) resident state: evaluation will
+        // build a ResidentEval instead of a throwaway fixpoint and pin it.
+        #[allow(clippy::type_complexity)]
+        let mut resolved: Option<(
+            &'static str,
+            Program,
+            std::collections::BTreeSet<PredRef>,
+            Option<(Program, Atom)>,
+        )> = None;
+        let mut fallback = false;
         if let Some(entry) = cache.get_mut(&key) {
             entry.hits += 1;
             self.metrics.prepared_hits.inc();
@@ -816,12 +942,78 @@ impl ServerState {
                     return resp;
                 }
             }
+            // Resident serve: catch the retained semi-naive state up to
+            // this snapshot, then extract straight off the frontier — no
+            // optimizer, no fixpoint from scratch.
+            let eligible =
+                self.resident_forms > 0 && ResidentEval::supports(&entry.prepared.program);
+            if eligible {
+                if entry.resident.is_some() && self.catch_up_resident(entry, &snapshot) {
+                    if let Some(q_atom) = entry.prepared.instantiate_atom(&query.atom) {
+                        let resident = entry.resident.as_ref().expect("catch-up kept it");
+                        let answers = resident.eval.answers(&q_atom);
+                        let payload = render_answers(&answers);
+                        // Memo-tag with the resident's *applied* watermarks:
+                        // if an ingest drain raced us past our snapshot, the
+                        // served frontier is the newer (monotone superset)
+                        // one, and the slot must advertise what was served.
+                        let watermarks: Vec<(PredRef, usize)> = entry
+                            .prepared
+                            .support
+                            .iter()
+                            .map(|p| (p.clone(), resident.applied.get(p).copied().unwrap_or(0)))
+                            .collect();
+                        let n_answers = answers.len();
+                        entry.answers = Some(CachedAnswers {
+                            query_repr,
+                            watermarks,
+                            payload: payload.clone(),
+                            answers: n_answers,
+                        });
+                        let trace =
+                            Self::trace_json(&query, &key, "resident", None, &entry.prepared);
+                        drop(cache);
+                        let d_cache = t_cache.elapsed();
+                        self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
+                        *lock(&self.last_trace) = Some(trace);
+                        self.log_slow_query(
+                            req_id,
+                            &key,
+                            "resident",
+                            started,
+                            &[("parse", d_parse), ("cache", d_cache)],
+                            None,
+                        );
+                        return Response::ok()
+                            .with_info("cache", "resident")
+                            .with_info("answers", n_answers)
+                            .with_info("wall_us", started.elapsed().as_micros())
+                            .with_payload_text(&payload);
+                    }
+                } else {
+                    // Evicted by the resident LRU, or dropped just now as
+                    // poisoned: recompute from cold and re-pin below.
+                    fallback = true;
+                }
+            }
+            let pin = (eligible && entry.resident.is_none())
+                .then(|| {
+                    entry
+                        .prepared
+                        .instantiate_atom(&query.atom)
+                        .map(|qa| (entry.prepared.program.clone(), qa))
+                })
+                .flatten();
             resolved = entry
                 .prepared
                 .instantiate(&query.atom)
-                .map(|p| ("hit", p, entry.prepared.support.clone()));
+                .map(|p| ("hit", p, entry.prepared.support.clone(), pin));
         }
-        let (status, eval_program, support) = match resolved {
+        if fallback {
+            cache.fallback_recomputes += 1;
+            self.metrics.fallback_recomputes.inc();
+        }
+        let (status, eval_program, support, pin) = match resolved {
             Some(t) => t,
             None => {
                 self.metrics.cache_misses.inc();
@@ -839,11 +1031,27 @@ impl ServerState {
                 };
                 let entry = cache.insert(key.clone(), prepared);
                 match entry.prepared.instantiate(&query.atom) {
-                    Some(p) => ("miss", p, entry.prepared.support.clone()),
+                    Some(p) => {
+                        let pin = (self.resident_forms > 0
+                            && ResidentEval::supports(&entry.prepared.program))
+                        .then(|| {
+                            entry
+                                .prepared
+                                .instantiate_atom(&query.atom)
+                                .map(|qa| (entry.prepared.program.clone(), qa))
+                        })
+                        .flatten();
+                        ("miss", p, entry.prepared.support.clone(), pin)
+                    }
                     // Defensive: fall back to the unoptimized program; its
                     // support is computed directly so cached answers still
                     // invalidate correctly.
-                    None => ("miss", program.clone(), datalog_opt::edb_support(&program)),
+                    None => (
+                        "miss",
+                        program.clone(),
+                        datalog_opt::edb_support(&program),
+                        None,
+                    ),
                 }
             }
         };
@@ -854,7 +1062,6 @@ impl ServerState {
         let d_cache = t_cache.elapsed();
         self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
 
-        let facts = snapshot.to_factset();
         let opts = EvalOptions {
             boolean_cut: true,
             // The serving path defaults both on: reordered joins (cheapest
@@ -872,12 +1079,41 @@ impl ServerState {
             ..EvalOptions::default()
         };
         let t_eval = Instant::now();
-        let (answers, out) = match query_answers_full(&eval_program, &facts, &opts) {
-            Ok(r) => r,
-            // A tripped query is answered with its partial stats and NOT
-            // memoized: the cache must never serve a truncated table.
-            Err(e) if e.is_limit() => return self.limit_response(&e),
-            Err(e) => return Response::err(format!("evaluation: {e}")),
+        // An eligible form without resident state evaluates by *building*
+        // it: `ResidentEval::new` runs the same cold fixpoint, it just
+        // keeps its working state for later delta propagation. The input
+        // is restricted to the form's support set — the EDB predicates
+        // reachable from the query, the only ones that can affect its
+        // answers.
+        let mut pinned: Option<ResidentEval> = None;
+        let (answers, eval_stats) = if let Some((canonical, q_atom)) = &pin {
+            let mut input = FactSet::new();
+            for pred in &support {
+                for row in snapshot.rows(pred) {
+                    input.insert(pred.clone(), row);
+                }
+            }
+            match ResidentEval::new(canonical, &input, &opts) {
+                Ok(resident) => {
+                    let answers = resident.answers(q_atom);
+                    let stats = resident.initial_stats();
+                    pinned = Some(resident);
+                    (answers, stats)
+                }
+                // A tripped query is answered with its partial stats, NOT
+                // memoized, and nothing is pinned.
+                Err(e) if e.is_limit() => return self.limit_response(&e),
+                Err(e) => return Response::err(format!("evaluation: {e}")),
+            }
+        } else {
+            let facts = snapshot.to_factset();
+            match query_answers_full(&eval_program, &facts, &opts) {
+                Ok((answers, out)) => (answers, out.stats),
+                // A tripped query is answered with its partial stats and NOT
+                // memoized: the cache must never serve a truncated table.
+                Err(e) if e.is_limit() => return self.limit_response(&e),
+                Err(e) => return Response::err(format!("evaluation: {e}")),
+            }
         };
         let d_eval = t_eval.elapsed();
         self.metrics.phase_seconds[Phase::Eval as usize].record_duration(d_eval);
@@ -886,21 +1122,41 @@ impl ServerState {
         let payload = render_answers(&answers);
 
         let mut cache = lock(&self.cache);
-        if let Some(entry) = cache.get_mut(&key) {
+        let trace = cache.get_mut(&key).map(|entry| {
             entry.answers = Some(CachedAnswers {
                 query_repr,
                 watermarks: snapshot.watermarks_for(&support),
                 payload: payload.clone(),
                 answers: answers.len(),
             });
-            let trace = Self::trace_json(
+            Self::trace_json(
                 &query,
                 &key,
                 status,
                 (status == "miss").then_some(()),
                 &entry.prepared,
-            );
-            drop(cache);
+            )
+        });
+        if let Some(resident) = pinned {
+            // Pin unless a concurrent query beat us to it. `applied`
+            // records the snapshot this state was built from, so the next
+            // catch-up starts exactly where construction stopped.
+            if cache.get_mut(&key).is_some_and(|e| e.resident.is_none()) {
+                let applied = support
+                    .iter()
+                    .map(|p| (p.clone(), snapshot.count(p)))
+                    .collect();
+                cache.pin_resident(
+                    &key,
+                    ResidentForm {
+                        eval: resident,
+                        applied,
+                    },
+                );
+            }
+        }
+        drop(cache);
+        if let Some(trace) = trace {
             *lock(&self.last_trace) = Some(trace);
         }
         let d_serialize = t_serialize.elapsed();
@@ -916,7 +1172,7 @@ impl ServerState {
                 ("eval", d_eval),
                 ("serialize", d_serialize),
             ],
-            Some(&out.stats),
+            Some(&eval_stats),
         );
 
         Response::ok()
@@ -1038,6 +1294,12 @@ impl ServerState {
             .with("cache_misses", m.cache_misses.get())
             .with("answer_hits", m.answer_hits.get())
             .with("invalidations", cache.invalidations)
+            .with("resident_forms", cache.resident_count())
+            .with(
+                "incremental_applied_facts",
+                m.incremental_applied_facts.get(),
+            )
+            .with("fallback_recomputes", cache.fallback_recomputes)
             .with("threads", self.threads)
             .with("inflight", self.inflight.load(Ordering::Acquire) as u64)
             .with("shed_connections", m.shed_conns.get())
@@ -1068,9 +1330,13 @@ impl ServerState {
             .active_conns
             .set(self.active_conns.load(Ordering::Acquire) as i64);
         self.metrics.facts.set(self.db.total_facts() as i64);
-        self.metrics
-            .prepared_forms
-            .set(lock(&self.cache).len() as i64);
+        {
+            let cache = lock(&self.cache);
+            self.metrics.prepared_forms.set(cache.len() as i64);
+            self.metrics
+                .resident_forms
+                .set(cache.resident_count() as i64);
+        }
         let (format, body) = if json {
             ("json", self.metrics.to_json().to_string())
         } else {
@@ -1548,6 +1814,157 @@ mod tests {
             serial,
             answers_at(4),
             "server answers must not depend on eval_threads"
+        );
+    }
+
+    #[test]
+    fn eval_threads_default_to_available_parallelism() {
+        // Satellite: an unconfigured server should use the machine, not a
+        // hardcoded 1. Computed from the environment at runtime (tests run
+        // in parallel; mutating the env here would race).
+        let expected = std::env::var("XDL_EVAL_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        assert_eq!(ServerConfig::default().eval_threads, expected);
+        let state = ServerState::from_config(&ServerConfig::default()).unwrap();
+        assert_eq!(state.eval_threads, expected.max(1));
+    }
+
+    /// The tentpole identity: with resident forms enabled, every QUERY
+    /// after every FACT batch must be byte-identical to the
+    /// invalidate-and-recompute server — at 1 and at 4 eval threads.
+    #[test]
+    fn resident_serving_is_byte_identical_to_cold_recompute() {
+        let run = |eval_threads: usize, resident_forms: usize| -> Vec<String> {
+            let state = ServerState::from_config(&ServerConfig {
+                eval_threads,
+                resident_forms,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            let dir = TempDir::new(&format!("res-{eval_threads}-{resident_forms}"));
+            let file = dir.0.join("tc.dl");
+            let mut src = String::from("a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n");
+            for i in 0..20 {
+                src.push_str(&format!("p({}, {}).\n", i, (i * 3 + 1) % 20));
+            }
+            std::fs::write(&file, src).unwrap();
+            assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+            let q = "?- a(X, _).";
+            let first = state.handle(&Request::Query(q.into()));
+            assert!(first.ok, "{}", first.error);
+            assert_eq!(first.get("cache"), Some("miss"));
+            let mut payloads = vec![first.payload_text()];
+            for batch in 0..4u32 {
+                for j in 0..3u32 {
+                    let v = 100 + batch * 10 + j;
+                    let resp = state.handle(&Request::Fact(format!("p({}, {}).", v, v + 1)));
+                    assert!(resp.ok, "{}", resp.error);
+                }
+                let resp = state.handle(&Request::Query(q.into()));
+                assert!(resp.ok, "{}", resp.error);
+                if resident_forms > 0 {
+                    assert_eq!(
+                        resp.get("cache"),
+                        Some("resident"),
+                        "ingestion must propagate, not evict, the resident"
+                    );
+                }
+                payloads.push(resp.payload_text());
+            }
+            payloads
+        };
+        let cold = run(1, 0);
+        assert_eq!(cold, run(1, 8), "resident must match recompute");
+        assert_eq!(cold, run(4, 8), "and be thread-count independent");
+    }
+
+    #[test]
+    fn evicted_resident_falls_back_to_cold_and_repins() {
+        // --resident-forms=1 with two eligible forms: each query of one
+        // form evicts the other's resident, so the fallback counter
+        // advances deterministically while answers stay correct.
+        let state = ServerState::from_config(&ServerConfig {
+            resident_forms: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = TempDir::new("fallback");
+        let file = dir.0.join("two.dl");
+        std::fs::write(
+            &file,
+            "a(X, Y) :- p(X, Y).\nb(X, Y) :- q(X, Y).\np(1, 2).\nq(3, 4).\n",
+        )
+        .unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        assert_eq!(
+            state
+                .handle(&Request::Query("?- a(X, _).".into()))
+                .get("cache"),
+            Some("miss")
+        );
+        assert_eq!(
+            state
+                .handle(&Request::Query("?- b(X, _).".into()))
+                .get("cache"),
+            Some("miss")
+        );
+        // Same forms, fresh constants (a memo hit would hide the resident
+        // path): each finds its resident evicted by the other's pin.
+        let resp = state.handle(&Request::Query("?- a(1, _).".into()));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.get("cache"), Some("hit"), "fallback recomputes");
+        assert_eq!(resp.payload_text(), "true\n");
+        let resp = state.handle(&Request::Query("?- b(3, _).".into()));
+        assert_eq!(resp.get("cache"), Some("hit"));
+        assert_eq!(resp.payload_text(), "true\n");
+        let stats = state.handle(&Request::Stats).payload_text();
+        assert!(stats.contains("\"fallback_recomputes\":2"), "{stats}");
+        assert!(stats.contains("\"resident_forms\":1"), "{stats}");
+        // The fallback re-pinned: the same constant-query now serves from
+        // the (re-)resident frontier.
+        let resp = state.handle(&Request::Query("?- b(4, _).".into()));
+        assert_eq!(resp.get("cache"), Some("resident"));
+        assert_eq!(resp.payload_text(), "false\n");
+    }
+
+    #[test]
+    fn memo_watermarks_survive_unrelated_ingestion_without_residents() {
+        // Satellite: with pinning disabled the seed behavior is intact —
+        // memoized answers are validated against the per-relation
+        // watermarks of the form's own EDB support set, so a fact for q
+        // leaves the form over p serving from its memo slot.
+        let state = ServerState::from_config(&ServerConfig {
+            resident_forms: 0,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = TempDir::new("memo-marks");
+        let file = dir.0.join("two.dl");
+        std::fs::write(
+            &file,
+            "a(X, Y) :- p(X, Y).\nb(X, Y) :- q(X, Y).\np(1, 2).\nq(3, 4).\n",
+        )
+        .unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        for q in ["?- a(X, _).", "?- b(X, _)."] {
+            assert!(state.handle(&Request::Query(q.into())).ok);
+        }
+        assert!(state.handle(&Request::Fact("q(5, 6).".into())).ok);
+        assert_eq!(
+            state
+                .handle(&Request::Query("?- a(X, _).".into()))
+                .get("cache"),
+            Some("answers"),
+            "a's support watermarks did not move"
+        );
+        assert_eq!(
+            state
+                .handle(&Request::Query("?- b(X, _).".into()))
+                .get("cache"),
+            Some("hit"),
+            "b re-evaluates (and without residents never serves 'resident')"
         );
     }
 

@@ -434,6 +434,71 @@ fn metrics_scrape_is_valid_prometheus_and_covers_the_surface() {
 }
 
 #[test]
+fn incremental_serving_surface_is_scraped_and_counted() {
+    let dir = TempDir::new("metrics-incremental");
+    let server = Server::spawn(&ServerConfig {
+        threads: 1,
+        ..ServerConfig::default() // resident forms on by default
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let rules = dir.path().join("rules.dl");
+    std::fs::write(&rules, format!("{TC_RULES}p(1, 2).\n")).unwrap();
+    assert!(c.load(rules.to_str().unwrap()).unwrap().ok);
+
+    // Cold miss pins the resident; the FACTs are then propagated into it
+    // as delta batches; the final query serves off the resident frontier.
+    assert_eq!(c.query("?- a(X, _).").unwrap().get("cache"), Some("miss"));
+    for i in 2..6 {
+        assert!(c.fact(&format!("p({i}, {}).", i + 1)).unwrap().ok);
+    }
+    let resp = c.query("?- a(X, _).").unwrap();
+    assert_eq!(resp.get("cache"), Some("resident"));
+
+    let families = parse_prometheus(&c.metrics(false).unwrap().payload_text());
+    for required in [
+        "xdl_incremental_applied_facts_total",
+        "xdl_incremental_propagation_seconds",
+        "xdl_resident_forms",
+        "xdl_fallback_recomputes_total",
+    ] {
+        assert!(
+            families.contains_key(required),
+            "{required} missing from scrape"
+        );
+    }
+    // Four new facts propagated, one resident pinned, zero fallbacks.
+    assert_eq!(
+        families["xdl_incremental_applied_facts_total"].samples[0].value,
+        4.0
+    );
+    assert_eq!(families["xdl_resident_forms"].samples[0].value, 1.0);
+    assert_eq!(
+        families["xdl_fallback_recomputes_total"].samples[0].value,
+        0.0
+    );
+    let prop_count = families["xdl_incremental_propagation_seconds"]
+        .samples
+        .iter()
+        .find(|s| s.name == "xdl_incremental_propagation_seconds_count")
+        .unwrap();
+    assert!(
+        prop_count.value >= 4.0,
+        "per-FACT drains: {}",
+        prop_count.value
+    );
+
+    // STATS reads the same surface.
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"resident_forms\":1"), "{stats}");
+    assert!(stats.contains("\"incremental_applied_facts\":4"), "{stats}");
+    assert!(stats.contains("\"fallback_recomputes\":0"), "{stats}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn counters_are_monotone_across_scrapes() {
     let dir = TempDir::new("metrics-monotone");
     let cfg = ServerConfig {

@@ -95,13 +95,14 @@ fn repeat_query_form_hits_cache_with_zero_new_events() {
     let doc = c.trace().unwrap().payload_text();
     assert!(doc.contains("\"new_events\":[]"), "{doc}");
 
-    // Same form, different constant: prepared program reused (no optimizer),
-    // evaluation runs.
+    // Same form, different constant: prepared program reused (no
+    // optimizer), answers extracted from the resident frontier the cold
+    // miss pinned — no re-evaluation either.
     let third = c.query("?- a(2, _).").unwrap();
-    assert_eq!(third.get("cache"), Some("hit"));
+    assert_eq!(third.get("cache"), Some("resident"));
     assert_eq!(third.payload_text(), "true\n");
     let doc = c.trace().unwrap().payload_text();
-    assert!(doc.contains("\"cache\":\"hit\""), "{doc}");
+    assert!(doc.contains("\"cache\":\"resident\""), "{doc}");
     assert!(doc.contains("\"new_events\":[]"), "{doc}");
 
     // First-seen adornment of the same predicate: full trace again.
@@ -148,7 +149,11 @@ fn ingestion_invalidates_only_dependent_forms() {
     assert!(resp.ok, "{}", resp.error);
     assert_eq!(resp.get("new"), Some("true"));
     let a = c.query("?- a(X, _).").unwrap();
-    assert_eq!(a.get("cache"), Some("hit"), "a must re-evaluate");
+    assert_eq!(
+        a.get("cache"),
+        Some("resident"),
+        "a re-serves from its caught-up resident frontier"
+    );
     assert!(a.payload.contains(&"5".to_string()), "{:?}", a.payload);
     assert_eq!(
         c.query("?- b(X, _).").unwrap().get("cache"),

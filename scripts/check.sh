@@ -133,6 +133,45 @@ echo "check.sh: e12 recorded ($(ls bench_history | wc -l) history entries)"
     > "bench_history/e13-$(date +%s).json"
 echo "check.sh: e13 recorded ($(ls bench_history | wc -l) history entries)"
 
+# Incremental-serving smoke: ingest after a warm query, then demand the
+# resident-frontier answer is byte-identical to a server with residency
+# disabled (--resident-forms 0 forces invalidate-and-recompute).
+for forms in 8 0; do
+    ./target/release/xdl serve --port 0 --threads 2 --resident-forms "$forms" \
+        > "$smoke_dir/serve-inc$forms.out" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve-inc$forms.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "check.sh: incremental smoke server ($forms) did not announce" >&2
+        exit 1
+    fi
+    ./target/release/xdl query --connect "$addr" --load "$smoke_dir/tc.dl" \
+        '?- a(X, _).' > /dev/null
+    ./target/release/xdl query --connect "$addr" --fact 'p(3, 4).' \
+        --fact 'p(4, 5).' '?- a(X, _).' > "$smoke_dir/inc$forms.out"
+    ./target/release/xdl query --connect "$addr" --shutdown
+    wait "$serve_pid"
+    serve_pid=""
+done
+if ! cmp -s "$smoke_dir/inc8.out" "$smoke_dir/inc0.out"; then
+    echo "check.sh: resident frontier differs from invalidate-recompute:" >&2
+    diff "$smoke_dir/inc8.out" "$smoke_dir/inc0.out" >&2 || true
+    exit 1
+fi
+echo "check.sh: incremental serving smoke ok"
+
+# Incremental serving experiment: record a quick E14 run (resident delta
+# propagation vs invalidate-recompute) alongside the committed full-mode
+# BENCH_e14.json.
+./target/release/harness e14 --quick --json \
+    > "bench_history/e14-$(date +%s).json"
+echo "check.sh: e14 recorded ($(ls bench_history | wc -l) history entries)"
+
 # Crash-recovery smoke: ingest through a WAL-backed server, SIGKILL it
 # (no shutdown, no flush), restart on the same WAL directory, and demand
 # byte-identical query output.
