@@ -5,7 +5,7 @@
 //!         [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>] [--threads <n>]
 //! xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>] [--threads <n>]
 //! xdl optimize <file.dl> [--rewrite-only] [--aggressive]
-//! xdl lint <file.dl>... [--json]
+//! xdl lint <file.dl>... [--json] [--bounds] [--deny-warnings]
 //! xdl verify-opt <file.dl>... [--json]
 //! xdl analyze <file.dl> [--json]
 //! xdl explain <file.dl> <fact>
@@ -68,7 +68,7 @@ fn usage() -> String {
      [--json] [--max-iterations <n>] [--deadline-ms <ms>] [--budget <n>] [--threads <n>]\n  \
      xdl profile <file.dl> [--json] [--no-optimize] [--no-cut] [--top <n>] [--threads <n>]\n  \
      xdl optimize <file.dl> [--rewrite-only] [--aggressive]\n  \
-     xdl lint <file.dl>... [--json]\n  \
+     xdl lint <file.dl>... [--json] [--bounds] [--deny-warnings]\n  \
      xdl verify-opt <file.dl>... [--json]\n  \
      xdl analyze <file.dl> [--json]\n  \
      xdl explain <file.dl> <fact>\n  \
@@ -321,12 +321,34 @@ fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
         return Err(format!("lint needs at least one file\n{}", usage()));
     }
     let json = flag(rest, "--json");
+    // `--bounds` restricts the run to the size-bound analysis: only the
+    // bound-* diagnostics, plus the per-predicate bound table.
+    let bounds_only = flag(rest, "--bounds");
+    let deny_warnings = flag(rest, "--deny-warnings");
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut docs: Vec<existential_datalog::prelude::Json> = Vec::new();
     for path in &files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let diags = existential_datalog::lint::lint_source(&text);
+        let (diags, table) = if bounds_only {
+            match existential_datalog::ast::parse_program(&text) {
+                Ok(parsed) => {
+                    let table = existential_datalog::lint::analyze_bounds(&parsed.program)
+                        .map(|r| r.to_text())
+                        .ok();
+                    (
+                        existential_datalog::lint::bounds_diagnostics(&parsed),
+                        table,
+                    )
+                }
+                Err(e) => (
+                    vec![Diagnostic::error("parse", (e.line, e.col), e.message)],
+                    None,
+                ),
+            }
+        } else {
+            (existential_datalog::lint::lint_source(&text), None)
+        };
         for d in &diags {
             match d.severity {
                 Severity::Error => errors += 1,
@@ -338,6 +360,11 @@ fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
                 println!("{}", d.render_at(path));
             }
         }
+        if let Some(table) = table {
+            if !json {
+                print!("{path}:\n{table}");
+            }
+        }
     }
     if json {
         println!(
@@ -345,6 +372,7 @@ fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
             existential_datalog::prelude::Json::obj()
                 .with("errors", errors)
                 .with("warnings", warnings)
+                .with("deny_warnings", deny_warnings)
                 .with("diagnostics", existential_datalog::prelude::Json::Arr(docs))
                 .to_pretty()
         );
@@ -354,7 +382,7 @@ fn cmd_lint(rest: &[&String]) -> Result<ExitCode, String> {
             files.len()
         );
     }
-    Ok(if errors > 0 {
+    Ok(if errors > 0 || (deny_warnings && warnings > 0) {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -411,6 +439,7 @@ fn cmd_analyze(rest: &[&String]) -> Result<(), String> {
     let path = positional(rest, 0).ok_or_else(usage)?;
     let (program, _) = load(path)?;
     let findings = existential_datalog::opt::analyze(&program);
+    let bounds = existential_datalog::lint::analyze_bounds(&program).ok();
     if flag(rest, "--json") {
         let arr = existential_datalog::prelude::Json::Arr(
             findings
@@ -422,9 +451,19 @@ fn cmd_analyze(rest: &[&String]) -> Result<(), String> {
                 })
                 .collect(),
         );
-        println!("{}", arr.to_pretty());
+        let doc = existential_datalog::prelude::Json::obj()
+            .with("findings", arr)
+            .with(
+                "bounds",
+                bounds.map_or(existential_datalog::prelude::Json::Null, |b| b.to_json()),
+            );
+        println!("{}", doc.to_pretty());
     } else {
         print!("{}", existential_datalog::opt::analyze::render(&findings));
+        if let Some(b) = bounds {
+            println!("derivation bounds (worst class: {}):", b.worst_class());
+            print!("{}", b.to_text());
+        }
     }
     Ok(())
 }

@@ -1,0 +1,66 @@
+//! Exit-code discipline of `xdl lint`, pinned against the shipped
+//! fixtures: 0 = clean (or warnings without `--deny-warnings`),
+//! 1 = errors or denied warnings, 2 = usage / I/O problems.
+//! `scripts/check.sh` relies on exactly this contract.
+
+use std::process::{Command, Output};
+
+fn xdl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xdl"))
+        .args(args)
+        .output()
+        .expect("spawn xdl")
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/../../tests/lint/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn example(name: &str) -> String {
+    format!("{}/../../examples/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn clean_example_exits_zero_even_with_deny_warnings() {
+    let out = xdl(&["lint", &example("tc.dl"), "--bounds", "--deny-warnings"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("0 error(s), 0 warning(s)"), "{stderr}");
+    // The --bounds table classifies the transitive closure as linear.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("linear"), "{stdout}");
+}
+
+#[test]
+fn deny_warnings_promotes_bound_warnings_to_exit_one() {
+    // Warnings alone are advisory...
+    let plain = xdl(&["lint", &fixture("cartesian.dl")]);
+    assert_eq!(plain.status.code(), Some(0), "{plain:?}");
+    let stdout = String::from_utf8(plain.stdout).unwrap();
+    assert!(stdout.contains("warning[bound-cartesian]"), "{stdout}");
+
+    // ...until --deny-warnings makes them binding.
+    let denied = xdl(&["lint", &fixture("cartesian.dl"), "--deny-warnings"]);
+    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+
+    let unbounded = xdl(&["lint", &fixture("unbounded.dl"), "--deny-warnings"]);
+    assert_eq!(unbounded.status.code(), Some(1), "{unbounded:?}");
+    let stdout = String::from_utf8(unbounded.stdout).unwrap();
+    assert!(stdout.contains("warning[bound-unbounded]"), "{stdout}");
+}
+
+#[test]
+fn error_fixture_exits_one_with_or_without_deny_warnings() {
+    let out = xdl(&["lint", &fixture("unsafe_rule.dl")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let denied = xdl(&["lint", &fixture("unsafe_rule.dl"), "--deny-warnings"]);
+    assert_eq!(denied.status.code(), Some(1), "{denied:?}");
+}
+
+#[test]
+fn missing_file_and_bad_usage_exit_two() {
+    let missing = xdl(&["lint", "/nonexistent/nope.dl"]);
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+    let no_args = xdl(&["lint"]);
+    assert_eq!(no_args.status.code(), Some(2), "{no_args:?}");
+}

@@ -187,6 +187,64 @@ fn incremental_differential(
     failures
 }
 
+/// Bound-soundness arm: the static size-bound analysis must never
+/// under-approximate. Analyze the program, evaluate its bounds at the
+/// instance's *true* EDB cardinalities, run the full fixpoint, and require
+/// every derived predicate's actual fact count to sit at or under its
+/// certified bound. Also checks the admission contract: a form the
+/// analysis classifies unbounded must never be admitted to resident
+/// incremental state. Returns the number of violations found.
+fn bounds_soundness(
+    program: &datalog_ast::Program,
+    instance: &datalog_engine::FactSet,
+    mut complain: impl FnMut(&str),
+) -> u64 {
+    let report = match datalog_lint::analyze_bounds(program) {
+        Ok(r) => r,
+        Err(e) => {
+            complain(&format!("bounds: analysis failed on a valid program: {e}"));
+            return 1;
+        }
+    };
+    let cards: std::collections::BTreeMap<String, u64> = report
+        .edb
+        .iter()
+        .map(|p| (p.to_string(), instance.count(p) as u64))
+        .collect();
+    let out = match evaluate(program, instance, &EvalOptions::default()) {
+        Ok(o) => o,
+        // The reference arm already complained about the failure.
+        Err(_) => return 0,
+    };
+    let mut failures = 0;
+    for pred in &report.idb {
+        let actual = out
+            .database
+            .pred_id(pred)
+            .map_or(0, |id| out.database.relation(id).len()) as u64;
+        let Some(bound) = report.eval_count(pred, &cards) else {
+            complain(&format!("bounds: derived predicate {pred} has no verdict"));
+            failures += 1;
+            continue;
+        };
+        if actual > bound {
+            complain(&format!(
+                "bounds: {pred} derived {actual} facts, certified bound is {bound}"
+            ));
+            failures += 1;
+        }
+        if report.class_of(pred) == datalog_trace::BoundClass::Unbounded
+            && ResidentEval::admits_bound_class(report.class_of(pred))
+        {
+            complain(&format!(
+                "bounds: unbounded-classified {pred} admitted to resident state"
+            ));
+            failures += 1;
+        }
+    }
+    failures
+}
+
 /// Rounds and base seed of the fixed `--smoke` configuration. Small enough
 /// for a debug-profile test run, deterministic so failures reproduce.
 pub const SMOKE_ROUNDS: u64 = 25;
@@ -276,6 +334,11 @@ pub fn run_rounds(rounds: u64, base: u64, verbose: bool) -> u64 {
         // Incremental maintenance: resident frontier vs cold fixpoint, at
         // 1 and 4 threads, after every ingested batch.
         failures += incremental_differential(&program, &instance, |msg| {
+            complain!("seed {seed}: {msg}");
+        });
+        // Static size bounds: actual derived counts never exceed the
+        // certified bound at the instance's true cardinalities.
+        failures += bounds_soundness(&program, &instance, |msg| {
             complain!("seed {seed}: {msg}");
         });
         // Full optimizer (+ cut).

@@ -132,6 +132,15 @@ pub struct EvalOptions {
     /// `None` costs one branch per task; a handle from a disabled registry
     /// costs one more branch inside [`datalog_trace::Histogram::record`].
     pub metrics: Option<EvalHists>,
+    /// Per-predicate row-count estimates (rendered predicate name →
+    /// estimated rows) that [`EvalOptions::reorder_joins`] uses as cost
+    /// tie-breaks: among literals sharing equally many bound variables,
+    /// the cheaper relation is joined first, and the seed literal prefers
+    /// the smallest estimate. The server evaluates these from the static
+    /// size-bound analysis (`datalog_lint::bounds`) against live EDB
+    /// cardinalities; `None` keeps the purely structural greedy order
+    /// byte-for-byte.
+    pub cost_hints: Option<std::sync::Arc<std::collections::BTreeMap<String, u64>>>,
 }
 
 impl Default for EvalOptions {
@@ -148,6 +157,7 @@ impl Default for EvalOptions {
             cancel: None,
             threads: 1,
             metrics: None,
+            cost_hints: None,
         }
     }
 }
@@ -1041,23 +1051,38 @@ pub(crate) fn stratify(program: &Program) -> Result<Vec<usize>, EngineError> {
 }
 
 /// Greedy join order: start from the literal with the most constants
-/// (ties: source order), then repeatedly append the literal sharing the
-/// most variables with those already placed (ties: more constants, then
-/// source order). Keeps every literal; only the order changes, which is
+/// (ties: smallest estimated relation if `hints` are given, then source
+/// order), then repeatedly append the literal sharing the most variables
+/// with those already placed (ties: cheaper estimated relation, then more
+/// constants, then source order). With `hints == None` the cost key is
+/// constant, so the order is byte-identical to the historical structural
+/// heuristic. Keeps every literal; only the order changes, which is
 /// semantics-preserving for a fixpoint join.
-fn greedy_order(body: &[datalog_ast::Atom]) -> Vec<usize> {
+fn greedy_order(
+    body: &[datalog_ast::Atom],
+    hints: Option<&std::collections::BTreeMap<String, u64>>,
+) -> Vec<usize> {
     use std::collections::BTreeSet;
     let n = body.len();
     if n <= 1 {
         return (0..n).collect();
     }
     let consts = |i: usize| body[i].terms.iter().filter(|t| !t.is_var()).count();
+    // Estimated rows; relations without an estimate sort last among ties.
+    let cost = |i: usize| -> u64 {
+        hints
+            .and_then(|h| h.get(&body[i].pred.to_string()).copied())
+            .unwrap_or(u64::MAX)
+    };
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut bound: BTreeSet<datalog_ast::Var> = BTreeSet::new();
     let mut remaining: Vec<usize> = (0..n).collect();
-    // Seed: most constants.
+    // Seed: most constants, then cheapest relation.
     let first_pos = (0..remaining.len())
-        .max_by_key(|&k| (consts(remaining[k]), std::cmp::Reverse(k)))
+        .max_by_key(|&k| {
+            let i = remaining[k];
+            (consts(i), std::cmp::Reverse(cost(i)), std::cmp::Reverse(k))
+        })
         .expect("nonempty");
     let first = remaining.remove(first_pos);
     bound.extend(body[first].var_occurrences());
@@ -1070,7 +1095,12 @@ fn greedy_order(body: &[datalog_ast::Atom]) -> Vec<usize> {
                     .var_occurrences()
                     .filter(|v| bound.contains(v))
                     .count();
-                (shared, consts(i), std::cmp::Reverse(k))
+                (
+                    shared,
+                    std::cmp::Reverse(cost(i)),
+                    consts(i),
+                    std::cmp::Reverse(k),
+                )
             })
             .expect("nonempty");
         let i = remaining.remove(pos);
@@ -1084,6 +1114,7 @@ pub(crate) fn compile(
     program: &Program,
     db: &mut Database,
     reorder_joins: bool,
+    cost_hints: Option<&std::collections::BTreeMap<String, u64>>,
 ) -> Result<Vec<RulePlan>, EngineError> {
     let arities = program.arities()?;
     for (pred, &arity) in &arities {
@@ -1100,7 +1131,7 @@ pub(crate) fn compile(
             }
         };
         let ordered_body: Vec<&datalog_ast::Atom> = if reorder_joins {
-            greedy_order(&rule.body)
+            greedy_order(&rule.body, cost_hints)
                 .into_iter()
                 .map(|i| &rule.body[i])
                 .collect()
@@ -1221,7 +1252,12 @@ pub fn evaluate(
 ) -> Result<EvalOutput, EngineError> {
     program.validate()?;
     let mut db = Database::new();
-    let plans = compile(program, &mut db, opts.reorder_joins)?;
+    let plans = compile(
+        program,
+        &mut db,
+        opts.reorder_joins,
+        opts.cost_hints.as_deref(),
+    )?;
     let arities = program.arities()?;
     load_input(&mut db, &arities, input)?;
     ensure_probe_indexes(&mut db, &plans);

@@ -171,6 +171,20 @@ impl ResidentEval {
         program.rules.iter().all(|r| r.negative.is_empty())
     }
 
+    /// Bound-class admission policy for pinning resident state: resident
+    /// forms hold a full saturated database per form, so forms whose
+    /// static size-bound analysis came back
+    /// [`datalog_trace::BoundClass::Unbounded`] (nonlinear recursion the
+    /// analysis could not trace past the active-domain fallback) are
+    /// refused — they are exactly the forms whose retained state can grow
+    /// without a useful ceiling. Everything with a certified bound
+    /// (`Bounded`, `Linear`, `Polynomial`) is admitted; smaller classes
+    /// are cheaper to keep resident and callers may prefer them when the
+    /// LRU is contended.
+    pub fn admits_bound_class(class: datalog_trace::BoundClass) -> bool {
+        class != datalog_trace::BoundClass::Unbounded
+    }
+
     /// Build resident state by running the full fixpoint over `input` —
     /// this *is* the cold evaluation, it just keeps its working state.
     /// `opts.boolean_cut` and `opts.profile` are ignored (see module docs);
@@ -191,7 +205,12 @@ impl ResidentEval {
             return Err(EngineError::NonMonotone { pred });
         }
         let mut db = Database::new();
-        let plans = compile(program, &mut db, opts.reorder_joins)?;
+        let plans = compile(
+            program,
+            &mut db,
+            opts.reorder_joins,
+            opts.cost_hints.as_deref(),
+        )?;
         let arities = program.arities()?;
         load_input(&mut db, &arities, input)?;
         ensure_probe_indexes(&mut db, &plans);

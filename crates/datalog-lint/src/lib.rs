@@ -25,12 +25,14 @@
 //! both halves on the command line.
 
 pub mod audit;
+pub mod bounds;
 pub mod contain;
 pub mod diag;
 pub mod lints;
 pub mod verify;
 
 pub use audit::{audit_adorned_rules, recompute_adornment};
+pub use bounds::{analyze as analyze_bounds, bounds_diagnostics, Bound, BoundsReport, Poly};
 pub use contain::{
     conjunction_homomorphism, match_atom_onto, subsumed_indices, subsumes, subsumption_pairs,
     subsumption_witness, Homomorphism,

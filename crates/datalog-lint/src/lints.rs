@@ -45,6 +45,7 @@ pub fn lint_program(parsed: &ParsedProgram) -> Vec<Diagnostic> {
     check_predicates(parsed, &mut diags);
     check_subsumption(parsed, &mut diags);
     check_query(parsed, &mut diags);
+    diags.extend(crate::bounds::bounds_diagnostics(parsed));
 
     sort_diagnostics(&mut diags);
     diags

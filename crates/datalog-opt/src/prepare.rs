@@ -25,12 +25,15 @@
 //! repeated variables are selections applied on top of that relation at
 //! extraction time.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use datalog_ast::{Ad, Adornment, Atom, PredRef, Program, Query, Rule, Term, Var};
+use datalog_lint::bounds::BoundsReport;
+use datalog_trace::{BoundClass, PhaseEvent};
 
 use crate::pipeline::{optimize, OptimizerConfig};
-use crate::report::Report;
+use crate::report::{EquivalenceLevel, Phase, Report};
 use crate::OptError;
 
 /// Order-insensitive FNV-1a fingerprint of a rule set. Renders each rule,
@@ -82,6 +85,19 @@ pub struct PreparedProgram {
     /// transitively, via [`Program::reachable_from_query`]. An ingested
     /// fact outside this set cannot change this form's answers.
     pub support: BTreeSet<PredRef>,
+    /// Static derivation bounds of the *optimized* program: per-predicate
+    /// symbolic upper bounds on derived-fact counts as polynomials in EDB
+    /// cardinalities. Serving layers evaluate these against live
+    /// cardinalities for bound-aware admission.
+    pub bounds: BoundsReport,
+    /// Worst recursion classification across the optimized program's IDB
+    /// predicates — the form-level verdict admission control keys on.
+    pub bound_class: BoundClass,
+    /// Join-reorder cost hints evaluated at the nominal cold-start
+    /// cardinality ([`datalog_lint::bounds::DEFAULT_CARD`]), keyed by
+    /// rendered predicate. Cheap static defaults for callers without live
+    /// statistics; the server re-evaluates against real cardinalities.
+    pub static_hints: Arc<BTreeMap<String, u64>>,
 }
 
 /// The canonical query atom of a form: fresh named variables `Qc<i>` at
@@ -124,7 +140,37 @@ pub fn prepare(
 ) -> Result<PreparedProgram, OptError> {
     let canonical = canonical_query_atom(pred, adornment);
     let input = Program::with_query(rules.to_vec(), Query::new(canonical));
-    let out = optimize(&input, cfg)?;
+    let mut out = optimize(&input, cfg)?;
+    let bounds = datalog_lint::bounds::analyze(&out.program)
+        .map_err(|e| OptError::ValidationFailed(format!("bounds analysis: {e}")))?;
+    let bound_class = bounds.worst_class();
+    let static_hints = Arc::new(bounds.cost_hints(&bounds.default_cards()));
+    let query_pred = out
+        .program
+        .query
+        .as_ref()
+        .map(|q| q.atom.pred.clone())
+        .unwrap_or_else(|| pred.clone());
+    let query_bound = bounds
+        .preds
+        .get(&query_pred)
+        .map(|pb| pb.count.render())
+        .unwrap_or_else(|| "0".to_string());
+    out.report.record_event(
+        Phase::Bounds,
+        EquivalenceLevel::Uniform,
+        format!(
+            "bounds: query form {query_pred} classified {bound_class}, count <= {query_bound} \
+             ({} derived predicates analyzed)",
+            bounds.idb.len()
+        ),
+        PhaseEvent::BoundsAnalyzed {
+            pred: query_pred.to_string(),
+            class: bound_class,
+            bound: query_bound,
+            preds: bounds.idb.len(),
+        },
+    );
     let opt_arity = out
         .program
         .query
@@ -146,6 +192,9 @@ pub fn prepare(
         adornment: adornment.clone(),
         shape,
         support,
+        bounds,
+        bound_class,
+        static_hints,
     })
 }
 
@@ -314,6 +363,40 @@ mod tests {
         let (cold_ans, _) = query_answers(&p, &chain(4), &EvalOptions::default()).unwrap();
         assert_eq!(warm_ans, cold_ans);
         assert_eq!(warm_ans.len(), 10);
+    }
+
+    #[test]
+    fn prepare_attaches_bounds_verdict_and_static_hints() {
+        let src = "a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n?- a(X, Y).";
+        let p = parse_program(src).unwrap().program;
+        let ad = Adornment::parse("nn").unwrap();
+        let prep = prepare(
+            &p.rules,
+            &PredRef::new("a"),
+            &ad,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        // Linear TC must never be classified unbounded, and the analysis
+        // must cover the optimized query predicate.
+        assert!(prep.bound_class < BoundClass::Unbounded);
+        assert!(!prep.bounds.idb.is_empty());
+        let qp = &prep.program.query.as_ref().unwrap().atom.pred;
+        assert!(prep.bounds.preds.contains_key(qp), "no bound for {qp}");
+        // Static hints carry a finite nominal cost for every analyzed
+        // predicate.
+        assert!(prep.static_hints.contains_key(&qp.to_string()));
+        assert!(prep.static_hints.values().all(|&c| c > 0));
+        // The verdict was recorded as a typed event the validator replays.
+        let ev = prep
+            .report
+            .events()
+            .find(|e| e.kind() == "bounds-analyzed")
+            .expect("no bounds-analyzed event recorded");
+        if let PhaseEvent::BoundsAnalyzed { class, preds, .. } = ev {
+            assert_eq!(*class, prep.bound_class);
+            assert_eq!(*preds, prep.bounds.idb.len());
+        }
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub enum Phase {
     Cleanup,
     /// Unit-rule introduction via the `covers` relation (§5).
     UnitRules,
+    /// Static size-bound analysis of the optimized program
+    /// (`datalog-lint`'s derivation-bound abstract interpretation).
+    Bounds,
     /// Translation validation (`datalog-lint`'s independent re-checks).
     Validation,
 }
@@ -68,6 +71,7 @@ impl std::fmt::Display for Phase {
             Phase::UqeDeletion => "uqe-deletion",
             Phase::Cleanup => "cleanup",
             Phase::UnitRules => "unit-rules",
+            Phase::Bounds => "bounds",
             Phase::Validation => "validation",
         };
         f.write_str(s)

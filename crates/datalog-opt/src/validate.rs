@@ -193,6 +193,62 @@ pub fn validate(report: &Report) -> Validation {
         }
     }
 
+    // Bounds replay: if the run recorded a size-bound verdict (prepared
+    // forms do), recompute the analysis from the final snapshot and demand
+    // the recorded classification, query-predicate bound, and analyzed
+    // predicate count all match. A drifted verdict means admission control
+    // is keying on stale analysis.
+    for action in &report.actions {
+        let PhaseEvent::BoundsAnalyzed {
+            pred,
+            class,
+            bound,
+            preds,
+        } = &action.event
+        else {
+            continue;
+        };
+        let Some(fin) = report.snapshot_at("final") else {
+            checks.push(PhaseCheck::fail(
+                "bounds",
+                "report records a bounds verdict but carries no final snapshot",
+            ));
+            continue;
+        };
+        match datalog_lint::bounds::analyze(&fin.program) {
+            Ok(re) => {
+                let re_class = re.worst_class();
+                let re_bound = fin
+                    .program
+                    .query
+                    .as_ref()
+                    .and_then(|q| re.preds.get(&q.atom.pred))
+                    .map(|pb| pb.count.render())
+                    .unwrap_or_else(|| "0".to_string());
+                let re_preds = re.idb.len();
+                if re_class == *class && re_bound == *bound && re_preds == *preds {
+                    checks.push(PhaseCheck::pass(
+                        "bounds",
+                        format!("recomputed verdict for {pred} matches: {class}, count <= {bound}"),
+                    ));
+                } else {
+                    checks.push(PhaseCheck::fail(
+                        "bounds",
+                        format!(
+                            "recorded verdict for {pred} ({class}, count <= {bound}, \
+                             {preds} preds) disagrees with recomputation \
+                             ({re_class}, count <= {re_bound}, {re_preds} preds)"
+                        ),
+                    ));
+                }
+            }
+            Err(e) => checks.push(PhaseCheck::fail(
+                "bounds",
+                format!("recomputing bounds on the final snapshot failed: {e}"),
+            )),
+        }
+    }
+
     Validation { checks }
 }
 
@@ -280,6 +336,45 @@ mod tests {
         assert!(!v.ok());
         assert!(
             v.failures().iter().any(|c| c.phase == "deletion"),
+            "{}",
+            v.to_text()
+        );
+    }
+
+    #[test]
+    fn prepared_bounds_verdict_replays_and_tampering_fails() {
+        use crate::prepare::prepare;
+        use datalog_ast::{Adornment, PredRef};
+        let p = program(
+            "a(X, Y) :- p(X, Z), a(Z, Y).\n\
+             a(X, Y) :- p(X, Y).\n\
+             ?- a(X, Y).",
+        );
+        let prep = prepare(
+            &p.rules,
+            &PredRef::new("a"),
+            &Adornment::parse("nn").unwrap(),
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let v = validate(&prep.report);
+        assert!(v.ok(), "{}", v.to_text());
+        assert!(
+            v.checks.iter().any(|c| c.phase == "bounds"),
+            "{}",
+            v.to_text()
+        );
+        // Tamper with the recorded classification: the recomputation must
+        // catch the drift.
+        let mut report = prep.report.clone();
+        for a in &mut report.actions {
+            if let datalog_trace::PhaseEvent::BoundsAnalyzed { class, .. } = &mut a.event {
+                *class = datalog_trace::BoundClass::Unbounded;
+            }
+        }
+        let v = validate(&report);
+        assert!(
+            v.failures().iter().any(|c| c.phase == "bounds"),
             "{}",
             v.to_text()
         );

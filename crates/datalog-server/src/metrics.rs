@@ -92,6 +92,10 @@ pub struct ServerMetrics {
     /// Eligible queries that found their resident state evicted or
     /// poisoned and recomputed from cold (then re-pinned).
     pub fallback_recomputes: Arc<Counter>,
+    /// Queries refused before evaluation because their static derivation
+    /// bound, evaluated against current EDB cardinalities, exceeded the
+    /// configured fact budget (`ERR bound`).
+    pub admission_rejected: Arc<Counter>,
 
     /// WAL append latency (write + policy fsync).
     pub wal_append_seconds: Arc<Histogram>,
@@ -218,6 +222,12 @@ impl ServerMetrics {
                 "xdl_fallback_recomputes_total",
                 "Eligible queries whose resident state was gone (evicted or \
                  poisoned) and recomputed from cold.",
+                &[],
+            ),
+            admission_rejected: registry.counter(
+                "xdl_admission_rejected_total",
+                "Queries refused before evaluation because the static \
+                 derivation bound exceeded the fact budget.",
                 &[],
             ),
             wal_append_seconds: registry.histogram(

@@ -61,6 +61,10 @@ pub enum ErrCode {
     Deadline,
     /// The query exceeded its derived-fact budget (or iteration cap).
     Budget,
+    /// Bound-aware admission refused the query before evaluation: the
+    /// static derivation bound, evaluated against current EDB
+    /// cardinalities, exceeds the configured fact budget.
+    Bound,
     /// The server is draining for shutdown.
     Shutdown,
     /// A handler panic was contained; the request failed, the server lives.
@@ -74,6 +78,7 @@ impl ErrCode {
             ErrCode::Busy => "busy",
             ErrCode::Deadline => "deadline",
             ErrCode::Budget => "budget",
+            ErrCode::Bound => "bound",
             ErrCode::Shutdown => "shutdown",
             ErrCode::Internal => "internal",
         }
@@ -85,6 +90,7 @@ impl ErrCode {
             "busy" => Some(ErrCode::Busy),
             "deadline" => Some(ErrCode::Deadline),
             "budget" => Some(ErrCode::Budget),
+            "bound" => Some(ErrCode::Bound),
             "shutdown" => Some(ErrCode::Shutdown),
             "internal" => Some(ErrCode::Internal),
             _ => None,
@@ -385,6 +391,7 @@ mod tests {
             (ErrCode::Busy, "busy"),
             (ErrCode::Deadline, "deadline"),
             (ErrCode::Budget, "budget"),
+            (ErrCode::Bound, "bound"),
             (ErrCode::Shutdown, "shutdown"),
             (ErrCode::Internal, "internal"),
         ] {

@@ -135,6 +135,12 @@ pub struct ServerConfig {
     pub deadline_ms: Option<u64>,
     /// Per-query derived-fact budget.
     pub fact_budget: Option<u64>,
+    /// Bound-aware admission (on by default, only meaningful with a
+    /// `fact_budget`): refuse a query with `ERR bound` *before* evaluation
+    /// when its static derivation bound, evaluated at current EDB
+    /// cardinalities, already exceeds the budget. Off restores
+    /// trip-at-runtime (`ERR budget` with partial stats).
+    pub bound_admission: bool,
     /// Shutdown drain: how long in-flight queries may keep running before
     /// the global cancel token fires.
     pub grace_ms: u64,
@@ -172,6 +178,7 @@ impl Default for ServerConfig {
             max_inflight: 0,
             deadline_ms: None,
             fact_budget: None,
+            bound_admission: true,
             grace_ms: 2000,
             metrics: true,
             slow_query_ms: None,
@@ -235,6 +242,8 @@ pub struct ServerState {
     cancel: CancelToken,
     deadline_ms: Option<u64>,
     fact_budget: Option<u64>,
+    /// Pre-eval `ERR bound` refusals (see [`ServerConfig::bound_admission`]).
+    bound_admission: bool,
     grace_ms: u64,
     max_conns: usize,
     max_inflight: usize,
@@ -276,6 +285,7 @@ impl ServerState {
             cancel: CancelToken::new(),
             deadline_ms: None,
             fact_budget: None,
+            bound_admission: true,
             grace_ms: 2000,
             max_conns: usize::MAX,
             max_inflight: 0,
@@ -333,6 +343,7 @@ impl ServerState {
         state.fault = Arc::clone(&cfg.fault);
         state.deadline_ms = cfg.deadline_ms;
         state.fact_budget = cfg.fact_budget;
+        state.bound_admission = cfg.bound_admission;
         state.grace_ms = cfg.grace_ms;
         state.max_inflight = cfg.max_inflight;
         state.max_conns = if cfg.max_conns == 0 {
@@ -827,6 +838,26 @@ impl ServerState {
         Response::err_code(code, detail)
     }
 
+    /// Evaluate a prepared form's static derivation bound and join-cost
+    /// hints against a snapshot's live EDB cardinalities. The bound is the
+    /// admission ceiling (`ERR bound` when it exceeds the fact budget);
+    /// the hints feed [`EvalOptions::cost_hints`].
+    fn live_bound(
+        prepared: &PreparedProgram,
+        snapshot: &DbSnapshot,
+    ) -> (u64, Arc<std::collections::BTreeMap<String, u64>>) {
+        let cards: std::collections::BTreeMap<String, u64> = prepared
+            .bounds
+            .edb
+            .iter()
+            .map(|p| (p.to_string(), snapshot.count(&p.base()) as u64))
+            .collect();
+        (
+            prepared.bounds.eval_total(&cards),
+            Arc::new(prepared.bounds.cost_hints(&cards)),
+        )
+    }
+
     fn handle_query(&self, text: &str) -> Response {
         let started = Instant::now();
         // Admission control runs before any parsing or optimizer work:
@@ -909,6 +940,7 @@ impl ServerState {
             Program,
             std::collections::BTreeSet<PredRef>,
             Option<(Program, Atom)>,
+            Option<(u64, Arc<std::collections::BTreeMap<String, u64>>)>,
         )> = None;
         let mut fallback = false;
         if let Some(entry) = cache.get_mut(&key) {
@@ -945,8 +977,9 @@ impl ServerState {
             // Resident serve: catch the retained semi-naive state up to
             // this snapshot, then extract straight off the frontier — no
             // optimizer, no fixpoint from scratch.
-            let eligible =
-                self.resident_forms > 0 && ResidentEval::supports(&entry.prepared.program);
+            let eligible = self.resident_forms > 0
+                && ResidentEval::supports(&entry.prepared.program)
+                && ResidentEval::admits_bound_class(entry.prepared.bound_class);
             if eligible {
                 if entry.resident.is_some() && self.catch_up_resident(entry, &snapshot) {
                     if let Some(q_atom) = entry.prepared.instantiate_atom(&query.atom) {
@@ -1004,16 +1037,22 @@ impl ServerState {
                         .map(|qa| (entry.prepared.program.clone(), qa))
                 })
                 .flatten();
-            resolved = entry
-                .prepared
-                .instantiate(&query.atom)
-                .map(|p| ("hit", p, entry.prepared.support.clone(), pin));
+            let bound_info = Self::live_bound(&entry.prepared, &snapshot);
+            resolved = entry.prepared.instantiate(&query.atom).map(|p| {
+                (
+                    "hit",
+                    p,
+                    entry.prepared.support.clone(),
+                    pin,
+                    Some(bound_info),
+                )
+            });
         }
         if fallback {
             cache.fallback_recomputes += 1;
             self.metrics.fallback_recomputes.inc();
         }
-        let (status, eval_program, support, pin) = match resolved {
+        let (status, eval_program, support, pin, bound_info) = match resolved {
             Some(t) => t,
             None => {
                 self.metrics.cache_misses.inc();
@@ -1030,10 +1069,12 @@ impl ServerState {
                     Err(e) => return Response::err(format!("optimizer: {e}")),
                 };
                 let entry = cache.insert(key.clone(), prepared);
+                let bound_info = Self::live_bound(&entry.prepared, &snapshot);
                 match entry.prepared.instantiate(&query.atom) {
                     Some(p) => {
                         let pin = (self.resident_forms > 0
-                            && ResidentEval::supports(&entry.prepared.program))
+                            && ResidentEval::supports(&entry.prepared.program)
+                            && ResidentEval::admits_bound_class(entry.prepared.bound_class))
                         .then(|| {
                             entry
                                 .prepared
@@ -1041,7 +1082,13 @@ impl ServerState {
                                 .map(|qa| (entry.prepared.program.clone(), qa))
                         })
                         .flatten();
-                        ("miss", p, entry.prepared.support.clone(), pin)
+                        (
+                            "miss",
+                            p,
+                            entry.prepared.support.clone(),
+                            pin,
+                            Some(bound_info),
+                        )
                     }
                     // Defensive: fall back to the unoptimized program; its
                     // support is computed directly so cached answers still
@@ -1050,6 +1097,7 @@ impl ServerState {
                         "miss",
                         program.clone(),
                         datalog_opt::edb_support(&program),
+                        None,
                         None,
                     ),
                 }
@@ -1061,6 +1109,27 @@ impl ServerState {
         // cost the prepared-query cache exists to amortize.
         let d_cache = t_cache.elapsed();
         self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
+
+        // Bound-aware admission: the prepared form carries a static
+        // derivation bound (a polynomial in EDB cardinalities); evaluated
+        // against this snapshot's live counts it upper-bounds what the
+        // fixpoint can derive. If that certified ceiling already exceeds
+        // the fact budget, the budget trip is inevitable — refuse now,
+        // before a single evaluation iteration, instead of burning the
+        // budget to find out.
+        if let (true, Some(budget), Some((bound, _))) =
+            (self.bound_admission, self.fact_budget, bound_info.as_ref())
+        {
+            if *bound > budget {
+                self.metrics.admission_rejected.inc();
+                let detail = format!(
+                    "static derivation bound {bound} facts exceeds fact budget {budget} \
+                     at current cardinalities; refused before evaluation"
+                );
+                self.note_limit("bound", &detail);
+                return Response::err_code(ErrCode::Bound, detail);
+            }
+        }
 
         let opts = EvalOptions {
             boolean_cut: true,
@@ -1076,6 +1145,10 @@ impl ServerState {
             fact_budget: self.fact_budget,
             cancel: Some(self.cancel.clone()),
             metrics: Some(self.metrics.eval.clone()),
+            // Join-reorder cost hints from the bounds analysis, evaluated
+            // at this snapshot's cardinalities: ties in the greedy order
+            // break toward the predicate with the smaller derivation bound.
+            cost_hints: bound_info.as_ref().map(|(_, h)| h.clone()),
             ..EvalOptions::default()
         };
         let t_eval = Instant::now();
@@ -1306,6 +1379,7 @@ impl ServerState {
             .with("shed_queries", m.shed_queries.get())
             .with("deadline_trips", m.deadline_trips.get())
             .with("budget_trips", m.budget_trips.get())
+            .with("admission_rejected", m.admission_rejected.get())
             .with("iteration_trips", m.iteration_trips.get())
             .with("cancelled_queries", m.cancelled_queries.get())
             .with("panics_recovered", m.panics_recovered.get())

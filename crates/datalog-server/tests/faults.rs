@@ -253,6 +253,11 @@ fn budget_trip_is_coded_counted_and_never_memoized() {
     let server = Server::spawn(&ServerConfig {
         threads: 1,
         fact_budget: Some(3),
+        // Bound-aware admission would predict the blow-up and refuse with
+        // `ERR bound` before evaluation ever starts (covered in
+        // tests/bounds.rs); this test exercises the engine-side backstop,
+        // so the pre-flight check is switched off.
+        bound_admission: false,
         ..ServerConfig::default()
     })
     .unwrap();

@@ -391,6 +391,7 @@ fn metrics_scrape_is_valid_prometheus_and_covers_the_surface() {
         "xdl_wal_fsync_seconds",
         "xdl_shed_total",
         "xdl_limit_trips_total",
+        "xdl_admission_rejected_total",
         "xdl_eval_task_enum_seconds",
         "xdl_eval_merge_seconds",
         "xdl_inflight_queries",

@@ -37,5 +37,5 @@ pub mod profile;
 
 pub use json::Json;
 pub use metrics::{Counter, EvalHists, Gauge, Histogram, Registry};
-pub use phase::PhaseEvent;
+pub use phase::{BoundClass, PhaseEvent};
 pub use profile::{EvalProfile, IterationProfile, PredDelta, RuleProfile};

@@ -8,6 +8,60 @@
 
 use crate::json::Json;
 
+/// How the static size-bound analysis classified a predicate's recursion.
+///
+/// Lives here (not in `datalog-lint`, which computes it) so the engine's
+/// resident-admission policy can consume the classification without a
+/// dependency cycle — lint depends on the engine, never the reverse.
+/// Ordered from tightest to loosest: `Bounded < Linear < Polynomial <
+/// Unbounded`, so "worst class in a program" is a plain `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundClass {
+    /// Non-recursive: the bound is a fixed polynomial with no fixpoint.
+    Bounded,
+    /// Recursive, but every rule of the SCC uses at most one in-SCC
+    /// literal (linear recursion — TC-like, bound stays polynomial of the
+    /// same degree as the seed rules' active-domain closure).
+    Linear,
+    /// Nonlinear recursion with a certified polynomial bound (the
+    /// active-domain closure of the head columns).
+    Polynomial,
+    /// The analysis declines to certify anything tighter than the trivial
+    /// `adom^arity` fallback (e.g. recursion through a predicate whose
+    /// column domains the analysis cannot trace). Policy surfaces treat
+    /// this as "assume the worst".
+    Unbounded,
+}
+
+impl BoundClass {
+    /// Stable lowercase tag (wire format, JSON, diagnostics).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundClass::Bounded => "bounded",
+            BoundClass::Linear => "linear",
+            BoundClass::Polynomial => "polynomial",
+            BoundClass::Unbounded => "unbounded",
+        }
+    }
+
+    /// Inverse of [`BoundClass::as_str`].
+    pub fn parse(s: &str) -> Option<BoundClass> {
+        match s {
+            "bounded" => Some(BoundClass::Bounded),
+            "linear" => Some(BoundClass::Linear),
+            "polynomial" => Some(BoundClass::Polynomial),
+            "unbounded" => Some(BoundClass::Unbounded),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BoundClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// What one optimizer action changed, as structured data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PhaseEvent {
@@ -81,6 +135,21 @@ pub enum PhaseEvent {
         /// Human-readable context (partial stats, configured bound, ...).
         detail: String,
     },
+    /// The static size-bound analysis ran over the optimized program and
+    /// its verdict seeded planning (cost-ranked join hints) and admission.
+    /// Recorded by `datalog_opt::prepare` so `validate` can re-run the
+    /// analysis on the final snapshot and check the verdict is faithful.
+    BoundsAnalyzed {
+        /// The query predicate (adorned rendering, e.g. `a[nd]`).
+        pred: String,
+        /// Worst [`BoundClass`] across the predicates of the program.
+        class: BoundClass,
+        /// Symbolic bound of the query predicate, rendered (e.g.
+        /// `|p|^2`), or `unbounded`.
+        bound: String,
+        /// Number of IDB predicates the analysis bounded.
+        preds: usize,
+    },
     /// Free-form note (phases with nothing structural to say).
     Note {
         /// The note.
@@ -101,6 +170,7 @@ impl PhaseEvent {
             PhaseEvent::UnitRuleAdded { .. } => "unit-rule-added",
             PhaseEvent::TranslationValidated { .. } => "translation-validated",
             PhaseEvent::LimitTripped { .. } => "limit-tripped",
+            PhaseEvent::BoundsAnalyzed { .. } => "bounds-analyzed",
             PhaseEvent::Note { .. } => "note",
         }
     }
@@ -145,6 +215,16 @@ impl PhaseEvent {
             PhaseEvent::LimitTripped { kind, detail } => j
                 .with("kind", kind.as_str())
                 .with("detail", detail.as_str()),
+            PhaseEvent::BoundsAnalyzed {
+                pred,
+                class,
+                bound,
+                preds,
+            } => j
+                .with("pred", pred.as_str())
+                .with("class", class.as_str())
+                .with("bound", bound.as_str())
+                .with("preds", *preds),
             PhaseEvent::Note { text } => j.with("text", text.as_str()),
         }
     }
@@ -186,6 +266,31 @@ mod tests {
         assert!(s.contains("\"type\":\"limit-tripped\""), "{s}");
         assert!(s.contains("\"kind\":\"budget\""), "{s}");
         assert!(s.contains("\"detail\":\"100 derived facts\""), "{s}");
+    }
+
+    #[test]
+    fn bound_class_round_trips_and_orders() {
+        for c in [
+            BoundClass::Bounded,
+            BoundClass::Linear,
+            BoundClass::Polynomial,
+            BoundClass::Unbounded,
+        ] {
+            assert_eq!(BoundClass::parse(c.as_str()), Some(c));
+        }
+        assert!(BoundClass::Bounded < BoundClass::Linear);
+        assert!(BoundClass::Polynomial < BoundClass::Unbounded);
+        assert_eq!(BoundClass::parse("wild"), None);
+        let e = PhaseEvent::BoundsAnalyzed {
+            pred: "a[nd]".into(),
+            class: BoundClass::Linear,
+            bound: "|p|^2".into(),
+            preds: 2,
+        };
+        assert_eq!(e.kind(), "bounds-analyzed");
+        let s = e.to_json().to_string();
+        assert!(s.contains("\"class\":\"linear\""), "{s}");
+        assert!(s.contains("\"bound\":\"|p|^2\""), "{s}");
     }
 
     #[test]

@@ -26,6 +26,21 @@ if ./target/release/xdl lint tests/lint/unsafe_rule.dl tests/lint/dead_code.dl \
 fi
 echo "check.sh: broken fixtures still caught"
 
+# Derivation-bound gate: the examples must stay warning-free even with
+# the bound lints made binding, and the bounds table must render for
+# each of them.
+./target/release/xdl lint examples/data/*.dl --bounds --deny-warnings > /dev/null
+# The bound fixtures are warning-only: advisory by default, fatal under
+# --deny-warnings.
+./target/release/xdl lint tests/lint/cartesian.dl tests/lint/unbounded.dl \
+    > /dev/null
+if ./target/release/xdl lint tests/lint/cartesian.dl tests/lint/unbounded.dl \
+    --deny-warnings > /dev/null 2>&1; then
+    echo "check.sh: bound fixtures did not fail under --deny-warnings" >&2
+    exit 1
+fi
+echo "check.sh: derivation-bound gate ok"
+
 # Server smoke: serve on an ephemeral port, answer one query byte-identically
 # to `xdl run`, shut down cleanly.
 smoke_dir=$(mktemp -d)
@@ -93,6 +108,23 @@ echo "check.sh: telemetry suite ok"
 # recovery are exercised under the threaded fixpoint too.
 XDL_EVAL_THREADS=4 cargo test -q -p datalog-server --test faults > /dev/null
 echo "check.sh: fault suite ok (eval_threads=4)"
+
+# Best-effort ThreadSanitizer arm over the parallel-evaluation tests.
+# -Zsanitizer is nightly-only and needs rust-src for -Zbuild-std; on a
+# stable-only toolchain this is skipped with a notice rather than failed,
+# so the gate stays runnable offline.
+if command -v rustup > /dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q '^rust-src (installed)'; then
+    tsan_host=$(rustc -vV | sed -n 's/^host: //p')
+    RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -q -Zbuild-std --target "$tsan_host" \
+        -p datalog-engine --lib > /dev/null
+    echo "check.sh: ThreadSanitizer arm ok ($tsan_host)"
+else
+    echo "check.sh: ThreadSanitizer arm skipped (needs nightly toolchain + rust-src)"
+fi
 
 # Resource-limit smoke: a budget-limited run fails with a structured
 # message carrying partial stats, instead of succeeding or hanging.

@@ -57,6 +57,83 @@ fn dead_code_fixture_diagnostics_are_stable() {
 }
 
 #[test]
+fn cartesian_fixture_diagnostics_are_stable() {
+    let src = fixture("cartesian.dl");
+    assert!(!has_errors(&lint_source(&src)), "warnings only");
+    assert_eq!(
+        rendered("cartesian.dl"),
+        vec![
+            "tests/lint/cartesian.dl:4:1: warning[bound-cartesian]: rule \
+             `holds(P, A) :- owner(P), asset(A).` joins 2 variable-disjoint \
+             groups {owner} x {asset} — the derivation bound is their full \
+             cross product",
+        ]
+    );
+}
+
+#[test]
+fn unbounded_fixture_diagnostics_are_stable() {
+    let src = fixture("unbounded.dl");
+    assert!(!has_errors(&lint_source(&src)), "warnings only");
+    assert_eq!(
+        rendered("unbounded.dl"),
+        vec![
+            "tests/lint/unbounded.dl:4:1: warning[bound-unbounded]: recursive \
+             predicate `t` is nonlinear and no column can be traced to a base \
+             relation; no size bound tighter than the active-domain fallback \
+             adom^2 is certified — bound-aware admission will flag this form",
+        ]
+    );
+}
+
+#[test]
+fn example_bounds_are_sound_against_actual_evaluation() {
+    // For every shipped example: evaluate the program on its own facts and
+    // check that no derived predicate exceeds the statically certified
+    // bound at the true EDB cardinalities. This is the pinned, named-
+    // workload form of the fuzz soundness arm.
+    use datalog_engine::{evaluate, EvalOptions, FactSet};
+    let dir = format!("{}/../examples/data", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "dl") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let parsed = datalog_ast::parse_program(&src).unwrap();
+        let report = datalog_lint::analyze_bounds(&parsed.program)
+            .unwrap_or_else(|e| panic!("{}: bounds analysis failed: {e}", path.display()));
+        let instance = FactSet::from_parsed(&parsed.facts);
+        let cards: std::collections::BTreeMap<String, u64> = report
+            .edb
+            .iter()
+            .map(|p| (p.to_string(), instance.count(p) as u64))
+            .collect();
+        let out = evaluate(&parsed.program, &instance, &EvalOptions::default()).unwrap();
+        for pred in &report.idb {
+            let actual = out
+                .database
+                .pred_id(pred)
+                .map_or(0, |id| out.database.relation(id).len()) as u64;
+            let bound = report.eval_count(pred, &cards).unwrap_or_else(|| {
+                panic!("{}: no bound for derived predicate {pred}", path.display())
+            });
+            assert!(
+                actual <= bound,
+                "{}: {pred} derived {actual} facts, certified bound is {bound}",
+                path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the shipped example programs in {dir}"
+    );
+}
+
+#[test]
 fn example_programs_lint_clean() {
     let dir = format!("{}/../examples/data", env!("CARGO_MANIFEST_DIR"));
     let mut checked = 0;
