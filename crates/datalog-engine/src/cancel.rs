@@ -10,14 +10,32 @@
 //! [`EngineError::Cancelled`](crate::EngineError::Cancelled) with the
 //! statistics accumulated so far — no thread is ever killed, no lock is
 //! ever poisoned by it.
+//!
+//! Tokens compose: [`CancelToken::joined`] derives a token that observes
+//! several sources at once (e.g. the server's shutdown drain *and* a
+//! per-operation abort), without threads or channels — `is_cancelled`
+//! simply checks every linked flag.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+#[derive(Debug, Default)]
+struct Flags {
+    own: AtomicBool,
+    /// Upstream tokens this one also observes (set by [`CancelToken::joined`]).
+    parents: Vec<Arc<Flags>>,
+}
+
+impl Flags {
+    fn is_cancelled(&self) -> bool {
+        self.own.load(Ordering::Acquire) || self.parents.iter().any(|p| p.is_cancelled())
+    }
+}
+
 /// A shared cancellation flag. Clones observe the same flag.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    flags: Arc<Flags>,
 }
 
 impl CancelToken {
@@ -29,12 +47,24 @@ impl CancelToken {
     /// Request cancellation. Idempotent; wakes nothing by itself — the
     /// evaluation notices at its next cooperative check point.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        self.flags.own.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested on this token or any token
+    /// it was joined from.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.flags.is_cancelled()
+    }
+
+    /// A token cancelled when *either* `self` or `other` is cancelled.
+    /// Cancelling the joined token does not cancel its sources.
+    pub fn joined(&self, other: &CancelToken) -> CancelToken {
+        CancelToken {
+            flags: Arc::new(Flags {
+                own: AtomicBool::new(false),
+                parents: vec![Arc::clone(&self.flags), Arc::clone(&other.flags)],
+            }),
+        }
     }
 }
 
@@ -52,5 +82,26 @@ mod tests {
         // Idempotent.
         t.cancel();
         assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn joined_tokens_observe_both_sources() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let j = a.joined(&b);
+        assert!(!j.is_cancelled());
+        b.cancel();
+        assert!(j.is_cancelled(), "either source cancels the join");
+        assert!(!a.is_cancelled(), "sources stay independent");
+
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let j = a.joined(&b);
+        j.cancel();
+        assert!(j.is_cancelled());
+        assert!(
+            !a.is_cancelled() && !b.is_cancelled(),
+            "cancelling the join must not propagate upstream"
+        );
     }
 }

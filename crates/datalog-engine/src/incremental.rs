@@ -93,6 +93,26 @@ pub struct DeltaLimits {
     pub cancel: Option<CancelToken>,
 }
 
+/// An immutable description of one converged resident frontier, published
+/// at construction and re-published after every successful
+/// [`ResidentEval::apply_deltas`]. The version counter is monotone per
+/// resident instance (1 at construction, +1 per converged batch — no-op
+/// batches included, since convergence was re-confirmed), the watermark
+/// counts every distinct input fact folded into the frontier, and the
+/// timestamp is the monotonic instant the frontier converged. Together
+/// they are the handshake bounded-staleness serving needs: a reader can
+/// name exactly which frontier answered it (`version`), how much input it
+/// reflects (`watermark`), and how old that cut is (`published_at`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frontier {
+    /// Monotone per-instance version counter.
+    pub version: u64,
+    /// Distinct input facts applied (construction input + all batches).
+    pub watermark: u64,
+    /// Monotonic instant this frontier converged.
+    pub published_at: Instant,
+}
+
 /// What one [`ResidentEval::apply_deltas`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeltaReport {
@@ -143,6 +163,11 @@ pub struct ResidentEval {
     cumulative: EvalStats,
     batches: usize,
     applied_facts: u64,
+    /// Input facts the construction-time fixpoint loaded (the base of the
+    /// frontier watermark; batches add [`ResidentEval::applied_facts`]).
+    initial_facts: u64,
+    /// The last published converged frontier (see [`Frontier`]).
+    frontier: Frontier,
     /// Set when a propagation erred mid-flight (deadline, cancellation):
     /// the frontier may be between iterations and MUST NOT be served or
     /// propagated further. Callers drop poisoned state and fall back to a
@@ -247,6 +272,7 @@ impl ResidentEval {
         let mark_cur = std::mem::take(&mut m.mark_cur);
         let provenance = m.provenance.take();
         drop(m);
+        let initial_facts = input.iter().count() as u64;
         Ok(ResidentEval {
             arities,
             db,
@@ -263,6 +289,12 @@ impl ResidentEval {
             cumulative: initial_stats,
             batches: 0,
             applied_facts: 0,
+            initial_facts,
+            frontier: Frontier {
+                version: 1,
+                watermark: initial_facts,
+                published_at: Instant::now(),
+            },
             poisoned: false,
         })
     }
@@ -360,6 +392,14 @@ impl ResidentEval {
         add_stats(&mut self.cumulative, &stats);
         self.batches += 1;
         self.applied_facts += new_facts as u64;
+        // Converged again: publish the new frontier. The version bumps on
+        // every successful call (a no-op batch still re-confirmed
+        // convergence, which is what the timestamp certifies).
+        self.frontier = Frontier {
+            version: self.frontier.version + 1,
+            watermark: self.initial_facts + self.applied_facts,
+            published_at: Instant::now(),
+        };
         Ok(DeltaReport {
             batch_facts: batch.len(),
             new_facts,
@@ -418,6 +458,14 @@ impl ResidentEval {
     /// Whether a failed propagation left the frontier inconsistent.
     pub fn poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// The last published converged frontier. Unaffected by a failed
+    /// propagation (the poisoned flag, not the frontier, records that) —
+    /// but a poisoned resident must not be *served*, so callers check
+    /// [`ResidentEval::poisoned`] first.
+    pub fn frontier(&self) -> Frontier {
+        self.frontier
     }
 }
 
@@ -595,6 +643,33 @@ mod tests {
             assert_eq!(r1.database().dump_pred(id), r4.database().dump_pred(id));
         }
         assert_eq!(r1.provenance(), r4.provenance());
+    }
+
+    #[test]
+    fn frontier_versions_are_monotone_and_published_per_batch() {
+        let p = parse_program(TC).unwrap().program;
+        let mut r = ResidentEval::new(&p, &chain(4), &EvalOptions::default()).unwrap();
+        let f1 = r.frontier();
+        assert_eq!(f1.version, 1);
+        assert_eq!(f1.watermark, 4, "construction input is the base watermark");
+        r.apply_deltas(&[edge(4, 5)], &DeltaLimits::default())
+            .unwrap();
+        let f2 = r.frontier();
+        assert_eq!(f2.version, 2);
+        assert_eq!(f2.watermark, 5);
+        assert!(f2.published_at >= f1.published_at);
+        // A duplicate (no-op) batch still re-publishes: convergence was
+        // re-confirmed, so the version and timestamp advance while the
+        // watermark holds.
+        r.apply_deltas(&[edge(4, 5)], &DeltaLimits::default())
+            .unwrap();
+        let f3 = r.frontier();
+        assert_eq!(f3.version, 3);
+        assert_eq!(f3.watermark, 5);
+        // A rejected batch publishes nothing.
+        let bad = [Fact::new(PredRef::new("p"), vec![Value::int(9)])];
+        assert!(r.apply_deltas(&bad, &DeltaLimits::default()).is_err());
+        assert_eq!(r.frontier().version, 3);
     }
 
     #[test]

@@ -346,6 +346,25 @@ impl DbSnapshot {
             .map_or_else(Vec::new, |(_, rel, w)| rel.range(start, *w))
     }
 
+    /// Total rows this snapshot holds beyond what a consumer already
+    /// applied, summed over the given support set — the *watermark lag*
+    /// that a resident form draining to `applied` marks would still have
+    /// to propagate. `0` means the consumer is exactly at this snapshot
+    /// (no drain needed); predicates missing from `applied` count from 0.
+    pub fn lag_from<'a>(
+        &self,
+        support: impl IntoIterator<Item = &'a PredRef>,
+        applied: &BTreeMap<PredRef, usize>,
+    ) -> u64 {
+        support
+            .into_iter()
+            .map(|p| {
+                let have = applied.get(p).copied().unwrap_or(0);
+                self.count(p).saturating_sub(have) as u64
+            })
+            .sum()
+    }
+
     /// Materialize the snapshot as a [`FactSet`] — the engine's input
     /// currency — copying only up to each relation's watermark.
     pub fn to_factset(&self) -> FactSet {
@@ -437,6 +456,28 @@ mod tests {
             wm,
             vec![(p.clone(), 1), (q.clone(), 1), (PredRef::new("absent"), 0)]
         );
+    }
+
+    #[test]
+    fn lag_from_counts_unapplied_rows_over_the_support() {
+        let db = SharedDatabase::new();
+        let p = PredRef::new("p");
+        let q = PredRef::new("q");
+        for i in 0..5 {
+            db.insert(&p, &t(&[i])).unwrap();
+        }
+        db.insert(&q, &t(&[0])).unwrap();
+        let snap = db.snapshot();
+        let mut applied = BTreeMap::new();
+        applied.insert(p.clone(), 3);
+        // q missing from `applied` counts from zero; 2 + 1 unapplied rows.
+        assert_eq!(snap.lag_from([&p, &q], &applied), 3);
+        applied.insert(q.clone(), 1);
+        applied.insert(p.clone(), 5);
+        assert_eq!(snap.lag_from([&p, &q], &applied), 0);
+        // A consumer ahead of the snapshot (newer drain) never underflows.
+        applied.insert(p.clone(), 9);
+        assert_eq!(snap.lag_from([&p, &q], &applied), 0);
     }
 
     #[test]

@@ -30,7 +30,21 @@
 //! (`--resident-forms=N`; 0 disables pinning entirely and restores the
 //! invalidate-and-recompute behavior).
 
+//! Since PR 9 residents are wrapped in `Arc<Mutex<…>>` so that a drain
+//! can propagate deltas *without holding the global cache lock*: the
+//! ingest path only flips cheap bookkeeping (`pending_since`,
+//! `drain_queued`) under the cache mutex, and the actual propagation
+//! locks one form at a time. The lock order is always cache → form, and
+//! the cache lock is never held while waiting on a form lock that a
+//! drain holds (readers use `try_lock` and fall back to the stale answer
+//! memo). The answer memo itself is no longer cleared by ingestion — it
+//! is *marked stale* and kept, becoming the serve-while-draining asset
+//! for bounded-staleness reads (its age is a correct upper staleness
+//! bound: every row it misses arrived after it was published).
+
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use datalog_ast::PredRef;
 use datalog_engine::incremental::ResidentEval;
@@ -60,6 +74,17 @@ pub struct CachedAnswers {
     pub payload: String,
     /// Number of answers (for the response header).
     pub answers: usize,
+    /// Frontier version the payload was rendered at (the resident's
+    /// [`Frontier::version`](datalog_engine::incremental::Frontier) for
+    /// resident serves, the DB snapshot version for cold evaluations).
+    pub frontier: u64,
+    /// When the payload was rendered. `now - published_at` bounds the
+    /// staleness of serving this memo: every row it misses arrived later.
+    pub published_at: Instant,
+    /// Set by ingestion instead of dropping the slot: the payload no
+    /// longer reflects every acknowledged fact, but remains servable to
+    /// bounded-staleness readers while a drain is in flight.
+    pub stale: bool,
 }
 
 /// Retained incremental evaluation for one form: the resident frontier
@@ -84,11 +109,40 @@ pub struct Entry {
     pub answers: Option<CachedAnswers>,
     /// Pinned resident evaluation, if this form is being maintained
     /// incrementally (bounded separately — see [`PreparedCache::pin_resident`]).
-    pub resident: Option<ResidentForm>,
+    /// Shared so drains can propagate without holding the cache lock;
+    /// lock order is cache → form, and the cache lock must never be held
+    /// while *blocking* on the form lock.
+    pub resident: Option<Arc<Mutex<ResidentForm>>>,
+    /// Mirror of the resident's applied watermarks, maintained under the
+    /// cache lock (written when a drain finishes). Lets the query path
+    /// compute watermark lag without touching the form lock.
+    pub applied_mirror: BTreeMap<PredRef, usize>,
+    /// Earliest instant at which rows the resident has *not* applied may
+    /// have arrived (`None` = fully drained at last check). Set to the
+    /// drain's snapshot-capture time when lag remains: any row beyond
+    /// that snapshot arrived after it was captured, so `now -
+    /// pending_since` is a correct upper staleness bound.
+    pub pending_since: Option<Instant>,
+    /// A background drain or rebuild for this form is queued or running —
+    /// suppresses duplicate maintenance jobs.
+    pub drain_queued: bool,
+    /// Consecutive failed rebuild attempts since the last healthy drain
+    /// (drives the capped exponential backoff; reset on success).
+    pub rebuild_attempts: u32,
     /// How often this form was served without re-optimizing.
     pub hits: u64,
     /// LRU clock value of the last use.
     last_used: u64,
+}
+
+impl Entry {
+    /// Drop resident state and every piece of bookkeeping that describes
+    /// it (used by eviction, poisoning, and capacity shrink).
+    pub fn clear_resident(&mut self) {
+        self.resident = None;
+        self.applied_mirror.clear();
+        self.pending_since = None;
+    }
 }
 
 /// The prepared-query cache: bounded, LRU-evicted.
@@ -148,7 +202,7 @@ impl PreparedCache {
             .map(|(k, _)| k.clone())
         {
             if let Some(e) = self.entries.get_mut(&victim) {
-                e.resident = None;
+                e.clear_resident();
             }
         }
     }
@@ -167,7 +221,10 @@ impl PreparedCache {
             self.evict_one_resident(Some(key));
         }
         if let Some(e) = self.entries.get_mut(key) {
-            e.resident = Some(form);
+            e.applied_mirror = form.applied.clone();
+            e.pending_since = None;
+            e.rebuild_attempts = 0;
+            e.resident = Some(Arc::new(Mutex::new(form)));
             true
         } else {
             false
@@ -188,6 +245,13 @@ impl PreparedCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Look up a form *without* bumping its LRU clock — maintenance
+    /// bookkeeping (finishing a drain, recording a rebuild) must not make
+    /// a form look recently used.
+    pub fn peek_mut(&mut self, key: &FormKey) -> Option<&mut Entry> {
+        self.entries.get_mut(key)
     }
 
     /// Look up a form, bumping its LRU clock. Callers decide whether the
@@ -221,23 +285,32 @@ impl PreparedCache {
             prepared,
             answers: None,
             resident: None,
+            applied_mirror: BTreeMap::new(),
+            pending_since: None,
+            drain_queued: false,
+            rebuild_attempts: 0,
             hits: 0,
             last_used: clock,
         })
     }
 
-    /// A fact arrived for (base) predicate `pred`: drop the answer slot of
-    /// every dependent entry. Returns how many slots were cleared.
+    /// A fact arrived for (base) predicate `pred`: mark the answer slot of
+    /// every dependent entry stale. The payload is *kept* — it remains the
+    /// serve-while-draining asset for bounded-staleness readers, whose
+    /// staleness it bounds by its age. Returns how many live slots were
+    /// newly staled.
     pub fn invalidate_edb(&mut self, pred: &PredRef) -> usize {
-        let mut cleared = 0;
+        let mut staled = 0;
         for e in self.entries.values_mut() {
-            if e.answers.is_some() && e.prepared.depends_on(pred) {
-                e.answers = None;
-                cleared += 1;
+            if let Some(ans) = e.answers.as_mut() {
+                if !ans.stale && e.prepared.depends_on(pred) {
+                    ans.stale = true;
+                    staled += 1;
+                }
             }
         }
-        self.invalidations += cleared as u64;
-        cleared
+        self.invalidations += staled as u64;
+        staled
     }
 
     /// Total prepared-form hits across all entries.
@@ -341,20 +414,27 @@ mod tests {
         let mut cache = PreparedCache::new(8);
         let (k1, p1) = prep("a(X, Y) :- p(X, Y).\n?- a(X, _).", "a", "nd");
         let (k2, p2) = prep("b(X, Y) :- q(X, Y).\n?- b(X, _).", "b", "nd");
-        let stale = CachedAnswers {
+        let memo = CachedAnswers {
             query_repr: "x".into(),
             watermarks: vec![],
             payload: String::new(),
             answers: 0,
+            frontier: 1,
+            published_at: Instant::now(),
+            stale: false,
         };
-        cache.insert(k1.clone(), p1).answers = Some(stale.clone());
-        cache.insert(k2.clone(), p2).answers = Some(stale);
-        // A fact for p invalidates only the form over a (which reads p).
+        cache.insert(k1.clone(), p1).answers = Some(memo.clone());
+        cache.insert(k2.clone(), p2).answers = Some(memo);
+        // A fact for p stales only the form over a (which reads p) — the
+        // payload survives as the serve-while-draining asset.
         assert_eq!(cache.invalidate_edb(&PredRef::new("p")), 1);
-        assert!(cache.get_mut(&k1).unwrap().answers.is_none());
-        assert!(cache.get_mut(&k2).unwrap().answers.is_some());
-        // An unrelated predicate invalidates nothing.
+        let a1 = cache.get_mut(&k1).unwrap().answers.as_ref().unwrap();
+        assert!(a1.stale);
+        assert!(!cache.get_mut(&k2).unwrap().answers.as_ref().unwrap().stale);
+        // An unrelated predicate stales nothing; re-staling is not
+        // double-counted.
         assert_eq!(cache.invalidate_edb(&PredRef::new("zzz")), 0);
+        assert_eq!(cache.invalidate_edb(&PredRef::new("p")), 0);
         assert_eq!(cache.invalidations, 1);
     }
 }

@@ -4,7 +4,7 @@
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::Response;
+use crate::protocol::{Consistency, Response};
 
 /// One connection to a running server.
 pub struct Client {
@@ -44,9 +44,18 @@ impl Client {
         self.request(&format!("LOAD {path}"))
     }
 
-    /// `QUERY ?- ... .`
+    /// `QUERY ?- ... .` (fresh — the default consistency mode).
     pub fn query(&mut self, query: &str) -> std::io::Result<Response> {
         self.request(&format!("QUERY {query}"))
+    }
+
+    /// `QUERY <mode> ?- ... .` with an explicit consistency mode
+    /// (`fresh`, `any`, or `staleness=<ms>` — see [`Consistency`]).
+    pub fn query_at(&mut self, consistency: Consistency, query: &str) -> std::io::Result<Response> {
+        match consistency {
+            Consistency::Fresh => self.query(query),
+            mode => self.request(&format!("QUERY {mode} {query}")),
+        }
     }
 
     /// `STATS`

@@ -28,6 +28,15 @@ pub struct FaultPlan {
     /// One-shot: panic inside query handling when the query predicate's
     /// base name matches. Cleared by firing, so recovery is observable.
     panic_on_query: Mutex<Option<String>>,
+    /// While non-zero, every resident drain sleeps this many milliseconds
+    /// *while holding the form lock* — the widest possible window for
+    /// concurrent stale reads and contention fallbacks to be observed.
+    slow_drain_ms: AtomicU64,
+    /// A budget of drains to fail: each consult while the budget is
+    /// positive decrements it and poisons that propagation (the drain is
+    /// run under an already-cancelled token). Lets tests stage "fails
+    /// once", "fails N times then heals", and "poisons every rebuild".
+    fail_drains: AtomicU64,
     /// How many injected faults have fired (for test assertions).
     fired: AtomicU64,
 }
@@ -76,6 +85,40 @@ impl FaultPlan {
         false
     }
 
+    /// Make every resident drain hold its form lock for `ms` milliseconds
+    /// (0 disarms). Counts one fire per delayed drain.
+    pub fn slow_drains(&self, ms: u64) {
+        self.slow_drain_ms.store(ms, Ordering::Release);
+    }
+
+    /// Consulted by the drain path; returns the artificial delay to apply
+    /// while the form lock is held, counting a fire when armed.
+    pub fn drain_delay_ms(&self) -> u64 {
+        let ms = self.slow_drain_ms.load(Ordering::Acquire);
+        if ms > 0 {
+            self.fired.fetch_add(1, Ordering::AcqRel);
+        }
+        ms
+    }
+
+    /// Arm the next `n` resident drains to fail (poisoning the form).
+    pub fn fail_drains(&self, n: u64) {
+        self.fail_drains.store(n, Ordering::Release);
+    }
+
+    /// Consulted once per drain attempt: while the failure budget is
+    /// positive, decrements it and reports that this drain must fail.
+    pub fn drain_should_fail(&self) -> bool {
+        let prev = self
+            .fail_drains
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok();
+        if prev {
+            self.fired.fetch_add(1, Ordering::AcqRel);
+        }
+        prev
+    }
+
     /// Total injected faults that have fired.
     pub fn fired(&self) -> u64 {
         self.fired.load(Ordering::Acquire)
@@ -101,6 +144,28 @@ mod tests {
         assert!(!plan.should_panic_on_query("b"), "other predicates pass");
         assert!(plan.should_panic_on_query("a"));
         assert!(!plan.should_panic_on_query("a"), "fired once, then cleared");
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn drain_failure_budget_decrements_then_heals() {
+        let plan = FaultPlan::new();
+        assert!(!plan.drain_should_fail(), "disarmed by default");
+        plan.fail_drains(2);
+        assert!(plan.drain_should_fail());
+        assert!(plan.drain_should_fail());
+        assert!(!plan.drain_should_fail(), "budget exhausted — drains heal");
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn slow_drain_delay_is_reported_until_disarmed() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.drain_delay_ms(), 0);
+        plan.slow_drains(25);
+        assert_eq!(plan.drain_delay_ms(), 25);
+        plan.slow_drains(0);
+        assert_eq!(plan.drain_delay_ms(), 0);
         assert_eq!(plan.fired(), 1);
     }
 

@@ -51,7 +51,7 @@ pub fn verb_index(req: &Request) -> usize {
     match req {
         Request::Fact(_) => 0,
         Request::Load(_) => 1,
-        Request::Query(_) => 2,
+        Request::Query { .. } => 2,
         Request::Stats => 3,
         Request::Trace => 4,
         Request::Metrics { .. } => 5,
@@ -96,6 +96,24 @@ pub struct ServerMetrics {
     /// bound, evaluated against current EDB cardinalities, exceeded the
     /// configured fact budget (`ERR bound`).
     pub admission_rejected: Arc<Counter>,
+
+    /// Resident forms rebuilt after poisoning or eviction — lazily on an
+    /// eligible query or by the background maintenance loop.
+    pub resident_rebuilds: Arc<Counter>,
+    /// Resident propagations that failed and poisoned their form.
+    pub resident_poisonings: Arc<Counter>,
+    /// Queries answered from a published-but-lagging frontier or a stale
+    /// answer memo (bounded/any consistency; never `fresh`).
+    pub stale_serves: Arc<Counter>,
+    /// Bounded-staleness queries refused with `ERR stale` because the
+    /// bound could not be met within the backpressure policy.
+    pub stale_refusals: Arc<Counter>,
+    /// Resident drains completed by the background maintenance thread
+    /// (deferred off the ingest path by the drain-cost policy).
+    pub background_drains: Arc<Counter>,
+    /// The upper staleness bound reported on served queries (seconds;
+    /// fresh serves record 0).
+    pub staleness_bound_seconds: Arc<Histogram>,
 
     /// WAL append latency (write + policy fsync).
     pub wal_append_seconds: Arc<Histogram>,
@@ -230,6 +248,40 @@ impl ServerMetrics {
                  derivation bound exceeded the fact budget.",
                 &[],
             ),
+            resident_rebuilds: registry.counter(
+                "xdl_resident_rebuilds_total",
+                "Resident forms rebuilt after poisoning or eviction (lazy \
+                 or background).",
+                &[],
+            ),
+            resident_poisonings: registry.counter(
+                "xdl_resident_poisonings_total",
+                "Resident delta propagations that failed and poisoned \
+                 their form.",
+                &[],
+            ),
+            stale_serves: registry.counter(
+                "xdl_stale_serves_total",
+                "Queries served from a lagging frontier or stale memo \
+                 under bounded/any consistency.",
+                &[],
+            ),
+            stale_refusals: registry.counter(
+                "xdl_stale_refusals_total",
+                "Bounded-staleness queries refused with ERR stale.",
+                &[],
+            ),
+            background_drains: registry.counter(
+                "xdl_background_drains_total",
+                "Resident drains completed by the maintenance thread.",
+                &[],
+            ),
+            staleness_bound_seconds: registry.histogram(
+                "xdl_staleness_bound_seconds",
+                "Upper staleness bound reported on served queries (0 for \
+                 fresh serves).",
+                &[],
+            ),
             wal_append_seconds: registry.histogram(
                 "xdl_wal_append_seconds",
                 "WAL append latency (record write plus policy fsync).",
@@ -353,6 +405,12 @@ mod tests {
             "xdl_limit_trips_total",
             "xdl_eval_task_enum_seconds",
             "xdl_eval_merge_seconds",
+            "xdl_resident_rebuilds_total",
+            "xdl_resident_poisonings_total",
+            "xdl_stale_serves_total",
+            "xdl_stale_refusals_total",
+            "xdl_background_drains_total",
+            "xdl_staleness_bound_seconds",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {family}")),

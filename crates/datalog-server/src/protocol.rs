@@ -6,12 +6,26 @@
 //! ```text
 //! FACT p(1, 2).          ingest one ground fact
 //! LOAD path/to/file.dl   merge a file's rules and facts
-//! QUERY ?- a(X, _).      evaluate a query
+//! QUERY ?- a(X, _).      evaluate a query (fresh by default)
+//! QUERY staleness=50 ?- a(X, _).   accept answers up to 50 ms stale
+//! QUERY any ?- a(X, _).  accept any published answer, however stale
 //! STATS                  one-line JSON server statistics
 //! TRACE                  one-line JSON trace of the last query
 //! METRICS [JSON]         telemetry scrape (Prometheus text, or JSON)
 //! SHUTDOWN               stop the server
 //! ```
+//!
+//! Since **protocol version 4**, `QUERY` takes an optional leading
+//! *consistency mode* word — `fresh` (the default; answers reflect every
+//! acknowledged ingest), `staleness=<ms>` (answers may lag ingestion by at
+//! most that many milliseconds), or `any` (serve whatever frontier is
+//! published). `staleness=0` is exactly `fresh`. A word that is none of
+//! these is treated as the start of the query text, so v3 clients are
+//! unaffected. Query responses carry `frontier=<version>` and
+//! `staleness_us=<upper bound>` header pairs; a server that cannot meet
+//! the requested bound without more work than the client is willing to
+//! wait for answers `ERR stale <bound_ms> <message>` (see
+//! [`Response::err_stale`]).
 //!
 //! Responses are a header line followed by zero or more payload lines:
 //!
@@ -47,10 +61,13 @@ use std::io::{BufRead, Write};
 /// Protocol version implemented by this build. Version 2 added coded
 /// `ERR` responses (`busy`/`deadline`/`budget`/`shutdown`/`internal`);
 /// version 3 added the `METRICS` verb (Prometheus text exposition, or the
-/// JSON registry readout with `METRICS JSON`). `STATS` reports the
-/// version as `"proto"`. Both additions are backward compatible: old
-/// clients simply never send the new verb.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// JSON registry readout with `METRICS JSON`); version 4 added `QUERY`
+/// consistency modes (`fresh` | `staleness=<ms>` | `any`), the
+/// `frontier=`/`staleness_us=` response headers, and the `stale` error
+/// code. `STATS` reports the version as `"proto"`. All additions are
+/// backward compatible: old clients never send the new words, and the
+/// new `ERR stale` line reads as an ordinary uncoded message on v3.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Machine-readable error class carried by a coded `ERR` response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +84,11 @@ pub enum ErrCode {
     Bound,
     /// The server is draining for shutdown.
     Shutdown,
+    /// The requested staleness bound cannot be met without a synchronous
+    /// catch-up the backpressure policy refused; the message leads with
+    /// the best staleness bound currently available, in milliseconds
+    /// (v4; see [`Response::err_stale`]).
+    Stale,
     /// A handler panic was contained; the request failed, the server lives.
     Internal,
 }
@@ -80,6 +102,7 @@ impl ErrCode {
             ErrCode::Budget => "budget",
             ErrCode::Bound => "bound",
             ErrCode::Shutdown => "shutdown",
+            ErrCode::Stale => "stale",
             ErrCode::Internal => "internal",
         }
     }
@@ -92,6 +115,7 @@ impl ErrCode {
             "budget" => Some(ErrCode::Budget),
             "bound" => Some(ErrCode::Bound),
             "shutdown" => Some(ErrCode::Shutdown),
+            "stale" => Some(ErrCode::Stale),
             "internal" => Some(ErrCode::Internal),
             _ => None,
         }
@@ -104,6 +128,70 @@ impl std::fmt::Display for ErrCode {
     }
 }
 
+/// The consistency mode a `QUERY` is issued under (protocol v4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Answers must reflect every acknowledged ingest — byte-identical to
+    /// pre-v4 behavior. The default, and what `staleness=0` normalizes to.
+    #[default]
+    Fresh,
+    /// Answers may lag acknowledged ingestion by at most this many
+    /// milliseconds of wall time (the server reports its actual upper
+    /// bound as `staleness_us=` and refuses with `ERR stale` rather than
+    /// silently exceeding the budget).
+    Bounded(u64),
+    /// Serve whatever frontier is published, however stale.
+    Any,
+}
+
+impl Consistency {
+    /// Parse one mode word. `None` for anything else (the word then
+    /// belongs to the query text — that is what keeps v3 clients working).
+    /// A malformed `staleness=` value is an error, not query text.
+    fn parse_word(word: &str) -> Option<Result<Consistency, String>> {
+        if word.eq_ignore_ascii_case("fresh") {
+            return Some(Ok(Consistency::Fresh));
+        }
+        if word.eq_ignore_ascii_case("any") {
+            return Some(Ok(Consistency::Any));
+        }
+        if let Some(v) = word.strip_prefix("staleness=") {
+            return Some(match v.parse::<u64>() {
+                Ok(0) => Ok(Consistency::Fresh),
+                Ok(ms) => Ok(Consistency::Bounded(ms)),
+                Err(_) => Err(format!(
+                    "staleness takes a whole number of milliseconds, got '{v}'"
+                )),
+            });
+        }
+        None
+    }
+
+    /// Split an optional leading mode word off a `QUERY` argument.
+    fn split_leading(rest: &str) -> Result<(Consistency, &str), String> {
+        let (word, tail) = match rest.split_once(char::is_whitespace) {
+            Some((w, t)) => (w, t.trim()),
+            None => (rest, ""),
+        };
+        match Consistency::parse_word(word) {
+            Some(Ok(mode)) => Ok((mode, tail)),
+            Some(Err(e)) => Err(e),
+            None => Ok((Consistency::Fresh, rest)),
+        }
+    }
+}
+
+impl std::fmt::Display for Consistency {
+    /// The wire word (`fresh` / `staleness=<ms>` / `any`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Fresh => f.write_str("fresh"),
+            Consistency::Bounded(ms) => write!(f, "staleness={ms}"),
+            Consistency::Any => f.write_str("any"),
+        }
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -111,8 +199,13 @@ pub enum Request {
     Fact(String),
     /// `LOAD <path>`
     Load(String),
-    /// `QUERY ?- <atom>.`
-    Query(String),
+    /// `QUERY [fresh|staleness=<ms>|any] ?- <atom>.`
+    Query {
+        /// The query text (`?- <atom>.`).
+        text: String,
+        /// The requested consistency mode (v4; defaults to fresh).
+        consistency: Consistency,
+    },
     /// `STATS`
     Stats,
     /// `TRACE`
@@ -127,6 +220,14 @@ pub enum Request {
 }
 
 impl Request {
+    /// A fresh-consistency `QUERY` — the pre-v4 shape.
+    pub fn query(text: impl Into<String>) -> Request {
+        Request::Query {
+            text: text.into(),
+            consistency: Consistency::Fresh,
+        }
+    }
+
     /// Parse one request line. Returns an error message suitable for an
     /// `ERR` reply.
     pub fn parse(line: &str) -> Result<Request, String> {
@@ -140,7 +241,16 @@ impl Request {
             "FACT" => Err("FACT takes a ground atom, e.g. FACT p(1, 2).".into()),
             "LOAD" if !rest.is_empty() => Ok(Request::Load(rest.to_string())),
             "LOAD" => Err("LOAD takes a file path".into()),
-            "QUERY" if !rest.is_empty() => Ok(Request::Query(rest.to_string())),
+            "QUERY" if !rest.is_empty() => {
+                let (consistency, text) = Consistency::split_leading(rest)?;
+                if text.is_empty() {
+                    return Err("QUERY takes a query, e.g. QUERY ?- a(X, _).".into());
+                }
+                Ok(Request::Query {
+                    text: text.to_string(),
+                    consistency,
+                })
+            }
             "QUERY" => Err("QUERY takes a query, e.g. QUERY ?- a(X, _).".into()),
             "STATS" => Ok(Request::Stats),
             "TRACE" => Ok(Request::Trace),
@@ -202,6 +312,24 @@ impl Response {
             code: Some(code),
             ..Response::err(message)
         }
+    }
+
+    /// A staleness refusal: `ERR stale <bound_ms> <message>` on the wire.
+    /// `bound_ms` is the best upper staleness bound the server could have
+    /// served at, in milliseconds — the client can retry with a looser
+    /// budget or `fresh`. A v3 reader sees the whole line as an uncoded
+    /// message, which still leads with the bound.
+    pub fn err_stale(bound_ms: u64, message: impl std::fmt::Display) -> Response {
+        Response::err_code(ErrCode::Stale, format!("{bound_ms} {message}"))
+    }
+
+    /// The staleness bound of an `ERR stale` response, in milliseconds.
+    /// `None` unless this is a stale refusal with a well-formed bound.
+    pub fn stale_bound_ms(&self) -> Option<u64> {
+        if self.code != Some(ErrCode::Stale) {
+            return None;
+        }
+        self.error.split_whitespace().next()?.parse().ok()
     }
 
     /// Attach a `key=value` header pair (builder style). Keys and values
@@ -330,7 +458,7 @@ mod tests {
         );
         assert_eq!(
             Request::parse("  query ?- a(X, _). "),
-            Ok(Request::Query("?- a(X, _).".into()))
+            Ok(Request::query("?- a(X, _)."))
         );
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
         assert_eq!(Request::parse("shutdown"), Ok(Request::Shutdown));
@@ -345,6 +473,47 @@ mod tests {
         assert!(Request::parse("METRICS xml").is_err());
         assert!(Request::parse("FACT").is_err());
         assert!(Request::parse("NOPE x").is_err());
+    }
+
+    #[test]
+    fn query_consistency_modes_parse_and_default_to_fresh() {
+        // v4 mode words.
+        assert_eq!(
+            Request::parse("QUERY staleness=50 ?- a(X)."),
+            Ok(Request::Query {
+                text: "?- a(X).".into(),
+                consistency: Consistency::Bounded(50),
+            })
+        );
+        assert_eq!(
+            Request::parse("QUERY any ?- a(X)."),
+            Ok(Request::Query {
+                text: "?- a(X).".into(),
+                consistency: Consistency::Any,
+            })
+        );
+        assert_eq!(
+            Request::parse("QUERY FRESH ?- a(X)."),
+            Ok(Request::query("?- a(X).")),
+        );
+        // staleness=0 normalizes to fresh: byte-identity is a mode, not a
+        // special case downstream.
+        assert_eq!(
+            Request::parse("QUERY staleness=0 ?- a(X)."),
+            Ok(Request::query("?- a(X).")),
+        );
+        // A word that is no mode stays part of the query (v3 compat).
+        assert_eq!(
+            Request::parse("QUERY ?- a(X, _)."),
+            Ok(Request::query("?- a(X, _).")),
+        );
+        // Malformed bounds and mode-only lines are errors, not queries.
+        assert!(Request::parse("QUERY staleness=abc ?- a(X).").is_err());
+        assert!(Request::parse("QUERY any").is_err());
+        // Display renders the wire words back.
+        assert_eq!(Consistency::Bounded(7).to_string(), "staleness=7");
+        assert_eq!(Consistency::Fresh.to_string(), "fresh");
+        assert_eq!(Consistency::Any.to_string(), "any");
     }
 
     #[test]
@@ -393,6 +562,7 @@ mod tests {
             (ErrCode::Budget, "budget"),
             (ErrCode::Bound, "bound"),
             (ErrCode::Shutdown, "shutdown"),
+            (ErrCode::Stale, "stale"),
             (ErrCode::Internal, "internal"),
         ] {
             let resp = Response::err_code(code, "details here");
@@ -407,6 +577,25 @@ mod tests {
             assert_eq!(back.code, Some(code));
             assert_eq!(back.error, "details here");
         }
+    }
+
+    #[test]
+    fn stale_refusal_carries_its_bound_and_reads_as_text_on_v3() {
+        let resp = Response::err_stale(120, "drain in progress, retry or loosen budget");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&buf),
+            "ERR stale 120 drain in progress, retry or loosen budget\n"
+        );
+        let back = Response::read_from(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back.code, Some(ErrCode::Stale));
+        assert_eq!(back.stale_bound_ms(), Some(120));
+        // A v3 reader has no "stale" code word: the whole text after ERR
+        // is the message, still leading with the bound.
+        assert!(String::from_utf8_lossy(&buf).starts_with("ERR stale 120 "));
+        // Non-stale responses never report a bound.
+        assert_eq!(Response::err("stale 120 x").stale_bound_ms(), None);
     }
 
     #[test]

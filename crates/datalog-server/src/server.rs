@@ -65,12 +65,39 @@
 //! ([`ResidentEval::supports`]); a resident lost to LRU eviction or
 //! poisoned by a mid-propagation trip falls back to cold recompute (and
 //! re-pins), counted in `xdl_fallback_recomputes_total`.
+//!
+//! ## Bounded-staleness serving (PR 9)
+//!
+//! Every converged propagation publishes an immutable
+//! [`Frontier`](datalog_engine::incremental::Frontier) (version counter +
+//! input watermark + timestamp), and `QUERY` accepts a consistency mode
+//! (protocol v4): `fresh` (the default — byte-identical to blocking
+//! catch-up), `staleness=<ms>`, or `any`. Drains are *backpressure-aware*:
+//! the ingest path estimates each touched resident's drain cost from the
+//! PR 8 size-bound polynomials (bound at current cardinalities minus bound
+//! at the form's applied watermarks) and drains synchronously only below
+//! `--drain-sync-cost`; costlier drains are deferred to a background
+//! maintenance thread while readers are served off the last published
+//! frontier (`cache=stale`) or, when the form lock is contended by the
+//! drain itself, off the retained answer memo (`cache=stale_answers`).
+//! Every response carries `frontier=` and `staleness_us=` (an upper bound:
+//! wall age of the earliest instant an unapplied row can have arrived). A
+//! bounded reader whose budget cannot be met without a refused synchronous
+//! catch-up gets `ERR stale <bound_ms>`.
+//!
+//! Resident state is *self-healing*: a poisoned form is rebuilt — lazily
+//! by the next eligible query (even without the maintenance thread) or in
+//! the background with capped exponential backoff — counted in
+//! `xdl_resident_rebuilds_total` / `xdl_resident_poisonings_total`.
+//! [`FaultPlan`] can inject slow and failing drains to exercise all of it.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -85,10 +112,10 @@ use datalog_engine::{
 use datalog_opt::{fingerprint_rules, prepare, OptimizerConfig, PreparedProgram};
 use datalog_trace::{Json, PhaseEvent};
 
-use crate::cache::{CachedAnswers, Entry, FormKey, PreparedCache, ResidentForm};
+use crate::cache::{CachedAnswers, FormKey, PreparedCache, ResidentForm};
 use crate::fault::FaultPlan;
 use crate::metrics::{verb_index, Phase, ServerMetrics};
-use crate::protocol::{ErrCode, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{Consistency, ErrCode, Request, Response, PROTOCOL_VERSION};
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 
 /// Server configuration.
@@ -154,6 +181,18 @@ pub struct ServerConfig {
     /// Capacity of the `limit_events` ring surfaced by `STATS`; evictions
     /// beyond it are counted in `xdl_limit_events_dropped_total`.
     pub limit_events: usize,
+    /// Backpressure threshold for resident drains: a drain whose
+    /// bound-polynomial-estimated cost (static derivation bound at current
+    /// cardinalities minus the bound at the form's applied watermarks) is
+    /// at or below this runs synchronously on the ingest/query path;
+    /// anything costlier is deferred to the maintenance thread while
+    /// readers serve off the published frontier. The default is high
+    /// enough that typical workloads keep today's drain-inline behavior.
+    pub drain_sync_cost: u64,
+    /// Base delay of the capped exponential backoff between background
+    /// rebuild attempts of a poisoned resident form (doubles per failed
+    /// attempt, capped at [`REBUILD_BACKOFF_CAP_MS`]).
+    pub rebuild_ms: u64,
     /// Fault-injection switches (the default plan injects nothing).
     pub fault: Arc<FaultPlan>,
 }
@@ -183,10 +222,19 @@ impl Default for ServerConfig {
             metrics: true,
             slow_query_ms: None,
             limit_events: LIMIT_EVENT_RING,
+            drain_sync_cost: DRAIN_SYNC_COST,
+            rebuild_ms: 50,
             fault: Arc::new(FaultPlan::new()),
         }
     }
 }
+
+/// Default `drain_sync_cost`: high enough that ordinary ingest keeps the
+/// synchronous drain path (and its latency envelope) of PR 7.
+const DRAIN_SYNC_COST: u64 = 250_000;
+
+/// Ceiling of the rebuild backoff (milliseconds).
+const REBUILD_BACKOFF_CAP_MS: u64 = 5_000;
 
 /// The machine's available parallelism (1 when it cannot be determined).
 fn default_parallelism() -> usize {
@@ -244,6 +292,15 @@ pub struct ServerState {
     fact_budget: Option<u64>,
     /// Pre-eval `ERR bound` refusals (see [`ServerConfig::bound_admission`]).
     bound_admission: bool,
+    /// Backpressure threshold for synchronous drains
+    /// (see [`ServerConfig::drain_sync_cost`]).
+    drain_sync_cost: u64,
+    /// Base backoff of background rebuilds ([`ServerConfig::rebuild_ms`]).
+    rebuild_ms: u64,
+    /// Job queue of the maintenance thread (deferred drains and rebuilds).
+    /// `None` on plain in-process states ([`ServerState::new`]) — deferred
+    /// work is then picked up lazily by the next eligible query.
+    maintenance: Mutex<Option<Sender<DrainJob>>>,
     grace_ms: u64,
     max_conns: usize,
     max_inflight: usize,
@@ -264,6 +321,69 @@ pub struct ServerState {
 
 /// Default cap on the `limit_events` ring (`--limit-events` overrides).
 const LIMIT_EVENT_RING: usize = 64;
+
+/// One unit of deferred resident maintenance.
+enum DrainJob {
+    /// Catch a lagging resident up to the current database (deferred off
+    /// the ingest path by the drain-cost policy).
+    Drain(FormKey),
+    /// Rebuild a poisoned/lost resident from scratch; `attempt` drives the
+    /// capped exponential backoff.
+    Rebuild { key: FormKey, attempt: u32 },
+}
+
+/// A snapshot of the answer memo taken under the cache lock, carried into
+/// stale-plan execution as the contention fallback: if the form lock is
+/// held by a drain, this payload can be served instead — its age
+/// (`published_at.elapsed()`) is a correct upper staleness bound.
+struct StaleMemo {
+    payload: String,
+    answers: usize,
+    frontier: u64,
+    published_at: Instant,
+}
+
+/// How an eligible query over *live* resident state is served. Decided
+/// under the cache lock from mirror-only data (lag, staleness anchor,
+/// drain cost), executed after the lock drops.
+enum ResidentAction {
+    /// Block on the form lock, propagate to the query snapshot, serve at
+    /// staleness zero. Used for `fresh` reads and for over-budget bounded
+    /// reads whose estimated drain cost is below the synchronous ceiling.
+    Fresh,
+    /// Serve the last published frontier without catching up. `anchor` is
+    /// the conservative staleness origin — `pending_since` when the form
+    /// lags, `None` when it was fully drained at decision time (the serve
+    /// is then indistinguishable from fresh); `budget` caps how old the
+    /// memo fallback may be under lock contention (`None` = any age).
+    Stale {
+        anchor: Option<Instant>,
+        memo: Option<StaleMemo>,
+        budget: Option<Duration>,
+    },
+    /// Frontier older than the staleness budget and the drain too costly
+    /// to run synchronously: answer `ERR stale <bound_ms>`.
+    Refuse { bound_ms: u64 },
+}
+
+/// A [`ResidentAction`] plus everything needed to execute it without
+/// re-consulting the cache: the form handle, its support set, and the
+/// query atom spliced into the canonical program's namespace.
+struct ResidentPlan {
+    form: Arc<Mutex<ResidentForm>>,
+    support: BTreeSet<PredRef>,
+    q_atom: Atom,
+    action: ResidentAction,
+}
+
+/// One extraction off a locked form's frontier: the rendered payload plus
+/// the identity needed to memoize and label it.
+struct FrontierRead {
+    payload: String,
+    n_answers: usize,
+    frontier: u64,
+    applied: BTreeMap<PredRef, usize>,
+}
 
 impl ServerState {
     /// Fresh state with an empty rule set and EDB, no WAL, and no limits.
@@ -286,6 +406,9 @@ impl ServerState {
             deadline_ms: None,
             fact_budget: None,
             bound_admission: true,
+            drain_sync_cost: DRAIN_SYNC_COST,
+            rebuild_ms: 50,
+            maintenance: Mutex::new(None),
             grace_ms: 2000,
             max_conns: usize::MAX,
             max_inflight: 0,
@@ -344,6 +467,8 @@ impl ServerState {
         state.deadline_ms = cfg.deadline_ms;
         state.fact_budget = cfg.fact_budget;
         state.bound_admission = cfg.bound_admission;
+        state.drain_sync_cost = cfg.drain_sync_cost;
+        state.rebuild_ms = cfg.rebuild_ms.max(1);
         state.grace_ms = cfg.grace_ms;
         state.max_inflight = cfg.max_inflight;
         state.max_conns = if cfg.max_conns == 0 {
@@ -458,14 +583,17 @@ impl ServerState {
 
     fn handle_inner(&self, req: &Request) -> Response {
         if self.is_shutdown()
-            && matches!(req, Request::Fact(_) | Request::Load(_) | Request::Query(_))
+            && matches!(
+                req,
+                Request::Fact(_) | Request::Load(_) | Request::Query { .. }
+            )
         {
             return Response::err_code(ErrCode::Shutdown, "server is draining");
         }
         match req {
             Request::Fact(text) => self.handle_fact(text),
             Request::Load(path) => self.handle_load(path),
-            Request::Query(text) => self.handle_query(text),
+            Request::Query { text, consistency } => self.handle_query(text, *consistency),
             Request::Stats => self.handle_stats(),
             Request::Trace => self.handle_trace(),
             Request::Metrics { json } => self.handle_metrics(*json),
@@ -571,45 +699,58 @@ impl ServerState {
         ops
     }
 
-    /// Advance one entry's resident state to `snapshot`'s watermarks by
-    /// propagating every pending shared-store row (per support predicate,
-    /// rows `[applied[p], watermark(p))`) through the retained semi-naive
-    /// state. Idempotent (the resident dedups) and gap-free (the shared
-    /// store is append-only), so the ingestion-side drain and a query's
-    /// defensive catch-up can race benignly. Returns `false` when the
-    /// propagation failed — the resident is dropped and the caller falls
-    /// back to cold recompute.
+    /// Propagate every shared-store row past the form's applied watermarks
+    /// (per support predicate, rows `[applied[p], watermark(p))`) through
+    /// the retained semi-naive state. Idempotent (the resident dedups) and
+    /// gap-free (the shared store is append-only), so concurrent drains
+    /// and a query's defensive catch-up race benignly.
     ///
-    /// The caller holds the cache lock (the entry borrow proves it).
-    fn catch_up_resident(&self, entry: &mut Entry, snapshot: &DbSnapshot) -> bool {
-        let Some(resident) = entry.resident.as_mut() else {
-            return false;
-        };
-        if resident.eval.poisoned() {
-            entry.resident = None;
-            return false;
+    /// The caller holds the *form* lock and must NOT hold the cache lock.
+    /// `Err(())` means the propagation failed and the eval is poisoned —
+    /// the caller must run [`Self::poison_form`].
+    fn propagate(
+        &self,
+        support: &BTreeSet<PredRef>,
+        form: &mut ResidentForm,
+        snapshot: &DbSnapshot,
+    ) -> Result<u64, ()> {
+        if form.eval.poisoned() {
+            return Err(());
         }
         let mut batch: Vec<DeltaFact> = Vec::new();
-        for pred in &entry.prepared.support {
-            let start = resident.applied.get(pred).copied().unwrap_or(0);
+        for pred in support {
+            let start = form.applied.get(pred).copied().unwrap_or(0);
             for row in snapshot.rows_from(pred, start) {
                 batch.push(DeltaFact::new(pred.clone(), row));
             }
         }
         if batch.is_empty() {
-            return true;
+            return Ok(0);
+        }
+        // Fault hooks fire only on real propagation work: a slow drain
+        // sleeps while holding the form lock (the widest window for
+        // concurrent stale serves), a failing drain runs under an
+        // already-cancelled token and poisons the state.
+        let delay = self.fault.drain_delay_ms();
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        let abort = CancelToken::new();
+        if self.fault.drain_should_fail() {
+            abort.cancel();
         }
         let t0 = Instant::now();
         // No deadline: a propagation either completes or poisons the
-        // frontier, so the only limit worth carrying is the shutdown drain.
+        // frontier, so the only limits worth carrying are the shutdown
+        // drain and the injected abort.
         let limits = DeltaLimits {
             deadline: None,
-            cancel: Some(self.cancel.clone()),
+            cancel: Some(self.cancel.joined(&abort)),
         };
-        match resident.eval.apply_deltas(&batch, &limits) {
+        match form.eval.apply_deltas(&batch, &limits) {
             Ok(report) => {
-                for pred in &entry.prepared.support {
-                    resident.applied.insert(pred.clone(), snapshot.count(pred));
+                for pred in support {
+                    form.applied.insert(pred.clone(), snapshot.count(pred));
                 }
                 self.metrics
                     .incremental_applied_facts
@@ -617,33 +758,629 @@ impl ServerState {
                 self.metrics
                     .incremental_seconds
                     .record_duration(t0.elapsed());
+                Ok(report.new_facts as u64)
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    /// Bound-polynomial drain-cost estimate: the static derivation bound
+    /// evaluated at the snapshot's cardinalities minus the bound at the
+    /// form's applied watermarks — an upper envelope on how much new
+    /// derivation a catch-up can possibly do.
+    fn drain_cost(
+        prepared: &PreparedProgram,
+        snapshot: &DbSnapshot,
+        applied: &BTreeMap<PredRef, usize>,
+    ) -> u64 {
+        let now_cards: BTreeMap<String, u64> = prepared
+            .bounds
+            .edb
+            .iter()
+            .map(|p| (p.to_string(), snapshot.count(&p.base()) as u64))
+            .collect();
+        let then_cards: BTreeMap<String, u64> = prepared
+            .bounds
+            .edb
+            .iter()
+            .map(|p| {
+                let n = applied.get(&p.base()).copied().unwrap_or(0);
+                (p.to_string(), n as u64)
+            })
+            .collect();
+        prepared
+            .bounds
+            .eval_total(&now_cards)
+            .saturating_sub(prepared.bounds.eval_total(&then_cards))
+    }
+
+    /// Post-drain bookkeeping under a short cache lock: merge the form's
+    /// applied watermarks into the mirror (per-predicate max — a slower
+    /// concurrent drain must not regress it) and re-anchor `pending_since`.
+    /// `t_anchor` is when the drained snapshot was captured: any row still
+    /// missing arrived after it, so it is a correct staleness anchor.
+    fn finish_drain(&self, key: &FormKey, applied: &BTreeMap<PredRef, usize>, t_anchor: Instant) {
+        let lagged = self.db.snapshot();
+        let mut cache = lock(&self.cache);
+        let Some(e) = cache.peek_mut(key) else {
+            return;
+        };
+        for (p, n) in applied {
+            let m = e.applied_mirror.entry(p.clone()).or_insert(0);
+            *m = (*m).max(*n);
+        }
+        let lag = lagged.lag_from(&e.prepared.support, &e.applied_mirror);
+        e.pending_since = (lag > 0).then(|| match e.pending_since {
+            Some(older) => older.min(t_anchor),
+            None => t_anchor,
+        });
+        e.rebuild_attempts = 0;
+    }
+
+    /// A propagation failed: count the poisoning, drop the resident, and
+    /// schedule a rebuild (background when the maintenance thread runs,
+    /// lazily by the next eligible query otherwise).
+    fn poison_form(&self, key: &FormKey) {
+        self.metrics.resident_poisonings.inc();
+        let attempt = {
+            let mut cache = lock(&self.cache);
+            let Some(e) = cache.peek_mut(key) else {
+                return;
+            };
+            e.clear_resident();
+            e.rebuild_attempts += 1;
+            e.rebuild_attempts
+        };
+        self.note_limit(
+            "poisoned",
+            &format!(
+                "resident form {} poisoned mid-propagation; rebuild scheduled (attempt {attempt})",
+                key.pred
+            ),
+        );
+        self.schedule_rebuild(key.clone(), attempt);
+    }
+
+    /// Hand a rebuild to the maintenance thread, or leave it to the lazy
+    /// query-path rebuild when no thread exists (plain in-process states).
+    fn schedule_rebuild(&self, key: FormKey, attempt: u32) {
+        let sender = lock(&self.maintenance).clone();
+        if let Some(tx) = sender {
+            if let Some(e) = lock(&self.cache).peek_mut(&key) {
+                if e.drain_queued {
+                    return;
+                }
+                e.drain_queued = true;
+            }
+            let _ = tx.send(DrainJob::Rebuild { key, attempt });
+        }
+    }
+
+    /// Drain one form to `snapshot`, holding only the form lock (blocking
+    /// acquisition; the caller must not hold the cache lock). Returns
+    /// whether the resident survived.
+    fn drain_one(
+        &self,
+        key: &FormKey,
+        form: &Arc<Mutex<ResidentForm>>,
+        support: &BTreeSet<PredRef>,
+        snapshot: &DbSnapshot,
+        t_anchor: Instant,
+    ) -> bool {
+        let result = {
+            let mut g = lock(form);
+            self.propagate(support, &mut g, snapshot).map(|_| {
+                support
+                    .iter()
+                    .map(|p| (p.clone(), snapshot.count(p)))
+                    .collect::<BTreeMap<_, _>>()
+            })
+        };
+        match result {
+            Ok(applied) => {
+                self.finish_drain(key, &applied, t_anchor);
                 true
             }
-            Err(_) => {
-                // Poisoned (trip mid-fixpoint) or structurally refused:
-                // either way this state must not serve answers again.
-                entry.resident = None;
+            Err(()) => {
+                self.poison_form(key);
                 false
             }
         }
     }
 
-    /// Ingestion-side propagation: push the new rows into every resident
-    /// whose support set one of `touched` belongs to. Runs after the
-    /// answer-slot invalidation, off the ingest gate — the snapshot taken
-    /// here necessarily includes the rows just inserted.
+    /// Ingestion-side propagation, backpressure-aware: for every resident
+    /// whose support one of `touched` belongs to, estimate the drain cost
+    /// and either drain synchronously (cheap), defer to the maintenance
+    /// thread (costly — readers serve the published frontier meanwhile),
+    /// or just mark the lag pending for query-time lazy catch-up when no
+    /// maintenance thread exists. Runs after the answer-slot staling, off
+    /// the ingest gate — the snapshot taken here necessarily includes the
+    /// rows just inserted.
     fn drain_residents(&self, touched: &[PredRef]) {
         if self.resident_forms == 0 || touched.is_empty() {
             return;
         }
+        let t_snap = Instant::now();
         let snapshot = self.db.snapshot();
-        let mut cache = lock(&self.cache);
-        for (_, entry) in cache.iter_mut() {
-            if entry.resident.is_none() || !touched.iter().any(|p| entry.prepared.depends_on(p)) {
-                continue;
+        let mut inline: Vec<(FormKey, Arc<Mutex<ResidentForm>>, BTreeSet<PredRef>)> = Vec::new();
+        let mut deferred: Vec<FormKey> = Vec::new();
+        {
+            let mut cache = lock(&self.cache);
+            for (key, entry) in cache.iter_mut() {
+                let Some(form) = entry.resident.as_ref() else {
+                    continue;
+                };
+                if !touched.iter().any(|p| entry.prepared.depends_on(p)) {
+                    continue;
+                }
+                let lag = snapshot.lag_from(&entry.prepared.support, &entry.applied_mirror);
+                if lag == 0 {
+                    continue;
+                }
+                // Rows past the mirror arrived no earlier than the previous
+                // drain's snapshot; an already-set anchor is older and wins.
+                entry.pending_since.get_or_insert(t_snap);
+                let cost = Self::drain_cost(&entry.prepared, &snapshot, &entry.applied_mirror);
+                if cost <= self.drain_sync_cost {
+                    inline.push((
+                        key.clone(),
+                        Arc::clone(form),
+                        entry.prepared.support.clone(),
+                    ));
+                } else if !entry.drain_queued {
+                    entry.drain_queued = true;
+                    deferred.push(key.clone());
+                }
             }
-            self.catch_up_resident(entry, &snapshot);
         }
+        for (key, form, support) in &inline {
+            self.drain_one(key, form, support, &snapshot, t_snap);
+        }
+        if !deferred.is_empty() {
+            let sender = lock(&self.maintenance).clone();
+            match sender {
+                Some(tx) => {
+                    for key in deferred {
+                        let _ = tx.send(DrainJob::Drain(key));
+                    }
+                }
+                None => {
+                    // No maintenance thread: clear the queued marker so a
+                    // later ingest can reconsider; `pending_since` keeps the
+                    // staleness accounting honest and the next eligible
+                    // query catches up lazily.
+                    let mut cache = lock(&self.cache);
+                    for key in &deferred {
+                        if let Some(e) = cache.peek_mut(key) {
+                            e.drain_queued = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawn the background maintenance thread (deferred drains, rebuild
+    /// backoff). Called by [`Server::spawn`]; in-process harnesses may call
+    /// it too. No-op (returns `None`) when resident serving is disabled.
+    pub fn start_maintenance(self: &Arc<Self>) -> Option<JoinHandle<()>> {
+        if self.resident_forms == 0 {
+            return None;
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        *lock(&self.maintenance) = Some(tx);
+        let state = Arc::clone(self);
+        Some(std::thread::spawn(move || state.maintenance_loop(&rx)))
+    }
+
+    fn maintenance_loop(&self, rx: &Receiver<DrainJob>) {
+        loop {
+            if self.is_shutdown() {
+                return;
+            }
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(DrainJob::Drain(key)) => self.background_drain(&key),
+                Ok(DrainJob::Rebuild { key, attempt }) => self.background_rebuild(&key, attempt),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Execute one deferred drain: catch the form up to the *current*
+    /// database (not the snapshot that queued it — later ingests fold in
+    /// for free).
+    fn background_drain(&self, key: &FormKey) {
+        let t_snap = Instant::now();
+        let snapshot = self.db.snapshot();
+        let handle = {
+            let mut cache = lock(&self.cache);
+            let Some(e) = cache.peek_mut(key) else {
+                return;
+            };
+            // Cleared before the drain: an ingest arriving mid-drain may
+            // queue a follow-up job, which is idempotent and cheap.
+            e.drain_queued = false;
+            e.resident
+                .as_ref()
+                .map(|f| (Arc::clone(f), e.prepared.support.clone()))
+        };
+        let Some((form, support)) = handle else {
+            return;
+        };
+        if self.drain_one(key, &form, &support, &snapshot, t_snap) {
+            self.metrics.background_drains.inc();
+        }
+    }
+
+    /// One background rebuild attempt, after its capped exponential
+    /// backoff. A repeatedly failing rebuild re-queues itself with a
+    /// doubled delay; success resets the counter.
+    fn background_rebuild(&self, key: &FormKey, attempt: u32) {
+        if attempt > 1 {
+            let shift = (attempt - 1).min(16);
+            let wait = (self.rebuild_ms << shift).min(REBUILD_BACKOFF_CAP_MS);
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+        if self.is_shutdown() {
+            return;
+        }
+        {
+            let mut cache = lock(&self.cache);
+            let Some(e) = cache.peek_mut(key) else {
+                return;
+            };
+            e.drain_queued = false;
+            if e.resident.is_some() {
+                // A query already rebuilt it lazily.
+                return;
+            }
+        }
+        if let Err(next_attempt) = self.rebuild_resident(key) {
+            self.schedule_rebuild(key.clone(), next_attempt);
+        }
+    }
+
+    /// Rebuild a lost resident from a fresh snapshot and pin it. `Ok(true)`
+    /// when pinned (counted), `Ok(false)` when the form is gone, already
+    /// resident, or ineligible, `Err(next_attempt)` when construction
+    /// failed (counted as a poisoning).
+    fn rebuild_resident(&self, key: &FormKey) -> Result<bool, u32> {
+        let snapshot = self.db.snapshot();
+        let staged = {
+            let mut cache = lock(&self.cache);
+            let Some(e) = cache.peek_mut(key) else {
+                return Ok(false);
+            };
+            if e.resident.is_some()
+                || !ResidentEval::supports(&e.prepared.program)
+                || !ResidentEval::admits_bound_class(e.prepared.bound_class)
+            {
+                return Ok(false);
+            }
+            (e.prepared.program.clone(), e.prepared.support.clone())
+        };
+        let (canonical, support) = staged;
+        let mut input = FactSet::new();
+        for pred in &support {
+            for row in snapshot.rows(pred) {
+                input.insert(pred.clone(), row);
+            }
+        }
+        // The failing-drain fault also covers rebuilds: an armed plan
+        // cancels the construction, exercising the repeatedly-poisoned
+        // backoff path end to end.
+        let abort = CancelToken::new();
+        if self.fault.drain_should_fail() {
+            abort.cancel();
+        }
+        let opts = EvalOptions {
+            boolean_cut: true,
+            reorder_joins: self.reorder_joins,
+            threads: self.eval_threads,
+            cancel: Some(self.cancel.joined(&abort)),
+            metrics: Some(self.metrics.eval.clone()),
+            ..EvalOptions::default()
+        };
+        match ResidentEval::new(&canonical, &input, &opts) {
+            Ok(eval) => {
+                let applied = support
+                    .iter()
+                    .map(|p| (p.clone(), snapshot.count(p)))
+                    .collect();
+                let mut cache = lock(&self.cache);
+                if cache.peek_mut(key).is_some_and(|e| e.resident.is_none())
+                    && cache.pin_resident(key, ResidentForm { eval, applied })
+                {
+                    self.metrics.resident_rebuilds.inc();
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+            Err(_) => {
+                self.metrics.resident_poisonings.inc();
+                let mut cache = lock(&self.cache);
+                let attempt = cache
+                    .peek_mut(key)
+                    .map(|e| {
+                        e.rebuild_attempts += 1;
+                        e.rebuild_attempts
+                    })
+                    .unwrap_or(1);
+                Err(attempt)
+            }
+        }
+    }
+
+    /// Extract the query's answers off the form's current frontier (the
+    /// caller holds the form lock).
+    fn read_frontier(form: &ResidentForm, q_atom: &Atom) -> FrontierRead {
+        let answers = form.eval.answers(q_atom);
+        FrontierRead {
+            payload: render_answers(&answers),
+            n_answers: answers.len(),
+            frontier: form.eval.frontier().version,
+            applied: form.applied.clone(),
+        }
+    }
+
+    /// Execute a [`ResidentPlan`] decided under the cache lock. `Some` is
+    /// the final response; `None` means the resident state died mid-plan
+    /// (poisoned — already counted and cleaned up) and the caller must
+    /// recompute from cold.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_resident_plan(
+        &self,
+        plan: ResidentPlan,
+        queue_drain: bool,
+        key: &FormKey,
+        query: &Query,
+        query_repr: &str,
+        snapshot: &DbSnapshot,
+        t_snap: Instant,
+        started: Instant,
+        req_id: u64,
+        d_parse: Duration,
+        t_cache: Instant,
+    ) -> Option<Response> {
+        match plan.action {
+            ResidentAction::Refuse { bound_ms } => {
+                if queue_drain {
+                    let sender = lock(&self.maintenance).clone();
+                    match sender {
+                        Some(tx) => {
+                            let _ = tx.send(DrainJob::Drain(key.clone()));
+                        }
+                        None => {
+                            if let Some(e) = lock(&self.cache).peek_mut(key) {
+                                e.drain_queued = false;
+                            }
+                        }
+                    }
+                }
+                self.metrics.stale_refusals.inc();
+                self.note_limit(
+                    "stale",
+                    &format!(
+                        "query over {} refused: resident frontier {bound_ms}ms stale, \
+                         drain too costly to run synchronously",
+                        key.pred
+                    ),
+                );
+                Some(Response::err_stale(
+                    bound_ms,
+                    "frontier exceeds staleness budget while a drain is pending; \
+                     retry, loosen the budget, or request fresh",
+                ))
+            }
+            ResidentAction::Fresh => {
+                // Blocking catch-up: lock the form, propagate to the query
+                // snapshot, serve at staleness zero.
+                let served = {
+                    let mut g = lock(&plan.form);
+                    match self.propagate(&plan.support, &mut g, snapshot) {
+                        Ok(_) => Some(Self::read_frontier(&g, &plan.q_atom)),
+                        Err(()) => None,
+                    }
+                };
+                let Some(read) = served else {
+                    self.poison_form(key);
+                    return None;
+                };
+                self.finish_drain(key, &read.applied, t_snap);
+                Some(self.respond_resident(
+                    key,
+                    query,
+                    query_repr,
+                    read,
+                    t_snap,
+                    Duration::ZERO,
+                    "resident",
+                    started,
+                    req_id,
+                    d_parse,
+                    t_cache,
+                ))
+            }
+            ResidentAction::Stale {
+                anchor,
+                memo,
+                budget,
+            } => {
+                // Serve the published frontier without catching up. Try the
+                // form lock first: a bounded/any reader must not queue
+                // behind a drain that is busy applying newer rows.
+                let grabbed = match plan.form.try_lock() {
+                    Ok(g) => Some(g),
+                    Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                };
+                let read = match grabbed {
+                    Some(g) => {
+                        if g.eval.poisoned() {
+                            drop(g);
+                            self.poison_form(key);
+                            return None;
+                        }
+                        Self::read_frontier(&g, &plan.q_atom)
+                    }
+                    None => {
+                        // Contended: the stale answer memo is the no-wait
+                        // asset when its age fits the budget; otherwise
+                        // block after all (still correct, just slower).
+                        if let Some(m) = memo {
+                            let age = m.published_at.elapsed();
+                            if budget.map_or(true, |b| age <= b) {
+                                return Some(self.respond_memo(
+                                    key, query, &m, age, started, req_id, d_parse, t_cache,
+                                ));
+                            }
+                        }
+                        let g = lock(&plan.form);
+                        if g.eval.poisoned() {
+                            drop(g);
+                            self.poison_form(key);
+                            return None;
+                        }
+                        Self::read_frontier(&g, &plan.q_atom)
+                    }
+                };
+                let (publish_anchor, staleness, tag) = match anchor {
+                    // Fully drained at decision time: the frontier serve is
+                    // indistinguishable from a fresh read.
+                    None => (t_snap, Duration::ZERO, "resident"),
+                    Some(a) => (a, a.elapsed(), "stale"),
+                };
+                Some(self.respond_resident(
+                    key,
+                    query,
+                    query_repr,
+                    read,
+                    publish_anchor,
+                    staleness,
+                    tag,
+                    started,
+                    req_id,
+                    d_parse,
+                    t_cache,
+                ))
+            }
+        }
+    }
+
+    /// Memoize + answer a frontier serve (`cache=resident` at staleness
+    /// zero, `cache=stale` otherwise). `publish_anchor` is the staleness
+    /// origin recorded on the memo — for a stale serve this is
+    /// `pending_since`, NOT now: the payload already misses rows that
+    /// arrived at the anchor, so aging must start there.
+    #[allow(clippy::too_many_arguments)]
+    fn respond_resident(
+        &self,
+        key: &FormKey,
+        query: &Query,
+        query_repr: &str,
+        read: FrontierRead,
+        publish_anchor: Instant,
+        staleness: Duration,
+        tag: &'static str,
+        started: Instant,
+        req_id: u64,
+        d_parse: Duration,
+        t_cache: Instant,
+    ) -> Response {
+        let trace = {
+            let mut cache = lock(&self.cache);
+            cache.peek_mut(key).map(|entry| {
+                // Memo-tag with the form's *applied* watermarks: if a drain
+                // raced us past the query snapshot, the served frontier is
+                // the newer (monotone superset) one, and the slot must
+                // advertise what was served.
+                let watermarks: Vec<(PredRef, usize)> = entry
+                    .prepared
+                    .support
+                    .iter()
+                    .map(|p| (p.clone(), read.applied.get(p).copied().unwrap_or(0)))
+                    .collect();
+                entry.answers = Some(CachedAnswers {
+                    query_repr: query_repr.to_string(),
+                    watermarks,
+                    payload: read.payload.clone(),
+                    answers: read.n_answers,
+                    frontier: read.frontier,
+                    published_at: publish_anchor,
+                    stale: !staleness.is_zero(),
+                });
+                Self::trace_json(query, key, tag, None, &entry.prepared)
+            })
+        };
+        if !staleness.is_zero() {
+            self.metrics.stale_serves.inc();
+        }
+        self.metrics
+            .staleness_bound_seconds
+            .record_duration(staleness);
+        let d_cache = t_cache.elapsed();
+        self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
+        if let Some(trace) = trace {
+            *lock(&self.last_trace) = Some(trace);
+        }
+        self.log_slow_query(
+            req_id,
+            key,
+            tag,
+            started,
+            &[("parse", d_parse), ("cache", d_cache)],
+            None,
+        );
+        Response::ok()
+            .with_info("cache", tag)
+            .with_info("answers", read.n_answers)
+            .with_info("frontier", read.frontier)
+            .with_info("staleness_us", staleness.as_micros())
+            .with_info("wall_us", started.elapsed().as_micros())
+            .with_payload_text(&read.payload)
+    }
+
+    /// Answer straight off the stale answer memo (`cache=stale_answers`):
+    /// the no-wait fallback when the form lock is contended. The reported
+    /// staleness is the memo's age since its publication anchor.
+    #[allow(clippy::too_many_arguments)]
+    fn respond_memo(
+        &self,
+        key: &FormKey,
+        query: &Query,
+        memo: &StaleMemo,
+        age: Duration,
+        started: Instant,
+        req_id: u64,
+        d_parse: Duration,
+        t_cache: Instant,
+    ) -> Response {
+        self.metrics.stale_serves.inc();
+        self.metrics.staleness_bound_seconds.record_duration(age);
+        let trace = lock(&self.cache)
+            .peek_mut(key)
+            .map(|entry| Self::trace_json(query, key, "stale_answers", None, &entry.prepared));
+        let d_cache = t_cache.elapsed();
+        self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
+        if let Some(trace) = trace {
+            *lock(&self.last_trace) = Some(trace);
+        }
+        self.log_slow_query(
+            req_id,
+            key,
+            "stale_answers",
+            started,
+            &[("parse", d_parse), ("cache", d_cache)],
+            None,
+        );
+        Response::ok()
+            .with_info("cache", "stale_answers")
+            .with_info("answers", memo.answers)
+            .with_info("frontier", memo.frontier)
+            .with_info("staleness_us", age.as_micros())
+            .with_info("wall_us", started.elapsed().as_micros())
+            .with_payload_text(&memo.payload)
     }
 
     fn handle_fact(&self, text: &str) -> Response {
@@ -858,7 +1595,7 @@ impl ServerState {
         )
     }
 
-    fn handle_query(&self, text: &str) -> Response {
+    fn handle_query(&self, text: &str, consistency: Consistency) -> Response {
         let started = Instant::now();
         // Admission control runs before any parsing or optimizer work:
         // under overload the cheapest thing to do with a query is refuse it.
@@ -925,15 +1662,17 @@ impl ServerState {
 
         // Snapshot before consulting the answer slot: ingestion inserts the
         // fact first and invalidates after, so a slot whose watermarks still
-        // match this snapshot cannot be stale.
+        // match this snapshot cannot be stale. `t_snap` is the staleness
+        // anchor for everything served off this snapshot.
+        let t_snap = Instant::now();
         let snapshot = self.db.snapshot();
         self.metrics.queries.inc();
 
         let t_cache = Instant::now();
         let mut cache = lock(&self.cache);
         // `pin` (canonical program + spliced query atom) marks an eligible
-        // form that lost (or never had) resident state: evaluation will
-        // build a ResidentEval instead of a throwaway fixpoint and pin it.
+        // form whose evaluation should build a ResidentEval instead of a
+        // throwaway fixpoint (pinning re-checks residency under the lock).
         #[allow(clippy::type_complexity)]
         let mut resolved: Option<(
             &'static str,
@@ -942,6 +1681,11 @@ impl ServerState {
             Option<(Program, Atom)>,
             Option<(u64, Arc<std::collections::BTreeMap<String, u64>>)>,
         )> = None;
+        // Serving plan for live resident state: decided under the cache
+        // lock, executed after it drops (lock order — the cache lock is
+        // never held while blocking on a form lock).
+        let mut plan: Option<ResidentPlan> = None;
+        let mut queue_drain = false;
         let mut fallback = false;
         if let Some(entry) = cache.get_mut(&key) {
             entry.hits += 1;
@@ -951,11 +1695,18 @@ impl ServerState {
                     && slot.watermarks == snapshot.watermarks_for(&entry.prepared.support)
                 {
                     // Serve the memoized payload: no eval, no optimizer,
-                    // zero new phase events.
+                    // zero new phase events. Watermark match means no
+                    // acknowledged row is missing — staleness zero in any
+                    // consistency mode.
                     self.metrics.answer_hits.inc();
+                    self.metrics
+                        .staleness_bound_seconds
+                        .record_duration(Duration::ZERO);
                     let resp = Response::ok()
                         .with_info("cache", "answers")
                         .with_info("answers", slot.answers)
+                        .with_info("frontier", slot.frontier)
+                        .with_info("staleness_us", 0)
                         .with_info("wall_us", started.elapsed().as_micros())
                         .with_payload_text(&slot.payload);
                     let trace = Self::trace_json(&query, &key, "answers", None, &entry.prepared);
@@ -974,62 +1725,94 @@ impl ServerState {
                     return resp;
                 }
             }
-            // Resident serve: catch the retained semi-naive state up to
-            // this snapshot, then extract straight off the frontier — no
-            // optimizer, no fixpoint from scratch.
             let eligible = self.resident_forms > 0
                 && ResidentEval::supports(&entry.prepared.program)
                 && ResidentEval::admits_bound_class(entry.prepared.bound_class);
             if eligible {
-                if entry.resident.is_some() && self.catch_up_resident(entry, &snapshot) {
-                    if let Some(q_atom) = entry.prepared.instantiate_atom(&query.atom) {
-                        let resident = entry.resident.as_ref().expect("catch-up kept it");
-                        let answers = resident.eval.answers(&q_atom);
-                        let payload = render_answers(&answers);
-                        // Memo-tag with the resident's *applied* watermarks:
-                        // if an ingest drain raced us past our snapshot, the
-                        // served frontier is the newer (monotone superset)
-                        // one, and the slot must advertise what was served.
-                        let watermarks: Vec<(PredRef, usize)> = entry
-                            .prepared
-                            .support
-                            .iter()
-                            .map(|p| (p.clone(), resident.applied.get(p).copied().unwrap_or(0)))
-                            .collect();
-                        let n_answers = answers.len();
-                        entry.answers = Some(CachedAnswers {
-                            query_repr,
-                            watermarks,
-                            payload: payload.clone(),
-                            answers: n_answers,
+                if let (Some(form), Some(q_atom)) = (
+                    entry.resident.as_ref(),
+                    entry.prepared.instantiate_atom(&query.atom),
+                ) {
+                    // Decide how to serve live resident state. Lag and the
+                    // staleness anchor come from the mirror — no form lock.
+                    let lag = snapshot.lag_from(&entry.prepared.support, &entry.applied_mirror);
+                    let anchor = entry.pending_since.unwrap_or(t_snap);
+                    let staleness_now = anchor.elapsed();
+                    let budget = match consistency {
+                        Consistency::Bounded(d) => Some(Duration::from_millis(d)),
+                        _ => None,
+                    };
+                    let memo = entry
+                        .answers
+                        .as_ref()
+                        .filter(|s| s.query_repr == query_repr)
+                        .map(|s| StaleMemo {
+                            payload: s.payload.clone(),
+                            answers: s.answers,
+                            frontier: s.frontier,
+                            published_at: s.published_at,
                         });
-                        let trace =
-                            Self::trace_json(&query, &key, "resident", None, &entry.prepared);
-                        drop(cache);
-                        let d_cache = t_cache.elapsed();
-                        self.metrics.phase_seconds[Phase::Cache as usize].record_duration(d_cache);
-                        *lock(&self.last_trace) = Some(trace);
-                        self.log_slow_query(
-                            req_id,
-                            &key,
-                            "resident",
-                            started,
-                            &[("parse", d_parse), ("cache", d_cache)],
-                            None,
-                        );
-                        return Response::ok()
-                            .with_info("cache", "resident")
-                            .with_info("answers", n_answers)
-                            .with_info("wall_us", started.elapsed().as_micros())
-                            .with_payload_text(&payload);
-                    }
-                } else {
-                    // Evicted by the resident LRU, or dropped just now as
-                    // poisoned: recompute from cold and re-pin below.
+                    let decided = match consistency {
+                        Consistency::Fresh => ResidentAction::Fresh,
+                        // Fully drained: the frontier IS fresh; serve it via
+                        // try-lock so this read never queues behind a drain
+                        // that is applying even newer rows.
+                        _ if lag == 0 => ResidentAction::Stale {
+                            anchor: None,
+                            memo,
+                            budget,
+                        },
+                        // Defensive: lag without an anchor (should not
+                        // happen — drains set `pending_since` before
+                        // releasing the cache lock). Correctness first.
+                        _ if entry.pending_since.is_none() => ResidentAction::Fresh,
+                        Consistency::Any => ResidentAction::Stale {
+                            anchor: Some(anchor),
+                            memo,
+                            budget,
+                        },
+                        Consistency::Bounded(d) if staleness_now.as_millis() <= u128::from(d) => {
+                            ResidentAction::Stale {
+                                anchor: Some(anchor),
+                                memo,
+                                budget,
+                            }
+                        }
+                        Consistency::Bounded(_) => {
+                            // Over budget: catch up synchronously only when
+                            // the bound polynomial says the drain is cheap;
+                            // otherwise refuse and make sure a drain is on
+                            // its way.
+                            let cost =
+                                Self::drain_cost(&entry.prepared, &snapshot, &entry.applied_mirror);
+                            if cost <= self.drain_sync_cost {
+                                ResidentAction::Fresh
+                            } else {
+                                if !entry.drain_queued {
+                                    entry.drain_queued = true;
+                                    queue_drain = true;
+                                }
+                                ResidentAction::Refuse {
+                                    bound_ms: staleness_now.as_millis().min(u128::from(u64::MAX))
+                                        as u64,
+                                }
+                            }
+                        }
+                    };
+                    plan = Some(ResidentPlan {
+                        form: Arc::clone(form),
+                        support: entry.prepared.support.clone(),
+                        q_atom,
+                        action: decided,
+                    });
+                } else if entry.resident.is_none() {
+                    // Evicted by the resident LRU, or dropped earlier as
+                    // poisoned: recompute from cold and re-pin below — the
+                    // lazy rebuild (no background loop required).
                     fallback = true;
                 }
             }
-            let pin = (eligible && entry.resident.is_none())
+            let pin = eligible
                 .then(|| {
                     entry
                         .prepared
@@ -1051,6 +1834,36 @@ impl ServerState {
         if fallback {
             cache.fallback_recomputes += 1;
             self.metrics.fallback_recomputes.inc();
+        }
+        if let Some(plan) = plan {
+            drop(cache);
+            match self.execute_resident_plan(
+                plan,
+                queue_drain,
+                &key,
+                &query,
+                &query_repr,
+                &snapshot,
+                t_snap,
+                started,
+                req_id,
+                d_parse,
+                t_cache,
+            ) {
+                Some(resp) => return resp,
+                None => {
+                    // The plan died under us (propagation poisoned the
+                    // state, already cleaned up): recompute from cold this
+                    // request; the rebuild is scheduled or lazy.
+                    {
+                        let mut cache = lock(&self.cache);
+                        cache.fallback_recomputes += 1;
+                    }
+                    self.metrics.fallback_recomputes.inc();
+                    fallback = true;
+                    cache = lock(&self.cache);
+                }
+            }
         }
         let (status, eval_program, support, pin, bound_info) = match resolved {
             Some(t) => t,
@@ -1193,6 +2006,12 @@ impl ServerState {
 
         let t_serialize = Instant::now();
         let payload = render_answers(&answers);
+        // Frontier identity of this serve: the freshly built resident's
+        // version when one was pinned, the DB snapshot version otherwise.
+        let frontier = pinned
+            .as_ref()
+            .map(|r| r.frontier().version)
+            .unwrap_or_else(|| snapshot.version());
 
         let mut cache = lock(&self.cache);
         let trace = cache.get_mut(&key).map(|entry| {
@@ -1201,6 +2020,9 @@ impl ServerState {
                 watermarks: snapshot.watermarks_for(&support),
                 payload: payload.clone(),
                 answers: answers.len(),
+                frontier,
+                published_at: t_snap,
+                stale: false,
             });
             Self::trace_json(
                 &query,
@@ -1219,13 +2041,18 @@ impl ServerState {
                     .iter()
                     .map(|p| (p.clone(), snapshot.count(p)))
                     .collect();
-                cache.pin_resident(
+                let pinned_now = cache.pin_resident(
                     &key,
                     ResidentForm {
                         eval: resident,
                         applied,
                     },
                 );
+                // A re-pin after eviction or poisoning IS the lazy rebuild
+                // (satellite of the self-healing loop): count it.
+                if pinned_now && fallback {
+                    self.metrics.resident_rebuilds.inc();
+                }
             }
         }
         drop(cache);
@@ -1248,9 +2075,14 @@ impl ServerState {
             Some(&eval_stats),
         );
 
+        self.metrics
+            .staleness_bound_seconds
+            .record_duration(Duration::ZERO);
         Response::ok()
             .with_info("cache", status)
             .with_info("answers", answers.len())
+            .with_info("frontier", frontier)
+            .with_info("staleness_us", 0)
             .with_info("wall_us", started.elapsed().as_micros())
             .with_payload_text(&payload)
     }
@@ -1373,6 +2205,11 @@ impl ServerState {
                 m.incremental_applied_facts.get(),
             )
             .with("fallback_recomputes", cache.fallback_recomputes)
+            .with("resident_rebuilds", m.resident_rebuilds.get())
+            .with("resident_poisonings", m.resident_poisonings.get())
+            .with("stale_serves", m.stale_serves.get())
+            .with("stale_refusals", m.stale_refusals.get())
+            .with("background_drains", m.background_drains.get())
             .with("threads", self.threads)
             .with("inflight", self.inflight.load(Ordering::Acquire) as u64)
             .with("shed_connections", m.shed_conns.get())
@@ -1457,13 +2294,18 @@ impl Server {
         let threads = cfg.threads.max(1);
         let state = Arc::new(ServerState::from_config(cfg)?);
         let listener = Arc::new(listener);
-        let workers = (0..threads)
+        let mut workers: Vec<JoinHandle<()>> = (0..threads)
             .map(|_| {
                 let listener = Arc::clone(&listener);
                 let state = Arc::clone(&state);
                 std::thread::spawn(move || accept_loop(&listener, &state))
             })
             .collect();
+        // Background maintenance (deferred drains, rebuild backoff) rides
+        // in the same worker pool lifecycle: joined on shutdown.
+        if let Some(h) = state.start_maintenance() {
+            workers.push(h);
+        }
         Ok(Server {
             addr,
             state,
@@ -1675,11 +2517,11 @@ mod tests {
         assert!(!resp.ok);
         assert!(resp.error.contains("not ground"), "{}", resp.error);
 
-        let resp = state.handle(&Request::Query("?- a(X, _".into()));
+        let resp = state.handle(&Request::query("?- a(X, _"));
         assert!(!resp.ok);
         assert!(resp.error.starts_with("query:1:"), "{}", resp.error);
 
-        let resp = state.handle(&Request::Query("?- a(X, _).".into()));
+        let resp = state.handle(&Request::query("?- a(X, _)."));
         assert!(resp.ok, "{}", resp.error);
         assert_eq!(resp.get("cache"), Some("miss"));
         assert_eq!(resp.payload, vec!["X", "1"]);
@@ -1710,7 +2552,7 @@ mod tests {
         let rec = state.recovery().expect("recovery info present");
         let rec = rec.to_string();
         assert!(rec.contains("\"applied\":4"), "{rec}");
-        let resp = state.handle(&Request::Query("?- a(1, X).".into()));
+        let resp = state.handle(&Request::query("?- a(1, X)."));
         assert!(resp.ok, "{}", resp.error);
         assert_eq!(resp.payload, vec!["X", "2", "3"]);
     }
@@ -1731,7 +2573,7 @@ mod tests {
         std::fs::write(&file, &text).unwrap();
         let state = ServerState::new(8, 1).with_limits(Some(5), None);
         assert!(state.handle(&Request::Load(file.display().to_string())).ok);
-        let resp = state.handle(&Request::Query("?- big(1, X, Y, Z).".into()));
+        let resp = state.handle(&Request::query("?- big(1, X, Y, Z)."));
         assert!(!resp.ok);
         assert_eq!(resp.code, Some(ErrCode::Deadline), "{}", resp.error);
         assert!(resp.error.contains("partial:"), "{}", resp.error);
@@ -1784,7 +2626,7 @@ mod tests {
         let file = dir.0.join("tc.dl");
         std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\np(3, 4).\n").unwrap();
         assert!(state.handle(&Request::Load(file.display().to_string())).ok);
-        assert!(state.handle(&Request::Query("?- a(X, _).".into())).ok);
+        assert!(state.handle(&Request::query("?- a(X, _).")).ok);
 
         let prom = state.handle(&Request::Metrics { json: false });
         assert!(prom.ok);
@@ -1815,7 +2657,7 @@ mod tests {
         let state = ServerState::new(8, 1);
         // max_inflight == 0: a query is admitted (and fails on substance,
         // not on admission).
-        let resp = state.handle(&Request::Query("?- nosuch(X).".into()));
+        let resp = state.handle(&Request::query("?- nosuch(X)."));
         assert!(resp.code.is_none(), "{}", resp.error);
     }
 
@@ -1829,14 +2671,14 @@ mod tests {
         assert!(state.handle(&Request::Load(file.display().to_string())).ok);
 
         fault.panic_on_query("a");
-        let resp = state.handle_safely(&Request::Query("?- a(X, _).".into()));
+        let resp = state.handle_safely(&Request::query("?- a(X, _)."));
         assert!(!resp.ok);
         assert_eq!(resp.code, Some(ErrCode::Internal), "{}", resp.error);
         assert!(resp.error.contains("injected fault"), "{}", resp.error);
 
         // The fault is one-shot: the same query now succeeds, proving the
         // state survived the unwinding.
-        let resp = state.handle_safely(&Request::Query("?- a(X, _).".into()));
+        let resp = state.handle_safely(&Request::query("?- a(X, _)."));
         assert!(resp.ok, "{}", resp.error);
         assert_eq!(resp.payload, vec!["X", "1"]);
         let stats = state.handle(&Request::Stats);
@@ -1879,7 +2721,7 @@ mod tests {
             }
             std::fs::write(&file, src).unwrap();
             assert!(state.handle(&Request::Load(file.display().to_string())).ok);
-            let resp = state.handle(&Request::Query("?- a(X, _).".into()));
+            let resp = state.handle(&Request::query("?- a(X, _)."));
             assert!(resp.ok, "{}", resp.error);
             resp.payload_text()
         };
@@ -1926,7 +2768,7 @@ mod tests {
             std::fs::write(&file, src).unwrap();
             assert!(state.handle(&Request::Load(file.display().to_string())).ok);
             let q = "?- a(X, _).";
-            let first = state.handle(&Request::Query(q.into()));
+            let first = state.handle(&Request::query(q));
             assert!(first.ok, "{}", first.error);
             assert_eq!(first.get("cache"), Some("miss"));
             let mut payloads = vec![first.payload_text()];
@@ -1936,7 +2778,7 @@ mod tests {
                     let resp = state.handle(&Request::Fact(format!("p({}, {}).", v, v + 1)));
                     assert!(resp.ok, "{}", resp.error);
                 }
-                let resp = state.handle(&Request::Query(q.into()));
+                let resp = state.handle(&Request::query(q));
                 assert!(resp.ok, "{}", resp.error);
                 if resident_forms > 0 {
                     assert_eq!(
@@ -1973,24 +2815,20 @@ mod tests {
         .unwrap();
         assert!(state.handle(&Request::Load(file.display().to_string())).ok);
         assert_eq!(
-            state
-                .handle(&Request::Query("?- a(X, _).".into()))
-                .get("cache"),
+            state.handle(&Request::query("?- a(X, _).")).get("cache"),
             Some("miss")
         );
         assert_eq!(
-            state
-                .handle(&Request::Query("?- b(X, _).".into()))
-                .get("cache"),
+            state.handle(&Request::query("?- b(X, _).")).get("cache"),
             Some("miss")
         );
         // Same forms, fresh constants (a memo hit would hide the resident
         // path): each finds its resident evicted by the other's pin.
-        let resp = state.handle(&Request::Query("?- a(1, _).".into()));
+        let resp = state.handle(&Request::query("?- a(1, _)."));
         assert!(resp.ok, "{}", resp.error);
         assert_eq!(resp.get("cache"), Some("hit"), "fallback recomputes");
         assert_eq!(resp.payload_text(), "true\n");
-        let resp = state.handle(&Request::Query("?- b(3, _).".into()));
+        let resp = state.handle(&Request::query("?- b(3, _)."));
         assert_eq!(resp.get("cache"), Some("hit"));
         assert_eq!(resp.payload_text(), "true\n");
         let stats = state.handle(&Request::Stats).payload_text();
@@ -1998,7 +2836,7 @@ mod tests {
         assert!(stats.contains("\"resident_forms\":1"), "{stats}");
         // The fallback re-pinned: the same constant-query now serves from
         // the (re-)resident frontier.
-        let resp = state.handle(&Request::Query("?- b(4, _).".into()));
+        let resp = state.handle(&Request::query("?- b(4, _)."));
         assert_eq!(resp.get("cache"), Some("resident"));
         assert_eq!(resp.payload_text(), "false\n");
     }
@@ -2023,30 +2861,160 @@ mod tests {
         .unwrap();
         assert!(state.handle(&Request::Load(file.display().to_string())).ok);
         for q in ["?- a(X, _).", "?- b(X, _)."] {
-            assert!(state.handle(&Request::Query(q.into())).ok);
+            assert!(state.handle(&Request::query(q)).ok);
         }
         assert!(state.handle(&Request::Fact("q(5, 6).".into())).ok);
         assert_eq!(
-            state
-                .handle(&Request::Query("?- a(X, _).".into()))
-                .get("cache"),
+            state.handle(&Request::query("?- a(X, _).")).get("cache"),
             Some("answers"),
             "a's support watermarks did not move"
         );
         assert_eq!(
-            state
-                .handle(&Request::Query("?- b(X, _).".into()))
-                .get("cache"),
+            state.handle(&Request::query("?- b(X, _).")).get("cache"),
             Some("hit"),
             "b re-evaluates (and without residents never serves 'resident')"
         );
     }
 
     #[test]
+    fn deferred_drains_serve_stale_with_a_bound_and_fresh_catches_up() {
+        // `drain_sync_cost: 0` forces every ingest-side drain to defer; no
+        // maintenance thread runs on a plain state, so the lag sits until
+        // a reader resolves it.
+        let state = ServerState::from_config(&ServerConfig {
+            resident_forms: 8,
+            drain_sync_cost: 0,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = TempDir::new("stale-defer");
+        let file = dir.0.join("s.dl");
+        std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\n").unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        let q = "?- a(X, _).";
+        let first = state.handle(&Request::query(q));
+        assert_eq!(first.get("cache"), Some("miss"));
+        assert_eq!(first.get("staleness_us"), Some("0"));
+        let frontier_v1 = first.get("frontier").unwrap().to_string();
+        assert!(state.handle(&Request::Fact("p(3, 4).".into())).ok);
+        // `any` reads the published frontier: the old payload, a non-zero
+        // staleness bound, and the pre-ingest frontier version.
+        let stale = state.handle(&Request::Query {
+            text: q.into(),
+            consistency: Consistency::Any,
+        });
+        assert!(stale.ok, "{}", stale.error);
+        assert_eq!(stale.get("cache"), Some("stale"));
+        assert_eq!(stale.payload_text(), first.payload_text());
+        assert_eq!(stale.get("frontier"), Some(frontier_v1.as_str()));
+        let bound_us: u64 = stale.get("staleness_us").unwrap().parse().unwrap();
+        assert!(bound_us > 0, "lagging serve must report a bound");
+        // A generous budget also serves stale; the bound never shrinks
+        // below the true lag age.
+        let bounded = state.handle(&Request::Query {
+            text: q.into(),
+            consistency: Consistency::Bounded(60_000),
+        });
+        assert_eq!(bounded.get("cache"), Some("stale"));
+        // `fresh` (the default) catches up synchronously regardless of
+        // drain cost and is byte-identical to a cold recompute.
+        let fresh = state.handle(&Request::query(q));
+        assert!(fresh.ok, "{}", fresh.error);
+        assert_eq!(fresh.get("cache"), Some("resident"));
+        assert_eq!(fresh.get("staleness_us"), Some("0"));
+        assert_eq!(fresh.payload_text(), "X\n1\n3\n");
+        assert_ne!(fresh.get("frontier"), Some(frontier_v1.as_str()));
+        // Fully drained again: a bounded read is indistinguishable from
+        // fresh and reports staleness zero.
+        let drained = state.handle(&Request::Query {
+            text: q.into(),
+            consistency: Consistency::Any,
+        });
+        assert_eq!(drained.get("staleness_us"), Some("0"));
+        let stats = state.handle(&Request::Stats).payload_text();
+        assert!(stats.contains("\"stale_serves\":2"), "{stats}");
+    }
+
+    #[test]
+    fn over_budget_bounded_reads_refuse_with_the_stale_code() {
+        let state = ServerState::from_config(&ServerConfig {
+            resident_forms: 8,
+            drain_sync_cost: 0,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = TempDir::new("stale-refuse");
+        let file = dir.0.join("s.dl");
+        std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\n").unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        let q = "?- a(X, _).";
+        assert!(state.handle(&Request::query(q)).ok);
+        assert!(state.handle(&Request::Fact("p(3, 4).".into())).ok);
+        std::thread::sleep(Duration::from_millis(15));
+        // 15ms of lag against a 1ms budget, with synchronous catch-up
+        // priced out: the only honest answer is a refusal carrying the
+        // current bound.
+        let resp = state.handle(&Request::Query {
+            text: q.into(),
+            consistency: Consistency::Bounded(1),
+        });
+        assert!(!resp.ok);
+        assert_eq!(resp.code, Some(ErrCode::Stale), "{}", resp.error);
+        let bound = resp.stale_bound_ms().expect("refusal carries its bound");
+        assert!(bound >= 10, "bound {bound}ms must reflect the real lag");
+        // The same read with mode fresh still succeeds (sync catch-up is
+        // mandatory there), proving the refusal is budget-driven.
+        let fresh = state.handle(&Request::query(q));
+        assert!(fresh.ok, "{}", fresh.error);
+        assert_eq!(fresh.payload_text(), "X\n1\n3\n");
+        let stats = state.handle(&Request::Stats).payload_text();
+        assert!(stats.contains("\"stale_refusals\":1"), "{stats}");
+    }
+
+    #[test]
+    fn poisoned_resident_rebuilds_lazily_without_restart() {
+        // A failing drain poisons the resident; with no background loop
+        // the next eligible QUERY must rebuild and re-pin it (counted as a
+        // rebuild), not fall back forever.
+        let fault = Arc::new(FaultPlan::new());
+        let state = ServerState::from_config(&ServerConfig {
+            resident_forms: 8,
+            fault: Arc::clone(&fault),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let dir = TempDir::new("poison-lazy");
+        let file = dir.0.join("s.dl");
+        std::fs::write(&file, "a(X, Y) :- p(X, Y).\np(1, 2).\n").unwrap();
+        assert!(state.handle(&Request::Load(file.display().to_string())).ok);
+        let q = "?- a(X, _).";
+        assert!(state.handle(&Request::query(q)).ok);
+        fault.fail_drains(1);
+        // The inline ingest-side drain hits the armed fault and poisons
+        // the form.
+        assert!(state.handle(&Request::Fact("p(3, 4).".into())).ok);
+        let stats = state.handle(&Request::Stats).payload_text();
+        assert!(stats.contains("\"resident_poisonings\":1"), "{stats}");
+        assert!(stats.contains("\"resident_forms\":0"), "{stats}");
+        // Next query: cold recompute, correct answers, resident re-pinned.
+        let resp = state.handle(&Request::query(q));
+        assert!(resp.ok, "{}", resp.error);
+        assert_eq!(resp.get("cache"), Some("hit"));
+        assert_eq!(resp.payload_text(), "X\n1\n3\n");
+        let stats = state.handle(&Request::Stats).payload_text();
+        assert!(stats.contains("\"resident_rebuilds\":1"), "{stats}");
+        assert!(stats.contains("\"resident_forms\":1"), "{stats}");
+        // And the healed resident serves (fresh constants dodge the memo).
+        let resp = state.handle(&Request::query("?- a(3, _)."));
+        assert_eq!(resp.get("cache"), Some("resident"));
+        assert_eq!(resp.payload_text(), "true\n");
+    }
+
+    #[test]
     fn draining_state_refuses_new_work_with_shutdown_code() {
         let state = ServerState::new(8, 1);
         assert!(state.handle(&Request::Shutdown).ok);
-        let resp = state.handle(&Request::Query("?- a(X).".into()));
+        let resp = state.handle(&Request::query("?- a(X)."));
         assert_eq!(resp.code, Some(ErrCode::Shutdown), "{}", resp.error);
         let resp = state.handle(&Request::Fact("p(1).".into()));
         assert_eq!(resp.code, Some(ErrCode::Shutdown), "{}", resp.error);

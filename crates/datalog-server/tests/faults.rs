@@ -12,13 +12,33 @@
 
 mod util;
 
+use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use datalog_server::{Client, ErrCode, FaultPlan, Server, ServerConfig};
+use datalog_ast::parse_program;
+use datalog_engine::{query_answers_full, EvalOptions, FactSet};
+use datalog_opt::{optimize, OptimizerConfig};
+use datalog_server::{
+    render_answers, Client, Consistency, ErrCode, FaultPlan, Server, ServerConfig,
+};
 use util::TempDir;
+
+/// What `xdl run <src>` prints on stdout (same pipeline as the binary).
+fn xdl_run_reference(src: &str) -> String {
+    let parsed = parse_program(src).unwrap();
+    parsed.program.validate().unwrap();
+    let facts = FactSet::from_parsed(&parsed.facts);
+    let out = optimize(&parsed.program, &OptimizerConfig::default()).unwrap();
+    let opts = EvalOptions {
+        boolean_cut: true,
+        ..EvalOptions::default()
+    };
+    let (answers, _) = query_answers_full(&out.program, &facts, &opts).unwrap();
+    render_answers(&answers)
+}
 
 const TC_RULES: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n";
 const TC_FACTS: &str = "p(1, 2).\np(2, 3).\np(3, 4).\n";
@@ -433,6 +453,199 @@ fn compaction_under_load_preserves_every_acknowledged_fact() {
     assert!(resp.ok, "{}", resp.error);
     // Header + the 30 distinct sources.
     assert_eq!(resp.payload.len(), 31, "{:?}", resp.payload);
+    c.shutdown().unwrap();
+    server.join();
+}
+
+/// Ingest-burst storm: a `FACT` flood and a `LOAD` flood run against
+/// query clients pinned to each consistency mode. Every answer must be
+/// the reference rendering of some acknowledged prefix of the chain
+/// writer's order (snapshot isolation + published frontiers mean no torn
+/// or time-traveling reads), answers never shrink per connection, and
+/// after the storm the resident state has healed: no leaked poisonings,
+/// and both `fresh` and `any` converge to the full-chain reference.
+#[test]
+fn ingest_burst_storm_honors_every_consistency_mode() {
+    const CHAIN: i64 = 14;
+    let dir = TempDir::new("burst");
+    // drain_sync_cost = 0 pushes every drain onto the maintenance thread,
+    // so stale windows are real and the background machinery is what the
+    // storm actually exercises.
+    let server = Server::spawn(&ServerConfig {
+        threads: 6,
+        drain_sync_cost: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    let rules = dir.file("rules.dl", TC_RULES);
+    assert!(setup.load(rules.to_str().unwrap()).unwrap().ok);
+    assert!(setup.fact("p(0, 1).").unwrap().ok);
+    // Warm the form so a resident frontier exists before the burst.
+    assert!(setup.query("?- a(0, X).").unwrap().ok);
+
+    // Valid payloads: prefixes of the chain writer's acknowledgment
+    // order. The LOAD flood writes a disjoint value range (1000+), which
+    // never reaches a(0, _), so it cannot perturb this set.
+    let valid: BTreeSet<String> = (1..=CHAIN)
+        .map(|k| {
+            let facts: String = (0..k).map(|i| format!("p({i}, {}).\n", i + 1)).collect();
+            xdl_run_reference(&format!("{TC_RULES}{facts}?- a(0, X)."))
+        })
+        .collect();
+
+    let chain_writer = std::thread::spawn(move || {
+        let mut w = Client::connect(addr).unwrap();
+        for i in 1..CHAIN {
+            let resp = w.fact(&format!("p({i}, {}).", i + 1)).unwrap();
+            assert!(resp.ok, "{}", resp.error);
+        }
+    });
+    let load_files: Vec<_> = (0..8)
+        .map(|j| {
+            let base = 1000 + 10 * j;
+            dir.file(
+                &format!("burst{j}.dl"),
+                &format!("p({base}, {}).\np({}, {}).\n", base + 1, base + 1, base + 2),
+            )
+        })
+        .collect();
+    let load_writer = std::thread::spawn(move || {
+        let mut w = Client::connect(addr).unwrap();
+        for f in &load_files {
+            let resp = w.load(f.to_str().unwrap()).unwrap();
+            assert!(resp.ok, "{}", resp.error);
+        }
+    });
+
+    let readers: Vec<_> = [
+        Consistency::Fresh,
+        Consistency::Bounded(50),
+        Consistency::Any,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let valid = valid.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut last_len = 0usize;
+            for _ in 0..25 {
+                let resp = c.query_at(mode, "?- a(0, X).").unwrap();
+                if !resp.ok {
+                    // Only a bounded budget may be refused, and only
+                    // with the structured stale code and its bound.
+                    assert!(matches!(mode, Consistency::Bounded(_)), "{}", resp.error);
+                    assert_eq!(resp.code, Some(ErrCode::Stale), "{}", resp.error);
+                    assert!(resp.stale_bound_ms().is_some(), "{}", resp.error);
+                    continue;
+                }
+                let payload = resp.payload_text();
+                assert!(
+                    valid.contains(&payload),
+                    "{mode} read is not a prefix rendering:\n{payload}"
+                );
+                // Frontiers and memos only advance: answers never shrink
+                // on one connection, stale or not.
+                assert!(
+                    resp.payload.len() >= last_len,
+                    "answers shrank under {mode}"
+                );
+                last_len = resp.payload.len();
+                let staleness: u64 = resp.get("staleness_us").unwrap().parse().unwrap();
+                if mode == Consistency::Fresh {
+                    assert_eq!(staleness, 0, "fresh read reported staleness");
+                }
+                resp.get("frontier").unwrap().parse::<u64>().unwrap();
+            }
+        })
+    })
+    .collect();
+
+    chain_writer.join().unwrap();
+    load_writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Quiescent: fresh catches up synchronously and matches `xdl run`.
+    let full: String = (0..CHAIN)
+        .map(|i| format!("p({i}, {}).\n", i + 1))
+        .collect();
+    let reference = xdl_run_reference(&format!("{TC_RULES}{full}?- a(0, X)."));
+    let fresh = setup.query("?- a(0, X).").unwrap();
+    assert!(fresh.ok, "{}", fresh.error);
+    assert_eq!(fresh.payload_text(), reference);
+
+    // `any` converges too once the maintenance thread drains the queue.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = setup.query_at(Consistency::Any, "?- a(0, X).").unwrap();
+        assert!(resp.ok, "{}", resp.error);
+        if resp.payload_text() == reference && resp.get("staleness_us") == Some("0") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "any-mode read never converged");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // No poison leak: the storm never killed the resident state.
+    let stats = setup.stats().unwrap().payload_text();
+    assert!(stats.contains("\"resident_poisonings\":0"), "{stats}");
+    assert!(!stats.contains("\"resident_forms\":0"), "{stats}");
+
+    setup.shutdown().unwrap();
+    server.join();
+}
+
+/// Self-healing: a drain that fails repeatedly poisons the resident
+/// form, and the maintenance thread rebuilds it with capped exponential
+/// backoff — no restart, no query in the loop — until the fault clears.
+#[test]
+fn repeatedly_poisoned_resident_heals_via_backoff_rebuilds() {
+    let dir = TempDir::new("heal");
+    let fault = Arc::new(FaultPlan::new());
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        rebuild_ms: 5,
+        fault: Arc::clone(&fault),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+    assert!(c.query("?- a(1, X).").unwrap().ok);
+
+    // Three failures in a row: the inline drain poisons the form, then
+    // the first two background rebuild attempts fail too. Attempt three
+    // (after 5ms << 1 and << 2 backoffs) succeeds.
+    fault.fail_drains(3);
+    assert!(c.fact("p(4, 5).").unwrap().ok);
+
+    // Poll STATS only — no query touches the form, so the heal is driven
+    // entirely by the background rebuild loop.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats().unwrap().payload_text();
+        if stats.contains("\"resident_rebuilds\":1") && !stats.contains("\"resident_forms\":0") {
+            assert!(stats.contains("\"resident_poisonings\":3"), "{stats}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "resident never healed: {stats}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The healed frontier is caught up: a fresh query serves off it and
+    // sees the fact whose drain originally failed.
+    let resp = c.query("?- a(1, X).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert_eq!(resp.payload, vec!["X", "2", "3", "4", "5"]);
+    let resp = c.query("?- a(4, _).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    assert_eq!(resp.payload, vec!["true"]);
+
     c.shutdown().unwrap();
     server.join();
 }

@@ -12,7 +12,7 @@ mod util;
 
 use std::collections::BTreeMap;
 
-use datalog_server::{Client, Server, ServerConfig};
+use datalog_server::{Client, Consistency, Server, ServerConfig};
 use util::TempDir;
 
 const TC_RULES: &str = "a(X, Y) :- p(X, Z), a(Z, Y).\na(X, Y) :- p(X, Y).\n";
@@ -494,6 +494,87 @@ fn incremental_serving_surface_is_scraped_and_counted() {
     assert!(stats.contains("\"resident_forms\":1"), "{stats}");
     assert!(stats.contains("\"incremental_applied_facts\":4"), "{stats}");
     assert!(stats.contains("\"fallback_recomputes\":0"), "{stats}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bounded_staleness_surface_is_scraped_and_counted() {
+    let dir = TempDir::new("metrics-staleness");
+    // Zero sync budget defers every drain; the slow-drain fault keeps the
+    // deferred drain in flight long enough that the stale serving and
+    // refusal counters are deterministically reachable.
+    let fault = std::sync::Arc::new(datalog_server::FaultPlan::default());
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        drain_sync_cost: 0,
+        fault: std::sync::Arc::clone(&fault),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let rules = dir.path().join("rules.dl");
+    std::fs::write(&rules, format!("{TC_RULES}p(1, 2).\n")).unwrap();
+    assert!(c.load(rules.to_str().unwrap()).unwrap().ok);
+
+    assert_eq!(c.query("?- a(X, _).").unwrap().get("cache"), Some("miss"));
+    fault.slow_drains(300);
+    assert!(c.fact("p(2, 3).").unwrap().ok);
+    // One relaxed read off the old frontier, one refusal, one fresh.
+    let resp = c.query_at(Consistency::Any, "?- a(X, _).").unwrap();
+    assert!(resp.ok, "{}", resp.error);
+    std::thread::sleep(std::time::Duration::from_millis(15));
+    let resp = c.query_at(Consistency::Bounded(1), "?- a(X, _).").unwrap();
+    let refusals = u64::from(!resp.ok);
+    fault.slow_drains(0);
+    assert!(c.query("?- a(X, _).").unwrap().ok);
+
+    let families = parse_prometheus(&c.metrics(false).unwrap().payload_text());
+    for required in [
+        "xdl_resident_rebuilds_total",
+        "xdl_resident_poisonings_total",
+        "xdl_stale_serves_total",
+        "xdl_stale_refusals_total",
+        "xdl_background_drains_total",
+        "xdl_staleness_bound_seconds",
+    ] {
+        assert!(
+            families.contains_key(required),
+            "{required} missing from scrape"
+        );
+    }
+    assert!(
+        families["xdl_stale_serves_total"].samples[0].value >= 1.0,
+        "the any-mode read was a stale serve"
+    );
+    assert_eq!(
+        families["xdl_stale_refusals_total"].samples[0].value,
+        refusals as f64
+    );
+    assert_eq!(
+        families["xdl_resident_poisonings_total"].samples[0].value,
+        0.0
+    );
+    // Every served query records into the staleness histogram.
+    let bound_count = families["xdl_staleness_bound_seconds"]
+        .samples
+        .iter()
+        .find(|s| s.name == "xdl_staleness_bound_seconds_count")
+        .unwrap();
+    assert!(
+        bound_count.value >= 3.0,
+        "bound count {}",
+        bound_count.value
+    );
+
+    // STATS mirrors the same counters.
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"stale_serves\":"), "{stats}");
+    assert!(stats.contains("\"stale_refusals\":"), "{stats}");
+    assert!(stats.contains("\"resident_rebuilds\":"), "{stats}");
+    assert!(stats.contains("\"resident_poisonings\":"), "{stats}");
+    assert!(stats.contains("\"background_drains\":"), "{stats}");
 
     server.shutdown();
     server.join();

@@ -8,11 +8,15 @@
 mod util;
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
 
 use datalog_ast::parse_program;
 use datalog_engine::{query_answers_full, EvalOptions, FactSet};
 use datalog_opt::{optimize, OptimizerConfig};
-use datalog_server::{render_answers, Client, Server, ServerConfig};
+use datalog_server::{
+    render_answers, Client, Consistency, ErrCode, FaultPlan, Server, ServerConfig,
+};
 use util::TempDir;
 
 /// What `xdl run <src>` prints on stdout, computed via the same library
@@ -271,6 +275,92 @@ fn concurrent_clients_with_interleaved_ingestion_see_consistent_prefixes() {
     let reference = xdl_run_reference(&format!("{TC_RULES}{full}?- a(X, _)."));
     let resp = c.query("?- a(X, _).").unwrap();
     assert_eq!(resp.payload_text(), reference);
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+/// Protocol v4: the three consistency modes round-trip over TCP with
+/// frontier/staleness headers, and `fresh` stays byte-identical to
+/// `xdl run` even while a deferred drain is still in flight.
+#[test]
+fn consistency_modes_round_trip_with_frontier_headers() {
+    let dir = TempDir::new("consistency");
+    let fault = Arc::new(FaultPlan::default());
+    // drain_sync_cost = 0 forces every post-ingest drain onto the
+    // maintenance thread, so there is a real stale window to observe.
+    let server = Server::spawn(&ServerConfig {
+        threads: 2,
+        drain_sync_cost: 0,
+        fault: Arc::clone(&fault),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let file = dir.file("tc.dl", &format!("{TC_RULES}{TC_FACTS}"));
+    assert!(c.load(file.to_str().unwrap()).unwrap().ok);
+
+    // Warm the form: the cold miss pins a resident frontier and already
+    // reports version + zero staleness.
+    let q = "?- a(1, X).";
+    let cold = c.query(q).unwrap();
+    assert!(cold.ok, "{}", cold.error);
+    assert_eq!(cold.get("cache"), Some("miss"));
+    let v0: u64 = cold.get("frontier").unwrap().parse().unwrap();
+    assert_eq!(cold.get("staleness_us"), Some("0"));
+    let old_payload = cold.payload_text();
+
+    // Ingest while drains are slow: the background catch-up sleeps
+    // holding the form lock, keeping the published frontier behind.
+    fault.slow_drains(300);
+    assert!(c.fact("p(4, 5).").unwrap().ok);
+
+    // `any` serves immediately off the old frontier with an honest bound.
+    let any = c.query_at(Consistency::Any, q).unwrap();
+    assert!(any.ok, "{}", any.error);
+    let tag = any.get("cache").unwrap();
+    assert!(
+        tag == "stale" || tag == "stale_answers",
+        "expected a stale serve, got {tag}"
+    );
+    assert_eq!(any.payload_text(), old_payload);
+    assert_eq!(any.get("frontier").unwrap().parse::<u64>().unwrap(), v0);
+    let bound_us: u64 = any.get("staleness_us").unwrap().parse().unwrap();
+    assert!(bound_us > 0, "a stale serve must report a nonzero bound");
+
+    // A generous budget is also happy with the old frontier.
+    let loose = c.query_at(Consistency::Bounded(60_000), q).unwrap();
+    assert!(loose.ok, "{}", loose.error);
+    assert_eq!(loose.payload_text(), old_payload);
+
+    // A 1 ms budget cannot be met once the frontier is >10 ms old:
+    // the server refuses with `ERR stale <bound_ms>` instead of blocking.
+    std::thread::sleep(Duration::from_millis(20));
+    let tight = c.query_at(Consistency::Bounded(1), q).unwrap();
+    assert!(!tight.ok, "over-budget read must be refused");
+    assert_eq!(tight.code, Some(ErrCode::Stale));
+    let bound_ms = tight.stale_bound_ms().expect("ERR stale carries a bound");
+    assert!(bound_ms >= 10, "reported bound {bound_ms} ms is too low");
+
+    // `fresh` (the default) waits out the drain and matches `xdl run`
+    // byte for byte — staleness zero, frontier advanced.
+    fault.slow_drains(0);
+    let fresh = c.query(q).unwrap();
+    assert!(fresh.ok, "{}", fresh.error);
+    let reference = xdl_run_reference(&format!("{TC_RULES}{TC_FACTS}p(4, 5).\n{q}"));
+    assert_eq!(fresh.payload_text(), reference);
+    assert_eq!(fresh.get("staleness_us"), Some("0"));
+    assert!(fresh.get("frontier").unwrap().parse::<u64>().unwrap() > v0);
+
+    // Once drained, `any` is current again: zero staleness, new frontier.
+    let settled = c.query_at(Consistency::Any, q).unwrap();
+    assert!(settled.ok, "{}", settled.error);
+    assert_eq!(settled.payload_text(), reference);
+    assert_eq!(settled.get("staleness_us"), Some("0"));
+
+    let stats = c.stats().unwrap().payload_text();
+    assert!(stats.contains("\"stale_refusals\":1"), "{stats}");
 
     c.shutdown().unwrap();
     server.join();

@@ -204,6 +204,57 @@ echo "check.sh: incremental serving smoke ok"
     > "bench_history/e14-$(date +%s).json"
 echo "check.sh: e14 recorded ($(ls bench_history | wc -l) history entries)"
 
+# Bounded-staleness smoke: with every drain deferred (--drain-sync-cost 0)
+# a relaxed read (--any / --staleness 50) still answers off the published
+# frontier, and a fresh read catches up to byte-identity with `xdl run`.
+./target/release/xdl serve --port 0 --threads 2 --drain-sync-cost 0 \
+    > "$smoke_dir/serve-stale.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve-stale.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: staleness smoke server did not announce" >&2
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --load "$smoke_dir/tc.dl" \
+    '?- a(X, _).' > /dev/null
+./target/release/xdl query --connect "$addr" --fact 'p(3, 4).' --any \
+    '?- a(X, _).' > "$smoke_dir/stale-any.out"
+./target/release/xdl query --connect "$addr" --staleness 50 '?- a(X, _).' \
+    > "$smoke_dir/stale-bounded.out"
+for f in stale-any stale-bounded; do
+    if ! grep -q '^X$' "$smoke_dir/$f.out"; then
+        echo "check.sh: relaxed read ($f) did not answer:" >&2
+        cat "$smoke_dir/$f.out" >&2
+        exit 1
+    fi
+done
+{ cat "$smoke_dir/tc.dl"; printf 'p(3, 4).\n?- a(X, _).\n'; } \
+    > "$smoke_dir/run-stale.dl"
+./target/release/xdl run "$smoke_dir/run-stale.dl" > "$smoke_dir/ran-stale.out"
+./target/release/xdl query --connect "$addr" '?- a(X, _).' \
+    > "$smoke_dir/fresh-stale.out"
+if ! cmp -s "$smoke_dir/fresh-stale.out" "$smoke_dir/ran-stale.out"; then
+    echo "check.sh: fresh read after deferred drains differs from xdl run:" >&2
+    diff "$smoke_dir/fresh-stale.out" "$smoke_dir/ran-stale.out" >&2 || true
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --shutdown
+wait "$serve_pid"
+serve_pid=""
+echo "check.sh: bounded-staleness smoke ok"
+
+# Bounded-staleness experiment: record a quick E15 run (recompute baseline
+# vs synchronous fresh vs staleness=50 under a FACT flood) alongside the
+# committed full-mode BENCH_e15.json.
+./target/release/harness e15 --quick --json \
+    > "bench_history/e15-$(date +%s).json"
+echo "check.sh: e15 recorded ($(ls bench_history | wc -l) history entries)"
+
 # Crash-recovery smoke: ingest through a WAL-backed server, SIGKILL it
 # (no shutdown, no flush), restart on the same WAL directory, and demand
 # byte-identical query output.
