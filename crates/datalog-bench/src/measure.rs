@@ -62,6 +62,11 @@ pub struct ExperimentResult {
     pub title: String,
     /// Paper anchor + expectation notes, printed above the table.
     pub notes: Vec<String>,
+    /// The host's available parallelism at measurement time. Recorded in
+    /// the exported JSON so archived numbers are interpretable: wall times
+    /// from a 1-core host say nothing about parallel speedup, and a
+    /// multi-core re-record is distinguishable from the original.
+    pub host_parallelism: usize,
     /// Table rows.
     pub rows: Vec<Measurement>,
 }
@@ -73,6 +78,7 @@ impl ExperimentResult {
             id: id.into(),
             title: title.into(),
             notes: Vec::new(),
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
             rows: Vec::new(),
         }
     }
@@ -87,6 +93,7 @@ impl ExperimentResult {
         Json::obj()
             .with("id", self.id.as_str())
             .with("title", self.title.as_str())
+            .with("host_parallelism", self.host_parallelism as u64)
             .with(
                 "notes",
                 Json::Arr(self.notes.iter().map(|n| Json::from(n.as_str())).collect()),
@@ -250,5 +257,7 @@ mod tests {
         let j = r.to_json().to_string();
         assert!(j.contains("\"rules\""), "{j}");
         assert!(j.contains("\"wall_ns\""), "{j}");
+        assert!(r.host_parallelism >= 1);
+        assert!(j.contains("\"host_parallelism\""), "{j}");
     }
 }

@@ -7,6 +7,7 @@ use datalog_ast::{PredRef, Value};
 
 use crate::facts::FactSet;
 use crate::relation::Relation;
+use crate::storage::StorageMode;
 
 /// Dense predicate id within one [`Database`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,12 +24,26 @@ pub struct Database {
     by_ref: HashMap<PredRef, PredId>,
     refs: Vec<PredRef>,
     relations: Vec<Relation>,
+    mode: StorageMode,
 }
 
 impl Database {
-    /// Empty database.
+    /// Empty database (sorted-run storage).
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Empty database with an explicit storage backend for its relations.
+    pub fn with_storage(mode: StorageMode) -> Database {
+        Database {
+            mode,
+            ..Database::default()
+        }
+    }
+
+    /// The storage backend newly registered relations use.
+    pub fn storage_mode(&self) -> StorageMode {
+        self.mode
     }
 
     /// Register (or look up) a predicate with the given arity.
@@ -48,7 +63,7 @@ impl Database {
         let id = PredId(self.refs.len() as u32);
         self.by_ref.insert(pred.clone(), id);
         self.refs.push(pred.clone());
-        self.relations.push(Relation::new(arity));
+        self.relations.push(Relation::with_mode(arity, self.mode));
         id
     }
 
@@ -128,6 +143,27 @@ impl Database {
     /// Total stored tuples.
     pub fn total_facts(&self) -> usize {
         self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Seal every relation's mutable tail into sorted runs (no-op on
+    /// legacy storage). The evaluator calls this at each freeze barrier.
+    pub fn seal_storage(&mut self) {
+        for rel in &mut self.relations {
+            rel.seal();
+        }
+    }
+
+    /// Total sealed sorted runs across all relations (0 on legacy).
+    pub fn storage_runs(&self) -> usize {
+        self.relations.iter().map(|r| r.run_count()).sum()
+    }
+
+    /// Estimated heap bytes of acceleration structures across relations.
+    pub fn storage_overhead_bytes(&self) -> usize {
+        self.relations
+            .iter()
+            .map(|r| r.overhead_bytes_estimate())
+            .sum()
     }
 }
 

@@ -141,6 +141,11 @@ pub struct EvalOptions {
     /// cardinalities; `None` keeps the purely structural greedy order
     /// byte-for-byte.
     pub cost_hints: Option<std::sync::Arc<std::collections::BTreeMap<String, u64>>>,
+    /// Evaluate on the legacy append-only storage backend (duplicate
+    /// `seen` set + hash postings) instead of sorted runs. Results are
+    /// byte-identical either way — this exists for differential testing
+    /// (`fuzz --smoke`) and the E16 storage experiment.
+    pub legacy_storage: bool,
 }
 
 impl Default for EvalOptions {
@@ -158,6 +163,7 @@ impl Default for EvalOptions {
             threads: 1,
             metrics: None,
             cost_hints: None,
+            legacy_storage: false,
         }
     }
 }
@@ -395,7 +401,7 @@ impl Enumerator<'_> {
                 .db
                 .relation(lp.pred)
                 .probe_range(&lp.probe, &key, start, end);
-            for &row_id in hits {
+            for row_id in hits.iter() {
                 if !self.try_row(outer, lit, row_id, bindings, premises) {
                     return;
                 }
@@ -918,6 +924,11 @@ impl<'a> Machine<'a> {
             for p in 0..n_preds {
                 self.mark_cur[p] = self.db.relation(PredId(p as u32)).len();
             }
+            // Freeze barrier: seal every relation's mutable tail into
+            // sorted runs (and consolidate) so this iteration's probes run
+            // against bloom-gated immutable runs. Sealing never changes
+            // rows or ids, only the acceleration structures.
+            self.db.seal_storage();
             let before = self.db.total_facts();
             // Freeze → plan → fan out → merge. The seed round (and the
             // naive strategy, every round) reads all literals Full;
@@ -1251,7 +1262,11 @@ pub fn evaluate(
     opts: &EvalOptions,
 ) -> Result<EvalOutput, EngineError> {
     program.validate()?;
-    let mut db = Database::new();
+    let mut db = if opts.legacy_storage {
+        Database::with_storage(crate::storage::StorageMode::Legacy)
+    } else {
+        Database::new()
+    };
     let plans = compile(
         program,
         &mut db,

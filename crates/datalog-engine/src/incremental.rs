@@ -229,7 +229,11 @@ impl ResidentEval {
                 .unwrap_or_default();
             return Err(EngineError::NonMonotone { pred });
         }
-        let mut db = Database::new();
+        let mut db = if opts.legacy_storage {
+            Database::with_storage(crate::storage::StorageMode::Legacy)
+        } else {
+            Database::new()
+        };
         let plans = compile(
             program,
             &mut db,
@@ -466,6 +470,20 @@ impl ResidentEval {
     /// [`ResidentEval::poisoned`] first.
     pub fn frontier(&self) -> Frontier {
         self.frontier
+    }
+
+    /// Total sealed sorted-run count across the resident database's
+    /// relations (0 on legacy storage) — the `xdl_storage_runs` input.
+    pub fn storage_runs(&self) -> usize {
+        self.db.storage_runs()
+    }
+
+    /// Seal and consolidate the resident database's storage. Safe at a
+    /// converged frontier (sealing never changes rows or ids); the server's
+    /// maintenance thread calls this after deferred drains, where the
+    /// bound-priced merge work was deemed too expensive to do synchronously.
+    pub fn seal_storage(&mut self) {
+        self.db.seal_storage();
     }
 }
 

@@ -23,13 +23,14 @@
 //! answers; per-relation watermarks give the precise "did anything this
 //! query depends on change" test.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use datalog_ast::{PredRef, Value};
 
 use crate::facts::FactSet;
+use crate::storage::{TupleRuns, TAIL_LIMIT};
 
 /// Recover the guard from a possibly poisoned lock acquisition.
 ///
@@ -77,12 +78,13 @@ impl std::fmt::Display for SharedDbError {
 
 impl std::error::Error for SharedDbError {}
 
-/// Interior row storage: append-only rows plus the dedup set, guarded by
-/// one lock so insert (check + push) is atomic.
+/// Interior row storage: append-only rows plus sorted-run dedup (bloom-
+/// gated binary search against the rows themselves — no duplicate copy of
+/// any tuple), guarded by one lock so insert (check + push) is atomic.
 #[derive(Debug, Default)]
 struct RelStore {
     rows: Vec<Box<[Value]>>,
-    seen: HashSet<Box<[Value]>>,
+    dedup: TupleRuns,
 }
 
 /// One predicate's shared, append-only relation.
@@ -134,17 +136,93 @@ impl SharedRelation {
             });
         }
         let mut g = lock_or_recover(self.store.write());
-        if g.seen.contains(tuple) {
+        let RelStore { rows, dedup } = &mut *g;
+        if dedup.contains(rows, tuple) {
             return Ok(false);
         }
         let boxed: Box<[Value]> = tuple.into();
-        g.seen.insert(boxed.clone());
-        g.rows.push(boxed);
-        let n = g.rows.len();
+        dedup.note_insert(boxed.clone());
+        rows.push(boxed);
+        if dedup.tail_len() >= TAIL_LIMIT {
+            dedup.seal_to(rows, rows.len());
+        }
+        let n = rows.len();
         // Publish while still holding the write lock so `committed` can
         // never run ahead of a concurrent writer's in-flight push.
         self.committed.store(n, Ordering::Release);
         Ok(true)
+    }
+
+    /// Bulk-load a batch of rows (recovery fast path): duplicates are
+    /// eliminated by one order-preserving sort instead of per-row hashing,
+    /// then the whole batch is sealed into sorted runs at once. Returns the
+    /// number of new rows committed.
+    pub fn load_batch(&self, batch: Vec<Box<[Value]>>) -> Result<usize, SharedDbError> {
+        for tuple in &batch {
+            if tuple.len() != self.arity {
+                return Err(SharedDbError::Arity {
+                    pred: String::new(), // filled in by SharedDatabase
+                    expected: self.arity,
+                    found: tuple.len(),
+                });
+            }
+        }
+        let mut g = lock_or_recover(self.store.write());
+        let RelStore { rows, dedup } = &mut *g;
+        let before = rows.len();
+        if rows.is_empty() {
+            // Order-preserving distinct: sort indices by (tuple, position),
+            // mark later equal positions as duplicates, keep first sightings
+            // in their original ingestion order.
+            let mut idx: Vec<u32> = (0..batch.len() as u32).collect();
+            idx.sort_unstable_by(|&a, &b| {
+                batch[a as usize][..]
+                    .cmp(&batch[b as usize][..])
+                    .then(a.cmp(&b))
+            });
+            let mut dup = vec![false; batch.len()];
+            for w in idx.windows(2) {
+                if batch[w[0] as usize] == batch[w[1] as usize] {
+                    dup[w[1] as usize] = true;
+                }
+            }
+            for (i, row) in batch.into_iter().enumerate() {
+                if !dup[i] {
+                    rows.push(row);
+                }
+            }
+        } else {
+            for tuple in batch {
+                if dedup.contains(rows, &tuple) {
+                    continue;
+                }
+                dedup.note_insert(tuple.clone());
+                rows.push(tuple);
+            }
+        }
+        dedup.seal_to(rows, rows.len());
+        while dedup.wants_merge() {
+            dedup.merge_last_two();
+        }
+        let n = rows.len();
+        self.committed.store(n, Ordering::Release);
+        Ok(n - before)
+    }
+
+    /// Seal the dedup tail into a sorted run and consolidate. Called by the
+    /// server's maintenance thread; inserts also seal past [`TAIL_LIMIT`].
+    pub fn seal(&self) {
+        let mut g = lock_or_recover(self.store.write());
+        let RelStore { rows, dedup } = &mut *g;
+        dedup.seal_to(rows, rows.len());
+        while dedup.wants_merge() {
+            dedup.merge_last_two();
+        }
+    }
+
+    /// Number of sealed dedup runs (the `xdl_storage_runs` input).
+    pub fn run_count(&self) -> usize {
+        lock_or_recover(self.store.read()).dedup.run_count()
     }
 
     /// Copy of the immutable prefix `[0, watermark)`, in insertion order.
@@ -248,6 +326,50 @@ impl SharedDatabase {
             }
         }
         Ok(fresh)
+    }
+
+    /// Bulk-load one predicate's rows (the manifest-recovery fast path):
+    /// register once, dedup by sort instead of per-row hashing, seal the
+    /// batch into sorted runs, and bump the version by the new-row count.
+    pub fn load_batch(
+        &self,
+        pred: &PredRef,
+        arity: usize,
+        rows: Vec<Box<[Value]>>,
+    ) -> Result<usize, SharedDbError> {
+        let rel = self.register(pred, arity)?;
+        let fresh = rel.load_batch(rows).map_err(|e| match e {
+            SharedDbError::Arity {
+                expected, found, ..
+            } => SharedDbError::Arity {
+                pred: pred.to_string(),
+                expected,
+                found,
+            },
+        })?;
+        if fresh > 0 {
+            self.version.fetch_add(fresh as u64, Ordering::AcqRel);
+        }
+        Ok(fresh)
+    }
+
+    /// Total sealed dedup runs across relations (the `xdl_storage_runs`
+    /// gauge input for the shared EDB).
+    pub fn storage_runs(&self) -> usize {
+        let g = lock_or_recover(self.rels.read());
+        g.values().map(|r| r.run_count()).sum()
+    }
+
+    /// Seal every relation's dedup tail and consolidate runs. Called by
+    /// the server's maintenance thread between deferred drains.
+    pub fn seal_storage(&self) {
+        let rels: Vec<Arc<SharedRelation>> = {
+            let g = lock_or_recover(self.rels.read());
+            g.values().map(Arc::clone).collect()
+        };
+        for rel in rels {
+            rel.seal();
+        }
     }
 
     /// Total committed facts.
@@ -540,6 +662,37 @@ mod tests {
         assert!(late.rows_from(&PredRef::new("absent"), 0).is_empty());
         // The early snapshot never exposes the later rows.
         assert!(early.rows_from(&p, 3).is_empty());
+    }
+
+    #[test]
+    fn load_batch_dedups_seals_and_matches_per_row_inserts() {
+        let bulk = SharedDatabase::new();
+        let slow = SharedDatabase::new();
+        let p = PredRef::new("p");
+        // A batch with internal duplicates, in a deliberate order.
+        let batch: Vec<Box<[Value]>> = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+            .iter()
+            .map(|&v| t(&[v]).into_boxed_slice())
+            .collect();
+        let fresh = bulk.load_batch(&p, 1, batch.clone()).unwrap();
+        for row in &batch {
+            slow.insert(&p, row).unwrap();
+        }
+        assert_eq!(fresh, 7);
+        assert_eq!(bulk.version(), slow.version());
+        assert_eq!(bulk.snapshot().rows(&p), slow.snapshot().rows(&p));
+        assert!(bulk.storage_runs() >= 1, "bulk load sealed no runs");
+        // A second batch over a non-empty store: per-row fallback, same
+        // dedup semantics against already-stored rows.
+        let fresh = bulk.load_batch(&p, 1, batch).unwrap();
+        assert_eq!(fresh, 0);
+        // Arity clashes are reported in-protocol, never panics.
+        let e = bulk.load_batch(&p, 2, vec![]).unwrap_err();
+        assert!(matches!(e, SharedDbError::Arity { .. }));
+        // Sealing on demand keeps membership intact.
+        bulk.seal_storage();
+        assert!(!bulk.insert(&p, &t(&[3])).unwrap());
+        assert!(bulk.insert(&p, &t(&[42])).unwrap());
     }
 
     #[test]

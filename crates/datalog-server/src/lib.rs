@@ -46,4 +46,4 @@ pub use fault::FaultPlan;
 pub use metrics::ServerMetrics;
 pub use protocol::{Consistency, ErrCode, Request, Response, PROTOCOL_VERSION};
 pub use server::{render_answers, Server, ServerConfig, ServerState};
-pub use wal::{FsyncPolicy, Recovery, Wal, WalOp};
+pub use wal::{FsyncPolicy, Recovery, RunBatch, Wal, WalOp};

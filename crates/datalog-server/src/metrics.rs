@@ -115,6 +115,24 @@ pub struct ServerMetrics {
     /// fresh serves record 0).
     pub staleness_bound_seconds: Arc<Histogram>,
 
+    /// Bloom-gated index probes against sealed storage runs (engine-wide,
+    /// delta-synced from the process counters at scrape time).
+    pub bloom_probes: Arc<Counter>,
+    /// Probes short-circuited by a run's bloom filter (no binary search).
+    pub bloom_skips: Arc<Counter>,
+    /// Sorted-run consolidations (geometric merges at seal points).
+    pub storage_consolidations: Arc<Counter>,
+    /// Index structures rebuilt from sealed runs by late `ensure_index`.
+    pub index_rebuilds: Arc<Counter>,
+    /// Consolidation (run-merge) duration.
+    pub consolidation_seconds: Arc<Histogram>,
+    /// Sealed storage runs across the shared EDB and resident forms
+    /// (sampled at scrape time).
+    pub storage_runs: Arc<Gauge>,
+    /// Last-seen values of the process-wide storage counters, so scrapes
+    /// publish deltas exactly once even when concurrent.
+    seen_storage: [AtomicU64; 4],
+
     /// WAL append latency (write + policy fsync).
     pub wal_append_seconds: Arc<Histogram>,
     /// WAL fsync latency alone.
@@ -282,6 +300,39 @@ impl ServerMetrics {
                  fresh serves).",
                 &[],
             ),
+            bloom_probes: registry.counter(
+                "xdl_bloom_probes_total",
+                "Bloom-gated index probes against sealed storage runs.",
+                &[],
+            ),
+            bloom_skips: registry.counter(
+                "xdl_bloom_skips_total",
+                "Run probes short-circuited by the bloom filter.",
+                &[],
+            ),
+            storage_consolidations: registry.counter(
+                "xdl_storage_consolidations_total",
+                "Sorted-run consolidations (geometric merges).",
+                &[],
+            ),
+            index_rebuilds: registry.counter(
+                "xdl_index_rebuilds_total",
+                "Index structures rebuilt from sealed runs by late \
+                 ensure_index.",
+                &[],
+            ),
+            consolidation_seconds: registry.histogram(
+                "xdl_storage_consolidation_seconds",
+                "Sorted-run consolidation (merge) duration.",
+                &[],
+            ),
+            storage_runs: registry.gauge(
+                "xdl_storage_runs",
+                "Sealed storage runs across the shared EDB and resident \
+                 forms.",
+                &[],
+            ),
+            seen_storage: Default::default(),
             wal_append_seconds: registry.histogram(
                 "xdl_wal_append_seconds",
                 "WAL append latency (record write plus policy fsync).",
@@ -355,6 +406,29 @@ impl ServerMetrics {
         self.request_ids.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Pull the engine's process-wide storage counters into the registry
+    /// (publishing only the delta since the last sync, so concurrent
+    /// scrapes never double-count), drain pending consolidation timings
+    /// into the histogram, and sample the run-count gauge. Called by
+    /// `STATS` and `METRICS` before rendering.
+    pub fn sync_storage(&self, runs: u64) {
+        let c = datalog_engine::storage_counters();
+        let observed = [
+            (c.bloom_probes, &self.bloom_probes),
+            (c.bloom_skips, &self.bloom_skips),
+            (c.consolidations, &self.storage_consolidations),
+            (c.index_rebuilds, &self.index_rebuilds),
+        ];
+        for (i, (cur, counter)) in observed.into_iter().enumerate() {
+            let prev = self.seen_storage[i].swap(cur, Ordering::Relaxed);
+            counter.add(cur.saturating_sub(prev));
+        }
+        for ns in datalog_engine::take_consolidation_ns() {
+            self.consolidation_seconds.record(ns);
+        }
+        self.storage_runs.set(runs as i64);
+    }
+
     /// Prometheus text exposition of the whole registry.
     pub fn render_prometheus(&self) -> String {
         self.registry.render_prometheus()
@@ -411,6 +485,12 @@ mod tests {
             "xdl_stale_refusals_total",
             "xdl_background_drains_total",
             "xdl_staleness_bound_seconds",
+            "xdl_bloom_probes_total",
+            "xdl_bloom_skips_total",
+            "xdl_storage_consolidations_total",
+            "xdl_index_rebuilds_total",
+            "xdl_storage_consolidation_seconds",
+            "xdl_storage_runs",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {family}")),
@@ -418,6 +498,24 @@ mod tests {
             );
         }
         assert!(text.contains("xdl_requests_total{verb=\"QUERY\"} 1"));
+    }
+
+    #[test]
+    fn storage_sync_is_delta_once_and_samples_the_gauge() {
+        // The engine counters are process-wide (other tests in this
+        // process may bump them concurrently), so assert the delta
+        // discipline, not exact values: repeated syncs never push the
+        // registry counter past the global it mirrors.
+        let m = ServerMetrics::new(true);
+        m.sync_storage(3);
+        assert_eq!(m.storage_runs.get(), 3);
+        m.sync_storage(5);
+        m.sync_storage(5);
+        assert_eq!(m.storage_runs.get(), 5);
+        let global = datalog_engine::storage_counters();
+        assert!(m.bloom_probes.get() <= global.bloom_probes);
+        assert!(m.bloom_skips.get() <= global.bloom_skips);
+        assert!(m.index_rebuilds.get() <= global.index_rebuilds);
     }
 
     #[test]

@@ -103,7 +103,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use datalog_adorn::query_adornment;
-use datalog_ast::{parse_atom, parse_program, parse_rule, Atom, PredRef, Program, Query, Rule};
+use datalog_ast::{
+    parse_atom, parse_program, parse_rule, Atom, PredRef, Program, Query, Rule, Value,
+};
 use datalog_engine::incremental::{DeltaLimits, Fact as DeltaFact, ResidentEval};
 use datalog_engine::{
     query_answers_full, AnswerSet, CancelToken, DbSnapshot, EngineError, EvalOptions, EvalStats,
@@ -116,7 +118,7 @@ use crate::cache::{CachedAnswers, FormKey, PreparedCache, ResidentForm};
 use crate::fault::FaultPlan;
 use crate::metrics::{verb_index, Phase, ServerMetrics};
 use crate::protocol::{Consistency, ErrCode, Request, Response, PROTOCOL_VERSION};
-use crate::wal::{FsyncPolicy, Wal, WalOp};
+use crate::wal::{FsyncPolicy, RunBatch, Wal, WalOp};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -477,7 +479,7 @@ impl ServerState {
             cfg.max_conns
         };
         if let Some(dir) = &cfg.wal_dir {
-            let (mut wal, recovery) =
+            let (mut wal, mut recovery) =
                 Wal::open(dir, cfg.fsync, cfg.compact_every, Arc::clone(&cfg.fault))?;
             wal.set_metrics(
                 Arc::clone(&state.metrics.wal_append_seconds),
@@ -485,6 +487,24 @@ impl ServerState {
             );
             let mut applied = 0u64;
             let mut skipped = 0u64;
+            // Manifest recovery: rules first (so log-tail facts meet the
+            // same IDB checks), then each run file bulk-loaded — one
+            // order-preserving sort-dedup per batch instead of per-row
+            // parsing and hashing — then the log tail replayed on top.
+            for rule in &recovery.rules {
+                match state.apply_op(&WalOp::Rule(rule.clone())) {
+                    Ok(()) => applied += 1,
+                    Err(_) => skipped += 1,
+                }
+            }
+            let mut batch_rows = 0u64;
+            for batch in std::mem::take(&mut recovery.batches) {
+                let pred = PredRef::new(&batch.pred);
+                match state.db.load_batch(&pred, batch.arity, batch.rows) {
+                    Ok(fresh) => batch_rows += fresh as u64,
+                    Err(_) => skipped += 1,
+                }
+            }
             for op in &recovery.ops {
                 match state.apply_op(op) {
                     Ok(()) => applied += 1,
@@ -494,6 +514,9 @@ impl ServerState {
             state.recovery = Some(
                 Json::obj()
                     .with("from_snapshot", recovery.from_snapshot)
+                    .with("run_files", recovery.run_files)
+                    .with("run_rows", recovery.run_rows)
+                    .with("batch_rows", batch_rows)
                     .with("from_log", recovery.from_log)
                     .with("applied", applied)
                     .with("skipped", skipped)
@@ -664,12 +687,12 @@ impl ServerState {
             }
         }
         let _gate = write_lock(&self.ingest_gate);
-        let ops = self.state_ops();
+        let (rules, batches) = self.state_batches();
         let mut guard = lock(&self.wal);
         if let Some(wal) = guard.as_mut() {
             if wal.wants_compaction() {
                 let t0 = Instant::now();
-                if wal.compact(ops).is_err() {
+                if wal.compact(&rules, &batches).is_err() {
                     // The log stays; durability is unaffected, only restart
                     // cost. Count it and move on.
                     self.metrics.wal_errors.inc();
@@ -682,21 +705,34 @@ impl ServerState {
         }
     }
 
-    /// The full current state rendered as WAL operations (rules first, so
-    /// replayed facts meet the same IDB checks they passed at ingest).
-    fn state_ops(&self) -> Vec<WalOp> {
-        let mut ops: Vec<WalOp> = read_lock(&self.rules)
+    /// The full current state as manifest material: rule texts plus one
+    /// [`RunBatch`] per stored predicate (rows in ingestion order, so a
+    /// restart rebuilds identical row ids). Rules come first so replayed
+    /// facts meet the same IDB checks they passed at ingest.
+    fn state_batches(&self) -> (Vec<String>, Vec<RunBatch>) {
+        let rules: Vec<String> = read_lock(&self.rules)
             .0
             .iter()
-            .map(|r| WalOp::Rule(r.to_string()))
+            .map(|r| r.to_string())
             .collect();
         let snapshot = self.db.snapshot();
+        let mut batches = Vec::new();
         for pred in snapshot.preds() {
-            for row in snapshot.rows(&pred) {
-                ops.push(WalOp::Fact(Atom::fact(pred.clone(), row).to_string()));
+            let rows: Vec<Box<[Value]>> = snapshot
+                .rows(&pred)
+                .into_iter()
+                .map(Vec::into_boxed_slice)
+                .collect();
+            if rows.is_empty() {
+                continue;
             }
+            batches.push(RunBatch {
+                pred: pred.to_string(),
+                arity: rows[0].len(),
+                rows,
+            });
         }
-        ops
+        (rules, batches)
     }
 
     /// Propagate every shared-store row past the form's applied watermarks
@@ -1010,6 +1046,15 @@ impl ServerState {
         };
         if self.drain_one(key, &form, &support, &snapshot, t_snap) {
             self.metrics.background_drains.inc();
+            // The maintenance thread owns the slack after a deferred
+            // drain: seal the resident's freshly-applied tail into
+            // bloom-gated sorted runs (and consolidate) off the query
+            // path. Skipped under contention — the next seal point
+            // (freeze barrier or threshold) picks it up.
+            if let Ok(mut g) = form.try_lock() {
+                g.eval.seal_storage();
+            }
+            self.db.seal_storage();
         }
     }
 
@@ -2167,7 +2212,29 @@ impl ServerState {
             .with("prepared_report", prepared.report.to_json())
     }
 
+    /// Total sealed storage runs across the shared EDB and every resident
+    /// form's saturated database. Residents are sampled with `try_lock` —
+    /// a form mid-drain is skipped rather than blocking the scrape (the
+    /// gauge is a point-in-time sample either way).
+    fn storage_run_total(&self) -> u64 {
+        let mut runs = self.db.storage_runs() as u64;
+        let residents: Vec<Arc<Mutex<ResidentForm>>> = {
+            let mut cache = lock(&self.cache);
+            cache
+                .iter_mut()
+                .filter_map(|(_, e)| e.resident.as_ref().map(Arc::clone))
+                .collect()
+        };
+        for form in residents {
+            if let Ok(g) = form.try_lock() {
+                runs += g.eval.storage_runs() as u64;
+            }
+        }
+        runs
+    }
+
     fn handle_stats(&self) -> Response {
+        self.metrics.sync_storage(self.storage_run_total());
         let (rule_count, fingerprint) = {
             let g = read_lock(&self.rules);
             (g.0.len(), g.1)
@@ -2222,6 +2289,15 @@ impl ServerState {
             .with("panics_recovered", m.panics_recovered.get())
             .with("wal_errors", m.wal_errors.get())
             .with("faults_injected", self.fault.fired())
+            .with(
+                "storage",
+                Json::obj()
+                    .with("runs", m.storage_runs.get() as u64)
+                    .with("bloom_probes", m.bloom_probes.get())
+                    .with("bloom_skips", m.bloom_skips.get())
+                    .with("consolidations", m.storage_consolidations.get())
+                    .with("index_rebuilds", m.index_rebuilds.get()),
+            )
             .with("wal", wal_doc)
             .with("recovery", self.recovery.clone().unwrap_or(Json::Null))
             .with("limit_events", Json::Arr(lock(&self.limit_events).clone()));
@@ -2234,6 +2310,7 @@ impl ServerState {
     /// the only reader, so paying at scrape time keeps request handling
     /// free of gauge traffic.
     fn handle_metrics(&self, json: bool) -> Response {
+        self.metrics.sync_storage(self.storage_run_total());
         self.metrics
             .inflight
             .set(self.inflight.load(Ordering::Acquire) as i64);

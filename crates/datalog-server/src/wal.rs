@@ -28,14 +28,23 @@
 //! intact one and cuts the file there, exactly the prefix that could have
 //! been acknowledged.
 //!
-//! ## Snapshot + compaction
+//! ## Snapshot + compaction: the batch-manifest swap
 //!
 //! An unbounded log makes restart cost proportional to history. After
-//! [`Wal::compact_every`] appended records, the server writes the full
-//! current state (rules, then facts) as `snapshot.dat` in the same record
-//! format — via a temp file, fsync, atomic rename — and truncates
-//! `wal.log`. Startup loads the snapshot first, then replays the log tail
-//! on top.
+//! [`Wal::compact_every`] appended records, the server snapshots the full
+//! current state and truncates `wal.log`. The snapshot is **not** a replay
+//! log: it is a text manifest (`snapshot.manifest`) naming one binary run
+//! file per predicate (`run-<gen>-<i>.xrs`, typed values, CRC-checked via
+//! the manifest) plus the rule sources. Each run file is written to a temp
+//! name, fsynced, and renamed; the manifest rename is the single atomic
+//! commit point. Recovery bulk-loads each run file as a typed row batch —
+//! one sort-based dedup + seal per relation
+//! ([`datalog_engine::SharedDatabase::load_batch`]) instead of re-parsing
+//! and re-hashing every fact's text — then replays the log tail on top.
+//! Run files from superseded generations are garbage-collected after the
+//! swap. The pre-manifest format (`snapshot.dat`, record-framed text ops)
+//! is still read on startup so existing WAL directories upgrade in place
+//! at their next compaction.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -43,6 +52,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use datalog_ast::Value;
 use datalog_trace::Histogram;
 
 use crate::fault::FaultPlan;
@@ -141,13 +151,35 @@ impl WalOp {
     }
 }
 
+/// One predicate's snapshot rows, recovered from (or destined for) a
+/// binary run file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunBatch {
+    /// Rendered predicate name.
+    pub pred: String,
+    /// Tuple arity.
+    pub arity: usize,
+    /// Rows in their original ingestion order (ids must survive recovery).
+    pub rows: Vec<Box<[Value]>>,
+}
+
 /// What [`Wal::open`] recovered from disk.
 #[derive(Debug, Default)]
 pub struct Recovery {
-    /// Operations to apply, snapshot first, then the log tail, in order.
+    /// Text operations to apply *after* the batches: legacy `snapshot.dat`
+    /// records (if no manifest exists), then the log tail, in order.
     pub ops: Vec<WalOp>,
-    /// Records recovered from `snapshot.dat`.
+    /// Rule sources from the manifest (applied before any facts).
+    pub rules: Vec<String>,
+    /// Typed row batches from the manifest's run files, bulk-loadable
+    /// without re-parsing any fact text.
+    pub batches: Vec<RunBatch>,
+    /// Records recovered from a legacy `snapshot.dat`.
     pub from_snapshot: u64,
+    /// Run files loaded from the manifest.
+    pub run_files: u64,
+    /// Rows loaded across all run files.
+    pub run_rows: u64,
     /// Records recovered from `wal.log`.
     pub from_log: u64,
     /// Bytes cut off the log's torn tail (0 on a clean log).
@@ -172,6 +204,9 @@ pub struct Wal {
     pub appended: u64,
     /// Snapshots written over this process's lifetime.
     pub snapshots: u64,
+    /// Generation counter for run-file names; new generations never
+    /// collide with files the live manifest still references.
+    run_gen: u64,
     /// Telemetry: append latency (write + policy fsync), when attached.
     h_append: Option<Arc<Histogram>>,
     /// Telemetry: fsync latency alone, when attached.
@@ -185,6 +220,78 @@ fn log_path(dir: &Path) -> PathBuf {
 fn snapshot_path(dir: &Path) -> PathBuf {
     dir.join("snapshot.dat")
 }
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.manifest")
+}
+
+/// Manifest header line; bump the version on any format change.
+const MANIFEST_HEADER: &str = "xdl-snapshot-manifest v1";
+/// Run-file magic; the row payload follows immediately.
+const RUN_MAGIC: &[u8; 6] = b"XRUN1\n";
+
+/// Encode one batch as a run file: magic, then per value a tag byte —
+/// `0` + 8-byte LE integer, or `1` + u32 LE length + UTF-8 symbol text.
+/// Symbols must be serialized by name: their ids are process-interned.
+fn encode_run_file(batch: &RunBatch) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + batch.rows.len() * batch.arity * 9);
+    buf.extend_from_slice(RUN_MAGIC);
+    for row in &batch.rows {
+        for v in row.iter() {
+            match v {
+                Value::Int(i) => {
+                    buf.push(0);
+                    buf.extend_from_slice(&i.to_le_bytes());
+                }
+                Value::Sym(s) => {
+                    let text = s.as_str();
+                    buf.push(1);
+                    buf.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(text.as_bytes());
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Decode a run file written by [`encode_run_file`]. `None` on any
+/// structural mismatch (wrong magic, short read, trailing bytes, bad
+/// UTF-8) — the caller treats the file as lost and salvages the rest.
+fn decode_run_file(bytes: &[u8], arity: usize, rows: usize) -> Option<Vec<RowBuf>> {
+    let mut pos = RUN_MAGIC.len();
+    if bytes.get(..pos)? != RUN_MAGIC {
+        return None;
+    }
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let tag = *bytes.get(pos)?;
+            pos += 1;
+            match tag {
+                0 => {
+                    let raw: [u8; 8] = bytes.get(pos..pos + 8)?.try_into().ok()?;
+                    pos += 8;
+                    row.push(Value::int(i64::from_le_bytes(raw)));
+                }
+                1 => {
+                    let raw: [u8; 4] = bytes.get(pos..pos + 4)?.try_into().ok()?;
+                    pos += 4;
+                    let len = u32::from_le_bytes(raw) as usize;
+                    let text = std::str::from_utf8(bytes.get(pos..pos + len)?).ok()?;
+                    pos += len;
+                    row.push(Value::sym(text));
+                }
+                _ => return None,
+            }
+        }
+        out.push(row.into_boxed_slice());
+    }
+    (pos == bytes.len()).then_some(out)
+}
+
+type RowBuf = Box<[Value]>;
 
 /// Scan one record stream. Returns the decoded ops and the byte offset
 /// one past the last intact record (everything after is a torn tail).
@@ -234,11 +341,52 @@ impl Wal {
         std::fs::create_dir_all(dir)?;
         let mut recovery = Recovery::default();
 
-        if let Ok(bytes) = std::fs::read(snapshot_path(dir)) {
+        if let Ok(text) = std::fs::read_to_string(manifest_path(dir)) {
+            // Manifest recovery: typed run-file batches, no text replay.
+            // A missing or corrupt run file is salvaged around (the
+            // manifest rename was atomic; run files were fsynced before
+            // it), mirroring the legacy intact-prefix policy.
+            let mut lines = text.lines();
+            if lines.next() == Some(MANIFEST_HEADER) {
+                for line in lines {
+                    if let Some(rule) = line.strip_prefix("rule ") {
+                        recovery.rules.push(rule.to_string());
+                    } else if let Some(rest) = line.strip_prefix("run ") {
+                        let mut it = rest.splitn(5, ' ');
+                        let (Some(file), Some(arity), Some(rows), Some(crc), Some(pred)) = (
+                            it.next(),
+                            it.next().and_then(|w| w.parse::<usize>().ok()),
+                            it.next().and_then(|w| w.parse::<usize>().ok()),
+                            it.next().and_then(|w| w.parse::<u32>().ok()),
+                            it.next(),
+                        ) else {
+                            continue;
+                        };
+                        let Ok(bytes) = std::fs::read(dir.join(file)) else {
+                            continue;
+                        };
+                        if crc32(&bytes) != crc {
+                            continue;
+                        }
+                        let Some(decoded) = decode_run_file(&bytes, arity, rows) else {
+                            continue;
+                        };
+                        recovery.run_files += 1;
+                        recovery.run_rows += decoded.len() as u64;
+                        recovery.batches.push(RunBatch {
+                            pred: pred.to_string(),
+                            arity,
+                            rows: decoded,
+                        });
+                    }
+                }
+            }
+        } else if let Ok(bytes) = std::fs::read(snapshot_path(dir)) {
+            // Legacy record-framed snapshot: written atomically (temp +
+            // rename); a torn one means rename never happened on this
+            // filesystem's watch — still, salvage the intact prefix
+            // rather than refuse to start.
             let (ops, good) = scan_records(&bytes);
-            // A snapshot is written atomically (temp + rename); a torn one
-            // means rename never happened on this filesystem's watch —
-            // still, salvage the intact prefix rather than refuse to start.
             recovery.from_snapshot = ops.len() as u64;
             recovery.ops.extend(ops);
             let _ = good;
@@ -266,6 +414,23 @@ impl Wal {
         let mut file = file;
         file.seek(SeekFrom::End(0))?;
 
+        // Never reuse a generation some existing run file already claims
+        // (the live manifest may reference it).
+        let mut run_gen = 0u64;
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if let Some(gen) = name
+                    .to_str()
+                    .and_then(|n| n.strip_prefix("run-"))
+                    .and_then(|n| n.split('-').next())
+                    .and_then(|g| g.parse::<u64>().ok())
+                {
+                    run_gen = run_gen.max(gen);
+                }
+            }
+        }
+
         Ok((
             Wal {
                 dir: dir.to_path_buf(),
@@ -277,6 +442,7 @@ impl Wal {
                 compact_every,
                 appended: 0,
                 snapshots: 0,
+                run_gen,
                 h_append: None,
                 h_fsync: None,
             },
@@ -342,30 +508,74 @@ impl Wal {
         self.since_snapshot
     }
 
-    /// Write the full state as a fresh snapshot (temp file, fsync, atomic
-    /// rename), then truncate the log. `ops` must render the complete
-    /// current state: rules first, then facts.
-    pub fn compact(&mut self, ops: impl IntoIterator<Item = WalOp>) -> std::io::Result<()> {
+    /// Write the full state as a fresh batch-manifest snapshot, then
+    /// truncate the log. `rules` are the complete current rule sources;
+    /// `batches` the complete current facts, one batch per predicate in
+    /// ingestion order. Each run file is written under a fresh generation,
+    /// fsynced, and renamed into place; the manifest rename is the commit
+    /// point; superseded run files (and any legacy `snapshot.dat`) are
+    /// garbage-collected afterwards, best-effort.
+    pub fn compact(&mut self, rules: &[String], batches: &[RunBatch]) -> std::io::Result<()> {
+        self.run_gen += 1;
+        let gen = self.run_gen;
+        let mut manifest = String::from(MANIFEST_HEADER);
+        manifest.push('\n');
+        for rule in rules {
+            manifest.push_str("rule ");
+            manifest.push_str(rule);
+            manifest.push('\n');
+        }
+        let mut live: Vec<String> = Vec::with_capacity(batches.len());
+        for (i, batch) in batches.iter().enumerate() {
+            let name = format!("run-{gen}-{i}.xrs");
+            let bytes = encode_run_file(batch);
+            let crc = crc32(&bytes);
+            let tmp = self.dir.join(format!("{name}.tmp"));
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                if self.fault.fsync_should_fail() {
+                    return Err(std::io::Error::other("injected fsync failure"));
+                }
+                f.sync_data()?;
+            }
+            std::fs::rename(&tmp, self.dir.join(&name))?;
+            manifest.push_str(&format!(
+                "run {name} {} {} {crc} {}\n",
+                batch.arity,
+                batch.rows.len(),
+                batch.pred
+            ));
+            live.push(name);
+        }
         let tmp = self.dir.join("snapshot.tmp");
         {
             let mut f = File::create(&tmp)?;
-            let mut buf = Vec::new();
-            for op in ops {
-                buf.extend_from_slice(&encode_record(&op));
-            }
-            f.write_all(&buf)?;
+            f.write_all(manifest.as_bytes())?;
             if self.fault.fsync_should_fail() {
                 return Err(std::io::Error::other("injected fsync failure"));
             }
             f.sync_data()?;
         }
-        std::fs::rename(&tmp, snapshot_path(&self.dir))?;
+        // The swap: after this rename, recovery reads the new manifest.
+        std::fs::rename(&tmp, manifest_path(&self.dir))?;
         // Only after the snapshot is durably in place may the log shrink.
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.sync()?;
         self.since_snapshot = 0;
         self.snapshots += 1;
+        // GC: the legacy snapshot and run files no manifest references.
+        let _ = std::fs::remove_file(snapshot_path(&self.dir));
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.starts_with("run-") && !live.iter().any(|l| l == name) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
         Ok(())
     }
 
@@ -501,8 +711,16 @@ mod tests {
         wal.append(&WalOp::Fact("p(3)".into())).unwrap();
     }
 
+    fn batch(pred: &str, arity: usize, rows: Vec<Vec<Value>>) -> RunBatch {
+        RunBatch {
+            pred: pred.to_string(),
+            arity,
+            rows: rows.into_iter().map(Vec::into_boxed_slice).collect(),
+        }
+    }
+
     #[test]
-    fn compaction_moves_state_to_snapshot_and_truncates_log() {
+    fn compaction_swaps_in_a_manifest_and_truncates_log() {
         let dir = TempDir::new("compact");
         {
             let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 3, plan()).unwrap();
@@ -510,11 +728,14 @@ mod tests {
             wal.append(&WalOp::Fact("p(1)".into())).unwrap();
             wal.append(&WalOp::Fact("p(2)".into())).unwrap();
             assert!(wal.wants_compaction());
-            wal.compact(vec![
-                WalOp::Rule("a(X) :- p(X).".into()),
-                WalOp::Fact("p(1)".into()),
-                WalOp::Fact("p(2)".into()),
-            ])
+            wal.compact(
+                &["a(X) :- p(X).".to_string()],
+                &[batch(
+                    "p",
+                    1,
+                    vec![vec![Value::int(1)], vec![Value::int(2)]],
+                )],
+            )
             .unwrap();
             assert!(!wal.wants_compaction());
             assert_eq!(std::fs::metadata(log_path(&dir.0)).unwrap().len(), 0);
@@ -522,13 +743,104 @@ mod tests {
             wal.append(&WalOp::Fact("p(3)".into())).unwrap();
         }
         let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 3, plan()).unwrap();
-        assert_eq!(rec.from_snapshot, 3);
+        assert_eq!(rec.rules, vec!["a(X) :- p(X).".to_string()]);
+        assert_eq!(rec.run_files, 1);
+        assert_eq!(rec.run_rows, 2);
+        assert_eq!(rec.batches[0].rows[1], vec![Value::int(2)].into());
         assert_eq!(rec.from_log, 1);
         assert_eq!(
             rec.ops.last(),
             Some(&WalOp::Fact("p(3)".into())),
-            "log tail replays after the snapshot"
+            "log tail replays after (on top of) the batches"
         );
+    }
+
+    #[test]
+    fn run_files_roundtrip_typed_values_and_gc_old_generations() {
+        let dir = TempDir::new("runfiles");
+        let rows = vec![
+            vec![Value::sym("alice"), Value::int(-7)],
+            vec![
+                Value::sym("bob with spaces? no: üñïçödé"),
+                Value::int(i64::MAX),
+            ],
+        ];
+        {
+            let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+            wal.compact(&[], &[batch("edge", 2, rows.clone())]).unwrap();
+            // A second compaction supersedes the first generation.
+            wal.compact(&[], &[batch("edge", 2, rows.clone())]).unwrap();
+        }
+        let runs: Vec<String> = std::fs::read_dir(&dir.0)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("run-"))
+            .collect();
+        assert_eq!(runs.len(), 1, "old generations GCed: {runs:?}");
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0].pred, "edge");
+        let got: Vec<Vec<Value>> = rec.batches[0].rows.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(got, rows, "symbols and ints roundtrip by value");
+    }
+
+    #[test]
+    fn corrupt_run_file_is_salvaged_around() {
+        let dir = TempDir::new("runcorrupt");
+        {
+            let (mut wal, _) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+            wal.compact(
+                &[],
+                &[
+                    batch("p", 1, vec![vec![Value::int(1)]]),
+                    batch("q", 1, vec![vec![Value::int(2)]]),
+                ],
+            )
+            .unwrap();
+        }
+        // Flip a byte in q's run file (the second one named in the manifest).
+        let manifest = std::fs::read_to_string(manifest_path(&dir.0)).unwrap();
+        let qfile = manifest
+            .lines()
+            .filter_map(|l| l.strip_prefix("run "))
+            .map(|l| l.split(' ').next().unwrap())
+            .nth(1)
+            .unwrap();
+        let mut bytes = std::fs::read(dir.0.join(qfile)).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xFF;
+        std::fs::write(dir.0.join(qfile), &bytes).unwrap();
+        let (_, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.run_files, 1, "intact batch survives");
+        assert_eq!(rec.batches[0].pred, "p");
+    }
+
+    #[test]
+    fn legacy_snapshot_dat_is_still_read() {
+        let dir = TempDir::new("legacy");
+        // Hand-write a pre-manifest snapshot.dat in the record format.
+        let ops = vec![
+            WalOp::Rule("a(X) :- p(X).".into()),
+            WalOp::Fact("p(1)".into()),
+        ];
+        let mut buf = Vec::new();
+        for op in &ops {
+            buf.extend_from_slice(&encode_record(op));
+        }
+        std::fs::write(snapshot_path(&dir.0), &buf).unwrap();
+        let (mut wal, rec) = Wal::open(&dir.0, FsyncPolicy::Always, 0, plan()).unwrap();
+        assert_eq!(rec.from_snapshot, 2);
+        assert_eq!(rec.ops, ops);
+        assert!(rec.batches.is_empty());
+        // The next compaction upgrades in place: manifest written, legacy
+        // snapshot removed.
+        wal.compact(
+            &["a(X) :- p(X).".to_string()],
+            &[batch("p", 1, vec![vec![Value::int(1)]])],
+        )
+        .unwrap();
+        assert!(manifest_path(&dir.0).exists());
+        assert!(!snapshot_path(&dir.0).exists());
     }
 
     #[test]

@@ -396,6 +396,12 @@ fn metrics_scrape_is_valid_prometheus_and_covers_the_surface() {
         "xdl_eval_merge_seconds",
         "xdl_inflight_queries",
         "xdl_facts",
+        "xdl_storage_runs",
+        "xdl_bloom_probes_total",
+        "xdl_bloom_skips_total",
+        "xdl_storage_consolidations_total",
+        "xdl_storage_consolidation_seconds",
+        "xdl_index_rebuilds_total",
     ] {
         assert!(
             families.contains_key(required),
@@ -575,6 +581,47 @@ fn bounded_staleness_surface_is_scraped_and_counted() {
     assert!(stats.contains("\"resident_rebuilds\":"), "{stats}");
     assert!(stats.contains("\"resident_poisonings\":"), "{stats}");
     assert!(stats.contains("\"background_drains\":"), "{stats}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn storage_surface_is_scraped_and_counted() {
+    let dir = TempDir::new("metrics-storage");
+    let cfg = ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    };
+    let (server, mut c) = server_with_workload(&dir, cfg);
+
+    // The engine storage counters are process-wide (other tests in this
+    // binary also evaluate), so assert reachability and the delta-sync
+    // discipline rather than exact values: this server's own queries
+    // probed bloom-gated runs, so after a scrape the synced counters are
+    // non-zero and never exceed the globals they mirror.
+    let families = parse_prometheus(&c.metrics(false).unwrap().payload_text());
+    let probes = families["xdl_bloom_probes_total"].samples[0].value;
+    assert!(probes > 0.0, "queries probe sealed runs");
+    let global = datalog_engine::storage_counters();
+    assert!(
+        probes <= global.bloom_probes as f64,
+        "delta-sync never overshoots"
+    );
+    assert!(families["xdl_bloom_skips_total"].samples[0].value <= global.bloom_skips as f64);
+
+    // STATS exposes the same surface as a nested object.
+    let stats = c.stats().unwrap().payload_text();
+    for key in [
+        "\"storage\":{",
+        "\"runs\":",
+        "\"bloom_probes\":",
+        "\"bloom_skips\":",
+        "\"consolidations\":",
+        "\"index_rebuilds\":",
+    ] {
+        assert!(stats.contains(key), "{key} missing from STATS: {stats}");
+    }
 
     server.shutdown();
     server.join();

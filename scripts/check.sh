@@ -306,4 +306,85 @@ wait "$serve_pid"
 serve_pid=""
 echo "check.sh: crash-recovery smoke ok"
 
+# Manifest-recovery smoke: same SIGKILL discipline, but with compaction
+# enabled (--compact-every 4) so the surviving WAL directory holds a
+# run-file manifest instead of a pure text log. The restart must load the
+# run batches (a `recovered` line with nonzero run_files) and answer
+# byte-identically.
+./target/release/xdl serve --port 0 --threads 2 --wal "$smoke_dir/wal-man" \
+    --compact-every 4 > "$smoke_dir/serve-man.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve-man.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: manifest WAL server did not announce its address" >&2
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --load "$smoke_dir/tc.dl" \
+    --fact 'p(3, 4).' --fact 'p(4, 5).' --fact 'p(5, 6).' '?- a(X, _).' \
+    > "$smoke_dir/before-man.out"
+if [ ! -f "$smoke_dir/wal-man/snapshot.manifest" ]; then
+    echo "check.sh: compaction left no snapshot.manifest" >&2
+    ls "$smoke_dir/wal-man" >&2 || true
+    exit 1
+fi
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+./target/release/xdl serve --port 0 --threads 2 --wal "$smoke_dir/wal-man" \
+    --compact-every 4 > "$smoke_dir/serve-man2.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve-man2.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "check.sh: restarted manifest server did not announce its address" >&2
+    exit 1
+fi
+if ! grep -q '^recovered ' "$smoke_dir/serve-man2.out" \
+    || ! grep -Eq '"run_files":[1-9]' "$smoke_dir/serve-man2.out"; then
+    echo "check.sh: restart did not recover from run files:" >&2
+    cat "$smoke_dir/serve-man2.out" >&2
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" '?- a(X, _).' \
+    > "$smoke_dir/after-man.out"
+if ! cmp -s "$smoke_dir/before-man.out" "$smoke_dir/after-man.out"; then
+    echo "check.sh: answers differ across SIGKILL + manifest recovery:" >&2
+    diff "$smoke_dir/before-man.out" "$smoke_dir/after-man.out" >&2 || true
+    exit 1
+fi
+./target/release/xdl query --connect "$addr" --shutdown
+wait "$serve_pid"
+serve_pid=""
+echo "check.sh: manifest-recovery smoke ok"
+
+# Storage experiment: record a quick E16 run (legacy postings vs sorted
+# runs on ingest / cold probes / crash recovery) alongside the committed
+# full-mode BENCH_e16.json.
+./target/release/harness e16 --quick --json \
+    > "bench_history/e16-$(date +%s).json"
+echo "check.sh: e16 recorded ($(ls bench_history | wc -l) history entries)"
+
+# Parallel-host re-record: committed scaling numbers measured on a 1-core
+# host say nothing about parallel speedup (the exported host_parallelism
+# field marks the provenance; files recorded before the field count as
+# 1-core). On a multi-core host, refresh the full E12 record once.
+cores=$( (nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null) || echo 1 )
+if [ "${cores:-1}" -gt 1 ] \
+    && ! grep -Eq '"host_parallelism": *([2-9]|[0-9]{2,})' BENCH_e12.json; then
+    ./target/release/harness e12 --json > BENCH_e12.json
+    echo "check.sh: BENCH_e12.json re-recorded on a ${cores}-core host"
+else
+    echo "check.sh: BENCH_e12.json re-record not needed (cores=$cores)"
+fi
+
 echo "check.sh: all green"
